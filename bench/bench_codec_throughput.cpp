@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Software throughput of every codec (google-benchmark): encode, decode,
+ * and round-trip on 32-byte transactions of patterned and random data.
+ * Not a paper artifact — it documents that the library itself is fast
+ * enough to sit in a simulator's memory-controller path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/codec_factory.h"
+#include "workloads/patterns.h"
+
+namespace {
+
+using namespace bxt;
+
+std::vector<Transaction>
+makeInput(bool random_data, std::size_t count)
+{
+    PatternPtr pattern =
+        random_data ? makeRandomPattern(7)
+                    : makeSoaFloatPattern(1.0e3, 1.0e-3, 7);
+    Rng rng(11);
+    std::vector<Transaction> txs;
+    txs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        Transaction tx(32);
+        pattern->fill(rng, tx.bytes());
+        txs.push_back(tx);
+    }
+    return txs;
+}
+
+void
+runEncodeDecode(benchmark::State &state, const std::string &spec,
+                bool random_data)
+{
+    CodecPtr codec = makeCodec(spec);
+    const std::vector<Transaction> input = makeInput(random_data, 256);
+
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const Encoded enc = codec->encode(input[i % input.size()]);
+        const Transaction back = codec->decode(enc);
+        benchmark::DoNotOptimize(back.data());
+        ++i;
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            32);
+}
+
+void
+BM_RoundTrip(benchmark::State &state, const std::string &spec,
+             bool random_data)
+{
+    runEncodeDecode(state, spec, random_data);
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_RoundTrip, xor4_zdr_patterned, "xor4+zdr", false);
+BENCHMARK_CAPTURE(BM_RoundTrip, xor4_zdr_random, "xor4+zdr", true);
+BENCHMARK_CAPTURE(BM_RoundTrip, universal_zdr_patterned, "universal3+zdr",
+                  false);
+BENCHMARK_CAPTURE(BM_RoundTrip, universal_zdr_random, "universal3+zdr",
+                  true);
+BENCHMARK_CAPTURE(BM_RoundTrip, dbi1_patterned, "dbi1", false);
+BENCHMARK_CAPTURE(BM_RoundTrip, universal_dbi1_patterned,
+                  "universal3+zdr|dbi1", false);
+BENCHMARK_CAPTURE(BM_RoundTrip, bd_patterned, "bd", false);
+
+BENCHMARK_MAIN();

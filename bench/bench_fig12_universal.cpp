@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reproduces paper Figure 12: Universal Base+XOR Transfer tracks the best
+ * of the fixed 2/4/8-byte bases per application, and beats it on average
+ * (paper: 64.7 % normalized ones vs 70.3 % for the best fixed base).
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/table.h"
+#include "suite_eval.h"
+#include "workloads/apps.h"
+
+int
+main()
+{
+    using namespace bxt;
+
+    std::printf("%s", banner("Figure 12: Universal Base+XOR Transfer vs "
+                             "best fixed base").c_str());
+
+    std::vector<App> apps = buildGpuSuite();
+    const std::vector<std::string> specs = {"xor2+zdr", "xor4+zdr",
+                                            "xor8+zdr", "universal3+zdr"};
+    std::vector<AppResult> results =
+        evalSuite(apps, specs, defaultTraceLength);
+
+    auto best_fixed = [](const AppResult &r) {
+        return std::min({r.normalizedOnes("xor2+zdr"),
+                         r.normalizedOnes("xor4+zdr"),
+                         r.normalizedOnes("xor8+zdr")});
+    };
+
+    std::stable_sort(results.begin(), results.end(),
+                     [&](const AppResult &a, const AppResult &b) {
+                         return a.normalizedOnes("universal3+zdr") <
+                                b.normalizedOnes("universal3+zdr");
+                     });
+
+    Table table({"application", "best-of-fixed %", "universal %", "delta"});
+    double sum_best = 0.0;
+    double sum_universal = 0.0;
+    std::size_t universal_wins = 0;
+    for (const AppResult &r : results) {
+        const double fixed = best_fixed(r) * 100.0;
+        const double universal =
+            r.normalizedOnes("universal3+zdr") * 100.0;
+        sum_best += fixed;
+        sum_universal += universal;
+        if (universal <= fixed)
+            ++universal_wins;
+        table.addRow({r.app, Table::cell(fixed), Table::cell(universal),
+                      Table::cell(universal - fixed)});
+    }
+    std::printf("%s", table.render().c_str());
+
+    const auto n = static_cast<double>(results.size());
+    std::printf("\naverage best-of-fixed : %5.1f %% (paper 70.3)\n"
+                "average universal     : %5.1f %% (paper 64.7)\n"
+                "universal <= best-of-fixed in %zu/%zu apps\n",
+                sum_best / n, sum_universal / n, universal_wins,
+                results.size());
+    return 0;
+}

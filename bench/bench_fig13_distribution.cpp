@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reproduces paper Figure 13: the distribution of applications over
+ * 20-percentage-point buckets of `1`-value reduction, for the three fixed
+ * bases and Universal Base+XOR Transfer. The paper's observations: larger
+ * fixed bases strand fewer applications with *increased* ones, and
+ * Universal has both the fewest regressions and the best average.
+ */
+
+#include <cstdio>
+
+#include "common/histogram.h"
+#include "common/table.h"
+#include "suite_eval.h"
+#include "workloads/apps.h"
+
+int
+main()
+{
+    using namespace bxt;
+
+    std::printf("%s", banner("Figure 13: application distribution of "
+                             "1-value reduction").c_str());
+
+    std::vector<App> apps = buildGpuSuite();
+    const std::vector<std::string> specs = {"xor2+zdr", "xor4+zdr",
+                                            "xor8+zdr", "universal3+zdr"};
+    const std::vector<AppResult> results =
+        evalSuite(apps, specs, defaultTraceLength);
+
+    for (const std::string &spec : specs) {
+        // Reduction = 100 - normalized; buckets span -80 %..+80 %.
+        Histogram hist(-80.0, 80.0, 8);
+        std::size_t regressions = 0;
+        for (const AppResult &r : results) {
+            const double reduction =
+                (1.0 - r.normalizedOnes(spec)) * 100.0;
+            hist.add(reduction);
+            if (reduction < 0.0)
+                ++regressions;
+        }
+        std::printf("\n%s (apps with increased ones: %zu/%zu)\n",
+                    spec.c_str(), regressions, results.size());
+        std::printf("%s", hist.render(40).c_str());
+    }
+    return 0;
+}

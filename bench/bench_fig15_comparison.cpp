@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces paper Figure 15: normalized `1` values of DBI (4/2/1-byte
+ * groups), Universal Base+XOR Transfer with ZDR, their combinations, and
+ * BD-Encoding, averaged over the 187-application GPU population.
+ *
+ * Paper reference values (% of baseline ones):
+ *   baseline 100.0 | 4B DBI 81.2 | 2B DBI 77.3 | 1B DBI 74.3 |
+ *   Univ+ZDR 64.7 | +4B DBI 58.1 | +2B DBI 54.9 | +1B DBI 51.8 |
+ *   BD-Encoding 70.2
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/codec_factory.h"
+#include "suite_eval.h"
+#include "workloads/apps.h"
+
+int
+main()
+{
+    using namespace bxt;
+
+    std::printf("%s", banner("Figure 15: Base+XOR Transfer vs. previous "
+                             "works (normalized # of 1 values)")
+                          .c_str());
+
+    std::vector<App> apps = buildGpuSuite();
+    const std::vector<std::string> specs = paperSchemeSpecs();
+    const std::vector<AppResult> results =
+        evalSuite(apps, specs, defaultTraceLength);
+
+    const double paper[] = {100.0, 81.2, 77.3, 74.3, 64.7,
+                            58.1,  54.9, 51.8, 70.2};
+    const char *labels[] = {
+        "baseline (no DBI)",   "4B DBI (1 bit)",
+        "2B DBI (2 bits)",     "1B DBI (4 bits)",
+        "Univ XOR+ZDR",        "Univ XOR+ZDR | 4B DBI",
+        "Univ XOR+ZDR | 2B DBI", "Univ XOR+ZDR | 1B DBI",
+        "BD-Encoding (4 bit)",
+    };
+
+    Table table({"scheme", "spec", "measured %", "paper %"});
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const double measured =
+            meanNormalizedOnes(results, specs[i]) * 100.0;
+        table.addRow({labels[i], specs[i], Table::cell(measured),
+                      Table::cell(paper[i])});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("(avg over %zu apps: 106 compute + 81 graphics; "
+                "%zu transactions per app)\n",
+                results.size(), defaultTraceLength);
+    return 0;
+}

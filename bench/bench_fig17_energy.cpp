@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces paper Figure 17: total DRAM memory-system energy reduction
+ * for every scheme at 70 % bandwidth utilization, combining the `1`-value
+ * and toggle reductions through the component power model.
+ *
+ * Paper values (% energy reduction vs baseline): 4B DBI 2.2, 2B DBI 2.4,
+ * 1B DBI 2.7, Univ+ZDR 5.8, +4B DBI 6.4, +2B DBI 6.7, +1B DBI 7.1,
+ * BD-Encoding 4.2.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/codec_factory.h"
+#include "energy/dram_power.h"
+#include "suite_eval.h"
+#include "workloads/apps.h"
+
+int
+main()
+{
+    using namespace bxt;
+
+    std::printf("%s", banner("Figure 17: DRAM energy reduction "
+                             "(70 % bandwidth utilization)").c_str());
+
+    std::vector<App> apps = buildGpuSuite();
+    const std::vector<std::string> specs = paperSchemeSpecs();
+    const std::vector<AppResult> results =
+        evalSuite(apps, specs, defaultTraceLength);
+
+    const DramPowerModel model(DramPowerParams::gddr5x());
+
+    // Aggregate wire activity across the population per scheme, then price
+    // the traffic with the component model.
+    auto total_energy = [&](const std::string &spec) {
+        BusStats total;
+        for (const AppResult &r : results) {
+            const auto it = r.stats.find(spec);
+            total += it->second;
+        }
+        return model.computeSimple(total).total();
+    };
+
+    const double baseline = total_energy("baseline");
+    const double paper[] = {0.0, 2.2, 2.4, 2.7, 5.8, 6.4, 6.7, 7.1, 4.2};
+
+    Table table({"scheme", "measured reduction %", "paper %"});
+    for (std::size_t i = 1; i < specs.size(); ++i) {
+        const double reduction =
+            (1.0 - total_energy(specs[i]) / baseline) * 100.0;
+        table.addRow({specs[i], Table::cell(reduction),
+                      Table::cell(paper[i])});
+    }
+    std::printf("%s", table.render().c_str());
+
+    EnergyBreakdown base;
+    {
+        BusStats total;
+        for (const AppResult &r : results)
+            total += r.stats.at("baseline");
+        base = model.computeSimple(total);
+    }
+    std::printf("\nbaseline component split (calibration, DESIGN.md §6):\n"
+                "  ones-dependent  %.1f %%\n"
+                "  toggle-dependent %.1f %%\n"
+                "  I/O total        %.1f %%\n",
+                base.ioOnes / base.total() * 100.0,
+                base.ioToggles / base.total() * 100.0,
+                (base.ioOnes + base.ioToggles + base.ioFixed) /
+                    base.total() * 100.0);
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Reproduces paper Figure 1: the GDDR5 -> GDDR5X trend of energy/bit,
+ * bandwidth, and peak power, normalized to GDDR5 6 Gbps. The paper's
+ * annotated end points are 81 % energy/bit, 200 % bandwidth, and 163 %
+ * peak power for GDDR5X 12 Gbps.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "energy/gddr_trend.h"
+
+int
+main()
+{
+    using namespace bxt;
+
+    std::printf("%s", banner("Figure 1: hypothetical GPU memory system "
+                             "trend (normalized to GDDR5 6Gbps)").c_str());
+
+    const auto trend = computeGddrTrend(gddrGenerations(), 384);
+    Table table({"generation", "energy/bit %", "bandwidth %",
+                 "peak power %"});
+    for (const GddrTrendPoint &p : trend) {
+        table.addRow({p.name, Table::cell(p.energyPerBitPct, 0),
+                      Table::cell(p.bandwidthPct, 0),
+                      Table::cell(p.peakPowerPct, 0)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("(paper end point: 81 / 200 / 163 at GDDR5X 12Gbps)\n");
+    return 0;
+}

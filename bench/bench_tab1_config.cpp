@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reproduces paper Table I: the evaluated GPU system configuration, plus
+ * the derived electrical quantities quoted in §V-A (13.5 mA and +1.82 pJ
+ * per transmitted `1`, 37 % energy imbalance, 432 mA / 5.2 A peak data
+ * currents).
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "energy/pod_io.h"
+#include "gpusim/gpu_config.h"
+
+int
+main()
+{
+    using namespace bxt;
+
+    std::printf("%s", banner("Table I: configuration of evaluated GPU "
+                             "system").c_str());
+    const GpuConfig config = GpuConfig::titanXPascal();
+    std::printf("%s", config.report().c_str());
+
+    const PodIoParams io = PodIoParams::gddr5x();
+    std::printf("%s", banner("Derived POD I/O electrical quantities "
+                             "(paper Section V-A)").c_str());
+    Table table({"quantity", "measured", "paper"});
+    table.addRow({"static current per 1 value (mA)",
+                  Table::cell(io.currentPerOne() * 1e3), "13.5"});
+    table.addRow({"energy per 1 value (pJ)",
+                  Table::cell(io.energyPerOne() * 1e12, 2), "1.82"});
+    table.addRow({"POD voltage swing (V)",
+                  Table::cell(io.swingVoltage(), 2), "0.54"});
+    table.addRow({"peak 1-current, 32-bit chip bus (mA)",
+                  Table::cell(io.currentPerOne() * 32 * 1e3, 0), "432"});
+    table.addRow({"peak 1-current, 384-bit GPU bus (A)",
+                  Table::cell(io.currentPerOne() * 384, 1), "5.2"});
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,115 @@
+#include "suite_eval.h"
+
+#include "channel/channel_eval.h"
+#include "common/error.h"
+#include "core/codec_factory.h"
+
+namespace bxt {
+
+double
+AppResult::normalizedOnes(const std::string &spec) const
+{
+    const auto it = stats.find(spec);
+    BXT_ASSERT(it != stats.end());
+    if (rawOnes == 0)
+        return 1.0;
+    return static_cast<double>(it->second.ones()) /
+           static_cast<double>(rawOnes);
+}
+
+double
+AppResult::normalizedToggles(const std::string &spec) const
+{
+    const auto it = stats.find(spec);
+    const auto base = stats.find("baseline");
+    BXT_ASSERT(it != stats.end() && base != stats.end());
+    if (base->second.toggles() == 0)
+        return 1.0;
+    return static_cast<double>(it->second.toggles()) /
+           static_cast<double>(base->second.toggles());
+}
+
+std::vector<AppResult>
+evalSuite(std::vector<App> &apps, const std::vector<std::string> &specs,
+          std::size_t tx_per_app)
+{
+    std::vector<AppResult> results;
+    results.reserve(apps.size());
+    for (App &app : apps) {
+        const std::vector<Transaction> trace =
+            generateTrace(app, tx_per_app);
+        const auto bus_width =
+            static_cast<unsigned>(app.txBytes == 64 ? 64 : 32);
+
+        AppResult result;
+        result.app = app.name;
+        result.category = app.category;
+        result.family = app.family;
+        result.mixedRatio = mixedDataRatio(trace);
+        for (const std::string &spec : specs) {
+            CodecPtr codec = makeCodec(spec, bus_width / 8);
+            const ChannelEvalResult eval =
+                evalCodecOnStream(*codec, trace, bus_width);
+            result.rawOnes = eval.rawOnes;
+            result.stats.emplace(spec, eval.stats);
+        }
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+double
+meanNormalizedOnes(const std::vector<AppResult> &results,
+                   const std::string &spec)
+{
+    if (results.empty())
+        return 1.0;
+    double sum = 0.0;
+    for (const AppResult &r : results)
+        sum += r.normalizedOnes(spec);
+    return sum / static_cast<double>(results.size());
+}
+
+double
+aggregateNormalizedOnes(const std::vector<AppResult> &results,
+                        const std::string &spec)
+{
+    std::uint64_t total = 0;
+    std::uint64_t raw = 0;
+    for (const AppResult &r : results) {
+        total += r.stats.at(spec).ones();
+        raw += r.rawOnes;
+    }
+    if (raw == 0)
+        return 1.0;
+    return static_cast<double>(total) / static_cast<double>(raw);
+}
+
+double
+aggregateNormalizedToggles(const std::vector<AppResult> &results,
+                           const std::string &spec)
+{
+    std::uint64_t total = 0;
+    std::uint64_t base = 0;
+    for (const AppResult &r : results) {
+        total += r.stats.at(spec).toggles();
+        base += r.stats.at("baseline").toggles();
+    }
+    if (base == 0)
+        return 1.0;
+    return static_cast<double>(total) / static_cast<double>(base);
+}
+
+double
+meanNormalizedToggles(const std::vector<AppResult> &results,
+                      const std::string &spec)
+{
+    if (results.empty())
+        return 1.0;
+    double sum = 0.0;
+    for (const AppResult &r : results)
+        sum += r.normalizedToggles(spec);
+    return sum / static_cast<double>(results.size());
+}
+
+} // namespace bxt

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared evaluation harness for the figure-reproduction benches: runs the
+ * workload population through a set of codecs and collects per-application
+ * wire-activity results.
+ */
+
+#ifndef BXT_BENCH_SUITE_EVAL_H
+#define BXT_BENCH_SUITE_EVAL_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "channel/bus.h"
+#include "workloads/apps.h"
+
+namespace bxt {
+
+/** Per-application evaluation across a set of schemes. */
+struct AppResult
+{
+    std::string app;
+    AppCategory category = AppCategory::Compute;
+    std::string family;
+    double mixedRatio = 0.0;   ///< Mixed zero/non-zero transaction ratio.
+    std::uint64_t rawOnes = 0; ///< Unencoded `1` count of the trace.
+    /** Wire activity per scheme spec (data + metadata). */
+    std::map<std::string, BusStats> stats;
+
+    /** Ones of @p spec normalized to the unencoded stream (1.0 = equal). */
+    double normalizedOnes(const std::string &spec) const;
+
+    /** Toggles of @p spec normalized to the baseline scheme's toggles. */
+    double normalizedToggles(const std::string &spec) const;
+};
+
+/**
+ * Evaluate every app in @p apps against every codec in @p specs with
+ * @p tx_per_app transactions per application. The bus width is chosen per
+ * app (32-bit for 32-byte GPU sectors, 64-bit for 64-byte CPU lines).
+ */
+std::vector<AppResult> evalSuite(std::vector<App> &apps,
+                                 const std::vector<std::string> &specs,
+                                 std::size_t tx_per_app);
+
+/** Arithmetic-mean normalized ones of @p spec over @p results. */
+double meanNormalizedOnes(const std::vector<AppResult> &results,
+                          const std::string &spec);
+
+/** Arithmetic-mean normalized toggles of @p spec over @p results. */
+double meanNormalizedToggles(const std::vector<AppResult> &results,
+                             const std::string &spec);
+
+/**
+ * Traffic-weighted normalized ones: total ones of @p spec over the whole
+ * population divided by total unencoded ones. This is the aggregate the
+ * energy model prices.
+ */
+double aggregateNormalizedOnes(const std::vector<AppResult> &results,
+                               const std::string &spec);
+
+/** Traffic-weighted normalized toggles (vs the baseline scheme). */
+double aggregateNormalizedToggles(const std::vector<AppResult> &results,
+                                  const std::string &spec);
+
+} // namespace bxt
+
+#endif // BXT_BENCH_SUITE_EVAL_H

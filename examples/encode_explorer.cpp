@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Encode explorer: compare every encoding scheme on a chosen data
+ * pattern (or on a hex transaction given on the command line) and print
+ * ones/toggle/energy statistics.
+ *
+ * Usage:
+ *   encode_explorer                     # default fp32 pattern
+ *   encode_explorer fp32|fp64|fp16|vec4|int|rgba|zbuffer|random|zeros
+ *   encode_explorer hex <64 hex digits> # one 32-byte transaction
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "channel/channel_eval.h"
+#include "common/error.h"
+#include "common/table.h"
+#include "core/codec_factory.h"
+#include "energy/dram_power.h"
+#include "workloads/patterns.h"
+
+namespace {
+
+using namespace bxt;
+
+PatternPtr
+patternByName(const std::string &name)
+{
+    const std::uint64_t seed = 2026;
+    if (name == "fp32")
+        return makeSoaFloatPattern(1.0e3, 1.0e-3, seed, 12);
+    if (name == "fp64")
+        return makeSoaDoublePattern(1.0e3, 1.0e-3, seed, 20);
+    if (name == "fp16")
+        return makeHalfFloatPattern(1.0, 1.0e-2, seed);
+    if (name == "vec4")
+        return makeVecFloatPattern(4, 4, 1.0e-3, seed, 12);
+    if (name == "int")
+        return makeIntStridePattern(4, 2, 3, seed);
+    if (name == "rgba")
+        return makeRgbaPixelPattern(8, 0xff, seed);
+    if (name == "zbuffer")
+        return makeDepthBufferPattern(0.5, 1.0e-4, seed);
+    if (name == "random")
+        return makeRandomPattern(seed);
+    if (name == "zeros")
+        return makeZeroMixedPattern(makeSoaFloatPattern(1.0, 1e-2, seed, 12),
+                                    4, 0.5, seed + 1);
+    fatal("unknown pattern '" + name +
+          "' (try fp32|fp64|fp16|vec4|int|rgba|zbuffer|random|zeros)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bxt;
+
+    std::vector<Transaction> stream;
+    std::string source = "fp32";
+    if (argc >= 3 && std::strcmp(argv[1], "hex") == 0) {
+        stream.push_back(Transaction::fromHex(argv[2]));
+        source = "hex input";
+    } else {
+        if (argc >= 2)
+            source = argv[1];
+        PatternPtr pattern = patternByName(source);
+        Rng rng(7);
+        for (int i = 0; i < 4096; ++i) {
+            Transaction tx(32);
+            pattern->fill(rng, tx.bytes());
+            stream.push_back(tx);
+        }
+    }
+
+    std::printf("%s", banner("Encoding schemes on '" + source + "' (" +
+                             std::to_string(stream.size()) +
+                             " transactions)")
+                          .c_str());
+
+    const DramPowerModel model(DramPowerParams::gddr5x());
+    double baseline_energy = 0.0;
+
+    Table table({"scheme", "ones %", "toggles %", "meta wires",
+                 "DRAM energy %"});
+    std::uint64_t baseline_toggles = 0;
+    for (const std::string &spec :
+         {std::string("baseline"), std::string("dbi1"),
+          std::string("xor2+zdr"), std::string("xor4+zdr"),
+          std::string("xor8+zdr"), std::string("universal3+zdr"),
+          std::string("universal3+zdr|dbi1"), std::string("bd")}) {
+        CodecPtr codec = makeCodec(spec);
+        const ChannelEvalResult result =
+            evalCodecOnStream(*codec, stream, 32);
+        const double energy =
+            model.computeSimple(result.stats).total();
+        if (spec == "baseline") {
+            baseline_energy = energy;
+            baseline_toggles = result.stats.toggles();
+        }
+        table.addRow(
+            {spec, Table::cell(result.normalizedOnes() * 100.0),
+             Table::cell(baseline_toggles == 0
+                             ? 100.0
+                             : 100.0 *
+                                   static_cast<double>(
+                                       result.stats.toggles()) /
+                                   static_cast<double>(baseline_toggles)),
+             Table::cell(static_cast<std::size_t>(
+                 codec->metaWiresPerBeat())),
+             Table::cell(100.0 * energy / baseline_energy)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("(100 %% = conventional transfer; every scheme verified "
+                "lossless on this stream)\n");
+    return 0;
+}

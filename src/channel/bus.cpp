@@ -1,0 +1,100 @@
+#include "channel/bus.h"
+
+#include "common/bitops.h"
+#include "common/error.h"
+
+namespace bxt {
+
+BusStats &
+BusStats::operator+=(const BusStats &other)
+{
+    transactions += other.transactions;
+    beats += other.beats;
+    dataBits += other.dataBits;
+    dataOnes += other.dataOnes;
+    dataToggles += other.dataToggles;
+    metaBits += other.metaBits;
+    metaOnes += other.metaOnes;
+    metaToggles += other.metaToggles;
+    return *this;
+}
+
+Bus::Bus(unsigned data_wires, unsigned meta_wires, double idle_fraction)
+    : data_wires_(data_wires), meta_wires_(meta_wires),
+      idle_fraction_(idle_fraction), last_data_(data_wires / 8, 0),
+      last_meta_(meta_wires, 0)
+{
+    BXT_ASSERT(data_wires >= 8 && data_wires % 8 == 0);
+    BXT_ASSERT(idle_fraction >= 0.0 && idle_fraction < 1.0);
+}
+
+void
+Bus::parkWires(BusStats &delta)
+{
+    for (std::uint8_t &lane : last_data_) {
+        delta.dataToggles +=
+            static_cast<std::uint64_t>(popcount64(lane));
+        lane = 0;
+    }
+    for (std::uint8_t &bit : last_meta_) {
+        delta.metaToggles += bit;
+        bit = 0;
+    }
+}
+
+void
+Bus::resetWires()
+{
+    std::fill(last_data_.begin(), last_data_.end(), 0);
+    std::fill(last_meta_.begin(), last_meta_.end(), 0);
+    idle_accum_ = 0.0;
+}
+
+BusStats
+Bus::transmit(const Encoded &enc)
+{
+    const std::size_t bus_bytes = data_wires_ / 8;
+    const std::size_t size = enc.payload.size();
+    BXT_ASSERT(size % bus_bytes == 0);
+    BXT_ASSERT(enc.metaWiresPerBeat == meta_wires_);
+
+    const std::size_t beats = size / bus_bytes;
+    BXT_ASSERT(enc.meta.size() == beats * meta_wires_);
+
+    BusStats delta;
+    delta.transactions = 1;
+    delta.beats = beats;
+
+    const std::uint8_t *payload = enc.payload.data();
+    for (std::size_t beat = 0; beat < beats; ++beat) {
+        for (std::size_t lane = 0; lane < bus_bytes; ++lane) {
+            const std::uint8_t value = payload[beat * bus_bytes + lane];
+            delta.dataOnes += static_cast<std::uint64_t>(
+                popcount64(value));
+            delta.dataToggles += static_cast<std::uint64_t>(
+                popcount64(static_cast<std::uint8_t>(value ^
+                                                     last_data_[lane])));
+            last_data_[lane] = value;
+        }
+        for (unsigned w = 0; w < meta_wires_; ++w) {
+            const std::uint8_t bit = enc.meta[beat * meta_wires_ + w];
+            delta.metaOnes += bit;
+            delta.metaToggles += (bit != last_meta_[w]) ? 1u : 0u;
+            last_meta_[w] = bit;
+        }
+    }
+    delta.dataBits = beats * data_wires_;
+    delta.metaBits = beats * meta_wires_;
+
+    // Idle gap after this burst (deterministic accumulator).
+    idle_accum_ += idle_fraction_;
+    if (idle_accum_ >= 1.0) {
+        idle_accum_ -= 1.0;
+        parkWires(delta);
+    }
+
+    stats_ += delta;
+    return delta;
+}
+
+} // namespace bxt

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Physical channel model: serializes encoded transactions into bus beats
+ * and accounts the two data-dependent energy drivers of a POD interface —
+ * `1` values (termination current) and per-wire toggles (capacitive
+ * switching) — across beats *and* across consecutive transactions.
+ */
+
+#ifndef BXT_CHANNEL_BUS_H
+#define BXT_CHANNEL_BUS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/codec.h"
+
+namespace bxt {
+
+/** Accumulated wire-activity counters for a bus. */
+struct BusStats
+{
+    std::uint64_t transactions = 0; ///< Transactions transmitted.
+    std::uint64_t beats = 0;        ///< Bus beats transmitted.
+    std::uint64_t dataBits = 0;     ///< Data wire-slots driven (beats × wires).
+    std::uint64_t dataOnes = 0;     ///< `1` values on data wires.
+    std::uint64_t dataToggles = 0;  ///< Data-wire transitions.
+    std::uint64_t metaBits = 0;     ///< Metadata wire-slots driven.
+    std::uint64_t metaOnes = 0;     ///< `1` values on metadata wires.
+    std::uint64_t metaToggles = 0;  ///< Metadata-wire transitions.
+
+    /** All `1` values (data + metadata). */
+    std::uint64_t ones() const { return dataOnes + metaOnes; }
+
+    /** All wire transitions (data + metadata). */
+    std::uint64_t toggles() const { return dataToggles + metaToggles; }
+
+    /** Element-wise accumulate. */
+    BusStats &operator+=(const BusStats &other);
+};
+
+/**
+ * One DRAM data channel: a set of data wires plus optional dedicated
+ * metadata wires (DBI / BD-Encoding polarity and index signals). The bus
+ * remembers the last value driven on every wire so toggles are counted
+ * across transaction boundaries; wires idle at logical 0 (VDD on a POD
+ * interface), matching a terminated bus at rest.
+ */
+class Bus
+{
+  public:
+    /**
+     * @param data_wires Data bus width in bits (32 for one GDDR5X channel,
+     *        64 for the DDR4 CPU configuration); must be a multiple of 8.
+     * @param meta_wires Dedicated metadata wires (codec-dependent).
+     * @param idle_fraction Fraction of transactions followed by a bus idle
+     *        gap (1 - bandwidth utilization). A terminated POD bus parks
+     *        at VDD = logical 0 when idle, so every `1` on the last beat
+     *        before a gap and the first beat after it costs a transition.
+     *        Applied deterministically (every 1/idle_fraction-th
+     *        transaction) so runs are reproducible.
+     */
+    explicit Bus(unsigned data_wires = 32, unsigned meta_wires = 0,
+                 double idle_fraction = 0.0);
+
+    /**
+     * Transmit one encoded transaction and update the counters.
+     * The encoding's metaWiresPerBeat must equal the bus's metadata wires.
+     * @return the counter deltas contributed by this transaction.
+     */
+    BusStats transmit(const Encoded &enc);
+
+    /** Counters accumulated since construction or the last resetStats(). */
+    const BusStats &stats() const { return stats_; }
+
+    /** Zero the counters (wire state is preserved). */
+    void resetStats() { stats_ = BusStats{}; }
+
+    /** Drive all wires back to the idle (all-zero) state. */
+    void resetWires();
+
+    /** Data bus width in bits. */
+    unsigned dataWires() const { return data_wires_; }
+
+    /** Metadata wire count. */
+    unsigned metaWires() const { return meta_wires_; }
+
+  private:
+    /** Park all wires at idle (0) and charge the resulting transitions. */
+    void parkWires(BusStats &delta);
+
+    unsigned data_wires_;
+    unsigned meta_wires_;
+    double idle_fraction_;
+    double idle_accum_ = 0.0;
+    std::vector<std::uint8_t> last_data_;  ///< Last byte-lane values driven.
+    std::vector<std::uint8_t> last_meta_;  ///< Last metadata bit values.
+    BusStats stats_;
+};
+
+} // namespace bxt
+
+#endif // BXT_CHANNEL_BUS_H

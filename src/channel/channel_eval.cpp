@@ -1,0 +1,70 @@
+#include "channel/channel_eval.h"
+
+#include "common/bitops.h"
+#include "common/error.h"
+
+namespace bxt {
+
+double
+ChannelEvalResult::normalizedOnes() const
+{
+    if (rawOnes == 0)
+        return 1.0;
+    return static_cast<double>(stats.ones()) / static_cast<double>(rawOnes);
+}
+
+double
+ChannelEvalResult::onesPerTransaction() const
+{
+    if (stats.transactions == 0)
+        return 0.0;
+    return static_cast<double>(stats.ones()) /
+           static_cast<double>(stats.transactions);
+}
+
+ChannelEvalResult
+evalCodecOnStream(Codec &codec, const std::vector<Transaction> &stream,
+                  unsigned data_wires, double idle_fraction)
+{
+    codec.reset();
+    Bus bus(data_wires, codec.metaWiresPerBeat(), idle_fraction);
+
+    ChannelEvalResult result;
+    result.codec = codec.name();
+    for (const Transaction &tx : stream) {
+        result.rawOnes += tx.ones();
+        const Encoded enc = codec.encode(tx);
+        bus.transmit(enc);
+        // Losslessness is non-negotiable: encoded data is what gets stored
+        // in DRAM, so any mismatch here would be silent data corruption.
+        const Transaction back = codec.decode(enc);
+        if (!(back == tx))
+            panic("codec " + codec.name() + " failed to round-trip " +
+                  tx.toHex());
+    }
+    result.stats = bus.stats();
+    return result;
+}
+
+double
+mixedDataRatio(const std::vector<Transaction> &stream)
+{
+    if (stream.empty())
+        return 0.0;
+    std::size_t mixed = 0;
+    for (const Transaction &tx : stream) {
+        bool has_zero = false;
+        bool has_nonzero = false;
+        for (std::size_t off = 0; off < tx.size(); off += 4) {
+            if (allZero(tx.data() + off, 4))
+                has_zero = true;
+            else
+                has_nonzero = true;
+        }
+        if (has_zero && has_nonzero)
+            ++mixed;
+    }
+    return static_cast<double>(mixed) / static_cast<double>(stream.size());
+}
+
+} // namespace bxt

@@ -1,0 +1,32 @@
+#include "common/error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bxt {
+
+void
+fatal(const std::string &message)
+{
+    std::fprintf(stderr, "fatal: %s\n", message.c_str());
+    std::exit(1);
+}
+
+void
+panic(const std::string &message)
+{
+    std::fprintf(stderr, "panic: %s\n", message.c_str());
+    std::abort();
+}
+
+namespace detail {
+
+void
+assertFail(const char *expr, const char *file, int line)
+{
+    std::fprintf(stderr, "assertion failed: %s at %s:%d\n", expr, file, line);
+    std::abort();
+}
+
+} // namespace detail
+} // namespace bxt

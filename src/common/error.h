@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Error-handling helpers: fatal() for user/configuration errors and
+ * BXT_ASSERT for internal invariants (gem5 fatal/panic split).
+ */
+
+#ifndef BXT_COMMON_ERROR_H
+#define BXT_COMMON_ERROR_H
+
+#include <string>
+
+namespace bxt {
+
+/**
+ * Terminate the program with an error message. Use for conditions caused by
+ * invalid user input or configuration (the gem5 `fatal()` convention).
+ * Exits with status 1; never returns.
+ */
+[[noreturn]] void fatal(const std::string &message);
+
+/**
+ * Abort with a message. Use for internal invariant violations (the gem5
+ * `panic()` convention). Calls std::abort(); never returns.
+ */
+[[noreturn]] void panic(const std::string &message);
+
+namespace detail {
+[[noreturn]] void assertFail(const char *expr, const char *file, int line);
+} // namespace detail
+
+} // namespace bxt
+
+/**
+ * Invariant check that stays enabled in release builds. The simulator relies
+ * on these checks to guarantee that encoded data round-trips; compiling them
+ * out would silently convert encoding bugs into data corruption.
+ */
+#define BXT_ASSERT(expr)                                                      \
+    do {                                                                      \
+        if (!(expr))                                                          \
+            ::bxt::detail::assertFail(#expr, __FILE__, __LINE__);             \
+    } while (false)
+
+#endif // BXT_COMMON_ERROR_H

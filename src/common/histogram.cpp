@@ -1,0 +1,80 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace bxt {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    BXT_ASSERT(hi > lo);
+    BXT_ASSERT(buckets > 0);
+}
+
+void
+Histogram::add(double sample)
+{
+    const double span = hi_ - lo_;
+    double pos = (sample - lo_) / span * static_cast<double>(counts_.size());
+    auto index = static_cast<std::ptrdiff_t>(pos);
+    index = std::clamp<std::ptrdiff_t>(
+        index, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(index)];
+    ++total_;
+}
+
+std::size_t
+Histogram::bucketCount(std::size_t index) const
+{
+    BXT_ASSERT(index < counts_.size());
+    return counts_[index];
+}
+
+double
+Histogram::bucketLo(std::size_t index) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * static_cast<double>(index);
+}
+
+double
+Histogram::bucketHi(std::size_t index) const
+{
+    return bucketLo(index + 1);
+}
+
+double
+Histogram::bucketFraction(std::size_t index) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(bucketCount(index)) /
+           static_cast<double>(total_);
+}
+
+std::string
+Histogram::render(int bar_width) const
+{
+    std::size_t peak = 1;
+    for (std::size_t c : counts_)
+        peak = std::max(peak, c);
+
+    std::string out;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        char line[128];
+        std::snprintf(line, sizeof(line), "[%8.1f, %8.1f) %6zu ",
+                      bucketLo(i), bucketHi(i), counts_[i]);
+        out += line;
+        const auto bars = static_cast<std::size_t>(
+            static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+            bar_width);
+        out.append(bars, '#');
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace bxt

@@ -1,0 +1,84 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace bxt {
+
+void
+RunningStat::add(double sample)
+{
+    if (count_ == 0) {
+        min_ = sample;
+        max_ = sample;
+    } else {
+        min_ = std::min(min_, sample);
+        max_ = std::max(max_, sample);
+    }
+    ++count_;
+    const double delta = sample - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (sample - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    BXT_ASSERT(!values.empty());
+    double log_sum = 0.0;
+    for (double v : values) {
+        BXT_ASSERT(v > 0.0);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+median(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    if (n % 2 == 1)
+        return values[n / 2];
+    return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, fraction * 100.0);
+    return std::string(buffer);
+}
+
+} // namespace bxt

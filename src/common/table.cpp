@@ -1,0 +1,104 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace bxt {
+namespace {
+
+bool
+looksNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    for (char c : cell) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+            c != '-' && c != '+' && c != '%' && c != 'e' && c != 'x') {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    BXT_ASSERT(!headers_.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    BXT_ASSERT(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::cell(double value, int decimals)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+    return std::string(buffer);
+}
+
+std::string
+Table::cell(std::size_t value)
+{
+    return std::to_string(value);
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &row,
+                        std::string &out) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            const std::size_t pad = widths[c] - row[c].size();
+            out += "| ";
+            if (looksNumeric(row[c])) {
+                out.append(pad, ' ');
+                out += row[c];
+            } else {
+                out += row[c];
+                out.append(pad, ' ');
+            }
+            out += ' ';
+        }
+        out += "|\n";
+    };
+
+    std::string out;
+    emit_row(headers_, out);
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        out += "|-";
+        out.append(widths[c], '-');
+        out += '-';
+    }
+    out += "|\n";
+    for (const auto &row : rows_)
+        emit_row(row, out);
+    return out;
+}
+
+std::string
+banner(const std::string &title)
+{
+    std::string out = "\n== ";
+    out += title;
+    out += " ==\n";
+    return out;
+}
+
+} // namespace bxt

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ASCII table rendering for the benchmark harness. Every bench binary that
+ * regenerates a paper table/figure prints its rows through this printer so
+ * output stays uniform and diffable.
+ */
+
+#ifndef BXT_COMMON_TABLE_H
+#define BXT_COMMON_TABLE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bxt {
+
+/**
+ * Column-aligned ASCII table. Columns are sized to the widest cell;
+ * numeric-looking cells are right-aligned, text cells left-aligned.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p decimals digits. */
+    static std::string cell(double value, int decimals = 1);
+
+    /** Convenience: format an integer cell. */
+    static std::string cell(std::size_t value);
+
+    /** Render the table including a header separator line. */
+    std::string render() const;
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner ("== title ==") used between bench outputs. */
+std::string banner(const std::string &title);
+
+} // namespace bxt
+
+#endif // BXT_COMMON_TABLE_H

@@ -1,0 +1,83 @@
+#include "core/base_xor.h"
+
+#include "common/bitops.h"
+#include "common/error.h"
+#include "core/zdr.h"
+
+namespace bxt {
+
+BaseXorCodec::BaseXorCodec(std::size_t base_size, bool zdr,
+                           bool adjacent_base)
+    : base_size_(base_size), zdr_(zdr), adjacent_base_(adjacent_base)
+{
+    BXT_ASSERT(isPowerOfTwo(base_size));
+    BXT_ASSERT(base_size >= 2 && base_size <= 16);
+}
+
+std::string
+BaseXorCodec::name() const
+{
+    std::string n = "xor" + std::to_string(base_size_);
+    if (zdr_)
+        n += "+zdr";
+    if (!adjacent_base_)
+        n += "(fixed)";
+    return n;
+}
+
+Encoded
+BaseXorCodec::encode(const Transaction &tx)
+{
+    BXT_ASSERT(tx.size() % base_size_ == 0 && tx.size() > base_size_);
+    Encoded enc;
+    enc.payload = Transaction(tx.size());
+
+    const std::uint8_t *in = tx.data();
+    std::uint8_t *out = enc.payload.data();
+    const std::size_t elements = tx.size() / base_size_;
+
+    // Base element passes through unchanged.
+    std::memcpy(out, in, base_size_);
+
+    for (std::size_t e = 1; e < elements; ++e) {
+        const std::uint8_t *element = in + e * base_size_;
+        const std::uint8_t *base =
+            adjacent_base_ ? in + (e - 1) * base_size_ : in;
+        std::uint8_t *dst = out + e * base_size_;
+        if (zdr_)
+            zdrLaneEncode(dst, element, base, base_size_);
+        else
+            xorLaneEncode(dst, element, base, base_size_);
+    }
+    return enc;
+}
+
+Transaction
+BaseXorCodec::decode(const Encoded &enc)
+{
+    const Transaction &payload = enc.payload;
+    BXT_ASSERT(payload.size() % base_size_ == 0);
+    Transaction tx(payload.size());
+
+    const std::uint8_t *in = payload.data();
+    std::uint8_t *out = tx.data();
+    const std::size_t elements = payload.size() / base_size_;
+
+    std::memcpy(out, in, base_size_);
+
+    // Decode left to right: each element's base is the already-decoded
+    // original value of its neighbour (or element 0 in fixed-base mode).
+    for (std::size_t e = 1; e < elements; ++e) {
+        const std::uint8_t *encoded = in + e * base_size_;
+        const std::uint8_t *base =
+            adjacent_base_ ? out + (e - 1) * base_size_ : out;
+        std::uint8_t *dst = out + e * base_size_;
+        if (zdr_)
+            zdrLaneDecode(dst, encoded, base, base_size_);
+        else
+            xorLaneEncode(dst, encoded, base, base_size_);
+    }
+    return tx;
+}
+
+} // namespace bxt

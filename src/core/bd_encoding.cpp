@@ -1,0 +1,119 @@
+#include "core/bd_encoding.h"
+
+#include <bit>
+
+#include "common/bitops.h"
+#include "common/error.h"
+
+namespace bxt {
+
+BdEncodingCodec::BdEncodingCodec(std::size_t entries, unsigned threshold,
+                                 std::size_t bus_bytes)
+    : entries_(entries), threshold_(threshold), bus_bytes_(bus_bytes)
+{
+    BXT_ASSERT(isPowerOfTwo(entries) && entries <= 64);
+    BXT_ASSERT(threshold >= 1 && threshold <= 64);
+    BXT_ASSERT(bus_bytes == 4 || bus_bytes == 8);
+    reset();
+}
+
+void
+BdEncodingCodec::reset()
+{
+    encode_repo_ = Repository{};
+    decode_repo_ = Repository{};
+    encode_repo_.words.assign(entries_, 0);
+    decode_repo_.words.assign(entries_, 0);
+}
+
+void
+BdEncodingCodec::Repository::insert(std::uint64_t word, std::size_t capacity)
+{
+    words[next] = word;
+    next = (next + 1) % capacity;
+    if (valid < capacity)
+        ++valid;
+}
+
+std::size_t
+BdEncodingCodec::findBestMatch(const Repository &repo,
+                               std::uint64_t word) const
+{
+    std::size_t best = npos;
+    unsigned best_distance = threshold_;
+    for (std::size_t i = 0; i < repo.valid; ++i) {
+        const auto distance = static_cast<unsigned>(
+            std::popcount(repo.words[i] ^ word));
+        if (distance < best_distance) {
+            best_distance = distance;
+            best = i;
+        }
+    }
+    return best;
+}
+
+unsigned
+BdEncodingCodec::metaWiresPerBeat() const
+{
+    // 8 metadata bits per 8-byte word = 1 metadata wire per byte lane.
+    return static_cast<unsigned>(bus_bytes_);
+}
+
+Encoded
+BdEncodingCodec::encode(const Transaction &tx)
+{
+    BXT_ASSERT(tx.size() % 8 == 0);
+    Encoded enc;
+    enc.payload = Transaction(tx.size());
+
+    const std::size_t words = tx.size() / 8;
+    // Metadata layout: each 8-byte word owns 8 metadata bits spread over
+    // the beats it occupies — one metadata wire per byte lane, so the flat
+    // index w*8+bit is already beat-major for any bus width.
+    enc.metaWiresPerBeat = metaWiresPerBeat();
+    enc.meta.assign(words * 8, 0);
+
+    for (std::size_t w = 0; w < words; ++w) {
+        const std::uint64_t word = tx.word64(w * 8);
+        const std::size_t match = findBestMatch(encode_repo_, word);
+        std::uint8_t meta = 0;
+        std::uint64_t sent = word;
+        if (match != npos) {
+            sent = word ^ encode_repo_.words[match];
+            meta = static_cast<std::uint8_t>(0x80u | match);
+        }
+        enc.payload.setWord64(w * 8, sent);
+        for (unsigned bit = 0; bit < 8; ++bit)
+            enc.meta[w * 8 + bit] = (meta >> bit) & 1u;
+        encode_repo_.insert(word, entries_);
+    }
+    return enc;
+}
+
+Transaction
+BdEncodingCodec::decode(const Encoded &enc)
+{
+    const Transaction &payload = enc.payload;
+    BXT_ASSERT(payload.size() % 8 == 0);
+    const std::size_t words = payload.size() / 8;
+    BXT_ASSERT(enc.meta.size() == words * 8);
+
+    Transaction tx(payload.size());
+    for (std::size_t w = 0; w < words; ++w) {
+        std::uint8_t meta = 0;
+        for (unsigned bit = 0; bit < 8; ++bit)
+            meta |= static_cast<std::uint8_t>(enc.meta[w * 8 + bit] << bit);
+
+        std::uint64_t word = payload.word64(w * 8);
+        if (meta & 0x80u) {
+            const std::size_t index = meta & 0x3fu;
+            BXT_ASSERT(index < decode_repo_.valid);
+            word ^= decode_repo_.words[index];
+        }
+        tx.setWord64(w * 8, word);
+        decode_repo_.insert(word, entries_);
+    }
+    return tx;
+}
+
+} // namespace bxt

@@ -1,0 +1,36 @@
+#include "core/codec.h"
+
+#include <numeric>
+
+namespace bxt {
+
+std::size_t
+Encoded::ones() const
+{
+    return payload.ones() + metaOnes();
+}
+
+std::size_t
+Encoded::metaOnes() const
+{
+    std::size_t count = 0;
+    for (std::uint8_t bit : meta)
+        count += bit;
+    return count;
+}
+
+Encoded
+IdentityCodec::encode(const Transaction &tx)
+{
+    Encoded enc;
+    enc.payload = tx;
+    return enc;
+}
+
+Transaction
+IdentityCodec::decode(const Encoded &enc)
+{
+    return enc.payload;
+}
+
+} // namespace bxt

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The Codec interface: transaction-level encode/decode with optional
+ * per-beat metadata wires (used by DBI and BD-Encoding; the paper's own
+ * Base+XOR schemes are metadata-free).
+ */
+
+#ifndef BXT_CORE_CODEC_H
+#define BXT_CORE_CODEC_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/transaction.h"
+
+namespace bxt {
+
+/**
+ * The result of encoding one transaction: the (same-sized) payload that
+ * travels on the data wires plus any metadata bits that travel on dedicated
+ * extra wires.
+ *
+ * Metadata is stored beat-major: bit (b * metaWiresPerBeat + w) is the value
+ * driven on metadata wire w during beat b. Beats are busWidth-bit slices of
+ * the payload in byte order.
+ */
+struct Encoded
+{
+    /** Encoded payload; always the same size as the input transaction. */
+    Transaction payload{32};
+
+    /** Metadata bit values (0/1), beat-major; empty for metadata-free codecs. */
+    std::vector<std::uint8_t> meta;
+
+    /** Number of dedicated metadata wires this encoding occupies per beat. */
+    unsigned metaWiresPerBeat = 0;
+
+    /** Total `1` values across payload and metadata. */
+    std::size_t ones() const;
+
+    /** `1` values on metadata wires only. */
+    std::size_t metaOnes() const;
+};
+
+/**
+ * A transaction encoder/decoder.
+ *
+ * Codecs may be stateful (BD-Encoding keeps a repository of recent words on
+ * each side of the channel); encode() and decode() therefore take the
+ * transaction stream in transmission order. Stateless codecs (everything
+ * the paper proposes) give identical results in any order.
+ */
+class Codec
+{
+  public:
+    virtual ~Codec() = default;
+
+    /** Human-readable scheme name, e.g. "universal3+zdr". */
+    virtual std::string name() const = 0;
+
+    /** Encode one transaction for transmission / encoded storage. */
+    virtual Encoded encode(const Transaction &tx) = 0;
+
+    /** Recover the original transaction from an encoding. */
+    virtual Transaction decode(const Encoded &enc) = 0;
+
+    /**
+     * Number of dedicated metadata wires this codec drives per beat. This
+     * is a static property of the codec's configuration (its group size and
+     * the bus width it was configured for), so channel models can size the
+     * bus before any data flows.
+     */
+    virtual unsigned metaWiresPerBeat() const { return 0; }
+
+    /** Reset any channel-history state (repositories); default no-op. */
+    virtual void reset() {}
+
+    /**
+     * True when encoding a transaction depends only on that transaction
+     * (everything the paper proposes). Stateless, metadata-free codecs can
+     * store their encoded form directly in DRAM; stateful link codecs
+     * (BD-Encoding) cannot, because decode depends on transfer history.
+     */
+    virtual bool stateless() const { return true; }
+};
+
+/** Owning codec handle. */
+using CodecPtr = std::unique_ptr<Codec>;
+
+/**
+ * The trivial codec: transmits data unchanged. This is the paper's
+ * "baseline" conventional transfer scheme.
+ */
+class IdentityCodec : public Codec
+{
+  public:
+    std::string name() const override { return "baseline"; }
+    Encoded encode(const Transaction &tx) override;
+    Transaction decode(const Encoded &enc) override;
+};
+
+} // namespace bxt
+
+#endif // BXT_CORE_CODEC_H

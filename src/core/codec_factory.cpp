@@ -1,0 +1,145 @@
+#include "core/codec_factory.h"
+
+#include <cctype>
+
+#include "common/error.h"
+#include "core/base_xor.h"
+#include "core/bd_encoding.h"
+#include "core/dbi.h"
+#include "core/pipeline.h"
+#include "core/universal_xor.h"
+
+namespace bxt {
+namespace {
+
+std::vector<std::string>
+splitOn(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= text.size(); ++i) {
+        if (i == text.size() || text[i] == sep) {
+            parts.push_back(text.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return parts;
+}
+
+CodecPtr
+makeStage(const std::string &token, std::size_t bus_bytes)
+{
+    const std::vector<std::string> parts = splitOn(token, '+');
+    const std::string &head = parts[0];
+
+    bool zdr = false;
+    bool fixed = false;
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        if (parts[i] == "zdr")
+            zdr = true;
+        else if (parts[i] == "fixed")
+            fixed = true;
+        else
+            fatal("makeCodec: unknown flag '+" + parts[i] + "' in '" +
+                  token + "'");
+    }
+
+    auto numeric_suffix = [&](std::size_t prefix_len) -> long {
+        if (head.size() == prefix_len)
+            return -1;
+        long value = 0;
+        for (std::size_t i = prefix_len; i < head.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(head[i])))
+                fatal("makeCodec: bad stage '" + token + "'");
+            value = value * 10 + (head[i] - '0');
+        }
+        return value;
+    };
+
+    if (head == "baseline" || head == "identity") {
+        if (zdr || fixed)
+            fatal("makeCodec: baseline takes no flags");
+        return std::make_unique<IdentityCodec>();
+    }
+    if (head.rfind("xor", 0) == 0) {
+        const long n = numeric_suffix(3);
+        if (n != 2 && n != 4 && n != 8 && n != 16)
+            fatal("makeCodec: xor base size must be 2/4/8/16 in '" + token +
+                  "'");
+        return std::make_unique<BaseXorCodec>(static_cast<std::size_t>(n),
+                                              zdr, !fixed);
+    }
+    if (head.rfind("universal", 0) == 0) {
+        long stages = numeric_suffix(9);
+        if (stages == -1)
+            stages = 3;
+        if (stages < 1 || stages > 5)
+            fatal("makeCodec: universal stages must be 1..5 in '" + token +
+                  "'");
+        if (fixed)
+            fatal("makeCodec: universal takes no '+fixed' flag");
+        return std::make_unique<UniversalXorCodec>(
+            static_cast<unsigned>(stages), zdr);
+    }
+    if (head.rfind("dbi-ac", 0) == 0) {
+        const long g = numeric_suffix(6);
+        if (g != 1 && g != 2 && g != 4 && g != 8)
+            fatal("makeCodec: dbi-ac group must be 1/2/4/8 in '" + token +
+                  "'");
+        if (zdr || fixed)
+            fatal("makeCodec: dbi-ac takes no flags");
+        return std::make_unique<DbiAcCodec>(static_cast<std::size_t>(g),
+                                            bus_bytes);
+    }
+    if (head.rfind("dbi", 0) == 0) {
+        const long g = numeric_suffix(3);
+        if (g != 1 && g != 2 && g != 4 && g != 8)
+            fatal("makeCodec: dbi group must be 1/2/4/8 in '" + token + "'");
+        if (zdr || fixed)
+            fatal("makeCodec: dbi takes no flags");
+        return std::make_unique<DbiCodec>(static_cast<std::size_t>(g),
+                                          bus_bytes);
+    }
+    if (head == "bd") {
+        if (zdr || fixed)
+            fatal("makeCodec: bd takes no flags");
+        return std::make_unique<BdEncodingCodec>(64, 12, bus_bytes);
+    }
+    fatal("makeCodec: unknown stage '" + token + "'");
+}
+
+} // namespace
+
+CodecPtr
+makeCodec(const std::string &spec, std::size_t bus_bytes)
+{
+    if (spec.empty())
+        fatal("makeCodec: empty spec");
+    std::vector<std::string> tokens = splitOn(spec, '|');
+    if (tokens.size() == 1)
+        return makeStage(tokens[0], bus_bytes);
+
+    std::vector<CodecPtr> stages;
+    stages.reserve(tokens.size());
+    for (const auto &token : tokens)
+        stages.push_back(makeStage(token, bus_bytes));
+    return std::make_unique<PipelineCodec>(std::move(stages));
+}
+
+std::vector<std::string>
+paperSchemeSpecs()
+{
+    return {
+        "baseline",
+        "dbi4",
+        "dbi2",
+        "dbi1",
+        "universal3+zdr",
+        "universal3+zdr|dbi4",
+        "universal3+zdr|dbi2",
+        "universal3+zdr|dbi1",
+        "bd",
+    };
+}
+
+} // namespace bxt

@@ -1,0 +1,164 @@
+#include "core/dbi.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/error.h"
+
+namespace bxt {
+
+DbiCodec::DbiCodec(std::size_t group_bytes, std::size_t bus_bytes)
+    : group_bytes_(group_bytes), bus_bytes_(bus_bytes)
+{
+    BXT_ASSERT(group_bytes == 1 || group_bytes == 2 || group_bytes == 4 ||
+               group_bytes == 8);
+    BXT_ASSERT(bus_bytes % group_bytes == 0);
+}
+
+std::string
+DbiCodec::name() const
+{
+    return "dbi" + std::to_string(group_bytes_);
+}
+
+unsigned
+DbiCodec::metaWiresPerBeat() const
+{
+    return static_cast<unsigned>(bus_bytes_ / group_bytes_);
+}
+
+Encoded
+DbiCodec::encode(const Transaction &tx)
+{
+    BXT_ASSERT(tx.size() % bus_bytes_ == 0);
+    Encoded enc;
+    enc.payload = tx;
+    enc.metaWiresPerBeat =
+        static_cast<unsigned>(bus_bytes_ / group_bytes_);
+
+    std::uint8_t *data = enc.payload.data();
+    const std::size_t beats = tx.size() / bus_bytes_;
+    const std::size_t half_bits = group_bytes_ * 8 / 2;
+    enc.meta.reserve(beats * enc.metaWiresPerBeat);
+
+    for (std::size_t beat = 0; beat < beats; ++beat) {
+        for (std::size_t g = 0; g < bus_bytes_; g += group_bytes_) {
+            std::uint8_t *group = data + beat * bus_bytes_ + g;
+            const std::size_t ones =
+                popcountBytes({group, group_bytes_});
+            const bool invert = ones > half_bits;
+            if (invert) {
+                for (std::size_t i = 0; i < group_bytes_; ++i)
+                    group[i] = static_cast<std::uint8_t>(~group[i]);
+            }
+            enc.meta.push_back(invert ? 1 : 0);
+        }
+    }
+    return enc;
+}
+
+Transaction
+DbiCodec::decode(const Encoded &enc)
+{
+    Transaction tx = enc.payload;
+    BXT_ASSERT(tx.size() % bus_bytes_ == 0);
+    const std::size_t beats = tx.size() / bus_bytes_;
+    const std::size_t groups_per_beat = bus_bytes_ / group_bytes_;
+    BXT_ASSERT(enc.meta.size() == beats * groups_per_beat);
+
+    std::uint8_t *data = tx.data();
+    std::size_t meta_index = 0;
+    for (std::size_t beat = 0; beat < beats; ++beat) {
+        for (std::size_t g = 0; g < bus_bytes_; g += group_bytes_) {
+            if (enc.meta[meta_index++]) {
+                std::uint8_t *group = data + beat * bus_bytes_ + g;
+                for (std::size_t i = 0; i < group_bytes_; ++i)
+                    group[i] = static_cast<std::uint8_t>(~group[i]);
+            }
+        }
+    }
+    return tx;
+}
+
+DbiAcCodec::DbiAcCodec(std::size_t group_bytes, std::size_t bus_bytes)
+    : group_bytes_(group_bytes), bus_bytes_(bus_bytes)
+{
+    BXT_ASSERT(group_bytes == 1 || group_bytes == 2 || group_bytes == 4 ||
+               group_bytes == 8);
+    BXT_ASSERT(bus_bytes % group_bytes == 0);
+}
+
+std::string
+DbiAcCodec::name() const
+{
+    return "dbi-ac" + std::to_string(group_bytes_);
+}
+
+unsigned
+DbiAcCodec::metaWiresPerBeat() const
+{
+    return static_cast<unsigned>(bus_bytes_ / group_bytes_);
+}
+
+Encoded
+DbiAcCodec::encode(const Transaction &tx)
+{
+    BXT_ASSERT(tx.size() % bus_bytes_ == 0);
+    Encoded enc;
+    enc.payload = tx;
+    enc.metaWiresPerBeat = metaWiresPerBeat();
+
+    std::uint8_t *data = enc.payload.data();
+    const std::size_t beats = tx.size() / bus_bytes_;
+    const std::size_t half_bits = group_bytes_ * 8 / 2;
+    enc.meta.reserve(beats * enc.metaWiresPerBeat);
+
+    // prev holds the *encoded* previous beat (what the wires carried);
+    // the bus idles at zero before beat 0.
+    std::vector<std::uint8_t> prev(bus_bytes_, 0);
+    for (std::size_t beat = 0; beat < beats; ++beat) {
+        for (std::size_t g = 0; g < bus_bytes_; g += group_bytes_) {
+            std::uint8_t *group = data + beat * bus_bytes_ + g;
+            std::size_t transitions = 0;
+            for (std::size_t i = 0; i < group_bytes_; ++i) {
+                transitions += static_cast<std::size_t>(popcount64(
+                    static_cast<std::uint8_t>(group[i] ^ prev[g + i])));
+            }
+            const bool invert = transitions > half_bits;
+            if (invert) {
+                for (std::size_t i = 0; i < group_bytes_; ++i)
+                    group[i] = static_cast<std::uint8_t>(~group[i]);
+            }
+            enc.meta.push_back(invert ? 1 : 0);
+            for (std::size_t i = 0; i < group_bytes_; ++i)
+                prev[g + i] = group[i];
+        }
+    }
+    return enc;
+}
+
+Transaction
+DbiAcCodec::decode(const Encoded &enc)
+{
+    Transaction tx = enc.payload;
+    BXT_ASSERT(tx.size() % bus_bytes_ == 0);
+    const std::size_t beats = tx.size() / bus_bytes_;
+    const std::size_t groups_per_beat = bus_bytes_ / group_bytes_;
+    BXT_ASSERT(enc.meta.size() == beats * groups_per_beat);
+
+    std::uint8_t *data = tx.data();
+    std::size_t meta_index = 0;
+    for (std::size_t beat = 0; beat < beats; ++beat) {
+        for (std::size_t g = 0; g < bus_bytes_; g += group_bytes_) {
+            if (enc.meta[meta_index++]) {
+                std::uint8_t *group = data + beat * bus_bytes_ + g;
+                for (std::size_t i = 0; i < group_bytes_; ++i)
+                    group[i] = static_cast<std::uint8_t>(~group[i]);
+            }
+        }
+    }
+    return tx;
+}
+
+} // namespace bxt

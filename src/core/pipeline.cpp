@@ -1,0 +1,144 @@
+#include "core/pipeline.h"
+
+#include "common/error.h"
+
+namespace bxt {
+
+PipelineCodec::PipelineCodec(std::vector<CodecPtr> stages)
+    : stages_(std::move(stages))
+{
+    BXT_ASSERT(!stages_.empty());
+    for (const auto &stage : stages_)
+        BXT_ASSERT(stage != nullptr);
+}
+
+PipelineCodec::PipelineCodec(CodecPtr first, CodecPtr second)
+{
+    BXT_ASSERT(first != nullptr && second != nullptr);
+    stages_.push_back(std::move(first));
+    stages_.push_back(std::move(second));
+}
+
+std::string
+PipelineCodec::name() const
+{
+    std::string n;
+    for (const auto &stage : stages_) {
+        if (!n.empty())
+            n += "|";
+        n += stage->name();
+    }
+    return n;
+}
+
+unsigned
+PipelineCodec::metaWiresPerBeat() const
+{
+    unsigned wires = 0;
+    for (const auto &stage : stages_)
+        wires += stage->metaWiresPerBeat();
+    return wires;
+}
+
+Encoded
+PipelineCodec::encode(const Transaction &tx)
+{
+    // Each stage encodes the previous stage's payload; metadata streams are
+    // interleaved per beat in stage order when the bus serializes them, so
+    // here we simply concatenate per-beat blocks.
+    Encoded result;
+    result.payload = tx;
+
+    std::vector<Encoded> stage_outputs;
+    stage_outputs.reserve(stages_.size());
+    for (auto &stage : stages_) {
+        Encoded enc = stage->encode(result.payload);
+        result.payload = enc.payload;
+        stage_outputs.push_back(std::move(enc));
+    }
+
+    unsigned total_meta_wires = 0;
+    for (const auto &enc : stage_outputs)
+        total_meta_wires += enc.metaWiresPerBeat;
+    result.metaWiresPerBeat = total_meta_wires;
+    if (total_meta_wires == 0)
+        return result;
+
+    // All stages see the same beat count (payload size is preserved).
+    std::size_t beats = 0;
+    for (const auto &enc : stage_outputs) {
+        if (enc.metaWiresPerBeat > 0) {
+            const std::size_t stage_beats =
+                enc.meta.size() / enc.metaWiresPerBeat;
+            BXT_ASSERT(beats == 0 || beats == stage_beats);
+            beats = stage_beats;
+        }
+    }
+
+    result.meta.reserve(beats * total_meta_wires);
+    for (std::size_t beat = 0; beat < beats; ++beat) {
+        for (const auto &enc : stage_outputs) {
+            for (unsigned w = 0; w < enc.metaWiresPerBeat; ++w)
+                result.meta.push_back(
+                    enc.meta[beat * enc.metaWiresPerBeat + w]);
+        }
+    }
+    return result;
+}
+
+Transaction
+PipelineCodec::decode(const Encoded &enc)
+{
+    // Split the concatenated per-beat metadata back into per-stage streams
+    // using each stage's configuration-static wire count.
+    std::vector<unsigned> stage_wires(stages_.size(), 0);
+    unsigned total = 0;
+    std::vector<Encoded> stage_encs(stages_.size());
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+        stage_wires[s] = stages_[s]->metaWiresPerBeat();
+        total += stage_wires[s];
+    }
+    BXT_ASSERT(total == enc.metaWiresPerBeat);
+
+    const std::size_t beats =
+        total == 0 ? 0 : enc.meta.size() / total;
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+        stage_encs[s].metaWiresPerBeat = stage_wires[s];
+        stage_encs[s].meta.reserve(beats * stage_wires[s]);
+    }
+    for (std::size_t beat = 0; beat < beats; ++beat) {
+        std::size_t offset = beat * total;
+        for (std::size_t s = 0; s < stages_.size(); ++s) {
+            for (unsigned w = 0; w < stage_wires[s]; ++w)
+                stage_encs[s].meta.push_back(enc.meta[offset + w]);
+            offset += stage_wires[s];
+        }
+    }
+
+    // Decode stages in reverse order.
+    Transaction payload = enc.payload;
+    for (std::size_t s = stages_.size(); s-- > 0;) {
+        stage_encs[s].payload = payload;
+        payload = stages_[s]->decode(stage_encs[s]);
+    }
+    return payload;
+}
+
+void
+PipelineCodec::reset()
+{
+    for (auto &stage : stages_)
+        stage->reset();
+}
+
+bool
+PipelineCodec::stateless() const
+{
+    for (const auto &stage : stages_) {
+        if (!stage->stateless())
+            return false;
+    }
+    return true;
+}
+
+} // namespace bxt

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * PipelineCodec: sequential composition of codecs, used for the paper's
+ * combined scheme "Universal Base+XOR Transfer with ZDR followed by DBI"
+ * (§VI-D): the second stage encodes the first stage's payload, and their
+ * metadata wires are concatenated.
+ */
+
+#ifndef BXT_CORE_PIPELINE_H
+#define BXT_CORE_PIPELINE_H
+
+#include <vector>
+
+#include "core/codec.h"
+
+namespace bxt {
+
+/**
+ * Applies member codecs in order on encode and in reverse order on decode.
+ * Metadata restrictions: every stage must preserve payload size (all codecs
+ * here do); stage metadata is concatenated per beat in stage order.
+ */
+class PipelineCodec : public Codec
+{
+  public:
+    /** Compose @p stages; at least one stage is required. */
+    explicit PipelineCodec(std::vector<CodecPtr> stages);
+
+    /** Convenience two-stage constructor (e.g. Universal+ZDR then DBI). */
+    PipelineCodec(CodecPtr first, CodecPtr second);
+
+    std::string name() const override;
+    Encoded encode(const Transaction &tx) override;
+    Transaction decode(const Encoded &enc) override;
+    unsigned metaWiresPerBeat() const override;
+    void reset() override;
+    bool stateless() const override;
+
+  private:
+    std::vector<CodecPtr> stages_;
+};
+
+} // namespace bxt
+
+#endif // BXT_CORE_PIPELINE_H

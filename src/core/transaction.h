@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Transaction: the unit of data the encoders operate on.
+ *
+ * In the paper's GPU system a DRAM transaction is one 32-byte cache sector
+ * sent over a 32-bit GDDR5X channel in eight beats. The CPU evaluation
+ * (Figure 18) uses 64-byte DDR4 cachelines. Transaction therefore supports
+ * any power-of-two size from 8 to 64 bytes, stored inline (no heap).
+ */
+
+#ifndef BXT_CORE_TRANSACTION_H
+#define BXT_CORE_TRANSACTION_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+
+namespace bxt {
+
+/**
+ * A fixed-size block of bytes transferred over the DRAM channel in one
+ * burst. Byte 0 is the first byte on the wire (little-endian word layout:
+ * a 32-bit element's bytes appear in memory order, so the paper's value
+ * 0x390c9bfb occupies bytes {fb, 9b, 0c, 39}).
+ */
+class Transaction
+{
+  public:
+    /** Largest supported transaction (a 64-byte CPU cacheline). */
+    static constexpr std::size_t maxBytes = 64;
+
+    /** Smallest supported transaction. */
+    static constexpr std::size_t minBytes = 8;
+
+    /** Construct an all-zero transaction of @p size bytes (power of two). */
+    explicit Transaction(std::size_t size = 32);
+
+    /** Construct from raw bytes; @p bytes.size() must be a valid size. */
+    explicit Transaction(std::span<const std::uint8_t> bytes);
+
+    /**
+     * Build a transaction from 32-bit words given in logical (hex-literal)
+     * form, e.g. {0x390c9bfb, ...}; words are stored little-endian in
+     * ascending byte order. Convenient for reproducing the paper's figures.
+     */
+    static Transaction fromWords32(std::initializer_list<std::uint32_t> words);
+
+    /** Build from 64-bit words, analogous to fromWords32(). */
+    static Transaction fromWords64(std::initializer_list<std::uint64_t> words);
+
+    /**
+     * Parse from a hex string of 2·size() digits (whitespace allowed),
+     * byte 0 first: "fb9b0c39..." — aborts the program on bad input length
+     * or non-hex characters via fatal().
+     */
+    static Transaction fromHex(const std::string &hex);
+
+    /** Transaction size in bytes. */
+    std::size_t size() const { return size_; }
+
+    /** Mutable view of the payload bytes. */
+    std::span<std::uint8_t> bytes() { return {data_.data(), size_}; }
+
+    /** Read-only view of the payload bytes. */
+    std::span<const std::uint8_t> bytes() const
+    {
+        return {data_.data(), size_};
+    }
+
+    /** Raw pointer to byte 0. */
+    std::uint8_t *data() { return data_.data(); }
+
+    /** Raw const pointer to byte 0. */
+    const std::uint8_t *data() const { return data_.data(); }
+
+    /** Number of `1` bits in the payload. */
+    std::size_t ones() const;
+
+    /** True iff every payload byte is zero. */
+    bool isZero() const;
+
+    /** Read the 32-bit little-endian word at byte offset @p offset. */
+    std::uint32_t word32(std::size_t offset) const;
+
+    /** Write the 32-bit little-endian word at byte offset @p offset. */
+    void setWord32(std::size_t offset, std::uint32_t value);
+
+    /** Read the 64-bit little-endian word at byte offset @p offset. */
+    std::uint64_t word64(std::size_t offset) const;
+
+    /** Write the 64-bit little-endian word at byte offset @p offset. */
+    void setWord64(std::size_t offset, std::uint64_t value);
+
+    /** Hex rendering, byte 0 first, one space every 4 bytes. */
+    std::string toHex() const;
+
+    bool operator==(const Transaction &other) const;
+
+  private:
+    std::size_t size_;
+    alignas(8) std::array<std::uint8_t, maxBytes> data_;
+};
+
+} // namespace bxt
+
+#endif // BXT_CORE_TRANSACTION_H

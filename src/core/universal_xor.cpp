@@ -1,0 +1,93 @@
+#include "core/universal_xor.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bitops.h"
+#include "common/error.h"
+#include "core/zdr.h"
+
+namespace bxt {
+
+UniversalXorCodec::UniversalXorCodec(unsigned stages, bool zdr,
+                                     std::size_t zdr_lane)
+    : stages_(stages), zdr_(zdr), zdr_lane_(zdr_lane)
+{
+    BXT_ASSERT(stages >= 1 && stages <= 5);
+    BXT_ASSERT(isPowerOfTwo(zdr_lane) && zdr_lane >= 2 && zdr_lane <= 16);
+}
+
+std::string
+UniversalXorCodec::name() const
+{
+    std::string n = "universal" + std::to_string(stages_);
+    if (zdr_)
+        n += "+zdr";
+    return n;
+}
+
+unsigned
+UniversalXorCodec::clampedStages(std::size_t tx_bytes) const
+{
+    // After s stages the base is tx_bytes >> s; keep it >= 2 bytes.
+    unsigned max_stages = 0;
+    while ((tx_bytes >> (max_stages + 1)) >= 2)
+        ++max_stages;
+    return std::min(stages_, max_stages);
+}
+
+std::size_t
+UniversalXorCodec::effectiveBaseBytes(std::size_t tx_bytes) const
+{
+    return tx_bytes >> clampedStages(tx_bytes);
+}
+
+Encoded
+UniversalXorCodec::encode(const Transaction &tx)
+{
+    Encoded enc;
+    enc.payload = tx;
+    std::uint8_t *data = enc.payload.data();
+
+    std::size_t half = tx.size() / 2;
+    const unsigned stages = clampedStages(tx.size());
+    for (unsigned s = 0; s < stages; ++s, half /= 2) {
+        const std::uint8_t *left = data;
+        std::uint8_t *right = data + half;
+        if (!zdr_) {
+            xorBytes(right, left, half);
+            continue;
+        }
+        const std::size_t lane = std::min(zdr_lane_, half);
+        for (std::size_t off = 0; off < half; off += lane)
+            zdrLaneEncode(right + off, right + off, left + off, lane);
+    }
+    return enc;
+}
+
+Transaction
+UniversalXorCodec::decode(const Encoded &enc)
+{
+    Transaction tx = enc.payload;
+    std::uint8_t *data = tx.data();
+
+    // Undo stages in reverse: each stage only read the (untouched) left
+    // half, so once inner stages have restored that prefix the right half
+    // can be decoded against it.
+    const unsigned stages = clampedStages(tx.size());
+    for (unsigned s = stages; s-- > 0;) {
+        const std::size_t half = tx.size() >> (s + 1);
+        const std::uint8_t *left = data;
+        std::uint8_t *right = data + half;
+        if (!zdr_) {
+            xorBytes(right, left, half);
+            continue;
+        }
+        const std::size_t lane = std::min(zdr_lane_, half);
+        for (std::size_t off = 0; off < half; off += lane)
+            zdrLaneDecode(right + off, right + off, left + off, lane);
+    }
+    return tx;
+}
+
+} // namespace bxt

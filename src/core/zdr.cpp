@@ -1,0 +1,70 @@
+#include "core/zdr.h"
+
+#include <cstring>
+
+#include "common/bitops.h"
+
+namespace bxt {
+
+void
+xorLaneEncode(std::uint8_t *out, const std::uint8_t *in,
+              const std::uint8_t *base, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = static_cast<std::uint8_t>(in[i] ^ base[i]);
+}
+
+bool
+laneIsZdrConstant(const std::uint8_t *in, std::size_t n)
+{
+    if (in[n - 1] != zdrConstantByte)
+        return false;
+    return n == 1 || allZero(in, n - 1);
+}
+
+bool
+laneIsBaseXorConstant(const std::uint8_t *in, const std::uint8_t *base,
+                      std::size_t n)
+{
+    if ((in[n - 1] ^ base[n - 1]) != zdrConstantByte)
+        return false;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        if (in[i] != base[i])
+            return false;
+    }
+    return true;
+}
+
+void
+zdrLaneEncode(std::uint8_t *out, const std::uint8_t *in,
+              const std::uint8_t *base, std::size_t n)
+{
+    if (allZero(in, n)) {
+        // Zero data element: emit the low-weight constant C.
+        std::memset(out, 0, n);
+        out[n - 1] = zdrConstantByte;
+    } else if (laneIsBaseXorConstant(in, base, n)) {
+        // The input whose plain encoding would have been C gets the
+        // output a zero element would have had (the base itself).
+        std::memcpy(out, base, n);
+    } else {
+        xorLaneEncode(out, in, base, n);
+    }
+}
+
+void
+zdrLaneDecode(std::uint8_t *out, const std::uint8_t *in,
+              const std::uint8_t *base, std::size_t n)
+{
+    if (laneIsZdrConstant(in, n)) {
+        std::memset(out, 0, n);
+    } else if (bytesEqual(in, base, n)) {
+        // Encoded value == base ⟹ original was base ⊕ C.
+        std::memcpy(out, base, n);
+        out[n - 1] = static_cast<std::uint8_t>(out[n - 1] ^ zdrConstantByte);
+    } else {
+        xorLaneEncode(out, in, base, n);
+    }
+}
+
+} // namespace bxt

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Zero Data Remapping (ZDR) lane primitives (paper §IV-A, Figure 10).
+ *
+ * Plain XOR encoding maps a zero element to a copy of its base (bad: it
+ * re-sends every `1` bit of the base) and maps an element equal to
+ * base ⊕ C to the low-weight constant C. ZDR swaps those two outputs:
+ *
+ *     input == 0        → output C        (one `1` bit)
+ *     input == base ⊕ C → output base     (the rare case pays)
+ *     otherwise         → output input ⊕ base
+ *
+ * The swap is a bijection for every base value (including base == 0 and
+ * base == C), so decoding needs no metadata. The constant C has a single
+ * `1` in the most-significant byte of the lane — 0x4000 for 2-byte lanes,
+ * 0x40000000 for 4-byte lanes (the paper's choice), 0x40000000'00000000
+ * for 8-byte lanes.
+ */
+
+#ifndef BXT_CORE_ZDR_H
+#define BXT_CORE_ZDR_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bxt {
+
+/** The single constant byte placed in the lane's most-significant byte. */
+constexpr std::uint8_t zdrConstantByte = 0x40;
+
+/**
+ * Plain XOR lane encode: out = in ⊕ base. @p out may alias @p in but not
+ * @p base. All pointers reference @p n bytes.
+ */
+void xorLaneEncode(std::uint8_t *out, const std::uint8_t *in,
+                   const std::uint8_t *base, std::size_t n);
+
+/**
+ * ZDR lane encode (see file comment). @p out may alias @p in but not
+ * @p base. All pointers reference @p n bytes.
+ */
+void zdrLaneEncode(std::uint8_t *out, const std::uint8_t *in,
+                   const std::uint8_t *base, std::size_t n);
+
+/**
+ * ZDR lane decode: inverse of zdrLaneEncode() given the same @p base.
+ * @p out may alias @p in but not @p base.
+ */
+void zdrLaneDecode(std::uint8_t *out, const std::uint8_t *in,
+                   const std::uint8_t *base, std::size_t n);
+
+/** True iff lane @p in equals the ZDR constant C for @p n byte lanes. */
+bool laneIsZdrConstant(const std::uint8_t *in, std::size_t n);
+
+/** True iff lane @p in equals base ⊕ C. */
+bool laneIsBaseXorConstant(const std::uint8_t *in, const std::uint8_t *base,
+                           std::size_t n);
+
+} // namespace bxt
+
+#endif // BXT_CORE_ZDR_H

@@ -1,0 +1,96 @@
+#include "energy/dram_power.h"
+
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace bxt {
+
+DramPowerParams
+DramPowerParams::gddr5x()
+{
+    DramPowerParams p;
+    p.io = PodIoParams::gddr5x();
+    return p;
+}
+
+DramPowerParams
+DramPowerParams::ddr4()
+{
+    DramPowerParams p;
+    p.io = PodIoParams::ddr4();
+    // DDR4 moves data more slowly: background dominates more, core costs
+    // are similar per byte, activation energy is lower (smaller pages).
+    p.bgPowerPerByteFull = 25.0e-12;
+    p.actEnergy = 1.7e-9;
+    p.corePerByte = 13.0e-12;
+    p.ioFixedPerByte = 5.0e-12;
+    p.utilization = 0.40;
+    return p;
+}
+
+DramPowerParams
+DramPowerParams::hbm2()
+{
+    DramPowerParams p;
+    p.io = PodIoParams::hbm2();
+    p.bgPowerPerByteFull = 10.0e-12;
+    p.actEnergy = 0.9e-9; // Smaller pages.
+    p.corePerByte = 12.0e-12;
+    p.ioFixedPerByte = 1.5e-12;
+    p.utilization = 0.70;
+    return p;
+}
+
+std::string
+EnergyBreakdown::report() const
+{
+    char buffer[512];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "background : %12.3f pJ\n"
+        "activate   : %12.3f pJ\n"
+        "core rd/wr : %12.3f pJ\n"
+        "I/O fixed  : %12.3f pJ\n"
+        "I/O ones   : %12.3f pJ\n"
+        "I/O toggles: %12.3f pJ\n"
+        "total      : %12.3f pJ\n",
+        background * 1e12, activate * 1e12, core * 1e12, ioFixed * 1e12,
+        ioOnes * 1e12, ioToggles * 1e12, total() * 1e12);
+    return std::string(buffer);
+}
+
+DramPowerModel::DramPowerModel(DramPowerParams params) : params_(params)
+{
+    BXT_ASSERT(params_.utilization > 0.0 && params_.utilization <= 1.0);
+}
+
+EnergyBreakdown
+DramPowerModel::compute(const BusStats &bus, std::uint64_t activates) const
+{
+    const double bytes = static_cast<double>(bus.dataBits) / 8.0;
+
+    EnergyBreakdown e;
+    // Background power burns for the full wall-clock window; at partial
+    // utilization the same traffic takes 1/utilization longer.
+    e.background =
+        bytes * params_.bgPowerPerByteFull / params_.utilization;
+    e.activate = static_cast<double>(activates) * params_.actEnergy;
+    e.core = bytes * params_.corePerByte;
+    e.ioFixed = bytes * params_.ioFixedPerByte;
+    e.ioOnes = static_cast<double>(bus.ones()) * params_.io.energyPerOne();
+    e.ioToggles =
+        static_cast<double>(bus.toggles()) * params_.io.energyPerToggle();
+    return e;
+}
+
+EnergyBreakdown
+DramPowerModel::computeSimple(const BusStats &bus,
+                              std::uint64_t bytes_per_act) const
+{
+    BXT_ASSERT(bytes_per_act > 0);
+    const std::uint64_t bytes = bus.dataBits / 8;
+    return compute(bus, bytes / bytes_per_act);
+}
+
+} // namespace bxt

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Micron-calculator-style DRAM memory-system energy model (paper §V-A and
+ * §VI-F). Total energy is split into background (leakage, clocking, DLL),
+ * row activation, core read/write, fixed I/O, and the two data-dependent
+ * I/O components (termination `1`s and capacitive toggles) computed from
+ * BusStats via the POD electrical model.
+ */
+
+#ifndef BXT_ENERGY_DRAM_POWER_H
+#define BXT_ENERGY_DRAM_POWER_H
+
+#include <cstdint>
+#include <string>
+
+#include "channel/bus.h"
+#include "energy/pod_io.h"
+
+namespace bxt {
+
+/** Per-event energy constants for one memory system. */
+struct DramPowerParams
+{
+    PodIoParams io;                  ///< Electrical I/O model.
+    double bgPowerPerByteFull = 18.0e-12; ///< Background energy per byte at 100 % utilization [J/B].
+    double actEnergy = 2.3e-9;       ///< Energy per row activation [J].
+    double corePerByte = 15.0e-12;   ///< Array/core read-write energy [J/B].
+    double ioFixedPerByte = 7.3e-12; ///< Data-independent I/O (CK/WCK, DQS, RX bias) [J/B].
+    double utilization = 0.70;       ///< Channel bandwidth utilization (paper §VI-F assumes 70 %).
+
+    /** GDDR5X-class parameters (Table I system). */
+    static DramPowerParams gddr5x();
+
+    /** DDR4-class parameters for the CPU evaluation. */
+    static DramPowerParams ddr4();
+
+    /**
+     * HBM2-class parameters (the paper's future-work target): no
+     * termination energy, small switched capacitance, lower background
+     * and I/O-fixed costs per byte thanks to the wide slow interface.
+     */
+    static DramPowerParams hbm2();
+};
+
+/** Energy totals per component [J]. */
+struct EnergyBreakdown
+{
+    double background = 0.0;
+    double activate = 0.0;
+    double core = 0.0;
+    double ioFixed = 0.0;
+    double ioOnes = 0.0;
+    double ioToggles = 0.0;
+
+    /** Sum of all components [J]. */
+    double total() const
+    {
+        return background + activate + core + ioFixed + ioOnes + ioToggles;
+    }
+
+    /** Multi-line component report (picojoule units). */
+    std::string report() const;
+};
+
+/**
+ * Computes the memory-system energy of a measured activity window.
+ */
+class DramPowerModel
+{
+  public:
+    explicit DramPowerModel(DramPowerParams params);
+
+    /**
+     * Energy for transferring the traffic summarized by @p bus with
+     * @p activates row activations. Bytes transferred are derived from the
+     * data wire-slots in @p bus; background energy scales inversely with
+     * the configured utilization (the bus is powered whether or not it is
+     * transferring).
+     */
+    EnergyBreakdown compute(const BusStats &bus,
+                            std::uint64_t activates) const;
+
+    /**
+     * Convenience for encoder studies where row activations are not
+     * simulated: assumes one activation per @p bytes_per_act bytes
+     * (default: one 2 KiB row per 4 KiB of traffic, i.e. half the row is
+     * used before a conflict — a representative GPU streaming mix).
+     */
+    EnergyBreakdown computeSimple(const BusStats &bus,
+                                  std::uint64_t bytes_per_act = 4096) const;
+
+    const DramPowerParams &params() const { return params_; }
+
+  private:
+    DramPowerParams params_;
+};
+
+} // namespace bxt
+
+#endif // BXT_ENERGY_DRAM_POWER_H

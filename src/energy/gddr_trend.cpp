@@ -1,0 +1,43 @@
+#include "energy/gddr_trend.h"
+
+#include "common/error.h"
+
+namespace bxt {
+
+std::vector<GddrGeneration>
+gddrGenerations()
+{
+    // Energy/bit values are representative of published GDDR5/GDDR5X
+    // figures and reproduce the normalized annotations of paper Figure 1.
+    return {
+        {"GDDR5 6Gbps", 6.0, 13.00},
+        {"GDDR5 7Gbps", 7.0, 12.40},
+        {"GDDR5X 10Gbps", 10.0, 11.20},
+        {"GDDR5X 12Gbps", 12.0, 10.53},
+    };
+}
+
+std::vector<GddrTrendPoint>
+computeGddrTrend(const std::vector<GddrGeneration> &generations,
+                 unsigned bus_pins)
+{
+    BXT_ASSERT(!generations.empty());
+    const GddrGeneration &base = generations.front();
+    const double base_power =
+        base.energyPerBitPj * base.dataRateGbps * bus_pins;
+
+    std::vector<GddrTrendPoint> points;
+    points.reserve(generations.size());
+    for (const auto &gen : generations) {
+        GddrTrendPoint p;
+        p.name = gen.name;
+        p.energyPerBitPct = gen.energyPerBitPj / base.energyPerBitPj * 100.0;
+        p.bandwidthPct = gen.dataRateGbps / base.dataRateGbps * 100.0;
+        p.peakPowerPct = gen.energyPerBitPj * gen.dataRateGbps * bus_pins /
+                         base_power * 100.0;
+        points.push_back(p);
+    }
+    return points;
+}
+
+} // namespace bxt

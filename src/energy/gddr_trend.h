@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The GDDR5 → GDDR5X generational trend of paper Figure 1: per-access
+ * energy has fallen far more slowly than bandwidth has grown, so peak DRAM
+ * power keeps rising — the paper's motivation.
+ */
+
+#ifndef BXT_ENERGY_GDDR_TREND_H
+#define BXT_ENERGY_GDDR_TREND_H
+
+#include <string>
+#include <vector>
+
+namespace bxt {
+
+/** One GDDR generation / speed grade. */
+struct GddrGeneration
+{
+    std::string name;        ///< e.g. "GDDR5 6Gbps".
+    double dataRateGbps;     ///< Per-pin data rate.
+    double energyPerBitPj;   ///< Total interface+core energy per bit moved.
+};
+
+/** Figure 1's normalized view of one generation. */
+struct GddrTrendPoint
+{
+    std::string name;
+    double energyPerBitPct;  ///< Energy/bit vs the first generation [%].
+    double bandwidthPct;     ///< Peak bandwidth vs the first generation [%].
+    double peakPowerPct;     ///< Peak power vs the first generation [%].
+};
+
+/**
+ * The four speed grades plotted in Figure 1 with representative energy
+ * figures (chosen so the end points match the paper's annotations:
+ * 81 % energy/bit, 200 % bandwidth, 163 % peak power at GDDR5X 12 Gbps).
+ */
+std::vector<GddrGeneration> gddrGenerations();
+
+/**
+ * Normalize @p generations against the first entry on a @p bus_pins wide
+ * interface (384 for the Table I GPU).
+ */
+std::vector<GddrTrendPoint>
+computeGddrTrend(const std::vector<GddrGeneration> &generations,
+                 unsigned bus_pins = 384);
+
+} // namespace bxt
+
+#endif // BXT_ENERGY_GDDR_TREND_H

@@ -1,0 +1,41 @@
+#include "energy/pod_io.h"
+
+namespace bxt {
+
+PodIoParams
+PodIoParams::gddr5x()
+{
+    return PodIoParams{};
+}
+
+PodIoParams
+PodIoParams::ddr4()
+{
+    PodIoParams p;
+    p.vdd = 1.2;
+    p.rTerm = 48.0;
+    p.rPullDown = 34.0;
+    p.dataRateGbps = 3.2;
+    p.cChannel = 10.0e-12; // Multi-drop DIMM channel: heavier load.
+    return p;
+}
+
+PodIoParams
+PodIoParams::hbm2()
+{
+    PodIoParams p;
+    p.vdd = 1.2;
+    p.rTerm = 1.0e9; // Unterminated.
+    p.rPullDown = 40.0;
+    p.dataRateGbps = 2.0;
+    p.cChannel = 0.8e-12; // Short in-package interposer traces.
+    return p;
+}
+
+double
+PodIoParams::onePenaltyFraction(double fixed_energy_per_bit) const
+{
+    return energyPerOne() / (fixed_energy_per_bit + energyPerToggle());
+}
+
+} // namespace bxt

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Electrical model of a Pseudo Open Drain (POD) terminated I/O interface
+ * (paper §II-A, Figure 2, and §V-A).
+ *
+ * A POD driver pulls the wire to 0 V through an NMOS of resistance Rdn
+ * against a termination resistor RT to VDD. Logical `1` is driven as 0 V
+ * (the paper's convention), so every `1` bit sustains a static current
+ * I = VDD / (RT + Rdn) for the bit period — 13.5 mA and 1.82 pJ per bit at
+ * the GDDR5X operating point (1.35 V, 60 Ω + 40 Ω, 100 ps). Transitions
+ * additionally charge/discharge the effective channel capacitance through
+ * the reduced POD swing Vsw = VDD · Rdn / (RT + Rdn).
+ */
+
+#ifndef BXT_ENERGY_POD_IO_H
+#define BXT_ENERGY_POD_IO_H
+
+namespace bxt {
+
+/** Electrical parameters of one POD I/O pin. */
+struct PodIoParams
+{
+    double vdd = 1.35;           ///< Supply voltage [V].
+    double rTerm = 60.0;         ///< Termination resistor RT [Ohm].
+    double rPullDown = 40.0;     ///< Driver pull-down on-resistance [Ohm].
+    double dataRateGbps = 10.0;  ///< Per-pin data rate [Gbit/s].
+
+    /**
+     * Effective switched capacitance per transition [F]: pad + package +
+     * trace + pre-driver chain. Calibrated (DESIGN.md §6) so the toggle-
+     * dependent share of DRAM energy matches the split implied by the
+     * paper's Figures 16-17.
+     */
+    double cChannel = 7.0e-12;
+
+    /** GDDR5X operating point (Table I). */
+    static PodIoParams gddr5x();
+
+    /** DDR4-like operating point for the CPU evaluation (Figure 18). */
+    static PodIoParams ddr4();
+
+    /**
+     * HBM2-like operating point (the paper's future-work target): an
+     * unterminated, short-reach interface where rTerm -> infinity makes
+     * the `1`-value termination current vanish and capacitive switching
+     * dominates the data-dependent energy.
+     */
+    static PodIoParams hbm2();
+
+    /** True when the interface is terminated (rTerm finite). */
+    bool terminated() const { return rTerm < 1.0e6; }
+
+    /** Bit period [s]. */
+    double bitTime() const { return 1.0e-9 / dataRateGbps; }
+
+    /** Static current while driving a `1` [A] (13.5 mA for GDDR5X). */
+    double currentPerOne() const
+    {
+        return terminated() ? vdd / (rTerm + rPullDown) : 0.0;
+    }
+
+    /** Energy drawn from VDD per transmitted `1` bit [J] (1.82 pJ). */
+    double energyPerOne() const
+    {
+        return vdd * currentPerOne() * bitTime();
+    }
+
+    /** Voltage swing [V]: reduced by the terminator (0.54 V for GDDR5X),
+     *  full rail on an unterminated interface. */
+    double swingVoltage() const
+    {
+        return terminated() ? vdd * rPullDown / (rTerm + rPullDown) : vdd;
+    }
+
+    /** Energy per wire transition [J]: ½ · C · Vsw². */
+    double energyPerToggle() const
+    {
+        const double vsw = swingVoltage();
+        return 0.5 * cChannel * vsw * vsw;
+    }
+
+    /**
+     * Extra energy of a `1` relative to a `0`, as a fraction of the `0`
+     * cost; the paper quotes "37 % more energy" for GDDR5X when the fixed
+     * per-bit costs (clocking, receiver) are included.
+     */
+    double onePenaltyFraction(double fixed_energy_per_bit) const;
+};
+
+} // namespace bxt
+
+#endif // BXT_ENERGY_POD_IO_H

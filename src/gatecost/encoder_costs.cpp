@@ -1,0 +1,171 @@
+#include "gatecost/encoder_costs.h"
+
+#include <cmath>
+
+#include "common/bitops.h"
+#include "common/error.h"
+
+namespace bxt {
+namespace {
+
+double
+log2Bytes(std::size_t bytes)
+{
+    return std::log2(static_cast<double>(bytes));
+}
+
+/** Depth of a balanced OR-reduction tree over @p bits inputs. */
+unsigned
+orTreeDepth(std::size_t bits)
+{
+    unsigned depth = 0;
+    std::size_t width = 1;
+    while (width < bits) {
+        width *= 2;
+        ++depth;
+    }
+    return depth;
+}
+
+} // namespace
+
+SchemeCost
+baseXorCost(const GateLibrary &lib, std::size_t tx_bytes,
+            std::size_t base_bytes)
+{
+    BXT_ASSERT(tx_bytes % base_bytes == 0 && tx_bytes > base_bytes);
+    const std::size_t elements = tx_bytes / base_bytes;
+    const std::size_t xor_bits = (elements - 1) * base_bytes * 8;
+
+    GateCounts counts;
+    counts.xor2 = xor_bits;
+    const double wire_units =
+        static_cast<double>(xor_bits) * log2Bytes(base_bytes);
+
+    SchemeCost cost;
+    cost.mechanism = std::to_string(base_bytes) + "-byte XOR";
+    // Encode: every element XORs its (original) neighbour in parallel.
+    cost.encode = evaluateNetlist(lib, counts, wire_units, wire_units,
+                                  lib.xor2.delayPs);
+    // Decode: element i needs element i-1 *decoded* first -> a chain.
+    cost.decode = evaluateNetlist(
+        lib, counts, wire_units, wire_units,
+        static_cast<double>(elements - 1) * lib.xor2.delayPs);
+    return cost;
+}
+
+SchemeCost
+universalXorCost(const GateLibrary &lib, std::size_t tx_bytes,
+                 unsigned stages)
+{
+    BXT_ASSERT(stages >= 1 && (tx_bytes >> stages) >= 2);
+
+    std::size_t xor_bits = 0;
+    for (unsigned s = 0; s < stages; ++s)
+        xor_bits += (tx_bytes >> (s + 1)) * 8;
+
+    GateCounts counts;
+    counts.xor2 = xor_bits;
+
+    // Asymmetric trunk routing (Figure 9b): every source byte of the first
+    // stage's base half routes to its farthest consumer; inner-stage
+    // consumers tee off the same trunk. Multi-consumer sources need fanout
+    // buffers.
+    const std::size_t trunk_bytes = tx_bytes / 2;
+    const double wire_units = static_cast<double>(trunk_bytes * 8) *
+                              log2Bytes(trunk_bytes);
+    std::size_t buffers = 0;
+    for (unsigned s = 1; s < stages; ++s)
+        buffers += (tx_bytes >> (s + 1)) * 8;
+    counts.not1 += buffers;
+
+    SchemeCost cost;
+    cost.mechanism = "Universal XOR";
+    cost.config = std::to_string(stages) + " stage";
+    cost.encode = evaluateNetlist(lib, counts, wire_units, wire_units,
+                                  lib.xor2.delayPs);
+    cost.decode = evaluateNetlist(lib, counts, wire_units, wire_units,
+                                  static_cast<double>(stages) *
+                                      lib.xor2.delayPs);
+    return cost;
+}
+
+SchemeCost
+zdrCost(const GateLibrary &lib, std::size_t lanes, std::size_t lane_bytes)
+{
+    BXT_ASSERT(lanes >= 1 && lane_bytes >= 2);
+    const std::size_t bits = lane_bytes * 8;
+
+    // Per lane (paper Figure 10): a zero detector (OR tree + inverter), a
+    // base XOR const equality detector (bitwise XOR + OR tree + inverter +
+    // one inverter to form base XOR const), and a two-level output mux.
+    GateCounts per_lane;
+    per_lane.or2 = 2 * (bits - 1);
+    per_lane.not1 = 3;
+    per_lane.xor2 = bits;
+    per_lane.mux2 = 2 * bits;
+
+    GateCounts counts;
+    for (std::size_t i = 0; i < lanes; ++i)
+        counts += per_lane;
+
+    // Comparator nets add routed area but switch rarely (remap hits are
+    // uncommon), so they contribute no wire term to dynamic energy.
+    const double wire_area_units =
+        static_cast<double>(lanes * bits) * log2Bytes(lane_bytes);
+
+    const double delay = orTreeDepth(bits) * lib.or2.delayPs +
+                         lib.not1.delayPs + 2.0 * lib.mux2.delayPs;
+
+    SchemeCost cost;
+    cost.mechanism = "ZDR";
+    cost.config = std::to_string(lane_bytes) + "B base";
+    cost.encode = evaluateNetlist(lib, counts, wire_area_units, 0.0, delay);
+    cost.decode = cost.encode; // The decoder mirrors the same detectors.
+    return cost;
+}
+
+std::vector<SchemeCost>
+tableTwoCosts(const GateLibrary &lib, std::size_t tx_bytes)
+{
+    const SchemeCost xor2b = baseXorCost(lib, tx_bytes, 2);
+    const SchemeCost xor4b = baseXorCost(lib, tx_bytes, 4);
+    const SchemeCost xor8b = baseXorCost(lib, tx_bytes, 8);
+    const SchemeCost universal = universalXorCost(lib, tx_bytes, 3);
+
+    // ZDR lanes: a 4-byte-base codec XOR-encodes (elements-1) 4-byte lanes;
+    // a 3-stage universal codec XOR-encodes (tx/2 + tx/4 + tx/8) bytes,
+    // which is the same number of 4-byte lanes for 32-byte transactions.
+    const std::size_t lanes = tx_bytes / 4 - 1;
+    const SchemeCost zdr = zdrCost(lib, lanes, 4);
+
+    auto combine = [](const std::string &name, const SchemeCost &a,
+                      const SchemeCost &b) {
+        SchemeCost c;
+        c.mechanism = name;
+        c.config = b.config.empty() ? a.config : b.config;
+        c.encode = a.encode;
+        c.encode += b.encode;
+        c.decode = a.decode;
+        c.decode += b.decode;
+        return c;
+    };
+
+    SchemeCost xor4_zdr = combine("4-byte XOR+ZDR", xor4b, zdr);
+    xor4_zdr.config = "";
+    SchemeCost universal_zdr =
+        combine("Universal XOR+ZDR", universal, zdr);
+    universal_zdr.config = "3 stage";
+
+    return {xor2b,     xor4b,    xor8b,         universal,
+            zdr,       xor4_zdr, universal_zdr};
+}
+
+double
+gpuTotalAreaMm2(const SchemeCost &scheme, unsigned channels)
+{
+    const double per_channel = scheme.encode.areaUm2 + scheme.decode.areaUm2;
+    return per_channel * static_cast<double>(channels) * 1e-6;
+}
+
+} // namespace bxt

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Netlists and evaluated implementation costs for every encoder/decoder
+ * configuration in paper Table II, built from the gate model of gates.h.
+ */
+
+#ifndef BXT_GATECOST_ENCODER_COSTS_H
+#define BXT_GATECOST_ENCODER_COSTS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gatecost/gates.h"
+
+namespace bxt {
+
+/** One Table II row: a mechanism with its encode and decode costs. */
+struct SchemeCost
+{
+    std::string mechanism; ///< e.g. "4-byte XOR".
+    std::string config;    ///< e.g. "3 stage" / "4B base".
+    CostEstimate encode;
+    CostEstimate decode;
+};
+
+/**
+ * Cost of N-byte Base+XOR logic over @p tx_bytes transactions.
+ * Encode is one XOR level; decode chains (elements−1) XOR levels because
+ * each element needs its neighbour's *decoded* value.
+ */
+SchemeCost baseXorCost(const GateLibrary &lib, std::size_t tx_bytes,
+                       std::size_t base_bytes);
+
+/**
+ * Cost of Universal Base+XOR with @p stages stages: the same XOR count as
+ * a fixed-base encoder covering the same bytes, with tee'd trunk routing
+ * for the asymmetric base fan-out (paper Figure 9b) and a decode chain of
+ * @p stages XOR levels.
+ */
+SchemeCost universalXorCost(const GateLibrary &lib, std::size_t tx_bytes,
+                            unsigned stages);
+
+/**
+ * Cost of the Zero Data Remapping blocks alone for @p lanes lanes of
+ * @p lane_bytes bytes: per lane a zero-detector (OR tree), a
+ * base⊕const equality detector (XOR + OR tree), and a two-level output
+ * mux (paper Figure 10).
+ */
+SchemeCost zdrCost(const GateLibrary &lib, std::size_t lanes,
+                   std::size_t lane_bytes);
+
+/** All rows of paper Table II for @p tx_bytes transactions. */
+std::vector<SchemeCost> tableTwoCosts(const GateLibrary &lib,
+                                      std::size_t tx_bytes = 32);
+
+/**
+ * Total extra die area for a GPU with @p channels DRAM channels, in mm²
+ * (the paper quotes 0.027 mm² for twelve 32-bit channels with the most
+ * sophisticated mechanism, <0.01 % of the die).
+ */
+double gpuTotalAreaMm2(const SchemeCost &scheme, unsigned channels);
+
+} // namespace bxt
+
+#endif // BXT_GATECOST_ENCODER_COSTS_H

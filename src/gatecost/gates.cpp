@@ -1,0 +1,47 @@
+#include "gatecost/gates.h"
+
+namespace bxt {
+
+GateCounts &
+GateCounts::operator+=(const GateCounts &other)
+{
+    xor2 += other.xor2;
+    or2 += other.or2;
+    and2 += other.and2;
+    not1 += other.not1;
+    mux2 += other.mux2;
+    return *this;
+}
+
+CostEstimate &
+CostEstimate::operator+=(const CostEstimate &other)
+{
+    areaUm2 += other.areaUm2;
+    energyFj += other.energyFj;
+    delayPs += other.delayPs;
+    return *this;
+}
+
+CostEstimate
+evaluateNetlist(const GateLibrary &lib, const GateCounts &counts,
+                double wire_area_units, double wire_energy_units,
+                double critical_path_ps)
+{
+    CostEstimate cost;
+    cost.areaUm2 = static_cast<double>(counts.xor2) * lib.xor2.areaUm2 +
+                   static_cast<double>(counts.or2) * lib.or2.areaUm2 +
+                   static_cast<double>(counts.and2) * lib.and2.areaUm2 +
+                   static_cast<double>(counts.not1) * lib.not1.areaUm2 +
+                   static_cast<double>(counts.mux2) * lib.mux2.areaUm2 +
+                   wire_area_units * lib.wireAreaCoeff;
+    cost.energyFj = static_cast<double>(counts.xor2) * lib.xor2.energyFj +
+                    static_cast<double>(counts.or2) * lib.or2.energyFj +
+                    static_cast<double>(counts.and2) * lib.and2.energyFj +
+                    static_cast<double>(counts.not1) * lib.not1.energyFj +
+                    static_cast<double>(counts.mux2) * lib.mux2.energyFj +
+                    wire_energy_units * lib.wireEnergyCoeff;
+    cost.delayPs = critical_path_ps;
+    return cost;
+}
+
+} // namespace bxt

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Gate-level cost model used to regenerate paper Table II (area / energy /
+ * latency of the encode and decode logic in a 16 nm FinFET class process).
+ *
+ * The model counts the actual gates of each encoder netlist (XOR2 per
+ * encoded bit, OR-trees and muxes for ZDR) plus a wiring term proportional
+ * to routed bit-count × log2(route span in bytes). Per-gate constants are
+ * calibrated once against the published 2/4/8-byte XOR rows of Table II
+ * (the fit reproduces those rows to within a few percent) and then applied
+ * unchanged to every other configuration.
+ */
+
+#ifndef BXT_GATECOST_GATES_H
+#define BXT_GATECOST_GATES_H
+
+#include <cstddef>
+
+namespace bxt {
+
+/** Area / switching-energy / delay of one gate type. */
+struct GateParams
+{
+    double areaUm2;   ///< Placed area including cell overhead [µm²].
+    double energyFj;  ///< Average switching energy per evaluation [fJ].
+    double delayPs;   ///< Propagation delay [ps].
+};
+
+/** Gate counts of a netlist. */
+struct GateCounts
+{
+    std::size_t xor2 = 0;
+    std::size_t or2 = 0;
+    std::size_t and2 = 0;
+    std::size_t not1 = 0;
+    std::size_t mux2 = 0;
+
+    GateCounts &operator+=(const GateCounts &other);
+
+    /** Total gates of all types. */
+    std::size_t total() const
+    {
+        return xor2 + or2 + and2 + not1 + mux2;
+    }
+};
+
+/** The process library with routing coefficients. */
+struct GateLibrary
+{
+    GateParams xor2{0.49, 0.0325, 24.0};
+    GateParams or2{0.35, 0.080, 25.0};
+    GateParams and2{0.35, 0.080, 25.0};
+    GateParams not1{0.15, 0.020, 4.0};
+    GateParams mux2{0.75, 0.125, 18.0};
+
+    /** Routing area per routed bit per log2(span bytes) [µm²]. */
+    double wireAreaCoeff = 0.40;
+
+    /** Routing energy per routed bit per log2(span bytes) [fJ]. */
+    double wireEnergyCoeff = 0.1467;
+
+    /** 16 nm FinFET class constants (TSMC16-calibrated; see file comment). */
+    static GateLibrary tsmc16() { return GateLibrary{}; }
+};
+
+/** Evaluated cost of one netlist. */
+struct CostEstimate
+{
+    double areaUm2 = 0.0;
+    double energyFj = 0.0;
+    double delayPs = 0.0;
+
+    CostEstimate &operator+=(const CostEstimate &other);
+};
+
+/**
+ * Evaluate @p counts at @p critical_path_ps under library @p lib.
+ *
+ * Routing is accounted separately for area and energy because they scale
+ * differently: @p wire_area_units charges placed routing (Σ routed bits ×
+ * log2(span bytes)); @p wire_energy_units charges *switched* routing —
+ * comparator nets that rarely toggle (the ZDR remap detectors) contribute
+ * area but negligible dynamic energy.
+ */
+CostEstimate evaluateNetlist(const GateLibrary &lib, const GateCounts &counts,
+                             double wire_area_units,
+                             double wire_energy_units,
+                             double critical_path_ps);
+
+} // namespace bxt
+
+#endif // BXT_GATECOST_GATES_H

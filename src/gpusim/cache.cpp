@@ -1,0 +1,130 @@
+#include "gpusim/cache.h"
+
+#include "common/bitops.h"
+#include "common/error.h"
+
+namespace bxt {
+
+SectoredCache::SectoredCache(std::size_t capacity_bytes, unsigned ways,
+                             std::size_t line_bytes,
+                             std::size_t sector_bytes)
+    : line_bytes_(line_bytes), sector_bytes_(sector_bytes),
+      sectors_per_line_(line_bytes / sector_bytes),
+      sets_(capacity_bytes / (line_bytes * ways)), ways_(ways)
+{
+    BXT_ASSERT(isPowerOfTwo(line_bytes) && isPowerOfTwo(sector_bytes));
+    BXT_ASSERT(line_bytes % sector_bytes == 0);
+    BXT_ASSERT(sets_ > 0 && isPowerOfTwo(sets_));
+    BXT_ASSERT(ways_ > 0);
+
+    lines_.resize(sets_ * ways_);
+    for (Line &line : lines_) {
+        line.sectorValid.assign(sectors_per_line_, false);
+        line.sectorDirty.assign(sectors_per_line_, false);
+        line.sectorData.assign(sectors_per_line_,
+                               Transaction(sector_bytes_));
+    }
+}
+
+void
+SectoredCache::evict(Line &line, std::uint64_t set_index,
+                     MemoryBackend &backend)
+{
+    if (!line.valid)
+        return;
+    ++stats_.lineEvictions;
+    const std::uint64_t line_addr =
+        (line.tag * sets_ + set_index) * line_bytes_;
+    for (std::size_t s = 0; s < sectors_per_line_; ++s) {
+        if (line.sectorValid[s] && line.sectorDirty[s]) {
+            backend.writeSector(line_addr + s * sector_bytes_,
+                                line.sectorData[s]);
+            ++stats_.writebacks;
+        }
+        line.sectorValid[s] = false;
+        line.sectorDirty[s] = false;
+    }
+    line.valid = false;
+}
+
+SectoredCache::Line &
+SectoredCache::findOrAllocate(std::uint64_t line_addr,
+                              MemoryBackend &backend)
+{
+    const std::uint64_t line_index = line_addr / line_bytes_;
+    const std::uint64_t set = line_index % sets_;
+    const std::uint64_t tag = line_index / sets_;
+
+    Line *lru = nullptr;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = lines_[set * ways_ + w];
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = ++lru_clock_;
+            return line;
+        }
+        if (lru == nullptr || !line.valid ||
+            (lru->valid && line.lruStamp < lru->lruStamp)) {
+            if (lru == nullptr || lru->valid)
+                lru = &line;
+        }
+    }
+
+    BXT_ASSERT(lru != nullptr);
+    evict(*lru, set, backend);
+    lru->valid = true;
+    lru->tag = tag;
+    lru->lruStamp = ++lru_clock_;
+    return *lru;
+}
+
+void
+SectoredCache::read(std::uint64_t addr, Transaction &out,
+                    MemoryBackend &backend)
+{
+    ++stats_.accesses;
+    const std::uint64_t sector_addr = addr & ~(sector_bytes_ - 1);
+    const std::uint64_t line_addr = addr & ~(line_bytes_ - 1);
+    const std::size_t sector = (sector_addr - line_addr) / sector_bytes_;
+
+    Line &line = findOrAllocate(line_addr, backend);
+    if (line.sectorValid[sector]) {
+        ++stats_.sectorHits;
+    } else {
+        ++stats_.sectorMisses;
+        line.sectorData[sector] = backend.readSector(sector_addr);
+        line.sectorValid[sector] = true;
+        line.sectorDirty[sector] = false;
+    }
+    out = line.sectorData[sector];
+}
+
+void
+SectoredCache::write(std::uint64_t addr, const Transaction &data,
+                     MemoryBackend &backend)
+{
+    BXT_ASSERT(data.size() == sector_bytes_);
+    ++stats_.accesses;
+    const std::uint64_t sector_addr = addr & ~(sector_bytes_ - 1);
+    const std::uint64_t line_addr = addr & ~(line_bytes_ - 1);
+    const std::size_t sector = (sector_addr - line_addr) / sector_bytes_;
+
+    Line &line = findOrAllocate(line_addr, backend);
+    if (line.sectorValid[sector])
+        ++stats_.sectorHits;
+    else
+        ++stats_.writeValidates; // Write-validate: no fetch on write miss.
+    line.sectorData[sector] = data;
+    line.sectorValid[sector] = true;
+    line.sectorDirty[sector] = true;
+}
+
+void
+SectoredCache::flush(MemoryBackend &backend)
+{
+    for (std::size_t set = 0; set < sets_; ++set) {
+        for (unsigned w = 0; w < ways_; ++w)
+            evict(lines_[set * ways_ + w], set, backend);
+    }
+}
+
+} // namespace bxt

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Sectored, set-associative, write-back last-level cache. GPU LLCs are
+ * sectored (Table I: four 32-byte sectors per 128-byte line): a miss
+ * fetches only the referenced sector, and writes validate a sector without
+ * fetching it (write-validate), which is what makes the 32-byte sector the
+ * DRAM transaction unit this paper encodes.
+ */
+
+#ifndef BXT_GPUSIM_CACHE_H
+#define BXT_GPUSIM_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/transaction.h"
+
+namespace bxt {
+
+/** Where the cache fills from and spills to (the memory controller). */
+class MemoryBackend
+{
+  public:
+    virtual ~MemoryBackend() = default;
+
+    /** Fetch the sector containing @p sector_addr (sector aligned). */
+    virtual Transaction readSector(std::uint64_t sector_addr) = 0;
+
+    /** Write back one dirty sector (sector aligned). */
+    virtual void writeSector(std::uint64_t sector_addr,
+                             const Transaction &data) = 0;
+};
+
+/** Hit/miss/traffic counters. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t sectorHits = 0;
+    std::uint64_t sectorMisses = 0;   ///< Sector fetches from memory.
+    std::uint64_t writeValidates = 0; ///< Writes that allocated a sector.
+    std::uint64_t lineEvictions = 0;
+    std::uint64_t writebacks = 0;     ///< Dirty sectors written to memory.
+
+    /** Sector hit rate over all accesses. */
+    double hitRate() const
+    {
+        return accesses == 0
+                   ? 0.0
+                   : static_cast<double>(sectorHits) /
+                         static_cast<double>(accesses);
+    }
+};
+
+/**
+ * The LLC model. Addresses are byte addresses; every access touches one
+ * whole sector (the GPU coalescer has already formed sector requests).
+ */
+class SectoredCache
+{
+  public:
+    /**
+     * @param capacity_bytes Total capacity; must be divisible into sets.
+     * @param ways Associativity.
+     * @param line_bytes Line size; must be a multiple of @p sector_bytes.
+     * @param sector_bytes Sector (transaction) size.
+     */
+    SectoredCache(std::size_t capacity_bytes, unsigned ways,
+                  std::size_t line_bytes, std::size_t sector_bytes);
+
+    /**
+     * Read the sector containing @p addr into @p out, filling from
+     * @p backend on a miss.
+     */
+    void read(std::uint64_t addr, Transaction &out, MemoryBackend &backend);
+
+    /**
+     * Write @p data to the sector containing @p addr (write-validate:
+     * allocates without fetching), spilling evictions to @p backend.
+     */
+    void write(std::uint64_t addr, const Transaction &data,
+               MemoryBackend &backend);
+
+    /** Write all dirty sectors back to @p backend and invalidate. */
+    void flush(MemoryBackend &backend);
+
+    /** Counters since construction. */
+    const CacheStats &stats() const { return stats_; }
+
+    /** Number of sets. */
+    std::size_t numSets() const { return sets_; }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        std::uint64_t lruStamp = 0;
+        std::vector<bool> sectorValid;
+        std::vector<bool> sectorDirty;
+        std::vector<Transaction> sectorData;
+    };
+
+    /** Locate (or allocate, evicting LRU) the line for @p line_addr. */
+    Line &findOrAllocate(std::uint64_t line_addr, MemoryBackend &backend);
+
+    /** Write back and invalidate @p line (set index needed for address). */
+    void evict(Line &line, std::uint64_t set_index, MemoryBackend &backend);
+
+    std::size_t line_bytes_;
+    std::size_t sector_bytes_;
+    std::size_t sectors_per_line_;
+    std::size_t sets_;
+    unsigned ways_;
+    std::uint64_t lru_clock_ = 0;
+    std::vector<Line> lines_; ///< sets_ * ways_, row-major by set.
+    CacheStats stats_;
+};
+
+} // namespace bxt
+
+#endif // BXT_GPUSIM_CACHE_H

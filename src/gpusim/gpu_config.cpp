@@ -1,0 +1,31 @@
+#include "gpusim/gpu_config.h"
+
+#include <cstdio>
+
+namespace bxt {
+
+std::string
+GpuConfig::report() const
+{
+    char buffer[1024];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "Compute Units   : %u stream multiprocessors\n"
+        "Last-Level Cache: %zu MB total, %u-way, %zu B lines, "
+        "%zu x %zu B sectors\n"
+        "Memory System   : %u bit total bus, %zu GB GDDR5X\n"
+        "                  %.0f GBps total channel bandwidth\n"
+        "                  %zu 32-byte sectors per cacheline\n"
+        "GDDR5X          : %.0f Gbps per pin, %u channels x %u bit\n"
+        "                  %u banks/channel, %zu B rows\n"
+        "Encoding        : %s\n",
+        numSms, llcBytes >> 20, llcWays, lineBytes,
+        lineBytes / sectorBytes, sectorBytes,
+        channels * busBitsPerChannel, dramBytes >> 30,
+        peakBandwidthGBps(), lineBytes / sectorBytes, dataRateGbps,
+        channels, busBitsPerChannel, banksPerChannel, rowBytes,
+        codecSpec.c_str());
+    return std::string(buffer);
+}
+
+} // namespace bxt

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Configuration of the evaluated GPU system (paper Table I): an NVIDIA
+ * Titan X (Pascal)-class part with 56 SMs, a 4 MB sectored LLC, and twelve
+ * 32-bit GDDR5X channels at 10 Gbps/pin (480 GB/s aggregate).
+ */
+
+#ifndef BXT_GPUSIM_GPU_CONFIG_H
+#define BXT_GPUSIM_GPU_CONFIG_H
+
+#include <cstddef>
+#include <string>
+
+namespace bxt {
+
+/** Full system configuration for the trace-driven GPU simulator. */
+struct GpuConfig
+{
+    // Compute / cache hierarchy.
+    unsigned numSms = 56;             ///< Streaming multiprocessors.
+    std::size_t llcBytes = 4u << 20;  ///< Last-level cache capacity.
+    unsigned llcWays = 16;            ///< LLC associativity.
+    std::size_t lineBytes = 128;      ///< LLC line size.
+    std::size_t sectorBytes = 32;     ///< Sector (DRAM transaction) size.
+
+    // Memory system.
+    unsigned channels = 12;             ///< Independent GDDR5X channels.
+    unsigned busBitsPerChannel = 32;    ///< Data wires per channel.
+    unsigned banksPerChannel = 16;      ///< DRAM banks per channel.
+    std::size_t rowBytes = 2048;        ///< DRAM row (page) size per bank.
+    std::size_t channelInterleave = 256;///< Address interleave granularity.
+    double dataRateGbps = 10.0;         ///< Per-pin data rate.
+    std::size_t dramBytes = 12ull << 30;///< Total DRAM capacity.
+
+    // Simplified timing (in nanoseconds).
+    double tRowMissNs = 30.0; ///< Added precharge+activate delay.
+
+    /** Bus idle-gap fraction for wire-parking toggles (1 - utilization). */
+    double busIdleFraction = 0.3;
+
+    // Encoding scheme applied at the memory controller.
+    std::string codecSpec = "universal3+zdr";
+
+    /** Energy-model preset: "gddr5x", "ddr4", or "hbm2". */
+    std::string powerPreset = "gddr5x";
+
+    /** The Table I configuration. */
+    static GpuConfig titanXPascal() { return GpuConfig{}; }
+
+    /**
+     * The paper's CPU evaluation system (§VI-G): a single core with a
+     * 4 MB LLC and one DDR4 channel moving whole 64-byte lines.
+     */
+    static GpuConfig cpuDdr4()
+    {
+        GpuConfig c;
+        c.numSms = 1;
+        c.lineBytes = 64;
+        c.sectorBytes = 64; // Unsectored: the line is the transaction.
+        c.channels = 1;
+        c.busBitsPerChannel = 64;
+        c.banksPerChannel = 16;
+        c.rowBytes = 8192;
+        c.channelInterleave = 64;
+        c.dataRateGbps = 3.2;
+        c.dramBytes = 16ull << 30;
+        c.tRowMissNs = 45.0;
+        c.busIdleFraction = 0.6; // CPUs run DRAM at lower utilization.
+        c.powerPreset = "ddr4";
+        return c;
+    }
+
+    /** Peak aggregate bandwidth in GB/s (480 for Table I). */
+    double peakBandwidthGBps() const
+    {
+        return static_cast<double>(channels) * busBitsPerChannel / 8.0 *
+               dataRateGbps;
+    }
+
+    /** Time of one bus beat in nanoseconds. */
+    double beatTimeNs() const { return 1.0 / dataRateGbps; }
+
+    /** Render the Table I configuration block. */
+    std::string report() const;
+};
+
+} // namespace bxt
+
+#endif // BXT_GPUSIM_GPU_CONFIG_H

@@ -1,0 +1,198 @@
+#include "gpusim/gpu_system.h"
+
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace bxt {
+
+double
+GpuRunReport::energyPerBytePj() const
+{
+    const double bytes = static_cast<double>(bus.dataBits) / 8.0;
+    return bytes == 0.0 ? 0.0 : energy.total() * 1e12 / bytes;
+}
+
+std::string
+GpuRunReport::report() const
+{
+    char buffer[1024];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "kernel %s with codec %s\n"
+        "  LLC: %llu accesses, %.1f %% sector hit rate, %llu writebacks\n"
+        "  DRAM: %llu reads, %llu writes, %llu activates, "
+        "%.1f %% row hits, %.1f %% bus utilization\n"
+        "  wires: %llu ones / %llu bits (%.1f %%), %llu toggles\n"
+        "  energy: %.3f uJ total, %.2f pJ per DRAM byte\n",
+        kernel.c_str(), codec.c_str(),
+        static_cast<unsigned long long>(cache.accesses),
+        cache.hitRate() * 100.0,
+        static_cast<unsigned long long>(cache.writebacks),
+        static_cast<unsigned long long>(mem.reads),
+        static_cast<unsigned long long>(mem.writes),
+        static_cast<unsigned long long>(mem.activates),
+        mem.reads + mem.writes == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(mem.rowHits) /
+                  static_cast<double>(mem.reads + mem.writes),
+        mem.utilization() * 100.0,
+        static_cast<unsigned long long>(bus.ones()),
+        static_cast<unsigned long long>(bus.dataBits + bus.metaBits),
+        bus.dataBits + bus.metaBits == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(bus.ones()) /
+                  static_cast<double>(bus.dataBits + bus.metaBits),
+        static_cast<unsigned long long>(bus.toggles()),
+        energy.total() * 1e6, energyPerBytePj());
+    return std::string(buffer);
+}
+
+GpuSystem::GpuSystem(const GpuConfig &config)
+    : config_(config),
+      cache_(config.llcBytes, config.llcWays, config.lineBytes,
+             config.sectorBytes),
+      memctrl_(config)
+{
+}
+
+GpuRunReport
+GpuSystem::run(GpuKernel &kernel)
+{
+    BXT_ASSERT(kernel.dataPattern != nullptr);
+    BXT_ASSERT(kernel.footprintBytes % config_.sectorBytes == 0);
+
+    Rng rng(kernel.seed);
+    const std::uint64_t sectors =
+        kernel.footprintBytes / config_.sectorBytes;
+    BXT_ASSERT(sectors > 0);
+
+    auto fill_tx = [&]() {
+        Transaction tx(config_.sectorBytes);
+        kernel.dataPattern->fill(rng, tx.bytes());
+        return tx;
+    };
+
+    // Producer pass: populate the footprint with pattern data.
+    for (std::uint64_t s = 0; s < sectors; ++s)
+        cache_.write(s * config_.sectorBytes, fill_tx(), memctrl_);
+
+    // Main access mix: streaming walk with occasional random accesses.
+    std::uint64_t stream_pos = 0;
+    Transaction read_buffer(config_.sectorBytes);
+    for (std::size_t i = 0; i < kernel.accesses; ++i) {
+        std::uint64_t sector;
+        if (rng.nextBool(kernel.randomFraction)) {
+            sector = rng.nextBounded(sectors);
+        } else {
+            sector = stream_pos;
+            stream_pos = (stream_pos + 1) % sectors;
+        }
+        const std::uint64_t addr = sector * config_.sectorBytes;
+        if (rng.nextBool(kernel.writeFraction))
+            cache_.write(addr, fill_tx(), memctrl_);
+        else
+            cache_.read(addr, read_buffer, memctrl_);
+    }
+
+    // Drain dirty data so every store is priced.
+    cache_.flush(memctrl_);
+
+    GpuRunReport report;
+    report.kernel = kernel.name;
+    report.codec = memctrl_.codecName();
+    report.cache = cache_.stats();
+    report.mem = memctrl_.stats();
+    report.bus = memctrl_.busStats();
+
+    DramPowerParams params = DramPowerParams::gddr5x();
+    if (config_.powerPreset == "ddr4")
+        params = DramPowerParams::ddr4();
+    else if (config_.powerPreset == "hbm2")
+        params = DramPowerParams::hbm2();
+    else if (config_.powerPreset != "gddr5x")
+        fatal("unknown power preset: " + config_.powerPreset);
+    params.io.dataRateGbps = config_.dataRateGbps;
+    const double measured = report.mem.utilization();
+    if (measured > 0.0)
+        params.utilization = measured;
+    report.energy =
+        DramPowerModel(params).compute(report.bus, report.mem.activates);
+    return report;
+}
+
+std::vector<GpuKernel>
+makeReferenceKernels(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<GpuKernel> kernels;
+
+    {
+        GpuKernel k;
+        k.name = "stream-triad-fp32";
+        k.footprintBytes = 8u << 20;
+        k.accesses = 300000;
+        k.writeFraction = 0.33;
+        k.randomFraction = 0.0;
+        k.dataPattern = makeSoaFloatPattern(1.0e3, 1.0e-3, rng.next64(),
+                                            12);
+        k.seed = rng.next64();
+        kernels.push_back(std::move(k));
+    }
+    {
+        GpuKernel k;
+        k.name = "graph-traversal";
+        k.footprintBytes = 16u << 20;
+        k.accesses = 300000;
+        k.writeFraction = 0.1;
+        k.randomFraction = 0.8;
+        std::vector<std::pair<PatternPtr, double>> members;
+        members.emplace_back(
+            makeIntStridePattern(4, 2, 4, rng.next64()), 0.6);
+        members.emplace_back(
+            makePointerPattern(0x0000700000000000ull, 1u << 24,
+                               rng.next64()),
+            0.4);
+        k.dataPattern = makeMixPattern(std::move(members), 0.9, rng.next64());
+        k.seed = rng.next64();
+        kernels.push_back(std::move(k));
+    }
+    {
+        GpuKernel k;
+        k.name = "sparse-amr-fp32";
+        k.footprintBytes = 8u << 20;
+        k.accesses = 250000;
+        k.writeFraction = 0.4;
+        k.randomFraction = 0.2;
+        k.dataPattern = makeZeroMixedPattern(
+            makeSoaFloatPattern(1.0, 1.0e-2, rng.next64(), 14), 4, 0.45,
+            rng.next64());
+        k.seed = rng.next64();
+        kernels.push_back(std::move(k));
+    }
+    {
+        GpuKernel k;
+        k.name = "framebuffer-blend";
+        k.footprintBytes = 8u << 20;
+        k.accesses = 300000;
+        k.writeFraction = 0.5;
+        k.randomFraction = 0.05;
+        k.dataPattern = makeRgbaPixelPattern(8, 0xff, rng.next64());
+        k.seed = rng.next64();
+        kernels.push_back(std::move(k));
+    }
+    {
+        GpuKernel k;
+        k.name = "incompressible";
+        k.footprintBytes = 8u << 20;
+        k.accesses = 200000;
+        k.writeFraction = 0.3;
+        k.randomFraction = 0.5;
+        k.dataPattern = makeRandomPattern(rng.next64());
+        k.seed = rng.next64();
+        kernels.push_back(std::move(k));
+    }
+    return kernels;
+}
+
+} // namespace bxt

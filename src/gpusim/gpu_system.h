@@ -1,0 +1,84 @@
+/**
+ * @file
+ * End-to-end system driver: a GPU kernel's access stream runs through the
+ * sectored LLC into the encoding memory controller, and the resulting DRAM
+ * activity is priced by the energy model. This is the full pipeline the
+ * paper's §VI-F energy numbers come from.
+ */
+
+#ifndef BXT_GPUSIM_GPU_SYSTEM_H
+#define BXT_GPUSIM_GPU_SYSTEM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "energy/dram_power.h"
+#include "gpusim/cache.h"
+#include "gpusim/gpu_config.h"
+#include "gpusim/memctrl.h"
+#include "workloads/patterns.h"
+
+namespace bxt {
+
+/** A kernel-level workload for the full-system simulator. */
+struct GpuKernel
+{
+    std::string name;
+    std::size_t footprintBytes = 16u << 20; ///< Touched memory region.
+    std::size_t accesses = 200000;          ///< Sector accesses to issue.
+    double writeFraction = 0.3;             ///< Stores / all accesses.
+    double randomFraction = 0.1;            ///< Random vs streaming access.
+    PatternPtr dataPattern;                 ///< Payload for stores & init.
+    std::uint64_t seed = 1;
+};
+
+/** Everything measured by one full-system run. */
+struct GpuRunReport
+{
+    std::string kernel;
+    std::string codec;
+    CacheStats cache;
+    MemCtrlStats mem;
+    BusStats bus;
+    EnergyBreakdown energy;
+
+    /** DRAM energy per byte of DRAM traffic [pJ/B]. */
+    double energyPerBytePj() const;
+
+    /** Multi-line human-readable report. */
+    std::string report() const;
+};
+
+/** The assembled system: LLC + memory controller + energy model. */
+class GpuSystem
+{
+  public:
+    explicit GpuSystem(const GpuConfig &config);
+
+    /**
+     * Run @p kernel to completion: an initialization sweep writes the
+     * footprint with pattern data (the producer kernel), then the access
+     * mix executes, then the LLC is flushed so all dirty data reaches
+     * DRAM. Returns the accumulated measurements.
+     */
+    GpuRunReport run(GpuKernel &kernel);
+
+    /** The system configuration in use. */
+    const GpuConfig &config() const { return config_; }
+
+  private:
+    GpuConfig config_;
+    SectoredCache cache_;
+    MemoryController memctrl_;
+};
+
+/**
+ * Representative kernels for the end-to-end energy study (streaming fp32
+ * triad, graph traversal, sparse AMR, framebuffer blend, incompressible).
+ */
+std::vector<GpuKernel> makeReferenceKernels(std::uint64_t seed);
+
+} // namespace bxt
+
+#endif // BXT_GPUSIM_GPU_SYSTEM_H

@@ -1,0 +1,152 @@
+#include "gpusim/memctrl.h"
+
+#include "common/error.h"
+#include "core/codec_factory.h"
+
+namespace bxt {
+
+MemoryController::MemoryController(const GpuConfig &config) : config_(config)
+{
+    channels_.resize(config.channels);
+    for (auto &channel : channels_) {
+        channel.codec = makeCodec(config.codecSpec,
+                                  config.busBitsPerChannel / 8);
+        channel.bus = std::make_unique<Bus>(
+            config.busBitsPerChannel, channel.codec->metaWiresPerBeat(),
+            config.busIdleFraction);
+        channel.openRow.assign(config.banksPerChannel, -1);
+        channel.encodedStorage = channel.codec->stateless() &&
+                                 channel.codec->metaWiresPerBeat() == 0;
+    }
+}
+
+std::size_t
+MemoryController::channelOf(std::uint64_t sector_addr) const
+{
+    return (sector_addr / config_.channelInterleave) % config_.channels;
+}
+
+void
+MemoryController::touchRow(Channel &channel, std::uint64_t sector_addr)
+{
+    // Strip the channel-interleave bits to form the channel-local address.
+    const std::uint64_t block = sector_addr / config_.channelInterleave;
+    const std::uint64_t local = (block / config_.channels) *
+                                    config_.channelInterleave +
+                                sector_addr % config_.channelInterleave;
+
+    const std::uint64_t bank =
+        (local / config_.rowBytes) % config_.banksPerChannel;
+    const auto row = static_cast<std::int64_t>(
+        local / (config_.rowBytes * config_.banksPerChannel));
+
+    if (channel.openRow[bank] != row) {
+        channel.openRow[bank] = row;
+        ++channel.stats.activates;
+        channel.stats.totalTimeNs += config_.tRowMissNs;
+    } else {
+        ++channel.stats.rowHits;
+    }
+
+    const double beats = static_cast<double>(config_.sectorBytes * 8) /
+                         config_.busBitsPerChannel;
+    const double transfer_ns = beats * config_.beatTimeNs();
+    channel.stats.busyTimeNs += transfer_ns;
+    channel.stats.totalTimeNs += transfer_ns;
+}
+
+Transaction
+MemoryController::readSector(std::uint64_t sector_addr)
+{
+    BXT_ASSERT(sector_addr % config_.sectorBytes == 0);
+    Channel &channel = channels_[channelOf(sector_addr)];
+    touchRow(channel, sector_addr);
+    ++channel.stats.reads;
+
+    auto shadow_it = channel.shadow.find(sector_addr);
+    if (shadow_it == channel.shadow.end()) {
+        // Untouched DRAM reads as zeros (cleared at allocation).
+        const Transaction zeros(config_.sectorBytes);
+        shadow_it = channel.shadow.emplace(sector_addr, zeros).first;
+        if (channel.encodedStorage) {
+            channel.storage.emplace(sector_addr,
+                                    channel.codec->encode(zeros).payload);
+        } else {
+            channel.storage.emplace(sector_addr, zeros);
+        }
+    }
+
+    Encoded enc;
+    const Transaction &stored = channel.storage.at(sector_addr);
+    if (channel.encodedStorage) {
+        // The DRAM array holds the encoded form; the wire carries it as-is
+        // and the controller decodes after the transfer.
+        enc.payload = stored;
+    } else {
+        // Link-layer codec: the device-side encoder processes the raw
+        // array data onto the wire.
+        enc = channel.codec->encode(stored);
+    }
+    channel.bus->transmit(enc);
+    const Transaction decoded = channel.codec->decode(enc);
+    if (!(decoded == shadow_it->second))
+        panic("memory controller read corruption at address " +
+              std::to_string(sector_addr));
+    return decoded;
+}
+
+void
+MemoryController::writeSector(std::uint64_t sector_addr,
+                              const Transaction &data)
+{
+    BXT_ASSERT(sector_addr % config_.sectorBytes == 0);
+    BXT_ASSERT(data.size() == config_.sectorBytes);
+    Channel &channel = channels_[channelOf(sector_addr)];
+    touchRow(channel, sector_addr);
+    ++channel.stats.writes;
+
+    const Encoded enc = channel.codec->encode(data);
+    channel.bus->transmit(enc);
+    // The device-side decoder runs on every write (it keeps stateful link
+    // codecs' repositories coherent); verify the round trip.
+    const Transaction decoded = channel.codec->decode(enc);
+    if (!(decoded == data))
+        panic("memory controller write corruption at address " +
+              std::to_string(sector_addr));
+
+    channel.storage[sector_addr] =
+        channel.encodedStorage ? enc.payload : data;
+    channel.shadow[sector_addr] = data;
+}
+
+BusStats
+MemoryController::busStats() const
+{
+    BusStats total;
+    for (const auto &channel : channels_)
+        total += channel.bus->stats();
+    return total;
+}
+
+MemCtrlStats
+MemoryController::stats() const
+{
+    MemCtrlStats total;
+    for (const auto &channel : channels_) {
+        total.reads += channel.stats.reads;
+        total.writes += channel.stats.writes;
+        total.activates += channel.stats.activates;
+        total.rowHits += channel.stats.rowHits;
+        total.busyTimeNs += channel.stats.busyTimeNs;
+        total.totalTimeNs += channel.stats.totalTimeNs;
+    }
+    return total;
+}
+
+std::string
+MemoryController::codecName() const
+{
+    return channels_.empty() ? "" : channels_.front().codec->name();
+}
+
+} // namespace bxt

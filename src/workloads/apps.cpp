@@ -1,0 +1,625 @@
+#include "workloads/apps.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <utility>
+
+#include "common/error.h"
+
+namespace bxt {
+namespace {
+
+/** 10^U(lo, hi): log-uniform draw for scale-free parameters. */
+double
+logUniform(Rng &rng, double lo, double hi)
+{
+    const double exponent = lo + (hi - lo) * rng.nextDouble();
+    return std::pow(10.0, exponent);
+}
+
+double
+uniform(Rng &rng, double lo, double hi)
+{
+    return lo + (hi - lo) * rng.nextDouble();
+}
+
+/**
+ * Significant mantissa bits for a float family: most real arrays carry
+ * limited precision (grid spacings, quantized inputs, small integers);
+ * @p full_prob of apps keep full-entropy mantissas.
+ */
+unsigned
+drawQuantBits(Rng &rng, unsigned lo, unsigned hi, double full_prob)
+{
+    if (rng.nextBool(full_prob))
+        return 0;
+    return lo + static_cast<unsigned>(rng.nextBounded(hi - lo + 1));
+}
+
+// --- GPU compute families ---------------------------------------------
+
+PatternPtr
+makeFp32Grid(Rng &rng)
+{
+    // Stencil/grid solvers: smooth scalar fp32 fields plus float4 state
+    // vectors per cell, occasional zero halo cells.
+    std::vector<std::pair<PatternPtr, double>> members;
+    const unsigned grid_quant = drawQuantBits(rng, 8, 16, 0.20);
+    members.emplace_back(makeSoaFloatPattern(logUniform(rng, -1.0, 4.0),
+                                             logUniform(rng, -4.5, -1.5),
+                                             rng.next64(), grid_quant),
+                         0.60);
+    members.emplace_back(
+        makeVecFloatPattern(rng.nextBool(0.75) ? 2 : 4, 4,
+                            logUniform(rng, -4.0, -1.5), rng.next64(),
+                            grid_quant),
+        0.40);
+    PatternPtr base = makeMixPattern(std::move(members), 0.93, rng.next64());
+    const double zero_prob = uniform(rng, 0.0, 0.10);
+    if (zero_prob < 0.01)
+        return base;
+    return makeZeroMixedPattern(std::move(base), 4, zero_prob, rng.next64());
+}
+
+PatternPtr
+makeFp32Particle(Rng &rng)
+{
+    // Particle/MD codes: float3/float4 positions and velocities plus
+    // neighbour indices and a little incompressible payload.
+    std::vector<std::pair<PatternPtr, double>> members;
+    members.emplace_back(
+        makeVecFloatPattern(rng.nextBool(0.55)
+                                ? 2u
+                                : (rng.nextBool(0.6) ? 3u : 4u),
+                            4, logUniform(rng, -3.5, -1.0), rng.next64(),
+                            drawQuantBits(rng, 8, 18, 0.25)),
+        0.65);
+    members.emplace_back(
+        makeIntStridePattern(4, 1 + static_cast<std::int64_t>(
+                                     rng.nextBounded(4)),
+                             static_cast<unsigned>(rng.nextBounded(6)),
+                             rng.next64()),
+        0.20);
+    members.emplace_back(makeRandomPattern(rng.next64()), 0.15);
+    PatternPtr mix = makeMixPattern(std::move(members), 0.92, rng.next64());
+    const double zero_prob = uniform(rng, 0.0, 0.25);
+    if (zero_prob < 0.02)
+        return mix;
+    return makeZeroMixedPattern(std::move(mix), 4, zero_prob, rng.next64());
+}
+
+PatternPtr
+makeFp64Hpc(Rng &rng)
+{
+    // HPC solvers: fp64 fields, complex pairs / dual-component records.
+    std::vector<std::pair<PatternPtr, double>> members;
+    const unsigned hpc_quant = drawQuantBits(rng, 14, 30, 0.20);
+    members.emplace_back(makeSoaDoublePattern(logUniform(rng, -2.0, 6.0),
+                                              logUniform(rng, -5.0, -2.0),
+                                              rng.next64(), hpc_quant),
+                         0.75);
+    members.emplace_back(makeVecFloatPattern(2, 8,
+                                             logUniform(rng, -4.5, -2.0),
+                                             rng.next64(), hpc_quant),
+                         0.25);
+    PatternPtr base = makeMixPattern(std::move(members), 0.93, rng.next64());
+    const double zero_prob = uniform(rng, 0.0, 0.20);
+    if (zero_prob < 0.02)
+        return base;
+    return makeZeroMixedPattern(std::move(base), 8, zero_prob, rng.next64());
+}
+
+PatternPtr
+makeIntGraph(Rng &rng)
+{
+    // Graph/index kernels: adjacency indices, pointers, hash payloads, and
+    // plenty of zero padding -> the mixed-data transactions of Figure 14.
+    std::vector<std::pair<PatternPtr, double>> members;
+    members.emplace_back(
+        makeIntStridePattern(8,
+                             1 + static_cast<std::int64_t>(
+                                     rng.nextBounded(8)),
+                             static_cast<unsigned>(rng.nextBounded(8)),
+                             rng.next64(),
+                             24 + static_cast<unsigned>(rng.nextBounded(16))),
+        0.30);
+    members.emplace_back(
+        makeIntStridePattern(4,
+                             1 + static_cast<std::int64_t>(
+                                     rng.nextBounded(8)),
+                             static_cast<unsigned>(rng.nextBounded(8)),
+                             rng.next64(),
+                             13 + static_cast<unsigned>(rng.nextBounded(12))),
+        0.25);
+    members.emplace_back(
+        makePointerPattern(0x0000700000000000ull +
+                               (rng.next64() & 0xffffff0000ull),
+                           1ull << (20 + rng.nextBounded(10)), rng.next64()),
+        0.25);
+    members.emplace_back(makeRandomPattern(rng.next64()), 0.20);
+    PatternPtr mix = makeMixPattern(std::move(members), 0.90, rng.next64());
+    return makeZeroMixedPattern(std::move(mix), 4,
+                                uniform(rng, 0.05, 0.40), rng.next64());
+}
+
+PatternPtr
+makeFp16Ml(Rng &rng)
+{
+    // ML tensors: uniform fp16 feature streams plus 4-component records.
+    std::vector<std::pair<PatternPtr, double>> members;
+    members.emplace_back(makeHalfFloatPattern(logUniform(rng, -1.0, 1.0),
+                                              logUniform(rng, -3.0, -1.0),
+                                              rng.next64()),
+                         0.55);
+    members.emplace_back(makeVecFloatPattern(4, 2,
+                                             logUniform(rng, -3.0, -1.0),
+                                             rng.next64()),
+                         0.45);
+    PatternPtr base = makeMixPattern(std::move(members), 0.93, rng.next64());
+    const double zero_prob = uniform(rng, 0.0, 0.15);
+    if (zero_prob < 0.02)
+        return base;
+    return makeZeroMixedPattern(std::move(base), 2, zero_prob, rng.next64());
+}
+
+PatternPtr
+makeSparseZero(Rng &rng)
+{
+    // AMR / sparse solvers: dense fp32 islands in mostly-zero storage.
+    PatternPtr base = makeSoaFloatPattern(logUniform(rng, 0.0, 3.0),
+                                          logUniform(rng, -4.0, -1.5),
+                                          rng.next64(),
+                                          drawQuantBits(rng, 8, 20, 0.30));
+    PatternPtr mixed = makeZeroMixedPattern(
+        std::move(base), 4, uniform(rng, 0.30, 0.60), rng.next64());
+    return makeZeroBurstPattern(std::move(mixed), 0.02,
+                                static_cast<unsigned>(
+                                    4 + rng.nextBounded(12)),
+                                rng.next64());
+}
+
+PatternPtr
+makeIncompressible(Rng &rng)
+{
+    // Compressed/encrypted payloads, Monte-Carlo RNG state.
+    return makeRandomPattern(rng.next64());
+}
+
+// --- Graphics families --------------------------------------------------
+
+PatternPtr
+makeFramebuffer(Rng &rng)
+{
+    const auto step = static_cast<unsigned>(4 + rng.nextBounded(40));
+    const std::uint8_t alpha = rng.nextBool(0.7) ? 0xff : 0x80;
+    return makeRgbaPixelPattern(step, alpha, rng.next64());
+}
+
+PatternPtr
+makeZBuffer(Rng &rng)
+{
+    return makeDepthBufferPattern(uniform(rng, 0.2, 0.8),
+                                  logUniform(rng, -5.5, -3.0), rng.next64());
+}
+
+PatternPtr
+makeTexture(Rng &rng)
+{
+    // Textures: smooth albedo pages interleaved with block-compressed
+    // (incompressible) pages.
+    std::vector<std::pair<PatternPtr, double>> members;
+    members.emplace_back(makeRgbaPixelPattern(
+                             static_cast<unsigned>(1 + rng.nextBounded(12)),
+                             0xff, rng.next64()),
+                         0.60);
+    members.emplace_back(makeRandomPattern(rng.next64()), 0.40);
+    return makeMixPattern(std::move(members), 0.95, rng.next64());
+}
+
+PatternPtr
+makeVertex(Rng &rng)
+{
+    // Vertex/attribute buffers: xyzw coordinate records plus index streams.
+    std::vector<std::pair<PatternPtr, double>> members;
+    members.emplace_back(
+        makeVecFloatPattern(static_cast<unsigned>(3 + rng.nextBounded(2)),
+                            4, logUniform(rng, -3.5, -1.0), rng.next64(),
+                            drawQuantBits(rng, 10, 20, 0.30)),
+        0.75);
+    members.emplace_back(
+        makeIntStridePattern(4, 1, static_cast<unsigned>(rng.nextBounded(4)),
+                             rng.next64()),
+        0.25);
+    return makeMixPattern(std::move(members), 0.93, rng.next64());
+}
+
+PatternPtr
+makeHdrFp16(Rng &rng)
+{
+    // HDR render targets are RGBA16F: 4-component half-float records.
+    std::vector<std::pair<PatternPtr, double>> members;
+    members.emplace_back(makeVecFloatPattern(4, 2,
+                                             logUniform(rng, -3.0, -1.0),
+                                             rng.next64()),
+                         0.75);
+    members.emplace_back(makeHalfFloatPattern(logUniform(rng, -1.0, 2.0),
+                                              logUniform(rng, -3.0, -1.0),
+                                              rng.next64()),
+                         0.25);
+    return makeMixPattern(std::move(members), 0.93, rng.next64());
+}
+
+// --- CPU families --------------------------------------------------------
+
+PatternPtr
+makeCpuInt(Rng &rng)
+{
+    std::vector<std::pair<PatternPtr, double>> members;
+    members.emplace_back(makeAosRecordPattern(
+                             24 + 8 * rng.nextBounded(4), rng.next64()),
+                         0.30);
+    members.emplace_back(makeTextPattern(rng.next64()), 0.20);
+    members.emplace_back(
+        makeEnumBytePattern(static_cast<unsigned>(3 + rng.nextBounded(13)),
+                            rng.next64()),
+        0.15);
+    members.emplace_back(
+        makeIntStridePattern(4, 1, static_cast<unsigned>(
+                                       4 + rng.nextBounded(10)),
+                             rng.next64()),
+        0.10);
+    members.emplace_back(makeRandomPattern(rng.next64()), 0.25);
+    return makeMixPattern(std::move(members), 0.90, rng.next64());
+}
+
+PatternPtr
+makeCpuIntDense(Rng &rng)
+{
+    std::vector<std::pair<PatternPtr, double>> members;
+    members.emplace_back(
+        makeIntStridePattern(4,
+                             1 + static_cast<std::int64_t>(
+                                     rng.nextBounded(4)),
+                             static_cast<unsigned>(2 + rng.nextBounded(7)),
+                             rng.next64()),
+        0.50);
+    members.emplace_back(makeAosRecordPattern(32, rng.next64()), 0.50);
+    return makeMixPattern(std::move(members), 0.92, rng.next64());
+}
+
+PatternPtr
+makeCpuPointer(Rng &rng)
+{
+    std::vector<std::pair<PatternPtr, double>> members;
+    members.emplace_back(
+        makePointerPattern(0x0000560000000000ull +
+                               (rng.next64() & 0xffffff0000ull),
+                           1ull << (22 + rng.nextBounded(8)), rng.next64()),
+        0.50);
+    members.emplace_back(makeAosRecordPattern(
+                             24 + 8 * rng.nextBounded(3), rng.next64()),
+                         0.30);
+    members.emplace_back(makeRandomPattern(rng.next64()), 0.20);
+    return makeMixPattern(std::move(members), 0.90, rng.next64());
+}
+
+PatternPtr
+makeCpuText(Rng &rng)
+{
+    std::vector<std::pair<PatternPtr, double>> members;
+    members.emplace_back(makeTextPattern(rng.next64()), 0.60);
+    members.emplace_back(makeAosRecordPattern(32, rng.next64()), 0.40);
+    return makeMixPattern(std::move(members), 0.92, rng.next64());
+}
+
+PatternPtr
+makeCpuStream(Rng &rng)
+{
+    std::vector<std::pair<PatternPtr, double>> members;
+    members.emplace_back(makeRandomPattern(rng.next64()), 0.75);
+    members.emplace_back(
+        makeEnumBytePattern(static_cast<unsigned>(3 + rng.nextBounded(13)),
+                            rng.next64()),
+        0.15);
+    members.emplace_back(
+        makeIntStridePattern(4, 1, static_cast<unsigned>(
+                                       6 + rng.nextBounded(8)),
+                             rng.next64()),
+        0.15);
+    return makeMixPattern(std::move(members), 0.95, rng.next64());
+}
+
+PatternPtr
+makeCpuLowDensity(Rng &rng)
+{
+    // Flag/state-table dominated workloads: skewed low-weight values whose
+    // bitwise differences are denser than the data itself, so XOR encoding
+    // slightly backfires (the >100 % apps of Figure 18).
+    std::vector<std::pair<PatternPtr, double>> members;
+    members.emplace_back(
+        makeEnumBytePattern(static_cast<unsigned>(2 + rng.nextBounded(6)),
+                            rng.next64()),
+        0.70);
+    members.emplace_back(
+        makeIntStridePattern(4, 1, static_cast<unsigned>(
+                                       2 + rng.nextBounded(4)),
+                             rng.next64(),
+                             8 + static_cast<unsigned>(rng.nextBounded(6))),
+        0.15);
+    members.emplace_back(makeAosRecordPattern(
+                             24 + 8 * rng.nextBounded(3), rng.next64()),
+                         0.15);
+    return makeMixPattern(std::move(members), 0.92, rng.next64());
+}
+
+PatternPtr
+makeCpuFp(Rng &rng)
+{
+    std::vector<std::pair<PatternPtr, double>> members;
+    members.emplace_back(makeSoaDoublePattern(logUniform(rng, 0.0, 4.0),
+                                              logUniform(rng, -2.0, -1.0),
+                                              rng.next64(),
+                                              drawQuantBits(rng, 24, 44,
+                                                            0.60)),
+                         0.40);
+    members.emplace_back(makeAosRecordPattern(
+                             32 + 8 * rng.nextBounded(3), rng.next64()),
+                         0.45);
+    members.emplace_back(
+        makeEnumBytePattern(static_cast<unsigned>(4 + rng.nextBounded(12)),
+                            rng.next64()),
+        0.15);
+    return makeMixPattern(std::move(members), 0.90, rng.next64());
+}
+
+PatternPtr
+makeCpuFpDense(Rng &rng)
+{
+    PatternPtr base = makeSoaDoublePattern(logUniform(rng, 0.0, 4.0),
+                                           logUniform(rng, -4.0, -2.0),
+                                           rng.next64(),
+                                           drawQuantBits(rng, 18, 40, 0.50));
+    const double zero_prob = uniform(rng, 0.0, 0.15);
+    if (zero_prob < 0.02)
+        return base;
+    return makeZeroMixedPattern(std::move(base), 8, zero_prob, rng.next64());
+}
+
+// --- Suite assembly -------------------------------------------------------
+
+using FamilyMaker = PatternPtr (*)(Rng &);
+
+PatternPtr
+makeByFamily(const std::string &family, Rng &rng)
+{
+    static const std::pair<const char *, FamilyMaker> table[] = {
+        {"fp32-grid", makeFp32Grid},
+        {"fp32-particle", makeFp32Particle},
+        {"fp64-hpc", makeFp64Hpc},
+        {"int-graph", makeIntGraph},
+        {"fp16-ml", makeFp16Ml},
+        {"sparse-zero", makeSparseZero},
+        {"incompressible", makeIncompressible},
+        {"framebuffer", makeFramebuffer},
+        {"zbuffer", makeZBuffer},
+        {"texture", makeTexture},
+        {"vertex", makeVertex},
+        {"hdr-fp16", makeHdrFp16},
+        {"cpu-int", makeCpuInt},
+        {"cpu-int-dense", makeCpuIntDense},
+        {"cpu-pointer", makeCpuPointer},
+        {"cpu-text", makeCpuText},
+        {"cpu-stream", makeCpuStream},
+        {"cpu-fp", makeCpuFp},
+        {"cpu-fp-dense", makeCpuFpDense},
+        {"cpu-lowdensity", makeCpuLowDensity},
+    };
+    for (const auto &[label, maker] : table) {
+        if (family == label)
+            return maker(rng);
+    }
+    panic("unknown workload family: " + family);
+}
+
+App
+makeApp(const std::string &name, AppCategory category,
+        const std::string &family, std::size_t tx_bytes, Rng &suite_rng)
+{
+    App app;
+    app.name = name;
+    app.category = category;
+    app.family = family;
+    app.txBytes = tx_bytes;
+    Rng app_rng = suite_rng.split();
+    // 4-8 concurrent streams of the same family: different arrays/buffers
+    // of one workload, serviced simultaneously by the memory controller.
+    const std::size_t streams = 4 + app_rng.nextBounded(5);
+    app.streams.reserve(streams);
+    for (std::size_t s = 0; s < streams; ++s)
+        app.streams.push_back(makeByFamily(family, app_rng));
+    return app;
+}
+
+/** Deterministic shuffle of family slot labels. */
+void
+shuffleSlots(std::vector<std::string> &slots, Rng &rng)
+{
+    for (std::size_t i = slots.size(); i > 1; --i)
+        std::swap(slots[i - 1], slots[rng.nextBounded(i)]);
+}
+
+} // namespace
+
+std::string
+toString(AppCategory category)
+{
+    switch (category) {
+      case AppCategory::Compute:
+        return "compute";
+      case AppCategory::Graphics:
+        return "graphics";
+      case AppCategory::Cpu:
+        return "cpu";
+    }
+    return "?";
+}
+
+std::vector<App>
+buildGpuSuite(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<App> suite;
+    suite.reserve(187);
+
+    // Named compute benchmarks with hand-assigned families.
+    static const std::pair<const char *, const char *> named_compute[] = {
+        {"rodinia-b+tree", "int-graph"},
+        {"rodinia-backprop", "fp32-grid"},
+        {"rodinia-bfs", "int-graph"},
+        {"rodinia-cfd", "fp32-grid"},
+        {"rodinia-gaussian", "fp32-grid"},
+        {"rodinia-heartwall", "fp32-particle"},
+        {"rodinia-hotspot", "fp32-grid"},
+        {"rodinia-hotspot3d", "fp32-grid"},
+        {"rodinia-huffman", "incompressible"},
+        {"rodinia-hybridsort", "int-graph"},
+        {"rodinia-kmeans", "fp32-particle"},
+        {"rodinia-lavamd", "fp32-particle"},
+        {"rodinia-leukocyte", "fp32-grid"},
+        {"rodinia-lud", "fp32-grid"},
+        {"rodinia-mummergpu", "int-graph"},
+        {"rodinia-myocyte", "fp64-hpc"},
+        {"rodinia-nn", "fp32-particle"},
+        {"rodinia-nw", "int-graph"},
+        {"rodinia-particlefilter", "fp32-particle"},
+        {"rodinia-pathfinder", "int-graph"},
+        {"rodinia-srad", "fp32-grid"},
+        {"rodinia-streamcluster", "fp32-particle"},
+        {"lonestar-bfs", "int-graph"},
+        {"lonestar-bh", "fp32-particle"},
+        {"lonestar-dmr", "fp64-hpc"},
+        {"lonestar-mst", "int-graph"},
+        {"lonestar-pta", "int-graph"},
+        {"lonestar-sssp", "int-graph"},
+        {"lonestar-sp", "int-graph"},
+        {"comd", "fp64-hpc"},
+        {"hpgmg", "fp64-hpc"},
+        {"lulesh", "fp64-hpc"},
+        {"mcb", "incompressible"},
+        {"miniamr", "sparse-zero"},
+        {"nekbone", "fp64-hpc"},
+    };
+    for (const auto &[name, family] : named_compute)
+        suite.push_back(
+            makeApp(name, AppCategory::Compute, family, 32, rng));
+
+    // Remaining compute quota, filled by anonymized CN-coded applications
+    // (the paper's naming style for unnamed CUDA workloads).
+    std::vector<std::string> compute_slots;
+    auto push_slots = [](std::vector<std::string> &slots, const char *family,
+                         std::size_t count) {
+        for (std::size_t i = 0; i < count; ++i)
+            slots.emplace_back(family);
+    };
+    push_slots(compute_slots, "fp32-grid", 14);
+    push_slots(compute_slots, "fp32-particle", 9);
+    push_slots(compute_slots, "fp64-hpc", 18);
+    push_slots(compute_slots, "int-graph", 8);
+    push_slots(compute_slots, "fp16-ml", 10);
+    push_slots(compute_slots, "sparse-zero", 8);
+    push_slots(compute_slots, "incompressible", 4);
+    BXT_ASSERT(compute_slots.size() == 71);
+    shuffleSlots(compute_slots, rng);
+    for (std::size_t i = 0; i < compute_slots.size(); ++i) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "CN%03u",
+                      static_cast<unsigned>(i + 36));
+        suite.push_back(makeApp(name, AppCategory::Compute,
+                                compute_slots[i], 32, rng));
+    }
+    BXT_ASSERT(suite.size() == 106);
+
+    // Graphics population.
+    std::vector<std::string> gfx_slots;
+    push_slots(gfx_slots, "framebuffer", 24);
+    push_slots(gfx_slots, "zbuffer", 12);
+    push_slots(gfx_slots, "texture", 14);
+    push_slots(gfx_slots, "vertex", 16);
+    push_slots(gfx_slots, "hdr-fp16", 10);
+    push_slots(gfx_slots, "incompressible", 5);
+    BXT_ASSERT(gfx_slots.size() == 81);
+    shuffleSlots(gfx_slots, rng);
+    for (std::size_t i = 0; i < gfx_slots.size(); ++i) {
+        char name[32];
+        if (i < 40)
+            std::snprintf(name, sizeof(name), "dxgame-%02u",
+                          static_cast<unsigned>(i + 1));
+        else if (i < 60)
+            std::snprintf(name, sizeof(name), "bench3d-%02u",
+                          static_cast<unsigned>(i - 39));
+        else
+            std::snprintf(name, sizeof(name), "wstation-%02u",
+                          static_cast<unsigned>(i - 59));
+        suite.push_back(
+            makeApp(name, AppCategory::Graphics, gfx_slots[i], 32, rng));
+    }
+    BXT_ASSERT(suite.size() == 187);
+    return suite;
+}
+
+std::vector<App>
+buildCpuSuite(std::uint64_t seed)
+{
+    Rng rng(seed ^ 0xcafef00dull);
+    static const std::pair<const char *, const char *> spec_apps[] = {
+        {"perlbench", "cpu-int"},    {"bzip2", "cpu-stream"},
+        {"gcc", "cpu-int"},          {"mcf", "cpu-pointer"},
+        {"gobmk", "cpu-lowdensity"},        {"hmmer", "cpu-int-dense"},
+        {"sjeng", "cpu-lowdensity"},        {"libquantum", "cpu-int-dense"},
+        {"h264ref", "cpu-stream"},   {"omnetpp", "cpu-pointer"},
+        {"astar", "cpu-lowdensity"},    {"xalancbmk", "cpu-text"},
+        {"bwaves", "cpu-fp-dense"},  {"gamess", "cpu-lowdensity"},
+        {"milc", "cpu-fp-dense"},    {"zeusmp", "cpu-fp-dense"},
+        {"gromacs", "cpu-fp"},       {"cactusadm", "cpu-fp-dense"},
+        {"leslie3d", "cpu-fp-dense"},{"namd", "cpu-fp"},
+        {"dealii", "cpu-fp"},        {"soplex", "cpu-fp"},
+        {"povray", "cpu-lowdensity"},        {"calculix", "cpu-lowdensity"},
+        {"gemsfdtd", "cpu-fp-dense"},{"tonto", "cpu-fp"},
+        {"lbm", "cpu-fp-dense"},     {"sphinx3", "cpu-fp"},
+    };
+    std::vector<App> suite;
+    suite.reserve(std::size(spec_apps));
+    for (const auto &[name, family] : spec_apps)
+        suite.push_back(makeApp(name, AppCategory::Cpu, family, 64, rng));
+    return suite;
+}
+
+std::vector<Transaction>
+generateTrace(App &app, std::size_t count)
+{
+    BXT_ASSERT(!app.streams.empty());
+    Rng rng(defaultSuiteSeed ^ std::hash<std::string>{}(app.name));
+    std::vector<Transaction> trace;
+    trace.reserve(count);
+
+    // Interleave the concurrent streams in short bursts (row-buffer
+    // friendly scheduling keeps 1-4 consecutive transactions from one
+    // requester before switching).
+    std::size_t stream = 0;
+    std::size_t burst_left = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (burst_left == 0) {
+            stream = rng.nextBounded(app.streams.size());
+            burst_left = 1 + rng.nextBounded(4);
+        }
+        --burst_left;
+        Transaction tx(app.txBytes);
+        app.streams[stream]->fill(rng, tx.bytes());
+        trace.push_back(tx);
+    }
+    return trace;
+}
+
+} // namespace bxt

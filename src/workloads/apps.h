@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The workload population: 187 GPU applications (106 compute + 81
+ * graphics) and 28 CPU applications, standing in for the paper's
+ * proprietary trace sets (DESIGN.md §2 documents the substitution).
+ *
+ * Every application is a named, seeded instance of a data-pattern family
+ * with parameters drawn from per-family distributions, so the population
+ * spans the axes the encoders are sensitive to: element granularity of
+ * similarity, zero-element density, and similarity strength. Equal suite
+ * seeds give bit-identical traces.
+ */
+
+#ifndef BXT_WORKLOADS_APPS_H
+#define BXT_WORKLOADS_APPS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/transaction.h"
+#include "workloads/patterns.h"
+
+namespace bxt {
+
+/** Workload category (the paper's suite split). */
+enum class AppCategory
+{
+    Compute,  ///< CUDA compute (Rodinia / Lonestar / Exascale analogs).
+    Graphics, ///< DirectX games, render benchmarks, workstation apps.
+    Cpu,      ///< SPEC CPU2006 analogs (Figure 18).
+};
+
+/** Printable category name. */
+std::string toString(AppCategory category);
+
+/**
+ * One synthetic application: a named, seeded set of concurrent transaction
+ * streams.
+ *
+ * An application owns several independent pattern streams (different
+ * buffers/arrays of the same workload); the bus-order trace interleaves
+ * them in short runs, modeling a memory controller servicing many SMs at
+ * once. Consecutive bus transactions are therefore usually *unrelated*,
+ * which is what makes the baseline toggle rate realistic (Figure 16).
+ */
+struct App
+{
+    std::string name;
+    AppCategory category = AppCategory::Compute;
+    std::string family;       ///< Data-pattern family label for reports.
+    std::size_t txBytes = 32; ///< Transaction size (32 GPU, 64 CPU).
+    std::vector<PatternPtr> streams; ///< Concurrent payload streams.
+};
+
+/** Default master seed for the published experiment set. */
+constexpr std::uint64_t defaultSuiteSeed = 0xb1c5'90d7'41e2'7a03ull;
+
+/**
+ * Build the 187-application GPU population (106 compute, then 81
+ * graphics, in report order).
+ */
+std::vector<App> buildGpuSuite(std::uint64_t seed = defaultSuiteSeed);
+
+/** Build the 28-application CPU population (64-byte transactions). */
+std::vector<App> buildCpuSuite(std::uint64_t seed = defaultSuiteSeed);
+
+/**
+ * Materialize @p count transactions from @p app (advances the app's
+ * pattern state).
+ */
+std::vector<Transaction> generateTrace(App &app, std::size_t count);
+
+/** Transactions per app used by the reproduction benches. */
+constexpr std::size_t defaultTraceLength = 2048;
+
+} // namespace bxt
+
+#endif // BXT_WORKLOADS_APPS_H

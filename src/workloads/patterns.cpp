@@ -1,0 +1,753 @@
+#include "workloads/patterns.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/bitops.h"
+#include "common/error.h"
+
+namespace bxt {
+namespace {
+
+/** Convert a float to IEEE-754 binary16 bits (round-to-nearest-even). */
+std::uint16_t
+floatToHalf(float value)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &value, 4);
+    const std::uint32_t sign = (bits >> 16) & 0x8000u;
+    const std::int32_t exponent =
+        static_cast<std::int32_t>((bits >> 23) & 0xffu) - 127 + 15;
+    std::uint32_t mantissa = bits & 0x7fffffu;
+
+    if (exponent <= 0)
+        return static_cast<std::uint16_t>(sign); // Flush tiny values to 0.
+    if (exponent >= 31)
+        return static_cast<std::uint16_t>(sign | 0x7c00u); // Infinity.
+    // Round mantissa from 23 to 10 bits.
+    mantissa += 0x1000u;
+    if (mantissa & 0x800000u) {
+        mantissa = 0;
+        if (exponent + 1 >= 31)
+            return static_cast<std::uint16_t>(sign | 0x7c00u);
+        return static_cast<std::uint16_t>(
+            sign | (static_cast<std::uint32_t>(exponent + 1) << 10));
+    }
+    return static_cast<std::uint16_t>(
+        sign | (static_cast<std::uint32_t>(exponent) << 10) |
+        (mantissa >> 13));
+}
+
+/**
+ * Common random-walk machinery for the floating-point families.
+ *
+ * Real numeric data rarely carries full mantissa entropy: grid coordinates
+ * are multiples of a spacing, sensor data has limited precision, many
+ * values are small integers or constants. @p quant_bits therefore rounds
+ * every emitted value to that many significant mantissa bits (0 keeps full
+ * precision); the resulting zero low-order bits are a large part of why
+ * XOR encoding works as well as the paper reports.
+ */
+class FloatWalk
+{
+  public:
+    FloatWalk(double magnitude, double rel_step, std::uint64_t seed,
+              unsigned quant_bits = 0)
+        : magnitude_(magnitude), rel_step_(rel_step),
+          quant_bits_(quant_bits), rng_(seed)
+    {
+        value_ = magnitude_ * (0.5 + rng_.nextDouble());
+    }
+
+    double next()
+    {
+        value_ += magnitude_ * rel_step_ * rng_.nextGaussian();
+        // Occasionally jump to a new magnitude region (new array section).
+        if (rng_.nextBool(0.002))
+            value_ = magnitude_ * (0.5 + rng_.nextDouble()) *
+                     (rng_.nextBool(0.5) ? 1.0 : -1.0);
+        return quantize(value_);
+    }
+
+  private:
+    double quantize(double value) const
+    {
+        if (quant_bits_ == 0 || value == 0.0)
+            return value;
+        int exponent = 0;
+        const double mantissa = std::frexp(value, &exponent);
+        const double scale = std::ldexp(1.0, static_cast<int>(quant_bits_));
+        return std::ldexp(std::round(mantissa * scale) / scale, exponent);
+    }
+
+    double magnitude_;
+    double rel_step_;
+    unsigned quant_bits_;
+    double value_;
+    Rng rng_;
+};
+
+class SoaFloatPattern : public Pattern
+{
+  public:
+    SoaFloatPattern(double magnitude, double rel_step, std::uint64_t seed,
+                    unsigned quant_bits)
+        : walk_(magnitude, rel_step, seed, quant_bits)
+    {
+    }
+
+    std::string name() const override { return "soa-fp32"; }
+
+    void fill(Rng &, std::span<std::uint8_t> out) override
+    {
+        for (std::size_t off = 0; off + 4 <= out.size(); off += 4) {
+            const auto value = static_cast<float>(walk_.next());
+            std::memcpy(out.data() + off, &value, 4);
+        }
+    }
+
+  private:
+    FloatWalk walk_;
+};
+
+class SoaDoublePattern : public Pattern
+{
+  public:
+    SoaDoublePattern(double magnitude, double rel_step, std::uint64_t seed,
+                     unsigned quant_bits)
+        : walk_(magnitude, rel_step, seed, quant_bits)
+    {
+    }
+
+    std::string name() const override { return "soa-fp64"; }
+
+    void fill(Rng &, std::span<std::uint8_t> out) override
+    {
+        for (std::size_t off = 0; off + 8 <= out.size(); off += 8) {
+            const double value = walk_.next();
+            std::memcpy(out.data() + off, &value, 8);
+        }
+    }
+
+  private:
+    FloatWalk walk_;
+};
+
+class VecFloatPattern : public Pattern
+{
+  public:
+    VecFloatPattern(unsigned components, std::size_t elem_bytes,
+                    double rel_step, std::uint64_t seed,
+                    unsigned quant_bits)
+        : elem_bytes_(elem_bytes)
+    {
+        BXT_ASSERT(components >= 2 && components <= 4);
+        BXT_ASSERT(elem_bytes == 2 || elem_bytes == 4 || elem_bytes == 8);
+        Rng rng(seed);
+        walks_.reserve(components);
+        for (unsigned c = 0; c < components; ++c) {
+            // Each component gets its own magnitude (positions vs masses
+            // vs velocities), and roughly half are signed quantities.
+            const double magnitude =
+                std::pow(10.0, -1.0 + 4.0 * rng.nextDouble()) *
+                (rng.nextBool(0.5) ? 1.0 : -1.0);
+            walks_.emplace_back(magnitude, rel_step, rng.next64(),
+                                quant_bits);
+        }
+    }
+
+    std::string name() const override
+    {
+        return "vec" + std::to_string(walks_.size()) + "-fp" +
+               std::to_string(elem_bytes_ * 8);
+    }
+
+    void fill(Rng &, std::span<std::uint8_t> out) override
+    {
+        for (std::size_t off = 0; off + elem_bytes_ <= out.size();
+             off += elem_bytes_) {
+            const double value = walks_[component_].next();
+            component_ = (component_ + 1) % walks_.size();
+            if (elem_bytes_ == 2) {
+                const std::uint16_t h =
+                    floatToHalf(static_cast<float>(value));
+                std::memcpy(out.data() + off, &h, 2);
+            } else if (elem_bytes_ == 4) {
+                const auto v = static_cast<float>(value);
+                std::memcpy(out.data() + off, &v, 4);
+            } else {
+                std::memcpy(out.data() + off, &value, 8);
+            }
+        }
+    }
+
+  private:
+    std::size_t elem_bytes_;
+    std::vector<FloatWalk> walks_;
+    std::size_t component_ = 0;
+};
+
+class HalfFloatPattern : public Pattern
+{
+  public:
+    HalfFloatPattern(double magnitude, double rel_step, std::uint64_t seed)
+        : walk_(magnitude, rel_step, seed)
+    {
+    }
+
+    std::string name() const override { return "soa-fp16"; }
+
+    void fill(Rng &, std::span<std::uint8_t> out) override
+    {
+        for (std::size_t off = 0; off + 2 <= out.size(); off += 2) {
+            const std::uint16_t half =
+                floatToHalf(static_cast<float>(walk_.next()));
+            std::memcpy(out.data() + off, &half, 2);
+        }
+    }
+
+  private:
+    FloatWalk walk_;
+};
+
+class IntStridePattern : public Pattern
+{
+  public:
+    IntStridePattern(std::size_t elem_bytes, std::int64_t stride,
+                     unsigned noise_bits, std::uint64_t seed,
+                     unsigned value_bits)
+        : elem_bytes_(elem_bytes), stride_(stride), noise_bits_(noise_bits),
+          rng_(seed)
+    {
+        BXT_ASSERT(elem_bytes == 4 || elem_bytes == 8);
+        BXT_ASSERT(noise_bits <= 16);
+        if (value_bits == 0)
+            value_bits = elem_bytes == 4 ? 24 : 48;
+        BXT_ASSERT(value_bits <= elem_bytes * 8);
+        counter_ = rng_.next64() >> (64 - value_bits);
+    }
+
+    std::string name() const override
+    {
+        return "int" + std::to_string(elem_bytes_ * 8) + "-stride";
+    }
+
+    void fill(Rng &, std::span<std::uint8_t> out) override
+    {
+        for (std::size_t off = 0; off + elem_bytes_ <= out.size();
+             off += elem_bytes_) {
+            std::uint64_t value = counter_;
+            if (noise_bits_ > 0)
+                value ^= rng_.next64() & ((1ull << noise_bits_) - 1);
+            if (elem_bytes_ == 4) {
+                const auto v32 = static_cast<std::uint32_t>(value);
+                std::memcpy(out.data() + off, &v32, 4);
+            } else {
+                std::memcpy(out.data() + off, &value, 8);
+            }
+            counter_ = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(counter_) + stride_);
+        }
+    }
+
+  private:
+    std::size_t elem_bytes_;
+    std::int64_t stride_;
+    unsigned noise_bits_;
+    std::uint64_t counter_;
+    Rng rng_;
+};
+
+class PointerPattern : public Pattern
+{
+  public:
+    PointerPattern(std::uint64_t base, std::uint64_t region_bytes,
+                   std::uint64_t seed)
+        : base_(base), region_(region_bytes), rng_(seed)
+    {
+        BXT_ASSERT(region_bytes > 0);
+    }
+
+    std::string name() const override { return "pointer"; }
+
+    void fill(Rng &, std::span<std::uint8_t> out) override
+    {
+        for (std::size_t off = 0; off + 8 <= out.size(); off += 8) {
+            // Pointers are 8-byte aligned within the region.
+            const std::uint64_t value =
+                base_ + (rng_.nextBounded(region_ / 8) * 8);
+            std::memcpy(out.data() + off, &value, 8);
+        }
+    }
+
+  private:
+    std::uint64_t base_;
+    std::uint64_t region_;
+    Rng rng_;
+};
+
+class RandomPattern : public Pattern
+{
+  public:
+    explicit RandomPattern(std::uint64_t seed) : rng_(seed) {}
+
+    std::string name() const override { return "random"; }
+
+    void fill(Rng &, std::span<std::uint8_t> out) override
+    {
+        for (std::size_t off = 0; off + 8 <= out.size(); off += 8)
+            storeWord64(out.data() + off, rng_.next64());
+    }
+
+  private:
+    Rng rng_;
+};
+
+class ConstantElemPattern : public Pattern
+{
+  public:
+    ConstantElemPattern(std::size_t elem_bytes, double redraw,
+                        std::uint64_t seed)
+        : elem_bytes_(elem_bytes), redraw_(redraw), rng_(seed)
+    {
+        BXT_ASSERT(isPowerOfTwo(elem_bytes) && elem_bytes <= 8);
+        value_ = rng_.next64();
+    }
+
+    std::string name() const override { return "constant-elem"; }
+
+    void fill(Rng &, std::span<std::uint8_t> out) override
+    {
+        if (rng_.nextBool(redraw_))
+            value_ = rng_.next64();
+        for (std::size_t off = 0; off + elem_bytes_ <= out.size();
+             off += elem_bytes_) {
+            std::memcpy(out.data() + off, &value_, elem_bytes_);
+        }
+    }
+
+  private:
+    std::size_t elem_bytes_;
+    double redraw_;
+    std::uint64_t value_;
+    Rng rng_;
+};
+
+class RgbaPixelPattern : public Pattern
+{
+  public:
+    RgbaPixelPattern(unsigned channel_step, std::uint8_t alpha,
+                     std::uint64_t seed)
+        : step_(channel_step), alpha_(alpha), rng_(seed)
+    {
+        for (auto &c : channels_)
+            c = static_cast<std::uint8_t>(rng_.next64());
+    }
+
+    std::string name() const override { return "rgba8"; }
+
+    void fill(Rng &, std::span<std::uint8_t> out) override
+    {
+        for (std::size_t off = 0; off + 4 <= out.size(); off += 4) {
+            // Rendered content has edges: occasionally the pixel run hits
+            // a different surface and all channels jump.
+            if (rng_.nextBool(0.08)) {
+                for (auto &c : channels_)
+                    c = static_cast<std::uint8_t>(rng_.next64());
+            }
+            for (int c = 0; c < 3; ++c) {
+                const auto delta = static_cast<int>(
+                    rng_.nextBounded(2 * step_ + 1)) - static_cast<int>(step_);
+                channels_[static_cast<std::size_t>(c)] =
+                    static_cast<std::uint8_t>(std::clamp(
+                        static_cast<int>(
+                            channels_[static_cast<std::size_t>(c)]) + delta,
+                        0, 255));
+                out[off + static_cast<std::size_t>(c)] =
+                    channels_[static_cast<std::size_t>(c)];
+            }
+            out[off + 3] = alpha_;
+        }
+    }
+
+  private:
+    unsigned step_;
+    std::uint8_t alpha_;
+    std::uint8_t channels_[3];
+    Rng rng_;
+};
+
+class DepthBufferPattern : public Pattern
+{
+  public:
+    DepthBufferPattern(double depth, double spread, std::uint64_t seed)
+        : depth_(depth), spread_(spread), rng_(seed)
+    {
+    }
+
+    std::string name() const override { return "zbuffer"; }
+
+    void fill(Rng &, std::span<std::uint8_t> out) override
+    {
+        // The surface drifts slowly; fragments within a transaction sit on
+        // nearly the same plane, except across triangle silhouettes where
+        // depth jumps to another surface.
+        depth_ = std::clamp(depth_ + 0.001 * rng_.nextGaussian(), 0.05, 0.95);
+        for (std::size_t off = 0; off + 4 <= out.size(); off += 4) {
+            if (rng_.nextBool(0.06))
+                depth_ = 0.05 + 0.9 * rng_.nextDouble();
+            const auto z = static_cast<float>(
+                std::clamp(depth_ + spread_ * rng_.nextGaussian(), 0.0, 1.0));
+            std::memcpy(out.data() + off, &z, 4);
+        }
+    }
+
+  private:
+    double depth_;
+    double spread_;
+    Rng rng_;
+};
+
+class TextPattern : public Pattern
+{
+  public:
+    explicit TextPattern(std::uint64_t seed) : rng_(seed) {}
+
+    std::string name() const override { return "text"; }
+
+    void fill(Rng &, std::span<std::uint8_t> out) override
+    {
+        static const char *const lexicon[] = {
+            "the",    "memory",  "system",  "data",   "transfer", "energy",
+            "encode", "channel", "dram",    "cache",  "value",    "index",
+            "packet", "stream",  "kernel",  "vector", "matrix",   "string",
+        };
+        std::size_t pos = 0;
+        while (pos < out.size()) {
+            const char *word =
+                lexicon[rng_.nextBounded(std::size(lexicon))];
+            for (const char *c = word; *c != '\0' && pos < out.size(); ++c)
+                out[pos++] = static_cast<std::uint8_t>(*c);
+            if (pos < out.size())
+                out[pos++] = ' ';
+        }
+    }
+
+  private:
+    Rng rng_;
+};
+
+class EnumBytePattern : public Pattern
+{
+  public:
+    EnumBytePattern(unsigned levels, std::uint64_t seed)
+        : levels_(levels), rng_(seed)
+    {
+        BXT_ASSERT(levels >= 2 && levels <= 256);
+    }
+
+    std::string name() const override { return "enum-bytes"; }
+
+    void fill(Rng &, std::span<std::uint8_t> out) override
+    {
+        for (auto &byte : out)
+            byte = static_cast<std::uint8_t>(rng_.nextBounded(levels_));
+    }
+
+  private:
+    unsigned levels_;
+    Rng rng_;
+};
+
+class AosRecordPattern : public Pattern
+{
+  public:
+    AosRecordPattern(std::size_t record_bytes, std::uint64_t seed)
+        : record_bytes_(record_bytes), rng_(seed),
+          float_walk_(1.0e3, 0.01, seed ^ 0x5bd1e995u)
+    {
+        BXT_ASSERT(record_bytes >= 16 && record_bytes <= 64);
+        id_ = rng_.next64() & 0xffffffu;
+        pointer_base_ = 0x00007f2000000000ull +
+                        (rng_.next64() & 0x3fffff000ull);
+    }
+
+    std::string name() const override { return "aos-record"; }
+
+    void fill(Rng &, std::span<std::uint8_t> out) override
+    {
+        // Records stream continuously across transactions; phase_ remembers
+        // where the last transaction stopped inside a record.
+        for (std::size_t pos = 0; pos < out.size(); ++pos) {
+            if (phase_ == 0)
+                regenerateRecord();
+            out[pos] = record_[phase_];
+            phase_ = (phase_ + 1) % record_bytes_;
+        }
+    }
+
+  private:
+    void regenerateRecord()
+    {
+        // Layout: u32 id | f32 value | u64 pointer | remaining doubles.
+        const auto id32 = static_cast<std::uint32_t>(id_++);
+        std::memcpy(record_, &id32, 4);
+        const auto value = static_cast<float>(float_walk_.next());
+        std::memcpy(record_ + 4, &value, 4);
+        const std::uint64_t ptr =
+            pointer_base_ + (rng_.nextBounded(1 << 20) * 8);
+        std::memcpy(record_ + 8, &ptr, 8);
+        for (std::size_t off = 16; off + 8 <= record_bytes_; off += 8) {
+            const double d = float_walk_.next();
+            std::memcpy(record_ + off, &d, 8);
+        }
+        for (std::size_t off = record_bytes_ & ~std::size_t{7};
+             off < record_bytes_; ++off) {
+            record_[off] = static_cast<std::uint8_t>(rng_.next64());
+        }
+    }
+
+    std::size_t record_bytes_;
+    Rng rng_;
+    FloatWalk float_walk_;
+    std::uint64_t id_;
+    std::uint64_t pointer_base_;
+    std::uint8_t record_[64] = {};
+    std::size_t phase_ = 0;
+};
+
+class ZeroMixedPattern : public Pattern
+{
+  public:
+    ZeroMixedPattern(PatternPtr inner, std::size_t elem_bytes,
+                     double zero_prob, std::uint64_t seed)
+        : inner_(std::move(inner)), elem_bytes_(elem_bytes),
+          zero_prob_(zero_prob), rng_(seed)
+    {
+        BXT_ASSERT(elem_bytes >= 2 && isPowerOfTwo(elem_bytes));
+    }
+
+    std::string name() const override
+    {
+        return inner_->name() + "+zeros";
+    }
+
+    void fill(Rng &rng, std::span<std::uint8_t> out) override
+    {
+        inner_->fill(rng, out);
+        for (std::size_t off = 0; off + elem_bytes_ <= out.size();
+             off += elem_bytes_) {
+            if (rng_.nextBool(zero_prob_))
+                std::memset(out.data() + off, 0, elem_bytes_);
+        }
+    }
+
+  private:
+    PatternPtr inner_;
+    std::size_t elem_bytes_;
+    double zero_prob_;
+    Rng rng_;
+};
+
+class ZeroBurstPattern : public Pattern
+{
+  public:
+    ZeroBurstPattern(PatternPtr inner, double burst_prob, unsigned burst_len,
+                     std::uint64_t seed)
+        : inner_(std::move(inner)), burst_prob_(burst_prob),
+          burst_len_(burst_len), rng_(seed)
+    {
+    }
+
+    std::string name() const override
+    {
+        return inner_->name() + "+zero-bursts";
+    }
+
+    void fill(Rng &rng, std::span<std::uint8_t> out) override
+    {
+        if (remaining_ == 0 && rng_.nextBool(burst_prob_))
+            remaining_ = burst_len_;
+        if (remaining_ > 0) {
+            --remaining_;
+            std::memset(out.data(), 0, out.size());
+            return;
+        }
+        inner_->fill(rng, out);
+    }
+
+  private:
+    PatternPtr inner_;
+    double burst_prob_;
+    unsigned burst_len_;
+    unsigned remaining_ = 0;
+    Rng rng_;
+};
+
+class MixPattern : public Pattern
+{
+  public:
+    MixPattern(std::vector<std::pair<PatternPtr, double>> members,
+               double stickiness, std::uint64_t seed)
+        : members_(std::move(members)), stickiness_(stickiness), rng_(seed)
+    {
+        BXT_ASSERT(!members_.empty());
+        double total = 0.0;
+        for (const auto &[pattern, weight] : members_) {
+            BXT_ASSERT(pattern != nullptr && weight > 0.0);
+            total += weight;
+        }
+        cumulative_.reserve(members_.size());
+        double acc = 0.0;
+        for (const auto &[pattern, weight] : members_) {
+            acc += weight / total;
+            cumulative_.push_back(acc);
+        }
+        pickMember();
+    }
+
+    std::string name() const override { return "mix"; }
+
+    void fill(Rng &rng, std::span<std::uint8_t> out) override
+    {
+        if (!rng_.nextBool(stickiness_))
+            pickMember();
+        members_[current_].first->fill(rng, out);
+    }
+
+  private:
+    void pickMember()
+    {
+        const double draw = rng_.nextDouble();
+        current_ = 0;
+        while (current_ + 1 < cumulative_.size() &&
+               draw > cumulative_[current_]) {
+            ++current_;
+        }
+    }
+
+    std::vector<std::pair<PatternPtr, double>> members_;
+    std::vector<double> cumulative_;
+    double stickiness_;
+    std::size_t current_ = 0;
+    Rng rng_;
+};
+
+} // namespace
+
+PatternPtr
+makeSoaFloatPattern(double magnitude, double rel_step, std::uint64_t seed,
+                    unsigned quant_bits)
+{
+    return std::make_unique<SoaFloatPattern>(magnitude, rel_step, seed,
+                                             quant_bits);
+}
+
+PatternPtr
+makeSoaDoublePattern(double magnitude, double rel_step, std::uint64_t seed,
+                     unsigned quant_bits)
+{
+    return std::make_unique<SoaDoublePattern>(magnitude, rel_step, seed,
+                                              quant_bits);
+}
+
+PatternPtr
+makeVecFloatPattern(unsigned components, std::size_t elem_bytes,
+                    double rel_step, std::uint64_t seed,
+                    unsigned quant_bits)
+{
+    return std::make_unique<VecFloatPattern>(components, elem_bytes,
+                                             rel_step, seed, quant_bits);
+}
+
+PatternPtr
+makeHalfFloatPattern(double magnitude, double rel_step, std::uint64_t seed)
+{
+    return std::make_unique<HalfFloatPattern>(magnitude, rel_step, seed);
+}
+
+PatternPtr
+makeIntStridePattern(std::size_t elem_bytes, std::int64_t stride,
+                     unsigned noise_bits, std::uint64_t seed,
+                     unsigned value_bits)
+{
+    return std::make_unique<IntStridePattern>(elem_bytes, stride, noise_bits,
+                                              seed, value_bits);
+}
+
+PatternPtr
+makePointerPattern(std::uint64_t base, std::uint64_t region_bytes,
+                   std::uint64_t seed)
+{
+    return std::make_unique<PointerPattern>(base, region_bytes, seed);
+}
+
+PatternPtr
+makeRandomPattern(std::uint64_t seed)
+{
+    return std::make_unique<RandomPattern>(seed);
+}
+
+PatternPtr
+makeConstantElemPattern(std::size_t elem_bytes, double redraw,
+                        std::uint64_t seed)
+{
+    return std::make_unique<ConstantElemPattern>(elem_bytes, redraw, seed);
+}
+
+PatternPtr
+makeRgbaPixelPattern(unsigned channel_step, std::uint8_t alpha,
+                     std::uint64_t seed)
+{
+    return std::make_unique<RgbaPixelPattern>(channel_step, alpha, seed);
+}
+
+PatternPtr
+makeDepthBufferPattern(double depth, double spread, std::uint64_t seed)
+{
+    return std::make_unique<DepthBufferPattern>(depth, spread, seed);
+}
+
+PatternPtr
+makeTextPattern(std::uint64_t seed)
+{
+    return std::make_unique<TextPattern>(seed);
+}
+
+PatternPtr
+makeEnumBytePattern(unsigned levels, std::uint64_t seed)
+{
+    return std::make_unique<EnumBytePattern>(levels, seed);
+}
+
+PatternPtr
+makeAosRecordPattern(std::size_t record_bytes, std::uint64_t seed)
+{
+    return std::make_unique<AosRecordPattern>(record_bytes, seed);
+}
+
+PatternPtr
+makeZeroMixedPattern(PatternPtr inner, std::size_t elem_bytes,
+                     double zero_prob, std::uint64_t seed)
+{
+    return std::make_unique<ZeroMixedPattern>(std::move(inner), elem_bytes,
+                                              zero_prob, seed);
+}
+
+PatternPtr
+makeZeroBurstPattern(PatternPtr inner, double burst_prob, unsigned burst_len,
+                     std::uint64_t seed)
+{
+    return std::make_unique<ZeroBurstPattern>(std::move(inner), burst_prob,
+                                              burst_len, seed);
+}
+
+PatternPtr
+makeMixPattern(std::vector<std::pair<PatternPtr, double>> members,
+               double stickiness, std::uint64_t seed)
+{
+    return std::make_unique<MixPattern>(std::move(members), stickiness, seed);
+}
+
+} // namespace bxt

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Data-pattern generators: the value-level families that GPU and CPU
+ * memory traffic is composed of in this reproduction.
+ *
+ * The encoding mechanisms under study are sensitive only to the *values*
+ * inside each DRAM transaction — the element granularity of similarity
+ * (fp16/fp32/fp64/int/pointer), the fraction of all-zero elements, and
+ * cross-transaction drift. Each Pattern below models one such family with
+ * tunable parameters; workload "applications" (apps.h) are weighted
+ * mixtures of patterns with per-app parameters drawn from documented
+ * distributions (DESIGN.md §2).
+ *
+ * Patterns are stateful streams: successive transactions continue the same
+ * walks/counters, which matters for toggle statistics and for the
+ * BD-Encoding baseline's cross-transaction repository.
+ */
+
+#ifndef BXT_WORKLOADS_PATTERNS_H
+#define BXT_WORKLOADS_PATTERNS_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace bxt {
+
+/** A stream of transaction payloads from one data family. */
+class Pattern
+{
+  public:
+    virtual ~Pattern() = default;
+
+    /** Family name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Produce the next transaction's payload into @p out. */
+    virtual void fill(Rng &rng, std::span<std::uint8_t> out) = 0;
+};
+
+using PatternPtr = std::unique_ptr<Pattern>;
+
+/**
+ * Structure-of-arrays float data (fp32): a random walk of magnitude
+ * @p magnitude whose per-element relative step is @p rel_step. Small steps
+ * keep sign/exponent/upper-mantissa bytes identical between adjacent
+ * elements — the paper's transaction0 (Figure 3) shape.
+ */
+PatternPtr makeSoaFloatPattern(double magnitude, double rel_step,
+                               std::uint64_t seed,
+                               unsigned quant_bits = 0);
+
+/** Structure-of-arrays double data (fp64): 8-byte-granular similarity. */
+PatternPtr makeSoaDoublePattern(double magnitude, double rel_step,
+                                std::uint64_t seed,
+                                unsigned quant_bits = 0);
+
+/**
+ * Interleaved vector-component float data: @p components independent walks
+ * (x, y, z, ... of float2/float3/float4 records) emitted cyclically, each
+ * with its own magnitude. The record period is components · elem_bytes, so
+ * similarity appears at 8/12/16-byte granularity — the data that makes
+ * base-size selection matter (§IV-B) and the main source of baseline
+ * toggle activity (components differ beat to beat until XOR encoding
+ * cancels the repeating structure).
+ *
+ * @param elem_bytes 2 (fp16), 4 (fp32), or 8 (fp64) per component.
+ */
+PatternPtr makeVecFloatPattern(unsigned components, std::size_t elem_bytes,
+                               double rel_step, std::uint64_t seed,
+                               unsigned quant_bits = 0);
+
+/** Structure-of-arrays half-float data (fp16): 2-byte-granular similarity. */
+PatternPtr makeHalfFloatPattern(double magnitude, double rel_step,
+                                std::uint64_t seed);
+
+/**
+ * Integer array data: a counter advancing by @p stride per element with
+ * @p noise_bits of low-order randomness; @p elem_bytes is 4 or 8.
+ * Models index/key arrays (Figure 7a's 3901 3903 3905 ... stream).
+ * @p value_bits bounds the counter's magnitude (0 picks a default of
+ * 24/48 bits); small-valued arrays (<2^16) leave upper halfwords zero,
+ * the data that favours small bases with ZDR.
+ */
+PatternPtr makeIntStridePattern(std::size_t elem_bytes, std::int64_t stride,
+                                unsigned noise_bits, std::uint64_t seed,
+                                unsigned value_bits = 0);
+
+/**
+ * Pointer array data: 64-bit addresses uniform in a @p region_bytes sized
+ * heap based at @p base — upper bytes identical, lower bytes noisy.
+ */
+PatternPtr makePointerPattern(std::uint64_t base, std::uint64_t region_bytes,
+                              std::uint64_t seed);
+
+/** Incompressible data (encrypted/compressed payloads, RNG state). */
+PatternPtr makeRandomPattern(std::uint64_t seed);
+
+/**
+ * A repeated @p elem_bytes constant element re-drawn with probability
+ * @p redraw per transaction (lookup tables, broadcast values).
+ */
+PatternPtr makeConstantElemPattern(std::size_t elem_bytes, double redraw,
+                                   std::uint64_t seed);
+
+/**
+ * RGBA8 framebuffer data: channel values take smooth spatial walks with
+ * step @p channel_step; alpha is a constant @p alpha (commonly 0xFF).
+ */
+PatternPtr makeRgbaPixelPattern(unsigned channel_step, std::uint8_t alpha,
+                                std::uint64_t seed);
+
+/**
+ * Depth-buffer data: fp32 depths clustered around a slowly moving surface
+ * at @p depth with spread @p spread — highly similar upper bytes.
+ */
+PatternPtr makeDepthBufferPattern(double depth, double spread,
+                                  std::uint64_t seed);
+
+/** ASCII text data (CPU workloads): words from a fixed lexicon. */
+PatternPtr makeTextPattern(std::uint64_t seed);
+
+/**
+ * Enum/flag byte arrays: each byte drawn i.i.d. from {0..levels-1}
+ * (state machines, tag arrays, boolean tables). Such skewed, low-density
+ * data is the class that *regresses* under XOR encoding: the bitwise
+ * difference of two independent low-weight values carries more `1`s than
+ * the values themselves — a big reason CPU workloads benefit less
+ * (Figure 18).
+ */
+PatternPtr makeEnumBytePattern(unsigned levels, std::uint64_t seed);
+
+/**
+ * Array-of-structures data (CPU): a repeating record of mixed field types
+ * with stride @p record_bytes (not necessarily transaction aligned), which
+ * yields little *intra*-transaction similarity — the reason Figure 18's
+ * CPU reductions are smaller.
+ */
+PatternPtr makeAosRecordPattern(std::size_t record_bytes, std::uint64_t seed);
+
+/**
+ * Wrap @p inner, replacing each aligned @p elem_bytes element with zeros
+ * with probability @p zero_prob — the interspersed zero elements that
+ * motivate Zero Data Remapping (§IV-A).
+ */
+PatternPtr makeZeroMixedPattern(PatternPtr inner, std::size_t elem_bytes,
+                                double zero_prob, std::uint64_t seed);
+
+/**
+ * Wrap @p inner, emitting all-zero transactions in bursts: a burst starts
+ * with probability @p burst_prob and lasts @p burst_len transactions
+ * (freshly zeroed allocations, cleared buffers).
+ */
+PatternPtr makeZeroBurstPattern(PatternPtr inner, double burst_prob,
+                                unsigned burst_len, std::uint64_t seed);
+
+/**
+ * Weighted mixture with phase stickiness: each transaction is drawn from
+ * one member pattern; the member switches with probability
+ * 1 - @p stickiness (workloads execute in phases, so consecutive
+ * transactions usually come from the same data structure).
+ */
+PatternPtr makeMixPattern(std::vector<std::pair<PatternPtr, double>> members,
+                          double stickiness, std::uint64_t seed);
+
+} // namespace bxt
+
+#endif // BXT_WORKLOADS_PATTERNS_H

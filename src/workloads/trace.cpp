@@ -1,0 +1,121 @@
+#include "workloads/trace.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/error.h"
+
+namespace bxt {
+namespace {
+
+constexpr char magic[4] = {'B', 'X', 'T', 'R'};
+constexpr std::uint32_t version = 1;
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const
+    {
+        if (f != nullptr)
+            std::fclose(f);
+    }
+};
+
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool
+writeValue(std::FILE *f, const T &value)
+{
+    return std::fwrite(&value, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool
+readValue(std::FILE *f, T &value)
+{
+    return std::fread(&value, sizeof(T), 1, f) == 1;
+}
+
+} // namespace
+
+bool
+saveTrace(const Trace &trace, const std::string &path)
+{
+    const std::size_t tx_bytes = trace.txBytes();
+    for (const Transaction &tx : trace.txs)
+        BXT_ASSERT(tx.size() == tx_bytes);
+
+    FileHandle f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+
+    if (std::fwrite(magic, sizeof(magic), 1, f.get()) != 1 ||
+        !writeValue(f.get(), version) ||
+        !writeValue(f.get(), static_cast<std::uint32_t>(tx_bytes)) ||
+        !writeValue(f.get(), static_cast<std::uint64_t>(trace.txs.size()))) {
+        return false;
+    }
+    const auto name_len = static_cast<std::uint32_t>(trace.name.size());
+    if (!writeValue(f.get(), name_len))
+        return false;
+    if (name_len > 0 &&
+        std::fwrite(trace.name.data(), 1, name_len, f.get()) != name_len) {
+        return false;
+    }
+    for (const Transaction &tx : trace.txs) {
+        if (std::fwrite(tx.data(), 1, tx.size(), f.get()) != tx.size())
+            return false;
+    }
+    return true;
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    Trace trace;
+    FileHandle f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return trace;
+
+    char file_magic[4];
+    std::uint32_t file_version = 0;
+    std::uint32_t tx_bytes = 0;
+    std::uint64_t count = 0;
+    std::uint32_t name_len = 0;
+    if (std::fread(file_magic, sizeof(file_magic), 1, f.get()) != 1 ||
+        std::memcmp(file_magic, magic, sizeof(magic)) != 0) {
+        fatal("loadTrace: bad magic in " + path);
+    }
+    if (!readValue(f.get(), file_version) || file_version != version)
+        fatal("loadTrace: unsupported version in " + path);
+    if (!readValue(f.get(), tx_bytes) || !readValue(f.get(), count) ||
+        !readValue(f.get(), name_len)) {
+        fatal("loadTrace: truncated header in " + path);
+    }
+    // An empty trace legitimately records size 0; otherwise the size must
+    // be a valid Transaction size.
+    if (count > 0 && (tx_bytes < Transaction::minBytes ||
+                      tx_bytes > Transaction::maxBytes)) {
+        fatal("loadTrace: bad transaction size in " + path);
+    }
+
+    trace.name.resize(name_len);
+    if (name_len > 0 &&
+        std::fread(trace.name.data(), 1, name_len, f.get()) != name_len) {
+        fatal("loadTrace: truncated name in " + path);
+    }
+
+    trace.txs.reserve(count);
+    std::uint8_t buffer[Transaction::maxBytes];
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (std::fread(buffer, 1, tx_bytes, f.get()) != tx_bytes)
+            fatal("loadTrace: truncated payload in " + path);
+        trace.txs.emplace_back(
+            std::span<const std::uint8_t>(buffer, tx_bytes));
+    }
+    return trace;
+}
+
+} // namespace bxt

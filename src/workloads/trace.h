@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Binary transaction-trace container and file format (.bxtrace), so traces
+ * can be captured once and re-analyzed (the trace_tool example) or fed in
+ * from an external simulator such as GPGPU-Sim in place of the synthetic
+ * generators.
+ *
+ * File layout (little-endian):
+ *   magic "BXTR" | u32 version | u32 txBytes | u64 count |
+ *   u32 nameLen | name bytes | payload bytes (count * txBytes)
+ */
+
+#ifndef BXT_WORKLOADS_TRACE_H
+#define BXT_WORKLOADS_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "core/transaction.h"
+
+namespace bxt {
+
+/** An in-memory transaction trace with its source name. */
+struct Trace
+{
+    std::string name;                  ///< Originating application.
+    std::vector<Transaction> txs;      ///< Transactions in bus order.
+
+    /** Transaction size (0 if the trace is empty). */
+    std::size_t txBytes() const
+    {
+        return txs.empty() ? 0 : txs.front().size();
+    }
+};
+
+/**
+ * Write @p trace to @p path. Returns false (and leaves no partial file
+ * guarantee) on I/O failure. All transactions must share one size.
+ */
+bool saveTrace(const Trace &trace, const std::string &path);
+
+/**
+ * Read a trace from @p path; calls fatal() on malformed content, returns
+ * an empty-name trace with no transactions if the file cannot be opened.
+ */
+Trace loadTrace(const std::string &path);
+
+} // namespace bxt
+
+#endif // BXT_WORKLOADS_TRACE_H

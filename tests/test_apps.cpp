@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the workload population builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workloads/apps.h"
+
+namespace bxt {
+namespace {
+
+TEST(Apps, GpuSuiteHas187Apps)
+{
+    std::vector<App> suite = buildGpuSuite();
+    ASSERT_EQ(suite.size(), 187u);
+    std::size_t compute = 0;
+    std::size_t graphics = 0;
+    for (const App &app : suite) {
+        if (app.category == AppCategory::Compute)
+            ++compute;
+        else if (app.category == AppCategory::Graphics)
+            ++graphics;
+        EXPECT_EQ(app.txBytes, 32u);
+        EXPECT_FALSE(app.streams.empty());
+    }
+    EXPECT_EQ(compute, 106u);
+    EXPECT_EQ(graphics, 81u);
+}
+
+TEST(Apps, CpuSuiteHas28Apps)
+{
+    std::vector<App> suite = buildCpuSuite();
+    ASSERT_EQ(suite.size(), 28u);
+    for (const App &app : suite) {
+        EXPECT_EQ(app.category, AppCategory::Cpu);
+        EXPECT_EQ(app.txBytes, 64u);
+    }
+}
+
+TEST(Apps, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (App &app : buildGpuSuite())
+        EXPECT_TRUE(names.insert(app.name).second) << app.name;
+    for (App &app : buildCpuSuite())
+        EXPECT_TRUE(names.insert(app.name).second) << app.name;
+}
+
+TEST(Apps, KnownBenchmarksPresent)
+{
+    std::set<std::string> names;
+    for (App &app : buildGpuSuite())
+        names.insert(app.name);
+    for (const char *expected :
+         {"rodinia-hotspot", "rodinia-b+tree", "lonestar-bfs", "comd",
+          "miniamr", "nekbone", "dxgame-01", "wstation-01"}) {
+        EXPECT_TRUE(names.count(expected)) << expected;
+    }
+}
+
+TEST(Apps, EveryFamilyRepresented)
+{
+    std::map<std::string, std::size_t> families;
+    for (App &app : buildGpuSuite())
+        ++families[app.family];
+    for (const char *family :
+         {"fp32-grid", "fp32-particle", "fp64-hpc", "int-graph", "fp16-ml",
+          "sparse-zero", "incompressible", "framebuffer", "zbuffer",
+          "texture", "vertex", "hdr-fp16"}) {
+        EXPECT_GT(families[family], 0u) << family;
+    }
+}
+
+TEST(Apps, TraceIsDeterministicPerApp)
+{
+    std::vector<App> a = buildGpuSuite();
+    std::vector<App> b = buildGpuSuite();
+    const auto trace_a = generateTrace(a[0], 64);
+    const auto trace_b = generateTrace(b[0], 64);
+    ASSERT_EQ(trace_a.size(), trace_b.size());
+    for (std::size_t i = 0; i < trace_a.size(); ++i)
+        EXPECT_EQ(trace_a[i], trace_b[i]);
+}
+
+TEST(Apps, DifferentSuiteSeedsChangeData)
+{
+    std::vector<App> a = buildGpuSuite(1);
+    std::vector<App> b = buildGpuSuite(2);
+    const auto trace_a = generateTrace(a[0], 32);
+    const auto trace_b = generateTrace(b[0], 32);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < trace_a.size(); ++i)
+        any_diff = any_diff || !(trace_a[i] == trace_b[i]);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Apps, TraceLengthHonoured)
+{
+    std::vector<App> suite = buildCpuSuite();
+    const auto trace = generateTrace(suite[0], 100);
+    ASSERT_EQ(trace.size(), 100u);
+    for (const Transaction &tx : trace)
+        EXPECT_EQ(tx.size(), 64u);
+}
+
+TEST(Apps, CategoryNames)
+{
+    EXPECT_EQ(toString(AppCategory::Compute), "compute");
+    EXPECT_EQ(toString(AppCategory::Graphics), "graphics");
+    EXPECT_EQ(toString(AppCategory::Cpu), "cpu");
+}
+
+TEST(Apps, TracesAreNotDegenerate)
+{
+    // Every app must produce data with some ones (no all-zero traces,
+    // which would make normalization meaningless).
+    std::vector<App> suite = buildGpuSuite();
+    for (App &app : suite) {
+        const auto trace = generateTrace(app, 32);
+        std::size_t ones = 0;
+        for (const Transaction &tx : trace)
+            ones += tx.ones();
+        EXPECT_GT(ones, 0u) << app.name;
+    }
+}
+
+} // namespace
+} // namespace bxt

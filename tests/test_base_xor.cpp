@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit and property tests for N-byte Base+XOR Transfer, including the
+ * paper's worked examples (Figures 4, 5, and 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "core/base_xor.h"
+
+namespace bxt {
+namespace {
+
+TEST(BaseXor, PaperFigure4Encoding)
+{
+    // 16-byte transaction, 4-byte base, no ZDR needed (no zero elements):
+    // 390c9bfb | 390c90f9 | 390c88f8 | 390c88f9
+    // encodes to
+    // 390c9bfb | 00000b02 | 00001801 | 00000001, 59 -> 24 ones.
+    Transaction tx = Transaction::fromWords32(
+        {0x390c9bfb, 0x390c90f9, 0x390c88f8, 0x390c88f9});
+    BaseXorCodec codec(4, /*zdr=*/false);
+    const Encoded enc = codec.encode(tx);
+
+    EXPECT_EQ(enc.payload.word32(0), 0x390c9bfbu);
+    EXPECT_EQ(enc.payload.word32(4), 0x00000b02u);
+    EXPECT_EQ(enc.payload.word32(8), 0x00001801u);
+    EXPECT_EQ(enc.payload.word32(12), 0x00000001u);
+    EXPECT_EQ(tx.ones(), 59u);
+    // The paper's figure counts 24 ones; its printed element1 XOR (0802)
+    // is inconsistent with its printed inputs (9bfb ^ 90f9 = 0b02), which
+    // costs two extra ones. With the printed inputs the correct count is
+    // 26 and the shape of the claim (59 -> ~24) holds.
+    EXPECT_EQ(enc.ones(), 26u);
+    EXPECT_EQ(codec.decode(enc), tx);
+}
+
+TEST(BaseXor, PaperFigure5aZeroDataWithoutZdr)
+{
+    // 400ea95b | 00000000 | 00000000 | 400ea95b: plain XOR copies the
+    // non-zero value over the zero elements, 26 -> 39 ones.
+    Transaction tx = Transaction::fromWords32(
+        {0x400ea95b, 0x00000000, 0x00000000, 0x400ea95b});
+    BaseXorCodec codec(4, /*zdr=*/false);
+    const Encoded enc = codec.encode(tx);
+    EXPECT_EQ(tx.ones(), 26u);
+    EXPECT_EQ(enc.ones(), 39u);
+    EXPECT_EQ(codec.decode(enc), tx);
+}
+
+TEST(BaseXor, PaperFigure5cZeroDataWithZdr)
+{
+    // Same transaction with ZDR: zero elements map to the low-weight
+    // constant, 26 -> 28 ones.
+    Transaction tx = Transaction::fromWords32(
+        {0x400ea95b, 0x00000000, 0x00000000, 0x400ea95b});
+    BaseXorCodec codec(4, /*zdr=*/true);
+    const Encoded enc = codec.encode(tx);
+    EXPECT_EQ(enc.payload.word32(0), 0x400ea95bu);
+    EXPECT_EQ(enc.payload.word32(4), 0x40000000u);
+    EXPECT_EQ(enc.payload.word32(8), 0x40000000u);
+    EXPECT_EQ(enc.payload.word32(12), 0x400ea95bu);
+    EXPECT_EQ(enc.ones(), 28u);
+    EXPECT_EQ(codec.decode(enc), tx);
+}
+
+TEST(BaseXor, PaperFigure6aSmallBaseMissesSimilarity)
+{
+    // Two similar 8-byte elements, 4-byte base: no zeros appear in the
+    // XORed elements (the similarity is at 8-byte granularity).
+    Transaction tx = Transaction::fromWords64(
+        {0x400ea15a5cf1bc00ull, 0x400ea15a5cf1bc04ull});
+    BaseXorCodec small(4, /*zdr=*/false);
+    const Encoded enc4 = small.encode(tx);
+    // element1 = upper half of the first double ^ lower half: garbage.
+    EXPECT_NE(enc4.payload.word32(4), 0u);
+    EXPECT_NE(enc4.payload.word32(8), 0u);
+    EXPECT_GT(enc4.ones(), tx.ones()); // It actively hurts here.
+    EXPECT_EQ(small.decode(enc4), tx);
+}
+
+TEST(BaseXor, PaperFigure6bMatchedBaseFindsSimilarity)
+{
+    Transaction tx = Transaction::fromWords64(
+        {0x400ea15a5cf1bc00ull, 0x400ea15a5cf1bc04ull});
+    BaseXorCodec matched(8, /*zdr=*/false);
+    const Encoded enc8 = matched.encode(tx);
+    EXPECT_EQ(enc8.payload.word64(0), 0x400ea15a5cf1bc00ull);
+    EXPECT_EQ(enc8.payload.word64(8), 0x0000000000000004ull);
+    EXPECT_EQ(matched.decode(enc8), tx);
+}
+
+TEST(BaseXor, IdenticalElementsEncodeToZero)
+{
+    Transaction tx = Transaction::fromWords32(
+        {0xdeadbeef, 0xdeadbeef, 0xdeadbeef, 0xdeadbeef,
+         0xdeadbeef, 0xdeadbeef, 0xdeadbeef, 0xdeadbeef});
+    BaseXorCodec codec(4, false);
+    const Encoded enc = codec.encode(tx);
+    for (std::size_t off = 4; off < 32; off += 4)
+        EXPECT_EQ(enc.payload.word32(off), 0u);
+}
+
+TEST(BaseXor, FixedBaseUsesElementZero)
+{
+    Transaction tx = Transaction::fromWords32(
+        {0x000000ff, 0x000000f0, 0x0000000f, 0x000000ff});
+    BaseXorCodec fixed(4, /*zdr=*/false, /*adjacent_base=*/false);
+    const Encoded enc = fixed.encode(tx);
+    EXPECT_EQ(enc.payload.word32(4), 0x0000000fu);  // f0 ^ ff
+    EXPECT_EQ(enc.payload.word32(8), 0x000000f0u);  // 0f ^ ff
+    EXPECT_EQ(enc.payload.word32(12), 0x00000000u); // ff ^ ff
+    EXPECT_EQ(fixed.decode(enc), tx);
+}
+
+TEST(BaseXor, AdjacentBaseUsesOriginalNeighbour)
+{
+    // Adjacent-base must XOR against the neighbour's *original* value,
+    // not its encoded value.
+    Transaction tx = Transaction::fromWords32(
+        {0x00000001, 0x00000003, 0x00000007, 0x0000000f});
+    BaseXorCodec codec(4, false);
+    const Encoded enc = codec.encode(tx);
+    EXPECT_EQ(enc.payload.word32(4), 0x00000002u);
+    EXPECT_EQ(enc.payload.word32(8), 0x00000004u);  // 7 ^ 3, not 7 ^ 2.
+    EXPECT_EQ(enc.payload.word32(12), 0x00000008u);
+    EXPECT_EQ(codec.decode(enc), tx);
+}
+
+TEST(BaseXor, NamesDescribeConfiguration)
+{
+    EXPECT_EQ(BaseXorCodec(4, true).name(), "xor4+zdr");
+    EXPECT_EQ(BaseXorCodec(8, false).name(), "xor8");
+    EXPECT_EQ(BaseXorCodec(2, true, false).name(), "xor2+zdr(fixed)");
+}
+
+TEST(BaseXor, NoMetadata)
+{
+    BaseXorCodec codec(4, true);
+    EXPECT_EQ(codec.metaWiresPerBeat(), 0u);
+    EXPECT_TRUE(codec.stateless());
+    Transaction tx(32);
+    EXPECT_TRUE(codec.encode(tx).meta.empty());
+}
+
+/** Round-trip sweep: (base size, transaction size, zdr, adjacent). */
+class BaseXorRoundTrip
+    : public testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, bool, bool>>
+{
+};
+
+TEST_P(BaseXorRoundTrip, RandomData)
+{
+    const auto [base, size, zdr, adjacent] = GetParam();
+    if (base >= size)
+        GTEST_SKIP() << "base must be smaller than transaction";
+
+    BaseXorCodec codec(base, zdr, adjacent);
+    Rng rng(0x1234 + base * 131 + size);
+    for (int trial = 0; trial < 500; ++trial) {
+        Transaction tx(size);
+        for (std::size_t off = 0; off < size; off += 8)
+            tx.setWord64(off, rng.next64());
+        // Sprinkle zero and near-base elements to hit ZDR paths.
+        if (trial % 3 == 0)
+            tx.setWord64(8, 0);
+        if (trial % 4 == 0)
+            tx.setWord32(4, 0);
+        const Encoded enc = codec.encode(tx);
+        ASSERT_EQ(codec.decode(enc), tx);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, BaseXorRoundTrip,
+    testing::Combine(testing::Values<std::size_t>(2, 4, 8, 16),
+                     testing::Values<std::size_t>(16, 32, 64),
+                     testing::Bool(), testing::Bool()));
+
+/** ZDR never loses on all-zero transactions by more than 1 bit/element. */
+TEST(BaseXorProperty, ZeroTransactionCost)
+{
+    for (std::size_t base : {2u, 4u, 8u}) {
+        Transaction tx(32);
+        BaseXorCodec codec(base, true);
+        const Encoded enc = codec.encode(tx);
+        // Base element stays zero; each XORed element costs exactly the
+        // 1-bit constant.
+        EXPECT_EQ(enc.ones(), 32 / base - 1);
+    }
+}
+
+} // namespace
+} // namespace bxt

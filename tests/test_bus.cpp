@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for the channel/bus wire-activity model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "channel/bus.h"
+#include "core/dbi.h"
+
+namespace bxt {
+namespace {
+
+Encoded
+plain(const Transaction &tx)
+{
+    Encoded enc;
+    enc.payload = tx;
+    return enc;
+}
+
+TEST(Bus, CountsOnesPerTransaction)
+{
+    Bus bus(32);
+    Transaction tx(32);
+    tx.data()[0] = 0xff;
+    tx.data()[31] = 0x01;
+    const BusStats delta = bus.transmit(plain(tx));
+    EXPECT_EQ(delta.dataOnes, 9u);
+    EXPECT_EQ(delta.beats, 8u);
+    EXPECT_EQ(delta.dataBits, 256u);
+    EXPECT_EQ(delta.transactions, 1u);
+}
+
+TEST(Bus, TogglesWithinTransaction)
+{
+    Bus bus(32);
+    Transaction tx(32);
+    // Beat 0 drives 0xff on lane 0; beat 1 drives 0x00: 8 toggles up then
+    // 8 toggles down... up happens from idle.
+    tx.data()[0] = 0xff; // beat 0, lane 0.
+    tx.data()[4] = 0x00; // beat 1, lane 0.
+    tx.data()[8] = 0xff; // beat 2, lane 0.
+    const BusStats delta = bus.transmit(plain(tx));
+    // idle->ff (8), ff->00 (8), 00->ff (8), ff->00 at beat 3 (8).
+    EXPECT_EQ(delta.dataToggles, 32u);
+}
+
+TEST(Bus, TogglesAcrossTransactions)
+{
+    Bus bus(32);
+    Transaction tx(32);
+    for (std::size_t i = 0; i < 32; i += 4)
+        tx.data()[i] = 0xf0;
+    bus.transmit(plain(tx));
+    // Same data again: lane 0 still holds 0xf0 from the last beat, and
+    // every beat drives 0xf0 -> no new toggles.
+    const BusStats delta = bus.transmit(plain(tx));
+    EXPECT_EQ(delta.dataToggles, 0u);
+}
+
+TEST(Bus, IdleStartCostsOnesOfFirstBeat)
+{
+    Bus bus(32);
+    Transaction tx(32);
+    tx.data()[2] = 0x81; // beat 0 only.
+    const BusStats delta = bus.transmit(plain(tx));
+    // idle(0) -> 0x81 (2 toggles), back to 0 on beat 1 (2 toggles).
+    EXPECT_EQ(delta.dataToggles, 4u);
+}
+
+TEST(Bus, MetaWiresCounted)
+{
+    DbiCodec dbi(1, 4);
+    Bus bus(32, dbi.metaWiresPerBeat());
+    Transaction tx(32);
+    for (std::size_t i = 0; i < 32; ++i)
+        tx.data()[i] = 0xff;
+    const Encoded enc = dbi.encode(tx);
+    const BusStats delta = bus.transmit(enc);
+    EXPECT_EQ(delta.dataOnes, 0u);
+    EXPECT_EQ(delta.metaOnes, 32u);
+    EXPECT_EQ(delta.metaBits, 32u);
+    // All 4 meta wires rise once and stay high.
+    EXPECT_EQ(delta.metaToggles, 4u);
+}
+
+TEST(Bus, SixtyFourBitBus)
+{
+    Bus bus(64);
+    Transaction tx(64);
+    const BusStats delta = bus.transmit(plain(tx));
+    EXPECT_EQ(delta.beats, 8u);
+    EXPECT_EQ(delta.dataBits, 512u);
+}
+
+TEST(Bus, StatsAccumulateAndReset)
+{
+    Bus bus(32);
+    Transaction tx(32);
+    tx.data()[0] = 0x01;
+    bus.transmit(plain(tx));
+    bus.transmit(plain(tx));
+    EXPECT_EQ(bus.stats().transactions, 2u);
+    EXPECT_EQ(bus.stats().dataOnes, 2u);
+    bus.resetStats();
+    EXPECT_EQ(bus.stats().transactions, 0u);
+}
+
+TEST(Bus, ResetWiresReturnsToIdle)
+{
+    Bus bus(32);
+    Transaction tx(32);
+    for (std::size_t i = 28; i < 32; ++i)
+        tx.data()[i] = 0xff; // Last beat leaves lanes high.
+    bus.transmit(plain(tx));
+    bus.resetWires();
+    // Transmitting zeros now causes no toggles.
+    const BusStats delta = bus.transmit(plain(Transaction(32)));
+    EXPECT_EQ(delta.dataToggles, 0u);
+}
+
+TEST(Bus, IdleParkingIsDeterministicAndCharged)
+{
+    // idle_fraction = 0.5: parking happens after every 2nd transaction.
+    Bus bus(32, 0, 0.5);
+    Transaction tx(32);
+    for (std::size_t i = 28; i < 32; ++i)
+        tx.data()[i] = 0xff; // Last beat high on all lanes of beat 7.
+
+    const BusStats first = bus.transmit(plain(tx));
+    const BusStats second = bus.transmit(plain(tx));
+    // The second transmit ends with an idle gap: +32 parking toggles.
+    EXPECT_EQ(second.dataToggles, first.dataToggles + 32u + 32u);
+    // (32 extra rising toggles at beat 7 because the wires were parked
+    // low; 32 falling toggles parking again.)
+}
+
+TEST(Bus, ZeroDataNeverToggles)
+{
+    Bus bus(32, 0, 0.3);
+    for (int i = 0; i < 10; ++i) {
+        const BusStats delta = bus.transmit(plain(Transaction(32)));
+        EXPECT_EQ(delta.dataToggles, 0u);
+        EXPECT_EQ(delta.dataOnes, 0u);
+    }
+}
+
+TEST(BusStats, Accumulate)
+{
+    BusStats a;
+    a.dataOnes = 5;
+    a.metaOnes = 2;
+    a.dataToggles = 3;
+    BusStats b;
+    b.dataOnes = 1;
+    b.metaToggles = 4;
+    a += b;
+    EXPECT_EQ(a.ones(), 8u);
+    EXPECT_EQ(a.toggles(), 7u);
+}
+
+} // namespace
+} // namespace bxt

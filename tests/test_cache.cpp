@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for the sectored, write-validate LLC model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gpusim/cache.h"
+
+namespace bxt {
+namespace {
+
+/** In-memory backend recording all traffic. */
+class FakeMemory : public MemoryBackend
+{
+  public:
+    Transaction readSector(std::uint64_t addr) override
+    {
+        ++reads;
+        const auto it = contents.find(addr);
+        return it == contents.end() ? Transaction(32) : it->second;
+    }
+
+    void writeSector(std::uint64_t addr, const Transaction &data) override
+    {
+        ++writes;
+        contents[addr] = data;
+    }
+
+    std::map<std::uint64_t, Transaction> contents;
+    std::size_t reads = 0;
+    std::size_t writes = 0;
+};
+
+Transaction
+pattern(std::uint32_t tag)
+{
+    Transaction tx(32);
+    for (std::size_t off = 0; off < 32; off += 4)
+        tx.setWord32(off, tag + static_cast<std::uint32_t>(off));
+    return tx;
+}
+
+/** Small cache: 4 sets x 2 ways x 128 B lines = 1 KiB. */
+SectoredCache
+smallCache()
+{
+    return SectoredCache(1024, 2, 128, 32);
+}
+
+TEST(Cache, Geometry)
+{
+    SectoredCache cache = smallCache();
+    EXPECT_EQ(cache.numSets(), 4u);
+}
+
+TEST(Cache, ReadMissFetchesOnlyTheSector)
+{
+    SectoredCache cache = smallCache();
+    FakeMemory mem;
+    mem.contents[0] = pattern(0xa0);
+    mem.contents[32] = pattern(0xb0);
+
+    Transaction out(32);
+    cache.read(0, out, mem);
+    EXPECT_EQ(out, pattern(0xa0));
+    EXPECT_EQ(mem.reads, 1u); // Sectored: sibling sector not fetched.
+    EXPECT_EQ(cache.stats().sectorMisses, 1u);
+}
+
+TEST(Cache, SecondReadHits)
+{
+    SectoredCache cache = smallCache();
+    FakeMemory mem;
+    mem.contents[64] = pattern(0xcc);
+    Transaction out(32);
+    cache.read(64, out, mem);
+    cache.read(64, out, mem);
+    cache.read(70, out, mem); // Same sector, different byte.
+    EXPECT_EQ(mem.reads, 1u);
+    EXPECT_EQ(cache.stats().sectorHits, 2u);
+}
+
+TEST(Cache, WriteValidateDoesNotFetch)
+{
+    SectoredCache cache = smallCache();
+    FakeMemory mem;
+    cache.write(96, pattern(0x11), mem);
+    EXPECT_EQ(mem.reads, 0u);
+    EXPECT_EQ(cache.stats().writeValidates, 1u);
+
+    Transaction out(32);
+    cache.read(96, out, mem);
+    EXPECT_EQ(out, pattern(0x11));
+    EXPECT_EQ(mem.reads, 0u); // Still served from the cache.
+}
+
+TEST(Cache, DirtyEvictionWritesBack)
+{
+    SectoredCache cache = smallCache();
+    FakeMemory mem;
+    // Three lines mapping to set 0 (line addr multiples of 128 * 4 sets).
+    cache.write(0 * 512, pattern(0x01), mem);
+    cache.write(1 * 512, pattern(0x02), mem);
+    cache.write(2 * 512, pattern(0x03), mem); // Evicts the LRU line.
+    EXPECT_EQ(cache.stats().lineEvictions, 1u);
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+    ASSERT_TRUE(mem.contents.count(0));
+    EXPECT_EQ(mem.contents.at(0), pattern(0x01));
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    SectoredCache cache = smallCache();
+    FakeMemory mem;
+    cache.write(0 * 512, pattern(0x01), mem);
+    cache.write(1 * 512, pattern(0x02), mem);
+    // Touch line 0 so line 1 becomes LRU.
+    Transaction out(32);
+    cache.read(0 * 512, out, mem);
+    cache.write(2 * 512, pattern(0x03), mem);
+    EXPECT_TRUE(mem.contents.count(512)); // Line 1 was written back.
+    EXPECT_FALSE(mem.contents.count(0));
+}
+
+TEST(Cache, CleanEvictionWritesNothing)
+{
+    SectoredCache cache = smallCache();
+    FakeMemory mem;
+    mem.contents[0] = pattern(0xaa);
+    Transaction out(32);
+    cache.read(0 * 512, out, mem);
+    cache.read(1 * 512, out, mem);
+    cache.read(2 * 512, out, mem); // Evicts a clean line.
+    EXPECT_EQ(mem.writes, 0u);
+    EXPECT_EQ(cache.stats().lineEvictions, 1u);
+    EXPECT_EQ(cache.stats().writebacks, 0u);
+}
+
+TEST(Cache, FlushDrainsAllDirtySectors)
+{
+    SectoredCache cache = smallCache();
+    FakeMemory mem;
+    cache.write(0, pattern(0x01), mem);
+    cache.write(32, pattern(0x02), mem);  // Same line, second sector.
+    cache.write(640, pattern(0x03), mem); // Different set.
+    cache.flush(mem);
+    EXPECT_EQ(mem.writes, 3u);
+    EXPECT_EQ(mem.contents.at(32), pattern(0x02));
+
+    // After the flush everything is invalid: a read misses again.
+    Transaction out(32);
+    cache.read(0, out, mem);
+    EXPECT_EQ(mem.reads, 1u);
+    EXPECT_EQ(out, pattern(0x01));
+}
+
+TEST(Cache, DirtySectorSurvivesReadOfSiblingSector)
+{
+    SectoredCache cache = smallCache();
+    FakeMemory mem;
+    mem.contents[32] = pattern(0xee);
+    cache.write(0, pattern(0x77), mem);
+    Transaction out(32);
+    cache.read(32, out, mem); // Fetches the sibling sector.
+    EXPECT_EQ(out, pattern(0xee));
+    cache.flush(mem);
+    EXPECT_EQ(mem.contents.at(0), pattern(0x77));
+}
+
+TEST(Cache, StatsHitRate)
+{
+    SectoredCache cache = smallCache();
+    FakeMemory mem;
+    Transaction out(32);
+    cache.read(0, out, mem);
+    cache.read(0, out, mem);
+    cache.read(0, out, mem);
+    cache.read(0, out, mem);
+    EXPECT_DOUBLE_EQ(cache.stats().hitRate(), 0.75);
+}
+
+TEST(Cache, OverwriteUpdatesData)
+{
+    SectoredCache cache = smallCache();
+    FakeMemory mem;
+    cache.write(0, pattern(0x01), mem);
+    cache.write(0, pattern(0x02), mem);
+    Transaction out(32);
+    cache.read(0, out, mem);
+    EXPECT_EQ(out, pattern(0x02));
+    cache.flush(mem);
+    EXPECT_EQ(mem.contents.at(0), pattern(0x02));
+}
+
+} // namespace
+} // namespace bxt

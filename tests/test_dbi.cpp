@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Unit and property tests for DBI-DC (paper §II-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "core/dbi.h"
+
+namespace bxt {
+namespace {
+
+TEST(Dbi, InvertsOnesHeavyGroups)
+{
+    Transaction tx(32);
+    tx.data()[0] = 0xff; // 8 ones -> inverted to 0x00.
+    tx.data()[1] = 0x0f; // exactly half -> NOT inverted (strict >).
+    tx.data()[2] = 0x1f; // 5 ones -> inverted to 0xe0 (3 ones).
+    DbiCodec codec(1);
+    const Encoded enc = codec.encode(tx);
+    EXPECT_EQ(enc.payload.data()[0], 0x00);
+    EXPECT_EQ(enc.payload.data()[1], 0x0f);
+    EXPECT_EQ(enc.payload.data()[2], 0xe0);
+    EXPECT_EQ(enc.meta[0], 1);
+    EXPECT_EQ(enc.meta[1], 0);
+    EXPECT_EQ(enc.meta[2], 1);
+    EXPECT_EQ(codec.decode(enc), tx);
+}
+
+TEST(Dbi, MetaWireCounts)
+{
+    EXPECT_EQ(DbiCodec(1, 4).metaWiresPerBeat(), 4u);
+    EXPECT_EQ(DbiCodec(2, 4).metaWiresPerBeat(), 2u);
+    EXPECT_EQ(DbiCodec(4, 4).metaWiresPerBeat(), 1u);
+    EXPECT_EQ(DbiCodec(1, 8).metaWiresPerBeat(), 8u);
+    EXPECT_EQ(DbiCodec(8, 8).metaWiresPerBeat(), 1u);
+}
+
+TEST(Dbi, MetaLayoutIsBeatMajor)
+{
+    Transaction tx(32);
+    // Beat 3 (bytes 12..15): make group 2 (byte 14) ones-heavy.
+    tx.data()[14] = 0xfe;
+    DbiCodec codec(1, 4);
+    const Encoded enc = codec.encode(tx);
+    ASSERT_EQ(enc.meta.size(), 32u); // 8 beats x 4 groups.
+    EXPECT_EQ(enc.meta[3 * 4 + 2], 1);
+    std::size_t set = 0;
+    for (auto bit : enc.meta)
+        set += bit;
+    EXPECT_EQ(set, 1u);
+}
+
+TEST(Dbi, FourByteGroupThreshold)
+{
+    Transaction tx(32);
+    tx.setWord32(0, 0xffff8000); // 17 of 32 ones -> invert.
+    tx.setWord32(4, 0xffff0000); // exactly 16 -> keep.
+    DbiCodec codec(4, 4);
+    const Encoded enc = codec.encode(tx);
+    EXPECT_EQ(enc.payload.word32(0), 0x00007fffu);
+    EXPECT_EQ(enc.payload.word32(4), 0xffff0000u);
+    EXPECT_EQ(codec.decode(enc), tx);
+}
+
+TEST(Dbi, GuaranteesAtMostHalfOnesPerGroup)
+{
+    Rng rng(21);
+    DbiCodec codec(1, 4);
+    for (int trial = 0; trial < 500; ++trial) {
+        Transaction tx(32);
+        for (std::size_t off = 0; off < 32; off += 8)
+            tx.setWord64(off, rng.next64());
+        const Encoded enc = codec.encode(tx);
+        for (std::size_t i = 0; i < 32; ++i) {
+            ASSERT_LE(popcount64(enc.payload.data()[i]), 4)
+                << "byte " << i << " breaks the DBI guarantee";
+        }
+    }
+}
+
+TEST(Dbi, NeverIncreasesDataOnes)
+{
+    Rng rng(22);
+    for (std::size_t group : {1u, 2u, 4u}) {
+        DbiCodec codec(group, 4);
+        for (int trial = 0; trial < 200; ++trial) {
+            Transaction tx(32);
+            for (std::size_t off = 0; off < 32; off += 8)
+                tx.setWord64(off, rng.next64());
+            const Encoded enc = codec.encode(tx);
+            EXPECT_LE(enc.payload.ones(), tx.ones());
+        }
+    }
+}
+
+TEST(Dbi, Name)
+{
+    EXPECT_EQ(DbiCodec(1).name(), "dbi1");
+    EXPECT_EQ(DbiCodec(4).name(), "dbi4");
+}
+
+/** Round-trip sweep over (group, bus width, size). */
+class DbiRoundTrip
+    : public testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t>>
+{
+};
+
+TEST_P(DbiRoundTrip, RandomData)
+{
+    const auto [group, bus, size] = GetParam();
+    if (group > bus || size % bus != 0)
+        GTEST_SKIP();
+    DbiCodec codec(group, bus);
+    Rng rng(31 + group + bus + size);
+    for (int trial = 0; trial < 300; ++trial) {
+        Transaction tx(size);
+        for (std::size_t off = 0; off < size; off += 8)
+            tx.setWord64(off, rng.next64());
+        const Encoded enc = codec.encode(tx);
+        ASSERT_EQ(enc.meta.size(),
+                  (size / bus) * codec.metaWiresPerBeat());
+        ASSERT_EQ(codec.decode(enc), tx);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, DbiRoundTrip,
+    testing::Combine(testing::Values<std::size_t>(1, 2, 4, 8),
+                     testing::Values<std::size_t>(4, 8),
+                     testing::Values<std::size_t>(32, 64)));
+
+TEST(DbiAc, InvertsOnTransitionMajority)
+{
+    // Beat 0 reference is the idle (zero) bus, so DBI-AC on beat 0
+    // behaves like DBI-DC; beat 1 is judged against beat 0's wires.
+    Transaction tx(32);
+    tx.data()[0] = 0xff; // Beat 0: 8 transitions from idle -> invert.
+    tx.data()[4] = 0x00; // Beat 1 vs wires 0x00 (inverted ff): keep.
+    DbiAcCodec codec(1, 4);
+    const Encoded enc = codec.encode(tx);
+    EXPECT_EQ(enc.payload.data()[0], 0x00);
+    EXPECT_EQ(enc.meta[0], 1);
+    EXPECT_EQ(enc.payload.data()[4], 0x00);
+    EXPECT_EQ(enc.meta[4], 0);
+    EXPECT_EQ(codec.decode(enc), tx);
+}
+
+TEST(DbiAc, BoundsTransitionsPerGroup)
+{
+    Rng rng(77);
+    DbiAcCodec codec(1, 4);
+    for (int trial = 0; trial < 300; ++trial) {
+        Transaction tx(32);
+        for (std::size_t off = 0; off < 32; off += 8)
+            tx.setWord64(off, rng.next64());
+        const Encoded enc = codec.encode(tx);
+        // Recount transitions on the encoded wires: never more than half
+        // per group per beat.
+        std::uint8_t prev[4] = {0, 0, 0, 0};
+        for (std::size_t beat = 0; beat < 8; ++beat) {
+            for (std::size_t lane = 0; lane < 4; ++lane) {
+                const std::uint8_t value =
+                    enc.payload.data()[beat * 4 + lane];
+                ASSERT_LE(popcount64(static_cast<std::uint8_t>(
+                              value ^ prev[lane])),
+                          4);
+                prev[lane] = value;
+            }
+        }
+        ASSERT_EQ(codec.decode(enc), tx);
+    }
+}
+
+TEST(DbiAc, AlternatingDataTogglesLess)
+{
+    // ff/00 alternation: raw wires toggle fully every beat; DBI-AC holds
+    // them flat at the cost of polarity-bit toggles.
+    Transaction tx(32);
+    for (std::size_t beat = 0; beat < 8; beat += 2) {
+        for (std::size_t lane = 0; lane < 4; ++lane)
+            tx.data()[beat * 4 + lane] = 0xff;
+    }
+    DbiAcCodec codec(1, 4);
+    const Encoded enc = codec.encode(tx);
+    // Encoded payload should be constant zero after the first inversion.
+    for (std::size_t i = 0; i < 32; ++i)
+        EXPECT_EQ(enc.payload.data()[i], 0x00) << i;
+    EXPECT_EQ(codec.decode(enc), tx);
+}
+
+TEST(DbiAc, NameAndMeta)
+{
+    EXPECT_EQ(DbiAcCodec(1).name(), "dbi-ac1");
+    EXPECT_EQ(DbiAcCodec(2, 8).metaWiresPerBeat(), 4u);
+    EXPECT_TRUE(DbiAcCodec(1).stateless());
+}
+
+TEST(DbiAc, RandomRoundTripAllGroups)
+{
+    Rng rng(79);
+    for (std::size_t group : {1u, 2u, 4u}) {
+        DbiAcCodec codec(group, 4);
+        for (int trial = 0; trial < 300; ++trial) {
+            Transaction tx(32);
+            for (std::size_t off = 0; off < 32; off += 8)
+                tx.setWord64(off, rng.next64());
+            const Encoded enc = codec.encode(tx);
+            ASSERT_EQ(codec.decode(enc), tx);
+        }
+    }
+}
+
+TEST(Dbi, AllOnesTransactionHalves)
+{
+    Transaction tx(32);
+    for (std::size_t i = 0; i < 32; ++i)
+        tx.data()[i] = 0xff;
+    DbiCodec codec(1, 4);
+    const Encoded enc = codec.encode(tx);
+    EXPECT_EQ(enc.payload.ones(), 0u);
+    EXPECT_EQ(enc.metaOnes(), 32u); // Every group inverted.
+    // Net: 256 ones became 32 — the paper's bound in action.
+    EXPECT_EQ(enc.ones(), 32u);
+}
+
+} // namespace
+} // namespace bxt

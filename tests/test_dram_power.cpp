@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the DRAM component power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/dram_power.h"
+
+namespace bxt {
+namespace {
+
+BusStats
+trafficOf(std::uint64_t bytes, std::uint64_t ones, std::uint64_t toggles)
+{
+    BusStats stats;
+    stats.dataBits = bytes * 8;
+    stats.dataOnes = ones;
+    stats.dataToggles = toggles;
+    return stats;
+}
+
+TEST(DramPower, TotalIsSumOfComponents)
+{
+    const DramPowerModel model(DramPowerParams::gddr5x());
+    const EnergyBreakdown e =
+        model.compute(trafficOf(1024, 4096, 4096), 2);
+    EXPECT_NEAR(e.total(),
+                e.background + e.activate + e.core + e.ioFixed + e.ioOnes +
+                    e.ioToggles,
+                1e-18);
+    EXPECT_GT(e.background, 0.0);
+    EXPECT_GT(e.ioOnes, 0.0);
+}
+
+TEST(DramPower, OnesEnergyMatchesElectricalModel)
+{
+    const DramPowerParams params = DramPowerParams::gddr5x();
+    const DramPowerModel model(params);
+    const EnergyBreakdown e = model.compute(trafficOf(32, 100, 0), 0);
+    EXPECT_NEAR(e.ioOnes, 100 * params.io.energyPerOne(), 1e-18);
+    EXPECT_DOUBLE_EQ(e.ioToggles, 0.0);
+}
+
+TEST(DramPower, ActivationEnergyScalesWithActs)
+{
+    const DramPowerParams params = DramPowerParams::gddr5x();
+    const DramPowerModel model(params);
+    const EnergyBreakdown one = model.compute(trafficOf(32, 0, 0), 1);
+    const EnergyBreakdown ten = model.compute(trafficOf(32, 0, 0), 10);
+    EXPECT_NEAR(ten.activate, 10.0 * one.activate, 1e-18);
+    EXPECT_NEAR(one.activate, params.actEnergy, 1e-18);
+}
+
+TEST(DramPower, BackgroundScalesInverselyWithUtilization)
+{
+    DramPowerParams fast = DramPowerParams::gddr5x();
+    fast.utilization = 1.0;
+    DramPowerParams slow = DramPowerParams::gddr5x();
+    slow.utilization = 0.5;
+    const BusStats traffic = trafficOf(1024, 0, 0);
+    const double bg_fast =
+        DramPowerModel(fast).compute(traffic, 0).background;
+    const double bg_slow =
+        DramPowerModel(slow).compute(traffic, 0).background;
+    EXPECT_NEAR(bg_slow, 2.0 * bg_fast, 1e-18);
+}
+
+TEST(DramPower, ComputeSimpleDerivesActivates)
+{
+    const DramPowerModel model(DramPowerParams::gddr5x());
+    const BusStats traffic = trafficOf(8192, 0, 0);
+    const EnergyBreakdown e = model.computeSimple(traffic, 4096);
+    // 8192 bytes at one ACT per 4096 -> 2 activations.
+    EXPECT_NEAR(e.activate, 2.0 * model.params().actEnergy, 1e-18);
+}
+
+TEST(DramPower, CalibratedBaselineSplit)
+{
+    // The DESIGN.md §6 calibration: at ~50 % ones and ~50 % toggle rate,
+    // the ones-dependent share is ~12 % and the toggle share ~7 %, so
+    // that the paper's reductions translate to its energy numbers.
+    const DramPowerModel model(DramPowerParams::gddr5x());
+    const std::uint64_t bytes = 1u << 20;
+    const BusStats traffic =
+        trafficOf(bytes, bytes * 4, bytes * 4); // 4 of 8 bits per byte.
+    const EnergyBreakdown e = model.computeSimple(traffic);
+    EXPECT_NEAR(e.ioOnes / e.total(), 0.12, 0.02);
+    EXPECT_NEAR(e.ioToggles / e.total(), 0.07, 0.02);
+    const double io_total =
+        (e.ioOnes + e.ioToggles + e.ioFixed) / e.total();
+    EXPECT_GT(io_total, 0.2);
+    EXPECT_LT(io_total, 0.35);
+}
+
+TEST(DramPower, Hbm2HasNoOnesEnergy)
+{
+    const DramPowerModel hbm(DramPowerParams::hbm2());
+    const EnergyBreakdown e =
+        hbm.compute(trafficOf(1024, 4096, 4096), 1);
+    EXPECT_DOUBLE_EQ(e.ioOnes, 0.0);
+    EXPECT_GT(e.ioToggles, 0.0);
+    EXPECT_GT(e.total(), 0.0);
+}
+
+TEST(DramPower, ReportContainsAllComponents)
+{
+    const DramPowerModel model(DramPowerParams::gddr5x());
+    const std::string report =
+        model.compute(trafficOf(64, 10, 10), 1).report();
+    for (const char *key : {"background", "activate", "core", "ones",
+                            "toggles", "total"}) {
+        EXPECT_NE(report.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(DramPower, MetaWiresArePricedLikeDataWires)
+{
+    const DramPowerModel model(DramPowerParams::gddr5x());
+    BusStats with_meta = trafficOf(32, 0, 0);
+    with_meta.metaOnes = 50;
+    with_meta.metaToggles = 10;
+    const EnergyBreakdown e = model.compute(with_meta, 0);
+    EXPECT_GT(e.ioOnes, 0.0);
+    EXPECT_GT(e.ioToggles, 0.0);
+}
+
+} // namespace
+} // namespace bxt

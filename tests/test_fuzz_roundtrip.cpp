@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Fuzz-style differential tests: randomly composed codec pipelines over
+ * randomly structured transactions. Losslessness of every composition is
+ * the library's core contract (encoded data is what DRAM stores), so it
+ * gets hammered beyond the per-codec unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/codec_factory.h"
+
+namespace bxt {
+namespace {
+
+/** Stage specs that can appear in a random pipeline. */
+const char *const stage_pool[] = {
+    "xor2",      "xor2+zdr",  "xor4",        "xor4+zdr", "xor8",
+    "xor8+zdr",  "xor16",     "xor4+fixed",  "universal2",
+    "universal3+zdr", "universal4+zdr", "dbi1", "dbi2", "dbi4",
+    "dbi-ac1",   "dbi-ac2",   "bd",
+};
+
+std::string
+randomSpec(Rng &rng)
+{
+    const std::size_t stages = 1 + rng.nextBounded(3);
+    std::string spec;
+    for (std::size_t s = 0; s < stages; ++s) {
+        if (s > 0)
+            spec += '|';
+        spec += stage_pool[rng.nextBounded(std::size(stage_pool))];
+    }
+    return spec;
+}
+
+/** Transactions biased toward the encoders' special cases. */
+Transaction
+randomTransaction(Rng &rng, std::size_t size)
+{
+    Transaction tx(size);
+    for (std::size_t off = 0; off < size; off += 8) {
+        switch (rng.nextBounded(6)) {
+          case 0:
+            tx.setWord64(off, 0); // Zero elements (ZDR path).
+            break;
+          case 1: // ZDR constant-shaped values.
+            tx.setWord64(off, 0x4000000040000000ull);
+            break;
+          case 2: // Repeats of the previous word.
+            tx.setWord64(off, off >= 8 ? tx.word64(off - 8)
+                                       : rng.next64());
+            break;
+          case 3: // Near-repeats (small diffs).
+            tx.setWord64(off, (off >= 8 ? tx.word64(off - 8)
+                                        : rng.next64()) ^
+                                  rng.nextBounded(256));
+            break;
+          case 4: // All-ones-ish (DBI inversion path).
+            tx.setWord64(off, ~rng.nextBounded(0xffff));
+            break;
+          default:
+            tx.setWord64(off, rng.next64());
+        }
+    }
+    return tx;
+}
+
+TEST(FuzzRoundTrip, RandomPipelinesOn32ByteTransactions)
+{
+    Rng rng(0xf22);
+    for (int pipeline = 0; pipeline < 60; ++pipeline) {
+        const std::string spec = randomSpec(rng);
+        CodecPtr codec = makeCodec(spec);
+        for (int i = 0; i < 200; ++i) {
+            const Transaction tx = randomTransaction(rng, 32);
+            const Encoded enc = codec->encode(tx);
+            ASSERT_EQ(codec->decode(enc), tx)
+                << "spec " << spec << " tx " << tx.toHex();
+        }
+    }
+}
+
+TEST(FuzzRoundTrip, RandomPipelinesOn64ByteTransactions)
+{
+    Rng rng(0xbeef);
+    for (int pipeline = 0; pipeline < 40; ++pipeline) {
+        const std::string spec = randomSpec(rng);
+        CodecPtr codec = makeCodec(spec, 8); // 64-bit CPU bus.
+        for (int i = 0; i < 150; ++i) {
+            const Transaction tx = randomTransaction(rng, 64);
+            const Encoded enc = codec->encode(tx);
+            ASSERT_EQ(codec->decode(enc), tx)
+                << "spec " << spec << " tx " << tx.toHex();
+        }
+    }
+}
+
+TEST(FuzzRoundTrip, MetadataFreeSchemesStayMetadataFree)
+{
+    Rng rng(0xabcd);
+    for (const char *spec : {"xor2+zdr", "xor4+zdr", "xor8+zdr",
+                             "universal3+zdr", "universal4+zdr",
+                             "xor4+zdr|universal3+zdr"}) {
+        CodecPtr codec = makeCodec(spec);
+        EXPECT_EQ(codec->metaWiresPerBeat(), 0u) << spec;
+        const Encoded enc = codec->encode(randomTransaction(rng, 32));
+        EXPECT_TRUE(enc.meta.empty()) << spec;
+    }
+}
+
+TEST(FuzzRoundTrip, EncodedSizeAlwaysEqualsInputSize)
+{
+    // The schemes are codes, not compressors: payload size is invariant,
+    // which is what lets DRAM store the encoded form in place.
+    Rng rng(0x5151);
+    for (int i = 0; i < 100; ++i) {
+        const std::string spec = randomSpec(rng);
+        CodecPtr codec = makeCodec(spec);
+        const Transaction tx = randomTransaction(rng, 32);
+        EXPECT_EQ(codec->encode(tx).payload.size(), tx.size()) << spec;
+    }
+}
+
+} // namespace
+} // namespace bxt

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the gate-level implementation cost model against the
+ * published Table II values.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gatecost/encoder_costs.h"
+
+namespace bxt {
+namespace {
+
+const GateLibrary lib = GateLibrary::tsmc16();
+
+TEST(GateCounts, Accumulate)
+{
+    GateCounts a;
+    a.xor2 = 10;
+    a.or2 = 5;
+    GateCounts b;
+    b.xor2 = 2;
+    b.mux2 = 3;
+    a += b;
+    EXPECT_EQ(a.xor2, 12u);
+    EXPECT_EQ(a.total(), 20u);
+}
+
+TEST(BaseXorCost, EncodeLatencyIsOneXorLevel)
+{
+    for (std::size_t base : {2u, 4u, 8u}) {
+        const SchemeCost cost = baseXorCost(lib, 32, base);
+        EXPECT_DOUBLE_EQ(cost.encode.delayPs, 24.0) << base;
+    }
+}
+
+TEST(BaseXorCost, DecodeLatencyIsChainOfElements)
+{
+    // Paper Table II: 360/168/72 ps for 2/4/8-byte bases on 32 B.
+    EXPECT_DOUBLE_EQ(baseXorCost(lib, 32, 2).decode.delayPs, 360.0);
+    EXPECT_DOUBLE_EQ(baseXorCost(lib, 32, 4).decode.delayPs, 168.0);
+    EXPECT_DOUBLE_EQ(baseXorCost(lib, 32, 8).decode.delayPs, 72.0);
+}
+
+TEST(BaseXorCost, AreaNearPaperValues)
+{
+    // Paper: 214 / 289 / 341 um^2. The gate+wire model was calibrated on
+    // these rows; allow 10 %.
+    EXPECT_NEAR(baseXorCost(lib, 32, 2).encode.areaUm2, 214.0, 22.0);
+    EXPECT_NEAR(baseXorCost(lib, 32, 4).encode.areaUm2, 289.0, 29.0);
+    EXPECT_NEAR(baseXorCost(lib, 32, 8).encode.areaUm2, 341.0, 35.0);
+}
+
+TEST(BaseXorCost, EnergyNearPaperValues)
+{
+    // Paper: 43 / 73 / 97 fJ per 32 B.
+    EXPECT_NEAR(baseXorCost(lib, 32, 2).encode.energyFj, 43.0, 5.0);
+    EXPECT_NEAR(baseXorCost(lib, 32, 4).encode.energyFj, 73.0, 8.0);
+    EXPECT_NEAR(baseXorCost(lib, 32, 8).encode.energyFj, 97.0, 12.0);
+}
+
+TEST(UniversalCost, LatenciesMatchPaper)
+{
+    const SchemeCost cost = universalXorCost(lib, 32, 3);
+    EXPECT_DOUBLE_EQ(cost.encode.delayPs, 24.0);
+    EXPECT_DOUBLE_EQ(cost.decode.delayPs, 72.0);
+    EXPECT_EQ(cost.config, "3 stage");
+}
+
+TEST(UniversalCost, NearEightByteXorCost)
+{
+    // The paper's universal row (355 um^2, 98 fJ) sits within ~20 % of
+    // the 8-byte XOR row; our model must agree in that band.
+    const SchemeCost universal = universalXorCost(lib, 32, 3);
+    EXPECT_NEAR(universal.encode.areaUm2, 355.0, 75.0);
+    EXPECT_NEAR(universal.encode.energyFj, 98.0, 25.0);
+}
+
+TEST(ZdrCost, LatencyMatchesPaper)
+{
+    // Paper: 165 ps for the ZDR block (4-byte lanes).
+    const SchemeCost cost = zdrCost(lib, 7, 4);
+    EXPECT_DOUBLE_EQ(cost.encode.delayPs, 165.0);
+    EXPECT_DOUBLE_EQ(cost.decode.delayPs, 165.0);
+}
+
+TEST(ZdrCost, AreaAndEnergyNearPaper)
+{
+    // Paper: 761 um^2, 103 fJ.
+    const SchemeCost cost = zdrCost(lib, 7, 4);
+    EXPECT_NEAR(cost.encode.areaUm2, 761.0, 80.0);
+    EXPECT_NEAR(cost.encode.energyFj, 103.0, 12.0);
+}
+
+TEST(TableTwo, HasSevenRowsInPaperOrder)
+{
+    const auto rows = tableTwoCosts(lib, 32);
+    ASSERT_EQ(rows.size(), 7u);
+    EXPECT_EQ(rows[0].mechanism, "2-byte XOR");
+    EXPECT_EQ(rows[3].mechanism, "Universal XOR");
+    EXPECT_EQ(rows[4].mechanism, "ZDR");
+    EXPECT_EQ(rows[6].mechanism, "Universal XOR+ZDR");
+}
+
+TEST(TableTwo, CombinedRowsAreAdditive)
+{
+    const auto rows = tableTwoCosts(lib, 32);
+    // Paper Table II is exactly additive: 4B XOR+ZDR = 4B XOR + ZDR.
+    EXPECT_NEAR(rows[5].encode.areaUm2,
+                rows[1].encode.areaUm2 + rows[4].encode.areaUm2, 1e-9);
+    EXPECT_NEAR(rows[6].encode.energyFj,
+                rows[3].encode.energyFj + rows[4].encode.energyFj, 1e-9);
+    EXPECT_NEAR(rows[6].decode.delayPs,
+                rows[3].decode.delayPs + rows[4].decode.delayPs, 1e-9);
+}
+
+TEST(TableTwo, CombinedLatenciesMatchPaper)
+{
+    const auto rows = tableTwoCosts(lib, 32);
+    // 4-byte XOR+ZDR: 189 / 333 ps; Universal+ZDR: 189 / 237 ps.
+    EXPECT_DOUBLE_EQ(rows[5].encode.delayPs, 189.0);
+    EXPECT_DOUBLE_EQ(rows[5].decode.delayPs, 333.0);
+    EXPECT_DOUBLE_EQ(rows[6].encode.delayPs, 189.0);
+    EXPECT_DOUBLE_EQ(rows[6].decode.delayPs, 237.0);
+}
+
+TEST(TableTwo, WorstDecodeFitsInOneDramClock)
+{
+    // The paper's feasibility claim: every latency < 400 ps (one GDDR5X
+    // clock at 10 Gbps).
+    for (const SchemeCost &row : tableTwoCosts(lib, 32)) {
+        EXPECT_LT(row.encode.delayPs, 400.0) << row.mechanism;
+        EXPECT_LT(row.decode.delayPs, 400.0) << row.mechanism;
+    }
+}
+
+TEST(GpuTotalArea, MatchesPaperClaim)
+{
+    // Paper: 0.027 mm^2 for 12 channels of the most sophisticated
+    // mechanism (<0.01 % of the die).
+    const auto rows = tableTwoCosts(lib, 32);
+    const double area = gpuTotalAreaMm2(rows.back(), 12);
+    EXPECT_NEAR(area, 0.027, 0.006);
+    const double die_mm2 = 471.0; // GP102.
+    EXPECT_LT(area / die_mm2, 1e-4);
+}
+
+TEST(EvaluateNetlist, SeparatesWireAreaAndEnergy)
+{
+    GateCounts counts;
+    counts.xor2 = 10;
+    const CostEstimate with_wire_area =
+        evaluateNetlist(lib, counts, 100.0, 0.0, 24.0);
+    const CostEstimate with_wire_energy =
+        evaluateNetlist(lib, counts, 0.0, 100.0, 24.0);
+    EXPECT_GT(with_wire_area.areaUm2, with_wire_energy.areaUm2);
+    EXPECT_LT(with_wire_area.energyFj, with_wire_energy.energyFj);
+}
+
+} // namespace
+} // namespace bxt

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Unit tests for the Figure 1 trend model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/gddr_trend.h"
+
+namespace bxt {
+namespace {
+
+TEST(GddrTrend, FourGenerations)
+{
+    const auto gens = gddrGenerations();
+    ASSERT_EQ(gens.size(), 4u);
+    EXPECT_EQ(gens.front().name, "GDDR5 6Gbps");
+    EXPECT_EQ(gens.back().name, "GDDR5X 12Gbps");
+}
+
+TEST(GddrTrend, FirstGenerationIsReference)
+{
+    const auto trend = computeGddrTrend(gddrGenerations());
+    EXPECT_DOUBLE_EQ(trend.front().energyPerBitPct, 100.0);
+    EXPECT_DOUBLE_EQ(trend.front().bandwidthPct, 100.0);
+    EXPECT_DOUBLE_EQ(trend.front().peakPowerPct, 100.0);
+}
+
+TEST(GddrTrend, MatchesPaperAnnotations)
+{
+    // Paper Figure 1: 81 % energy/bit, 200 % bandwidth, 163 % peak power
+    // at GDDR5X 12 Gbps.
+    const auto trend = computeGddrTrend(gddrGenerations());
+    const GddrTrendPoint &last = trend.back();
+    EXPECT_NEAR(last.energyPerBitPct, 81.0, 1.0);
+    EXPECT_NEAR(last.bandwidthPct, 200.0, 0.1);
+    EXPECT_NEAR(last.peakPowerPct, 163.0, 2.5);
+}
+
+TEST(GddrTrend, EnergyFallsWhilePowerRises)
+{
+    const auto trend = computeGddrTrend(gddrGenerations());
+    for (std::size_t i = 1; i < trend.size(); ++i) {
+        EXPECT_LT(trend[i].energyPerBitPct, trend[i - 1].energyPerBitPct);
+        EXPECT_GT(trend[i].peakPowerPct, trend[i - 1].peakPowerPct);
+        EXPECT_GT(trend[i].bandwidthPct, trend[i - 1].bandwidthPct);
+    }
+}
+
+TEST(GddrTrend, PinCountCancelsInNormalization)
+{
+    const auto wide = computeGddrTrend(gddrGenerations(), 384);
+    const auto narrow = computeGddrTrend(gddrGenerations(), 32);
+    for (std::size_t i = 0; i < wide.size(); ++i)
+        EXPECT_DOUBLE_EQ(wide[i].peakPowerPct, narrow[i].peakPowerPct);
+}
+
+} // namespace
+} // namespace bxt

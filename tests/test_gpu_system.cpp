@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Integration tests for the full GPU system pipeline (workload -> LLC ->
+ * memory controller -> energy model).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpusim/gpu_system.h"
+
+namespace bxt {
+namespace {
+
+GpuConfig
+tinyConfig(const std::string &codec)
+{
+    GpuConfig config = GpuConfig::titanXPascal();
+    config.llcBytes = 64u << 10; // Keep runs quick.
+    config.channels = 4;
+    config.codecSpec = codec;
+    return config;
+}
+
+GpuKernel
+tinyKernel(std::uint64_t seed)
+{
+    GpuKernel kernel;
+    kernel.name = "tiny";
+    kernel.footprintBytes = 256u << 10;
+    kernel.accesses = 20000;
+    kernel.writeFraction = 0.3;
+    kernel.randomFraction = 0.2;
+    kernel.dataPattern = makeSoaFloatPattern(1.0e3, 1.0e-3, seed, 12);
+    kernel.seed = seed;
+    return kernel;
+}
+
+TEST(GpuSystem, RunProducesConsistentCounters)
+{
+    GpuSystem system(tinyConfig("universal3+zdr"));
+    GpuKernel kernel = tinyKernel(1);
+    const GpuRunReport report = system.run(kernel);
+
+    // Producer pass + accesses all hit the cache layer.
+    EXPECT_GE(report.cache.accesses,
+              kernel.accesses + 256u * 1024u / 32u);
+    // Everything that left the cache must have hit DRAM.
+    EXPECT_EQ(report.mem.reads + report.mem.writes,
+              report.cache.sectorMisses + report.cache.writebacks);
+    // Every DRAM access moved one 32-byte sector over some channel.
+    EXPECT_EQ(report.bus.transactions,
+              report.mem.reads + report.mem.writes);
+    EXPECT_EQ(report.bus.dataBits, report.bus.transactions * 256);
+    EXPECT_GT(report.mem.activates, 0u);
+    EXPECT_GT(report.mem.utilization(), 0.0);
+    EXPECT_LE(report.mem.utilization(), 1.0);
+}
+
+TEST(GpuSystem, EnergyIsPositiveAndDecomposed)
+{
+    GpuSystem system(tinyConfig("baseline"));
+    GpuKernel kernel = tinyKernel(2);
+    const GpuRunReport report = system.run(kernel);
+    EXPECT_GT(report.energy.total(), 0.0);
+    EXPECT_GT(report.energy.ioOnes, 0.0);
+    EXPECT_GT(report.energyPerBytePj(), 1.0);
+    EXPECT_LT(report.energyPerBytePj(), 1000.0);
+}
+
+TEST(GpuSystem, DeterministicAcrossRuns)
+{
+    GpuSystem a(tinyConfig("universal3+zdr"));
+    GpuSystem b(tinyConfig("universal3+zdr"));
+    GpuKernel ka = tinyKernel(3);
+    GpuKernel kb = tinyKernel(3);
+    const GpuRunReport ra = a.run(ka);
+    const GpuRunReport rb = b.run(kb);
+    EXPECT_EQ(ra.bus.ones(), rb.bus.ones());
+    EXPECT_EQ(ra.bus.toggles(), rb.bus.toggles());
+    EXPECT_EQ(ra.mem.activates, rb.mem.activates);
+    EXPECT_DOUBLE_EQ(ra.energy.total(), rb.energy.total());
+}
+
+TEST(GpuSystem, EncodingSavesEnergyOnSimilarData)
+{
+    // The same kernel on the same system, baseline vs universal: the
+    // encoded run must move fewer ones and spend less total energy.
+    GpuSystem baseline(tinyConfig("baseline"));
+    GpuSystem encoded(tinyConfig("universal3+zdr"));
+    GpuKernel k1 = tinyKernel(4);
+    GpuKernel k2 = tinyKernel(4);
+    const GpuRunReport rb = baseline.run(k1);
+    const GpuRunReport re = encoded.run(k2);
+    EXPECT_EQ(rb.bus.transactions, re.bus.transactions);
+    EXPECT_LT(re.bus.ones(), rb.bus.ones());
+    EXPECT_LT(re.energy.total(), rb.energy.total());
+}
+
+TEST(GpuSystem, ReferenceKernelsAreComplete)
+{
+    const std::vector<GpuKernel> kernels = makeReferenceKernels(7);
+    ASSERT_EQ(kernels.size(), 5u);
+    for (const GpuKernel &kernel : kernels) {
+        EXPECT_FALSE(kernel.name.empty());
+        EXPECT_NE(kernel.dataPattern, nullptr);
+        EXPECT_GT(kernel.accesses, 0u);
+        EXPECT_GT(kernel.footprintBytes, 0u);
+    }
+}
+
+TEST(GpuSystem, ReportMentionsKernelAndCodec)
+{
+    GpuSystem system(tinyConfig("universal3+zdr"));
+    GpuKernel kernel = tinyKernel(5);
+    const GpuRunReport report = system.run(kernel);
+    const std::string text = report.report();
+    EXPECT_NE(text.find("tiny"), std::string::npos);
+    EXPECT_NE(text.find("universal3+zdr"), std::string::npos);
+    EXPECT_NE(text.find("energy"), std::string::npos);
+}
+
+TEST(GpuSystem, CpuDdr4SystemRoundTrips)
+{
+    GpuConfig config = GpuConfig::cpuDdr4();
+    config.llcBytes = 64u << 10;
+    config.codecSpec = "universal3+zdr";
+    GpuSystem system(config);
+
+    GpuKernel kernel;
+    kernel.name = "cpu-kernel";
+    kernel.footprintBytes = 256u << 10;
+    kernel.accesses = 10000;
+    kernel.writeFraction = 0.4;
+    kernel.randomFraction = 0.3;
+    kernel.dataPattern = makeSoaDoublePattern(1.0e3, 1.0e-3, 8, 24);
+    kernel.seed = 8;
+
+    // run() panics on any decode mismatch, so completing the run is the
+    // core assertion; 64-byte transactions flow over a 64-bit bus.
+    const GpuRunReport report = system.run(kernel);
+    EXPECT_EQ(report.bus.dataBits, report.bus.transactions * 512);
+    EXPECT_GT(report.energy.total(), 0.0);
+}
+
+TEST(GpuSystem, Table1ConfigReport)
+{
+    const GpuConfig config = GpuConfig::titanXPascal();
+    EXPECT_DOUBLE_EQ(config.peakBandwidthGBps(), 480.0);
+    const std::string report = config.report();
+    EXPECT_NE(report.find("56 stream multiprocessors"), std::string::npos);
+    EXPECT_NE(report.find("384 bit"), std::string::npos);
+    EXPECT_NE(report.find("480"), std::string::npos);
+}
+
+} // namespace
+} // namespace bxt

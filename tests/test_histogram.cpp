@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for common/histogram.h.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+
+namespace bxt {
+namespace {
+
+TEST(Histogram, BucketEdges)
+{
+    Histogram h(-80.0, 80.0, 8);
+    EXPECT_EQ(h.buckets(), 8u);
+    EXPECT_DOUBLE_EQ(h.bucketLo(0), -80.0);
+    EXPECT_DOUBLE_EQ(h.bucketHi(0), -60.0);
+    EXPECT_DOUBLE_EQ(h.bucketLo(7), 60.0);
+    EXPECT_DOUBLE_EQ(h.bucketHi(7), 80.0);
+}
+
+TEST(Histogram, PlacesSamples)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(5.5);
+    h.add(9.9);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(5), 1u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-100.0);
+    h.add(100.0);
+    h.add(10.0); // Exactly hi: clamps to last bucket.
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(4), 2u);
+}
+
+TEST(Histogram, Fractions)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    h.add(3.5);
+    EXPECT_DOUBLE_EQ(h.bucketFraction(0), 0.25);
+    EXPECT_DOUBLE_EQ(h.bucketFraction(1), 0.5);
+    EXPECT_DOUBLE_EQ(h.bucketFraction(2), 0.0);
+}
+
+TEST(Histogram, EmptyFractionIsZero)
+{
+    Histogram h(0.0, 1.0, 2);
+    EXPECT_DOUBLE_EQ(h.bucketFraction(0), 0.0);
+}
+
+TEST(Histogram, RenderContainsCounts)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    h.add(0.6);
+    const std::string out = h.render(10);
+    EXPECT_NE(out.find("2"), std::string::npos);
+    EXPECT_NE(out.find("##"), std::string::npos);
+}
+
+} // namespace
+} // namespace bxt

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Cross-module integration and invariant tests: every paper scheme over a
+ * sample of the real workload population, checking losslessness and the
+ * qualitative relationships the paper's evaluation rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "channel/channel_eval.h"
+#include "core/codec_factory.h"
+#include "workloads/apps.h"
+
+namespace bxt {
+namespace {
+
+/** A reduced population for quick integration runs. */
+std::vector<App>
+sampleSuite(std::size_t stride = 12)
+{
+    std::vector<App> all = buildGpuSuite();
+    std::vector<App> sample;
+    for (std::size_t i = 0; i < all.size(); i += stride)
+        sample.push_back(std::move(all[i]));
+    return sample;
+}
+
+class SchemeOnSuite : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SchemeOnSuite, LosslessOverWorkloadSample)
+{
+    // evalCodecOnStream panics on any decode mismatch, so simply driving
+    // it over real workload data is the assertion.
+    std::vector<App> apps = sampleSuite();
+    CodecPtr codec = makeCodec(GetParam());
+    for (App &app : apps) {
+        const auto trace = generateTrace(app, 256);
+        const auto result = evalCodecOnStream(*codec, trace, 32);
+        EXPECT_EQ(result.stats.transactions, trace.size());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSchemes, SchemeOnSuite,
+    testing::Values("baseline", "dbi4", "dbi2", "dbi1", "xor2+zdr",
+                    "xor4+zdr", "xor8+zdr", "xor4", "universal3+zdr",
+                    "universal3", "universal3+zdr|dbi1", "bd",
+                    "xor4+zdr+fixed"));
+
+TEST(Integration, UniversalBeatsBaselineOnPopulation)
+{
+    std::vector<App> apps = sampleSuite(6);
+    CodecPtr universal = makeCodec("universal3+zdr");
+    std::uint64_t raw = 0;
+    std::uint64_t encoded = 0;
+    for (App &app : apps) {
+        const auto trace = generateTrace(app, 512);
+        const auto result = evalCodecOnStream(*universal, trace, 32);
+        raw += result.rawOnes;
+        encoded += result.stats.ones();
+    }
+    // The paper's headline: a large ones reduction on GPU data (35.3 %).
+    EXPECT_LT(static_cast<double>(encoded), 0.8 * static_cast<double>(raw));
+}
+
+TEST(Integration, CombinedSchemeBeatsEitherAlone)
+{
+    std::vector<App> apps = sampleSuite(6);
+    std::uint64_t dbi_ones = 0;
+    std::uint64_t universal_ones = 0;
+    std::uint64_t combined_ones = 0;
+    for (App &app : apps) {
+        const auto trace = generateTrace(app, 512);
+        CodecPtr dbi = makeCodec("dbi1");
+        CodecPtr universal = makeCodec("universal3+zdr");
+        CodecPtr combined = makeCodec("universal3+zdr|dbi1");
+        dbi_ones += evalCodecOnStream(*dbi, trace, 32).stats.ones();
+        universal_ones +=
+            evalCodecOnStream(*universal, trace, 32).stats.ones();
+        combined_ones +=
+            evalCodecOnStream(*combined, trace, 32).stats.ones();
+    }
+    EXPECT_LT(combined_ones, dbi_ones);
+    EXPECT_LT(combined_ones, universal_ones);
+}
+
+TEST(Integration, ZdrRescuesZeroHeavyWorkloads)
+{
+    // On the sparse-zero family, plain 4-byte XOR regresses while
+    // XOR+ZDR does not (paper Figure 14's message).
+    std::vector<App> all = buildGpuSuite();
+    CodecPtr plain = makeCodec("xor4");
+    CodecPtr zdr = makeCodec("xor4+zdr");
+    std::uint64_t raw = 0;
+    std::uint64_t plain_ones = 0;
+    std::uint64_t zdr_ones = 0;
+    for (App &app : all) {
+        if (app.family != "sparse-zero")
+            continue;
+        const auto trace = generateTrace(app, 256);
+        const auto p = evalCodecOnStream(*plain, trace, 32);
+        const auto z = evalCodecOnStream(*zdr, trace, 32);
+        raw += p.rawOnes;
+        plain_ones += p.stats.ones();
+        zdr_ones += z.stats.ones();
+    }
+    ASSERT_GT(raw, 0u);
+    EXPECT_LT(zdr_ones, plain_ones);
+    EXPECT_LT(static_cast<double>(zdr_ones), 1.05 * raw);
+}
+
+TEST(Integration, DbiGroupSizeOrderingHolds)
+{
+    // Smaller DBI groups remove more ones (at more metadata cost):
+    // dbi1 <= dbi2 <= dbi4 in total ones, as in Figure 15.
+    std::vector<App> apps = sampleSuite(6);
+    std::uint64_t ones[3] = {0, 0, 0};
+    const char *specs[3] = {"dbi1", "dbi2", "dbi4"};
+    for (App &app : apps) {
+        const auto trace = generateTrace(app, 512);
+        for (int i = 0; i < 3; ++i) {
+            CodecPtr codec = makeCodec(specs[i]);
+            ones[static_cast<std::size_t>(i)] +=
+                evalCodecOnStream(*codec, trace, 32).stats.ones();
+        }
+    }
+    EXPECT_LE(ones[0], ones[1]);
+    EXPECT_LE(ones[1], ones[2]);
+}
+
+TEST(Integration, CpuSuiteRoundTripsAt64Bytes)
+{
+    std::vector<App> apps = buildCpuSuite();
+    CodecPtr codec = makeCodec("universal3+zdr", 8);
+    for (App &app : apps) {
+        const auto trace = generateTrace(app, 128);
+        const auto result = evalCodecOnStream(*codec, trace, 64);
+        EXPECT_EQ(result.stats.beats, 128u * 8u) << app.name;
+    }
+}
+
+TEST(Integration, MetadataSchemesPayOnIncompressibleData)
+{
+    // On incompressible data, metadata-bearing schemes transmit *more*
+    // total ones than the baseline — the paper's argument for
+    // metadata-free encoding.
+    std::vector<App> all = buildGpuSuite();
+    for (App &app : all) {
+        if (app.family != "incompressible")
+            continue;
+        const auto trace = generateTrace(app, 512);
+        CodecPtr baseline = makeCodec("baseline");
+        CodecPtr universal = makeCodec("universal3+zdr");
+        const auto base = evalCodecOnStream(*baseline, trace, 32);
+        const auto univ = evalCodecOnStream(*universal, trace, 32);
+        // Metadata-free universal stays within noise of the baseline.
+        EXPECT_LT(univ.normalizedOnes(), 1.02);
+        (void)base;
+        break; // One app suffices.
+    }
+}
+
+} // namespace
+} // namespace bxt

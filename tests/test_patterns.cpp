@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Unit tests for the workload data-pattern generators: determinism and
+ * the statistical properties each family is designed to exhibit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/bitops.h"
+#include "core/transaction.h"
+#include "workloads/patterns.h"
+
+namespace bxt {
+namespace {
+
+std::vector<std::uint8_t>
+generate(Pattern &pattern, std::size_t transactions, std::size_t tx_bytes)
+{
+    Rng rng(1);
+    std::vector<std::uint8_t> out(transactions * tx_bytes);
+    for (std::size_t i = 0; i < transactions; ++i)
+        pattern.fill(rng, {out.data() + i * tx_bytes, tx_bytes});
+    return out;
+}
+
+TEST(Patterns, SameSeedSameStream)
+{
+    PatternPtr a = makeSoaFloatPattern(1e3, 1e-3, 42);
+    PatternPtr b = makeSoaFloatPattern(1e3, 1e-3, 42);
+    EXPECT_EQ(generate(*a, 16, 32), generate(*b, 16, 32));
+}
+
+TEST(Patterns, DifferentSeedsDiffer)
+{
+    PatternPtr a = makeSoaFloatPattern(1e3, 1e-3, 1);
+    PatternPtr b = makeSoaFloatPattern(1e3, 1e-3, 2);
+    EXPECT_NE(generate(*a, 16, 32), generate(*b, 16, 32));
+}
+
+TEST(Patterns, SoaFloatAdjacentElementsShareTopBytes)
+{
+    PatternPtr p = makeSoaFloatPattern(1e3, 1e-4, 7);
+    const auto data = generate(*p, 64, 32);
+    std::size_t matches = 0;
+    std::size_t pairs = 0;
+    for (std::size_t off = 0; off + 8 <= data.size(); off += 4) {
+        // Compare the top two bytes (sign/exponent/upper mantissa) of
+        // adjacent fp32 elements.
+        if (data[off + 2] == data[off + 6] && data[off + 3] == data[off + 7])
+            ++matches;
+        ++pairs;
+    }
+    EXPECT_GT(static_cast<double>(matches) / pairs, 0.8);
+}
+
+TEST(Patterns, QuantizationZeroesLowMantissaBits)
+{
+    PatternPtr p = makeSoaFloatPattern(1e3, 1e-3, 7, /*quant_bits=*/10);
+    const auto data = generate(*p, 32, 32);
+    // With 10 significant bits, the low 13 mantissa bits of every fp32
+    // are zero -> the lowest byte must always be zero.
+    for (std::size_t off = 0; off < data.size(); off += 4)
+        EXPECT_EQ(data[off], 0) << "offset " << off;
+}
+
+TEST(Patterns, VecFloatHasPeriodicComponents)
+{
+    PatternPtr p = makeVecFloatPattern(4, 4, 1e-4, 9);
+    const auto data = generate(*p, 64, 32);
+    // Elements 16 bytes apart are the same component: top bytes match
+    // far more often than elements 4 bytes apart.
+    std::size_t same_component = 0;
+    std::size_t next_component = 0;
+    std::size_t samples = 0;
+    for (std::size_t off = 0; off + 20 <= data.size(); off += 4) {
+        same_component += (off + 19 < data.size() &&
+                           data[off + 3] == data[off + 19])
+                              ? 1
+                              : 0;
+        next_component += data[off + 3] == data[off + 7] ? 1 : 0;
+        ++samples;
+    }
+    EXPECT_GT(same_component, next_component);
+}
+
+TEST(Patterns, IntStrideAdvances)
+{
+    PatternPtr p = makeIntStridePattern(4, 2, 0, 11);
+    const auto data = generate(*p, 1, 32);
+    std::uint32_t prev;
+    std::memcpy(&prev, data.data(), 4);
+    for (std::size_t off = 4; off < 32; off += 4) {
+        std::uint32_t value;
+        std::memcpy(&value, data.data() + off, 4);
+        EXPECT_EQ(value, prev + 2);
+        prev = value;
+    }
+}
+
+TEST(Patterns, IntStrideValueBitsBoundsMagnitude)
+{
+    PatternPtr p = makeIntStridePattern(4, 1, 0, 13, /*value_bits=*/14);
+    const auto data = generate(*p, 4, 32);
+    std::uint32_t first;
+    std::memcpy(&first, data.data(), 4);
+    EXPECT_LT(first, 1u << 14);
+}
+
+TEST(Patterns, PointerTopsAreConstant)
+{
+    PatternPtr p = makePointerPattern(0x00007f0000000000ull, 1u << 20, 15);
+    const auto data = generate(*p, 16, 32);
+    for (std::size_t off = 0; off < data.size(); off += 8) {
+        std::uint64_t ptr;
+        std::memcpy(&ptr, data.data() + off, 8);
+        EXPECT_EQ(ptr >> 24, 0x00007f0000000000ull >> 24);
+        EXPECT_EQ(ptr % 8, 0u); // Aligned.
+    }
+}
+
+TEST(Patterns, RandomIsBalanced)
+{
+    PatternPtr p = makeRandomPattern(17);
+    const auto data = generate(*p, 256, 32);
+    const double density =
+        static_cast<double>(popcountBytes(data)) / (data.size() * 8.0);
+    EXPECT_NEAR(density, 0.5, 0.01);
+}
+
+TEST(Patterns, ConstantElemRepeats)
+{
+    PatternPtr p = makeConstantElemPattern(4, 0.0, 19);
+    const auto data = generate(*p, 4, 32);
+    for (std::size_t off = 4; off < data.size(); off += 4)
+        EXPECT_EQ(std::memcmp(data.data(), data.data() + off, 4), 0);
+}
+
+TEST(Patterns, RgbaAlphaChannel)
+{
+    PatternPtr p = makeRgbaPixelPattern(4, 0xfe, 21);
+    const auto data = generate(*p, 16, 32);
+    for (std::size_t off = 3; off < data.size(); off += 4)
+        EXPECT_EQ(data[off], 0xfe);
+}
+
+TEST(Patterns, DepthBufferValuesInUnitRange)
+{
+    PatternPtr p = makeDepthBufferPattern(0.5, 1e-4, 23);
+    const auto data = generate(*p, 32, 32);
+    for (std::size_t off = 0; off < data.size(); off += 4) {
+        float z;
+        std::memcpy(&z, data.data() + off, 4);
+        EXPECT_GE(z, 0.0f);
+        EXPECT_LE(z, 1.0f);
+    }
+}
+
+TEST(Patterns, TextIsPrintableAscii)
+{
+    PatternPtr p = makeTextPattern(25);
+    const auto data = generate(*p, 16, 64);
+    for (std::uint8_t byte : data) {
+        EXPECT_GE(byte, 0x20);
+        EXPECT_LT(byte, 0x7f);
+    }
+}
+
+TEST(Patterns, EnumBytesBounded)
+{
+    PatternPtr p = makeEnumBytePattern(5, 27);
+    const auto data = generate(*p, 64, 32);
+    for (std::uint8_t byte : data)
+        EXPECT_LT(byte, 5);
+}
+
+TEST(Patterns, ZeroMixedZeroesElements)
+{
+    PatternPtr p = makeZeroMixedPattern(makeRandomPattern(29), 4, 0.5, 31);
+    const auto data = generate(*p, 512, 32);
+    std::size_t zero_elements = 0;
+    std::size_t elements = 0;
+    for (std::size_t off = 0; off + 4 <= data.size(); off += 4) {
+        zero_elements += allZero(data.data() + off, 4) ? 1 : 0;
+        ++elements;
+    }
+    const double ratio =
+        static_cast<double>(zero_elements) / static_cast<double>(elements);
+    EXPECT_NEAR(ratio, 0.5, 0.05);
+}
+
+TEST(Patterns, ZeroBurstEmitsAllZeroTransactions)
+{
+    PatternPtr p =
+        makeZeroBurstPattern(makeRandomPattern(33), 0.5, 4, 35);
+    Rng rng(1);
+    std::size_t zero_txs = 0;
+    for (int i = 0; i < 256; ++i) {
+        Transaction tx(32);
+        p->fill(rng, tx.bytes());
+        zero_txs += tx.isZero() ? 1 : 0;
+    }
+    EXPECT_GT(zero_txs, 64u);
+    EXPECT_LT(zero_txs, 256u);
+}
+
+TEST(Patterns, MixDrawsFromAllMembers)
+{
+    std::vector<std::pair<PatternPtr, double>> members;
+    members.emplace_back(makeConstantElemPattern(4, 0.0, 1), 0.5);
+    members.emplace_back(makeTextPattern(2), 0.5);
+    PatternPtr mix = makeMixPattern(std::move(members), 0.5, 37);
+    Rng rng(1);
+    bool saw_text = false;
+    bool saw_constant = false;
+    for (int i = 0; i < 200; ++i) {
+        Transaction tx(32);
+        mix->fill(rng, tx.bytes());
+        bool ascii = true;
+        for (std::uint8_t b : tx.bytes())
+            ascii = ascii && b >= 0x20 && b < 0x7f;
+        if (ascii)
+            saw_text = true;
+        else
+            saw_constant = true;
+    }
+    EXPECT_TRUE(saw_text);
+    EXPECT_TRUE(saw_constant);
+}
+
+TEST(Patterns, HalfFloatSimilarTopBytes)
+{
+    PatternPtr p = makeHalfFloatPattern(1.0, 1e-3, 39);
+    const auto data = generate(*p, 64, 32);
+    std::size_t matches = 0;
+    std::size_t pairs = 0;
+    for (std::size_t off = 0; off + 4 <= data.size(); off += 2) {
+        matches += data[off + 1] == data[off + 3] ? 1 : 0;
+        ++pairs;
+    }
+    EXPECT_GT(static_cast<double>(matches) / pairs, 0.7);
+}
+
+TEST(Patterns, NamesAreStable)
+{
+    EXPECT_EQ(makeSoaFloatPattern(1, 1e-3, 1)->name(), "soa-fp32");
+    EXPECT_EQ(makeVecFloatPattern(3, 4, 1e-3, 1)->name(), "vec3-fp32");
+    EXPECT_EQ(makeVecFloatPattern(2, 8, 1e-3, 1)->name(), "vec2-fp64");
+    EXPECT_EQ(makeEnumBytePattern(4, 1)->name(), "enum-bytes");
+    EXPECT_EQ(makeZeroMixedPattern(makeRandomPattern(1), 4, 0.1, 2)->name(),
+              "random+zeros");
+}
+
+} // namespace
+} // namespace bxt

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the POD I/O electrical model against the constants the
+ * paper derives in §V-A and Table I.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/pod_io.h"
+
+namespace bxt {
+namespace {
+
+TEST(PodIo, Gddr5xStaticCurrentIs13_5mA)
+{
+    const PodIoParams io = PodIoParams::gddr5x();
+    EXPECT_NEAR(io.currentPerOne(), 13.5e-3, 1e-6);
+}
+
+TEST(PodIo, Gddr5xEnergyPerOneIs1_82pJ)
+{
+    const PodIoParams io = PodIoParams::gddr5x();
+    EXPECT_NEAR(io.energyPerOne() * 1e12, 1.82, 0.01);
+}
+
+TEST(PodIo, Gddr5xSwingIs0_54V)
+{
+    const PodIoParams io = PodIoParams::gddr5x();
+    EXPECT_NEAR(io.swingVoltage(), 0.54, 1e-9);
+}
+
+TEST(PodIo, BitTimeMatchesDataRate)
+{
+    const PodIoParams io = PodIoParams::gddr5x();
+    EXPECT_NEAR(io.bitTime(), 100e-12, 1e-15); // 10 Gbps -> 100 ps.
+}
+
+TEST(PodIo, ToggleEnergyFormula)
+{
+    PodIoParams io = PodIoParams::gddr5x();
+    const double vsw = io.swingVoltage();
+    EXPECT_NEAR(io.energyPerToggle(), 0.5 * io.cChannel * vsw * vsw,
+                1e-18);
+    // A one costs more than a toggle at the GDDR5X operating point.
+    EXPECT_GT(io.energyPerOne(), io.energyPerToggle());
+}
+
+TEST(PodIo, Ddr4PresetIsSlowerAndLowerVoltage)
+{
+    const PodIoParams ddr4 = PodIoParams::ddr4();
+    const PodIoParams gddr = PodIoParams::gddr5x();
+    EXPECT_LT(ddr4.vdd, gddr.vdd);
+    EXPECT_LT(ddr4.dataRateGbps, gddr.dataRateGbps);
+    EXPECT_GT(ddr4.bitTime(), gddr.bitTime());
+}
+
+TEST(PodIo, Hbm2IsUnterminated)
+{
+    const PodIoParams hbm = PodIoParams::hbm2();
+    EXPECT_FALSE(hbm.terminated());
+    // No termination: a 1 costs no static energy, and the swing is the
+    // full rail.
+    EXPECT_DOUBLE_EQ(hbm.currentPerOne(), 0.0);
+    EXPECT_DOUBLE_EQ(hbm.energyPerOne(), 0.0);
+    EXPECT_DOUBLE_EQ(hbm.swingVoltage(), hbm.vdd);
+    EXPECT_GT(hbm.energyPerToggle(), 0.0);
+    EXPECT_TRUE(PodIoParams::gddr5x().terminated());
+}
+
+TEST(PodIo, OnePenaltyFractionRoughly37Percent)
+{
+    // The paper quotes a 37 % energy premium for a 1 vs a 0 on GDDR5X.
+    // With per-bit fixed costs of ~4.6 pJ (clocking, RX, core share of a
+    // transferred bit) the model lands at that ratio.
+    const PodIoParams io = PodIoParams::gddr5x();
+    const double fixed = 4.6e-12;
+    EXPECT_NEAR(io.onePenaltyFraction(fixed), 0.37, 0.06);
+}
+
+} // namespace
+} // namespace bxt

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the xoshiro256** generator: determinism, bounds, basic
+ * distribution sanity, and stream independence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+
+namespace bxt {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += (a.next64() == b.next64()) ? 1 : 0;
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ZeroSeedWellMixed)
+{
+    // splitmix64 seeding must avoid the all-zero xoshiro state.
+    Rng rng(0);
+    std::uint64_t ored = 0;
+    for (int i = 0; i < 16; ++i)
+        ored |= rng.next64();
+    EXPECT_NE(ored, 0u);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, BoundedCoversAllValues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.nextBounded(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BoolProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.nextBool(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.nextGaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, SplitIsIndependent)
+{
+    Rng parent(42);
+    Rng child = parent.split();
+    // The child stream should not replicate the parent stream.
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += (parent.next64() == child.next64()) ? 1 : 0;
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BitBalance)
+{
+    Rng rng(23);
+    std::size_t ones = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i)
+        ones += static_cast<std::size_t>(
+            __builtin_popcountll(rng.next64()));
+    EXPECT_NEAR(static_cast<double>(ones) / (64.0 * n), 0.5, 0.01);
+}
+
+} // namespace
+} // namespace bxt

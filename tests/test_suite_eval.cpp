@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the bench-side suite evaluation harness (per-app and
+ * traffic-weighted aggregations used by the figure benches).
+ */
+
+#include <gtest/gtest.h>
+
+#include "suite_eval.h"
+#include "workloads/apps.h"
+
+namespace bxt {
+namespace {
+
+std::vector<App>
+twoApps()
+{
+    std::vector<App> all = buildGpuSuite();
+    std::vector<App> sample;
+    sample.push_back(std::move(all[0]));
+    sample.push_back(std::move(all[50]));
+    return sample;
+}
+
+TEST(SuiteEval, ProducesOneResultPerApp)
+{
+    std::vector<App> apps = twoApps();
+    const auto results =
+        evalSuite(apps, {"baseline", "universal3+zdr"}, 128);
+    ASSERT_EQ(results.size(), 2u);
+    for (const AppResult &r : results) {
+        EXPECT_EQ(r.stats.size(), 2u);
+        EXPECT_GT(r.rawOnes, 0u);
+        EXPECT_FALSE(r.app.empty());
+    }
+}
+
+TEST(SuiteEval, BaselineNormalizesToOne)
+{
+    std::vector<App> apps = twoApps();
+    const auto results = evalSuite(apps, {"baseline"}, 128);
+    for (const AppResult &r : results) {
+        EXPECT_DOUBLE_EQ(r.normalizedOnes("baseline"), 1.0);
+        EXPECT_DOUBLE_EQ(r.normalizedToggles("baseline"), 1.0);
+    }
+    EXPECT_DOUBLE_EQ(meanNormalizedOnes(results, "baseline"), 1.0);
+    EXPECT_DOUBLE_EQ(aggregateNormalizedOnes(results, "baseline"), 1.0);
+    EXPECT_DOUBLE_EQ(aggregateNormalizedToggles(results, "baseline"), 1.0);
+}
+
+TEST(SuiteEval, AggregateIsTrafficWeighted)
+{
+    // Hand-built results: app A has 10x the traffic of app B; the
+    // aggregate must be dominated by A while the mean weighs them
+    // equally.
+    AppResult a;
+    a.rawOnes = 1000;
+    BusStats sa;
+    sa.dataOnes = 500;
+    a.stats.emplace("x", sa);
+    AppResult b;
+    b.rawOnes = 100;
+    BusStats sb;
+    sb.dataOnes = 100;
+    b.stats.emplace("x", sb);
+    std::vector<AppResult> results;
+    results.push_back(std::move(a));
+    results.push_back(std::move(b));
+
+    EXPECT_NEAR(meanNormalizedOnes(results, "x"), (0.5 + 1.0) / 2, 1e-12);
+    EXPECT_NEAR(aggregateNormalizedOnes(results, "x"), 600.0 / 1100.0,
+                1e-12);
+}
+
+TEST(SuiteEval, MixedRatioIsPopulated)
+{
+    std::vector<App> all = buildGpuSuite();
+    std::vector<App> sparse;
+    for (App &app : all) {
+        if (app.family == "sparse-zero") {
+            sparse.push_back(std::move(app));
+            break;
+        }
+    }
+    ASSERT_EQ(sparse.size(), 1u);
+    const auto results = evalSuite(sparse, {"baseline"}, 256);
+    EXPECT_GT(results[0].mixedRatio, 0.2);
+}
+
+TEST(SuiteEval, CpuAppsUseSixtyFourBitBus)
+{
+    std::vector<App> apps = buildCpuSuite();
+    apps.resize(1);
+    const auto results = evalSuite(apps, {"baseline"}, 64);
+    // 64 transactions x 64 bytes over a 64-bit bus = 8 beats each.
+    EXPECT_EQ(results[0].stats.at("baseline").beats, 64u * 8u);
+}
+
+} // namespace
+} // namespace bxt

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Unit tests for the ASCII table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+
+namespace bxt {
+namespace {
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1.5"});
+    t.addRow({"beta", "22.0"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22.0"), std::string::npos);
+    EXPECT_NE(out.find("|-"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CellFormatting)
+{
+    EXPECT_EQ(Table::cell(1.25, 1), "1.2");
+    EXPECT_EQ(Table::cell(1.25, 2), "1.25");
+    EXPECT_EQ(Table::cell(std::size_t{42}), "42");
+}
+
+TEST(Table, ColumnsAligned)
+{
+    Table t({"a", "b"});
+    t.addRow({"xxxx", "1"});
+    t.addRow({"y", "222"});
+    const std::string out = t.render();
+    // Every line must have the same length (aligned columns).
+    std::size_t line_len = out.find('\n');
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        const std::size_t next = out.find('\n', pos);
+        EXPECT_EQ(next - pos, line_len);
+        pos = next + 1;
+    }
+}
+
+TEST(Banner, ContainsTitle)
+{
+    EXPECT_NE(banner("Figure 1").find("Figure 1"), std::string::npos);
+}
+
+} // namespace
+} // namespace bxt

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the .bxtrace binary trace file format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "workloads/trace.h"
+
+namespace bxt {
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + "/" + name;
+}
+
+Trace
+makeTrace(std::size_t count, std::size_t tx_bytes)
+{
+    Trace trace;
+    trace.name = "unit-test";
+    Rng rng(7);
+    for (std::size_t i = 0; i < count; ++i) {
+        Transaction tx(tx_bytes);
+        for (std::size_t off = 0; off < tx_bytes; off += 8)
+            tx.setWord64(off, rng.next64());
+        trace.txs.push_back(tx);
+    }
+    return trace;
+}
+
+TEST(TraceIo, SaveLoadRoundTrip)
+{
+    const Trace original = makeTrace(50, 32);
+    const std::string path = tempPath("roundtrip.bxtrace");
+    ASSERT_TRUE(saveTrace(original, path));
+
+    const Trace loaded = loadTrace(path);
+    EXPECT_EQ(loaded.name, original.name);
+    ASSERT_EQ(loaded.txs.size(), original.txs.size());
+    for (std::size_t i = 0; i < loaded.txs.size(); ++i)
+        EXPECT_EQ(loaded.txs[i], original.txs[i]);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, SupportsCpuSizedTransactions)
+{
+    const Trace original = makeTrace(10, 64);
+    const std::string path = tempPath("cpu.bxtrace");
+    ASSERT_TRUE(saveTrace(original, path));
+    const Trace loaded = loadTrace(path);
+    EXPECT_EQ(loaded.txBytes(), 64u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, EmptyTrace)
+{
+    Trace empty;
+    empty.name = "empty";
+    const std::string path = tempPath("empty.bxtrace");
+    ASSERT_TRUE(saveTrace(empty, path));
+    const Trace loaded = loadTrace(path);
+    EXPECT_EQ(loaded.name, "empty");
+    EXPECT_TRUE(loaded.txs.empty());
+    EXPECT_EQ(loaded.txBytes(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileReturnsEmpty)
+{
+    const Trace loaded = loadTrace(tempPath("does-not-exist.bxtrace"));
+    EXPECT_TRUE(loaded.name.empty());
+    EXPECT_TRUE(loaded.txs.empty());
+}
+
+TEST(TraceIo, SaveToUnwritablePathFails)
+{
+    EXPECT_FALSE(saveTrace(makeTrace(1, 32), "/nonexistent-dir/x.bxtrace"));
+}
+
+TEST(TraceIoDeath, RejectsCorruptMagic)
+{
+    const std::string path = tempPath("corrupt.bxtrace");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("NOT A TRACE FILE AT ALL", f);
+    std::fclose(f);
+    EXPECT_EXIT(loadTrace(path), testing::ExitedWithCode(1), "bad magic");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeath, RejectsTruncatedPayload)
+{
+    const Trace original = makeTrace(8, 32);
+    const std::string path = tempPath("truncated.bxtrace");
+    ASSERT_TRUE(saveTrace(original, path));
+    // Chop the file short.
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size - 16), 0);
+    EXPECT_EXIT(loadTrace(path), testing::ExitedWithCode(1), "truncated");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace bxt

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for core/transaction.h.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/transaction.h"
+
+namespace bxt {
+namespace {
+
+TEST(Transaction, DefaultIsZero32Bytes)
+{
+    Transaction tx;
+    EXPECT_EQ(tx.size(), 32u);
+    EXPECT_TRUE(tx.isZero());
+    EXPECT_EQ(tx.ones(), 0u);
+}
+
+TEST(Transaction, SupportedSizes)
+{
+    for (std::size_t size : {8u, 16u, 32u, 64u}) {
+        Transaction tx(size);
+        EXPECT_EQ(tx.size(), size);
+        EXPECT_TRUE(tx.isZero());
+    }
+}
+
+TEST(Transaction, FromWords32MatchesPaperLayout)
+{
+    // Transaction0 of paper Figure 3/4.
+    Transaction tx = Transaction::fromWords32(
+        {0x390c9bfb, 0x390c90f9, 0x390c88f8, 0x390c88f9});
+    EXPECT_EQ(tx.size(), 16u);
+    EXPECT_EQ(tx.word32(0), 0x390c9bfbu);
+    EXPECT_EQ(tx.word32(12), 0x390c88f9u);
+    // Little-endian byte layout: byte 0 is the low byte of word 0.
+    EXPECT_EQ(tx.data()[0], 0xfb);
+    EXPECT_EQ(tx.data()[3], 0x39);
+}
+
+TEST(Transaction, PaperTransaction0OnesCount)
+{
+    // The paper counts 59 ones in transaction0's 16-byte example.
+    Transaction tx = Transaction::fromWords32(
+        {0x390c9bfb, 0x390c90f9, 0x390c88f8, 0x390c88f9});
+    EXPECT_EQ(tx.ones(), 59u);
+}
+
+TEST(Transaction, FromWords64)
+{
+    Transaction tx = Transaction::fromWords64(
+        {0x400ea15a5cf1bc00ull, 0x400ea15a5cf1bc04ull});
+    EXPECT_EQ(tx.size(), 16u);
+    EXPECT_EQ(tx.word64(0), 0x400ea15a5cf1bc00ull);
+    EXPECT_EQ(tx.word64(8), 0x400ea15a5cf1bc04ull);
+}
+
+TEST(Transaction, HexRoundTrip)
+{
+    Transaction tx = Transaction::fromWords32(
+        {0x00010203, 0x04050607, 0x08090a0b, 0x0c0d0e0f,
+         0x10111213, 0x14151617, 0x18191a1b, 0x1c1d1e1f});
+    const Transaction back = Transaction::fromHex(tx.toHex());
+    EXPECT_EQ(back, tx);
+}
+
+TEST(Transaction, FromHexAcceptsWhitespaceAndCase)
+{
+    const Transaction a = Transaction::fromHex("FB9B0C39 00000000");
+    EXPECT_EQ(a.size(), 8u);
+    EXPECT_EQ(a.word32(0), 0x390c9bfbu);
+    EXPECT_EQ(a.word32(4), 0u);
+}
+
+TEST(TransactionDeath, FromHexRejectsBadInput)
+{
+    EXPECT_EXIT(Transaction::fromHex("zz"),
+                testing::ExitedWithCode(1), "non-hex");
+    EXPECT_EXIT(Transaction::fromHex("aabb"), // 2 bytes: invalid size.
+                testing::ExitedWithCode(1), "bad input length");
+}
+
+TEST(Transaction, WordWriteRead)
+{
+    Transaction tx(32);
+    tx.setWord32(4, 0xcafebabe);
+    tx.setWord64(16, 0x1122334455667788ull);
+    EXPECT_EQ(tx.word32(4), 0xcafebabeu);
+    EXPECT_EQ(tx.word64(16), 0x1122334455667788ull);
+    EXPECT_EQ(tx.word32(0), 0u);
+}
+
+TEST(Transaction, Equality)
+{
+    Transaction a(16);
+    Transaction b(16);
+    EXPECT_TRUE(a == b);
+    b.setWord32(0, 1);
+    EXPECT_FALSE(a == b);
+    // Different sizes are never equal.
+    EXPECT_FALSE(Transaction(16) == Transaction(32));
+}
+
+TEST(Transaction, ConstructFromSpan)
+{
+    std::uint8_t raw[16];
+    for (std::size_t i = 0; i < 16; ++i)
+        raw[i] = static_cast<std::uint8_t>(i + 1);
+    Transaction tx{std::span<const std::uint8_t>(raw, 16)};
+    EXPECT_EQ(tx.size(), 16u);
+    EXPECT_EQ(tx.data()[15], 16);
+}
+
+TEST(Transaction, OnesCountsEveryByte)
+{
+    Transaction tx(64);
+    for (std::size_t i = 0; i < 64; ++i)
+        tx.data()[i] = 0x01;
+    EXPECT_EQ(tx.ones(), 64u);
+}
+
+TEST(Transaction, ToHexGroupsBy4Bytes)
+{
+    Transaction tx(8);
+    EXPECT_EQ(tx.toHex(), "00000000 00000000");
+}
+
+} // namespace
+} // namespace bxt

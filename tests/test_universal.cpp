@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit and property tests for Universal Base+XOR Transfer, including the
+ * paper's Figure 8 case studies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "core/base_xor.h"
+#include "core/universal_xor.h"
+
+namespace bxt {
+namespace {
+
+TEST(UniversalXor, PaperFigure8aTwoByteSimilarElements)
+{
+    // 3901 3903 3905 3907 3909 390b 390d 390f (16-bit little-endian
+    // elements) folds to a 2-byte base and mostly-zero XORed data:
+    // 3901 | 0002 | 0004 0004 | 0008 0008 0008 0008  (Figure 8a).
+    Transaction tx(16);
+    const std::uint16_t elements[] = {0x3901, 0x3903, 0x3905, 0x3907,
+                                      0x3909, 0x390b, 0x390d, 0x390f};
+    for (std::size_t i = 0; i < 8; ++i) {
+        tx.data()[2 * i] = static_cast<std::uint8_t>(elements[i] & 0xff);
+        tx.data()[2 * i + 1] = static_cast<std::uint8_t>(elements[i] >> 8);
+    }
+
+    UniversalXorCodec codec(3, /*zdr=*/false);
+    const Encoded enc = codec.encode(tx);
+
+    auto half_word = [&](std::size_t index) {
+        return static_cast<std::uint16_t>(
+            enc.payload.data()[2 * index] |
+            (enc.payload.data()[2 * index + 1] << 8));
+    };
+    EXPECT_EQ(half_word(0), 0x3901);
+    EXPECT_EQ(half_word(1), 0x0002);
+    EXPECT_EQ(half_word(2), 0x0004);
+    EXPECT_EQ(half_word(3), 0x0004);
+    EXPECT_EQ(half_word(4), 0x0008);
+    EXPECT_EQ(half_word(5), 0x0008);
+    EXPECT_EQ(half_word(6), 0x0008);
+    EXPECT_EQ(half_word(7), 0x0008);
+    EXPECT_EQ(codec.decode(enc), tx);
+}
+
+TEST(UniversalXor, PaperFigure8bFourByteSimilarElements)
+{
+    // 400ea151 400ea153 400ea155 400ea157: the 12 XORed bytes are mostly
+    // zero and a 4-byte effective base remains (internally folded by the
+    // final 2-byte stage, per Figure 8b).
+    Transaction tx = Transaction::fromWords32(
+        {0x400ea151, 0x400ea153, 0x400ea155, 0x400ea157});
+    UniversalXorCodec codec(3, /*zdr=*/false);
+    const Encoded enc = codec.encode(tx);
+
+    // Stage 0 (16B halves): upper half ^ lower half = 4,4 per word.
+    EXPECT_EQ(enc.payload.word32(8), 0x00000004u);
+    EXPECT_EQ(enc.payload.word32(12), 0x00000004u);
+    // Stage 1 (8B): word1 ^ word0 = 2.
+    EXPECT_EQ(enc.payload.word32(4), 0x00000002u);
+    // Stage 2 (4B): effective base with its halves XORed:
+    // low 16 = a151 ^ (unchanged), high 16 = 400e ^ a151 = e15f.
+    EXPECT_EQ(enc.payload.word32(0) & 0xffffu, 0xa151u);
+    EXPECT_EQ(enc.payload.word32(0) >> 16, 0xe15fu);
+    EXPECT_EQ(codec.decode(enc), tx);
+}
+
+TEST(UniversalXor, EffectiveBaseBytes)
+{
+    UniversalXorCodec three(3);
+    EXPECT_EQ(three.effectiveBaseBytes(32), 4u);
+    EXPECT_EQ(three.effectiveBaseBytes(16), 2u);
+    // Clamped so the base never folds below 2 bytes.
+    EXPECT_EQ(three.effectiveBaseBytes(8), 2u);
+
+    UniversalXorCodec five(5);
+    EXPECT_EQ(five.effectiveBaseBytes(64), 2u);
+    EXPECT_EQ(five.effectiveBaseBytes(32), 2u);
+}
+
+TEST(UniversalXor, OneStageEqualsHalfXor)
+{
+    // A single stage is exactly a 16-byte Base+XOR on a 32-byte
+    // transaction.
+    Rng rng(3);
+    Transaction tx(32);
+    for (std::size_t off = 0; off < 32; off += 8)
+        tx.setWord64(off, rng.next64());
+
+    UniversalXorCodec universal(1, /*zdr=*/false);
+    BaseXorCodec half(16, /*zdr=*/false);
+    EXPECT_EQ(universal.encode(tx).payload, half.encode(tx).payload);
+}
+
+TEST(UniversalXor, ZdrHandlesInterspersedZeroElements)
+{
+    // A zero 4-byte element inside a non-zero half must still hit the
+    // lane-wise remap (the reason ZDR is applied per 4-byte lane).
+    Transaction tx = Transaction::fromWords32(
+        {0x400ea95b, 0x400ea95b, 0x00000000, 0x400ea95b,
+         0x400ea95b, 0x00000000, 0x400ea95b, 0x400ea95b});
+    UniversalXorCodec with_zdr(3, true);
+    UniversalXorCodec without_zdr(3, false);
+    const Encoded a = with_zdr.encode(tx);
+    const Encoded b = without_zdr.encode(tx);
+    EXPECT_LT(a.ones(), b.ones());
+    EXPECT_EQ(with_zdr.decode(a), tx);
+    EXPECT_EQ(without_zdr.decode(b), tx);
+}
+
+TEST(UniversalXor, AllZeroTransactionStaysCheap)
+{
+    Transaction tx(32);
+    UniversalXorCodec codec(3, true);
+    const Encoded enc = codec.encode(tx);
+    // 28 XORed bytes in 4-byte lanes -> 7 lanes x 1 constant bit.
+    EXPECT_EQ(enc.ones(), 7u);
+    EXPECT_EQ(codec.decode(enc), tx);
+}
+
+TEST(UniversalXor, NamesDescribeConfiguration)
+{
+    EXPECT_EQ(UniversalXorCodec(3, true).name(), "universal3+zdr");
+    EXPECT_EQ(UniversalXorCodec(2, false).name(), "universal2");
+}
+
+TEST(UniversalXor, NoMetadataAndStateless)
+{
+    UniversalXorCodec codec(3, true);
+    EXPECT_EQ(codec.metaWiresPerBeat(), 0u);
+    EXPECT_TRUE(codec.stateless());
+}
+
+/** Round-trip sweep over (stages, size, zdr). */
+class UniversalRoundTrip
+    : public testing::TestWithParam<std::tuple<unsigned, std::size_t, bool>>
+{
+};
+
+TEST_P(UniversalRoundTrip, RandomData)
+{
+    const auto [stages, size, zdr] = GetParam();
+    UniversalXorCodec codec(stages, zdr);
+    Rng rng(0x77 + stages * 17 + size);
+    for (int trial = 0; trial < 500; ++trial) {
+        Transaction tx(size);
+        for (std::size_t off = 0; off < size; off += 8)
+            tx.setWord64(off, rng.next64());
+        if (trial % 3 == 0)
+            tx.setWord64(0, 0);
+        if (trial % 5 == 0)
+            tx.setWord32(size / 2, 0);
+        const Encoded enc = codec.encode(tx);
+        ASSERT_EQ(codec.decode(enc), tx);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, UniversalRoundTrip,
+    testing::Combine(testing::Values<unsigned>(1, 2, 3, 4, 5),
+                     testing::Values<std::size_t>(8, 16, 32, 64),
+                     testing::Bool()));
+
+TEST(UniversalXorProperty, SimilarityAtAnyPowerOfTwoGranularityIsFound)
+{
+    // Fill with a repeated pattern of period 2^k bytes; universal (3
+    // stages) must reduce ones substantially for every period <= 8.
+    Rng rng(5);
+    for (std::size_t period : {2u, 4u, 8u}) {
+        Transaction tx(32);
+        std::uint8_t element[8];
+        for (std::size_t i = 0; i < period; ++i)
+            element[i] = static_cast<std::uint8_t>(rng.next64() | 0x11);
+        for (std::size_t off = 0; off < 32; ++off)
+            tx.data()[off] = element[off % period];
+
+        UniversalXorCodec codec(3, true);
+        const Encoded enc = codec.encode(tx);
+        // Everything but the 4-byte effective base must fold to zero...
+        // except that for period < 4 the base itself folds too.
+        EXPECT_LE(enc.ones(), tx.ones() / 2)
+            << "period " << period << " not exploited";
+        EXPECT_EQ(codec.decode(enc), tx);
+    }
+}
+
+} // namespace
+} // namespace bxt

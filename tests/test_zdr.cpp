@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit and property tests for the Zero Data Remapping lane primitives —
+ * in particular the bijectivity argument the metadata-free decode relies
+ * on (paper §IV-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "common/rng.h"
+#include "core/zdr.h"
+
+namespace bxt {
+namespace {
+
+using Lane4 = std::array<std::uint8_t, 4>;
+
+Lane4
+lane(std::uint32_t value)
+{
+    Lane4 l;
+    std::memcpy(l.data(), &value, 4);
+    return l;
+}
+
+std::uint32_t
+value(const Lane4 &l)
+{
+    std::uint32_t v;
+    std::memcpy(&v, l.data(), 4);
+    return v;
+}
+
+std::uint32_t
+zdrEncode32(std::uint32_t in, std::uint32_t base)
+{
+    const Lane4 i = lane(in);
+    const Lane4 b = lane(base);
+    Lane4 out{};
+    zdrLaneEncode(out.data(), i.data(), b.data(), 4);
+    return value(out);
+}
+
+std::uint32_t
+zdrDecode32(std::uint32_t in, std::uint32_t base)
+{
+    const Lane4 i = lane(in);
+    const Lane4 b = lane(base);
+    Lane4 out{};
+    zdrLaneDecode(out.data(), i.data(), b.data(), 4);
+    return value(out);
+}
+
+TEST(ZdrLane, ZeroEncodesToConstant)
+{
+    // Paper Figure 5c: a zero element becomes 0x40000000.
+    EXPECT_EQ(zdrEncode32(0x00000000, 0x400ea95b), 0x40000000u);
+}
+
+TEST(ZdrLane, BaseXorConstantEncodesToBase)
+{
+    const std::uint32_t base = 0x400ea95b;
+    EXPECT_EQ(zdrEncode32(base ^ 0x40000000u, base), base);
+}
+
+TEST(ZdrLane, OrdinaryValuesXorEncode)
+{
+    // Paper Figure 4, element1: 0x390c90f9 ^ 0x390c9bfb = 0x00000b02.
+    EXPECT_EQ(zdrEncode32(0x390c90f9, 0x390c9bfb),
+              (0x390c90f9u ^ 0x390c9bfbu));
+}
+
+TEST(ZdrLane, PaperFigure5cEndToEnd)
+{
+    // Transaction: 400ea95b | 00000000 | 00000000 | 400ea95b, adjacent
+    // bases. Encoded per the paper: base, const, const, value^0.
+    EXPECT_EQ(zdrEncode32(0, 0x400ea95b), 0x40000000u);  // e1, base e0
+    EXPECT_EQ(zdrEncode32(0, 0x00000000), 0x40000000u);  // e2, base e1
+    EXPECT_EQ(zdrEncode32(0x400ea95b, 0), 0x400ea95bu);  // e3, base e2
+}
+
+TEST(ZdrLane, DecodeInvertsAllThreeCases)
+{
+    const std::uint32_t base = 0x400ea95b;
+    EXPECT_EQ(zdrDecode32(0x40000000u, base), 0u);
+    EXPECT_EQ(zdrDecode32(base, base), base ^ 0x40000000u);
+    EXPECT_EQ(zdrDecode32(0x00000b02u, base), base ^ 0x00000b02u);
+}
+
+TEST(ZdrLane, BijectiveWhenBaseEqualsConstant)
+{
+    // Degenerate corner: base == C makes the two remap cases coincide on
+    // input 0; the mapping must still be invertible.
+    const std::uint32_t base = 0x40000000u;
+    for (std::uint32_t in : {0x0u, 0x40000000u, 0x80000000u, 0x12345678u})
+        EXPECT_EQ(zdrDecode32(zdrEncode32(in, base), base), in);
+}
+
+TEST(ZdrLane, BijectiveWhenBaseIsZero)
+{
+    const std::uint32_t base = 0;
+    for (std::uint32_t in : {0x0u, 0x40000000u, 0xffffffffu, 0x1u})
+        EXPECT_EQ(zdrDecode32(zdrEncode32(in, base), base), in);
+}
+
+TEST(ZdrLane, ConstantDetector)
+{
+    const Lane4 c = lane(0x40000000);
+    EXPECT_TRUE(laneIsZdrConstant(c.data(), 4));
+    const Lane4 not_c = lane(0x40000001);
+    EXPECT_FALSE(laneIsZdrConstant(not_c.data(), 4));
+    const Lane4 wrong_byte = lane(0x00400000);
+    EXPECT_FALSE(laneIsZdrConstant(wrong_byte.data(), 4));
+}
+
+TEST(ZdrLane, BaseXorConstantDetector)
+{
+    const Lane4 base = lane(0x12345678);
+    const Lane4 match = lane(0x12345678 ^ 0x40000000);
+    const Lane4 miss = lane(0x12345678 ^ 0x40000001);
+    EXPECT_TRUE(laneIsBaseXorConstant(match.data(), base.data(), 4));
+    EXPECT_FALSE(laneIsBaseXorConstant(miss.data(), base.data(), 4));
+}
+
+TEST(ZdrLaneProperty, ExhaustiveBijectionOn2ByteLanes)
+{
+    // For 2-byte lanes the whole input space is checkable: for several
+    // bases, encode must be a permutation of 0..65535.
+    for (std::uint16_t base :
+         {std::uint16_t{0x0000}, std::uint16_t{0x4000},
+          std::uint16_t{0x390c}, std::uint16_t{0xffff}}) {
+        std::array<bool, 65536> seen{};
+        std::array<std::uint8_t, 2> b{
+            static_cast<std::uint8_t>(base & 0xff),
+            static_cast<std::uint8_t>(base >> 8)};
+        for (std::uint32_t in = 0; in < 65536; ++in) {
+            std::array<std::uint8_t, 2> i{
+                static_cast<std::uint8_t>(in & 0xff),
+                static_cast<std::uint8_t>(in >> 8)};
+            std::array<std::uint8_t, 2> out{};
+            zdrLaneEncode(out.data(), i.data(), b.data(), 2);
+            const std::size_t key =
+                out[0] | (static_cast<std::size_t>(out[1]) << 8);
+            ASSERT_FALSE(seen[key]) << "collision at base " << base
+                                    << " input " << in;
+            seen[key] = true;
+
+            std::array<std::uint8_t, 2> back{};
+            zdrLaneDecode(back.data(), out.data(), b.data(), 2);
+            ASSERT_EQ(back[0], i[0]);
+            ASSERT_EQ(back[1], i[1]);
+        }
+    }
+}
+
+TEST(ZdrLaneProperty, RandomRoundTripAllLaneSizes)
+{
+    Rng rng(99);
+    for (std::size_t lane_bytes : {2u, 4u, 8u, 16u}) {
+        for (int trial = 0; trial < 2000; ++trial) {
+            std::array<std::uint8_t, 16> in{};
+            std::array<std::uint8_t, 16> base{};
+            for (std::size_t i = 0; i < lane_bytes; ++i) {
+                in[i] = static_cast<std::uint8_t>(rng.next64());
+                base[i] = static_cast<std::uint8_t>(rng.next64());
+            }
+            // Bias some trials toward the special cases.
+            if (trial % 5 == 0)
+                std::memset(in.data(), 0, lane_bytes);
+            if (trial % 7 == 0) {
+                std::memcpy(in.data(), base.data(), lane_bytes);
+                in[lane_bytes - 1] ^= zdrConstantByte;
+            }
+            std::array<std::uint8_t, 16> enc{};
+            std::array<std::uint8_t, 16> dec{};
+            zdrLaneEncode(enc.data(), in.data(), base.data(), lane_bytes);
+            zdrLaneDecode(dec.data(), enc.data(), base.data(), lane_bytes);
+            ASSERT_EQ(std::memcmp(dec.data(), in.data(), lane_bytes), 0);
+        }
+    }
+}
+
+TEST(ZdrLane, AliasedEncodeInPlace)
+{
+    Lane4 buf = lane(0x00000000);
+    const Lane4 base = lane(0xdeadbeef);
+    zdrLaneEncode(buf.data(), buf.data(), base.data(), 4);
+    EXPECT_EQ(value(buf), 0x40000000u);
+}
+
+} // namespace
+} // namespace bxt
