@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_universal.dir/bench_fig12_universal.cpp.o"
+  "CMakeFiles/bench_fig12_universal.dir/bench_fig12_universal.cpp.o.d"
+  "bench_fig12_universal"
+  "bench_fig12_universal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_universal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14_zdr.cpp" "bench/CMakeFiles/bench_fig14_zdr.dir/bench_fig14_zdr.cpp.o" "gcc" "bench/CMakeFiles/bench_fig14_zdr.dir/bench_fig14_zdr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bxt_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bxt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/bxt_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/bxt_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/gatecost/CMakeFiles/bxt_gatecost.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/bxt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/bxt_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bxt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_zdr.dir/bench_fig14_zdr.cpp.o"
+  "CMakeFiles/bench_fig14_zdr.dir/bench_fig14_zdr.cpp.o.d"
+  "bench_fig14_zdr"
+  "bench_fig14_zdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_zdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_toggles.dir/bench_fig16_toggles.cpp.o"
+  "CMakeFiles/bench_fig16_toggles.dir/bench_fig16_toggles.cpp.o.d"
+  "bench_fig16_toggles"
+  "bench_fig16_toggles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_toggles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

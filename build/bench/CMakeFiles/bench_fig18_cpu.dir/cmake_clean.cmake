@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_cpu.dir/bench_fig18_cpu.cpp.o"
+  "CMakeFiles/bench_fig18_cpu.dir/bench_fig18_cpu.cpp.o.d"
+  "bench_fig18_cpu"
+  "bench_fig18_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hbm_future.dir/bench_hbm_future.cpp.o"
+  "CMakeFiles/bench_hbm_future.dir/bench_hbm_future.cpp.o.d"
+  "bench_hbm_future"
+  "bench_hbm_future.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hbm_future.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bxt_bench_util.dir/suite_eval.cpp.o"
+  "CMakeFiles/bxt_bench_util.dir/suite_eval.cpp.o.d"
+  "libbxt_bench_util.a"
+  "libbxt_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bxt_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encode_explorer.dir/encode_explorer.cpp.o"
+  "CMakeFiles/encode_explorer.dir/encode_explorer.cpp.o.d"
+  "encode_explorer"
+  "encode_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encode_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_sim_demo.dir/gpu_sim_demo.cpp.o"
+  "CMakeFiles/gpu_sim_demo.dir/gpu_sim_demo.cpp.o.d"
+  "gpu_sim_demo"
+  "gpu_sim_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_sim_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

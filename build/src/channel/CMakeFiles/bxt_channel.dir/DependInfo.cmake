@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/bus.cpp" "src/channel/CMakeFiles/bxt_channel.dir/bus.cpp.o" "gcc" "src/channel/CMakeFiles/bxt_channel.dir/bus.cpp.o.d"
+  "/root/repo/src/channel/channel_eval.cpp" "src/channel/CMakeFiles/bxt_channel.dir/channel_eval.cpp.o" "gcc" "src/channel/CMakeFiles/bxt_channel.dir/channel_eval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bxt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bxt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bxt_channel.dir/bus.cpp.o"
+  "CMakeFiles/bxt_channel.dir/bus.cpp.o.d"
+  "CMakeFiles/bxt_channel.dir/channel_eval.cpp.o"
+  "CMakeFiles/bxt_channel.dir/channel_eval.cpp.o.d"
+  "libbxt_channel.a"
+  "libbxt_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bxt_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

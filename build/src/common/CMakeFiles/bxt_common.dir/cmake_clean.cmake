@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bxt_common.dir/error.cpp.o"
+  "CMakeFiles/bxt_common.dir/error.cpp.o.d"
+  "CMakeFiles/bxt_common.dir/histogram.cpp.o"
+  "CMakeFiles/bxt_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/bxt_common.dir/rng.cpp.o"
+  "CMakeFiles/bxt_common.dir/rng.cpp.o.d"
+  "CMakeFiles/bxt_common.dir/stats.cpp.o"
+  "CMakeFiles/bxt_common.dir/stats.cpp.o.d"
+  "CMakeFiles/bxt_common.dir/table.cpp.o"
+  "CMakeFiles/bxt_common.dir/table.cpp.o.d"
+  "libbxt_common.a"
+  "libbxt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bxt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

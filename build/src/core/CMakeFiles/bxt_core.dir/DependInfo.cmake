@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/base_xor.cpp" "src/core/CMakeFiles/bxt_core.dir/base_xor.cpp.o" "gcc" "src/core/CMakeFiles/bxt_core.dir/base_xor.cpp.o.d"
+  "/root/repo/src/core/bd_encoding.cpp" "src/core/CMakeFiles/bxt_core.dir/bd_encoding.cpp.o" "gcc" "src/core/CMakeFiles/bxt_core.dir/bd_encoding.cpp.o.d"
+  "/root/repo/src/core/codec.cpp" "src/core/CMakeFiles/bxt_core.dir/codec.cpp.o" "gcc" "src/core/CMakeFiles/bxt_core.dir/codec.cpp.o.d"
+  "/root/repo/src/core/codec_factory.cpp" "src/core/CMakeFiles/bxt_core.dir/codec_factory.cpp.o" "gcc" "src/core/CMakeFiles/bxt_core.dir/codec_factory.cpp.o.d"
+  "/root/repo/src/core/dbi.cpp" "src/core/CMakeFiles/bxt_core.dir/dbi.cpp.o" "gcc" "src/core/CMakeFiles/bxt_core.dir/dbi.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/bxt_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/bxt_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/transaction.cpp" "src/core/CMakeFiles/bxt_core.dir/transaction.cpp.o" "gcc" "src/core/CMakeFiles/bxt_core.dir/transaction.cpp.o.d"
+  "/root/repo/src/core/universal_xor.cpp" "src/core/CMakeFiles/bxt_core.dir/universal_xor.cpp.o" "gcc" "src/core/CMakeFiles/bxt_core.dir/universal_xor.cpp.o.d"
+  "/root/repo/src/core/zdr.cpp" "src/core/CMakeFiles/bxt_core.dir/zdr.cpp.o" "gcc" "src/core/CMakeFiles/bxt_core.dir/zdr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bxt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

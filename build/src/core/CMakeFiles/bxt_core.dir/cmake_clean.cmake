@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bxt_core.dir/base_xor.cpp.o"
+  "CMakeFiles/bxt_core.dir/base_xor.cpp.o.d"
+  "CMakeFiles/bxt_core.dir/bd_encoding.cpp.o"
+  "CMakeFiles/bxt_core.dir/bd_encoding.cpp.o.d"
+  "CMakeFiles/bxt_core.dir/codec.cpp.o"
+  "CMakeFiles/bxt_core.dir/codec.cpp.o.d"
+  "CMakeFiles/bxt_core.dir/codec_factory.cpp.o"
+  "CMakeFiles/bxt_core.dir/codec_factory.cpp.o.d"
+  "CMakeFiles/bxt_core.dir/dbi.cpp.o"
+  "CMakeFiles/bxt_core.dir/dbi.cpp.o.d"
+  "CMakeFiles/bxt_core.dir/pipeline.cpp.o"
+  "CMakeFiles/bxt_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/bxt_core.dir/transaction.cpp.o"
+  "CMakeFiles/bxt_core.dir/transaction.cpp.o.d"
+  "CMakeFiles/bxt_core.dir/universal_xor.cpp.o"
+  "CMakeFiles/bxt_core.dir/universal_xor.cpp.o.d"
+  "CMakeFiles/bxt_core.dir/zdr.cpp.o"
+  "CMakeFiles/bxt_core.dir/zdr.cpp.o.d"
+  "libbxt_core.a"
+  "libbxt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bxt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

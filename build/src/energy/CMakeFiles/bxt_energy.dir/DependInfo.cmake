@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/dram_power.cpp" "src/energy/CMakeFiles/bxt_energy.dir/dram_power.cpp.o" "gcc" "src/energy/CMakeFiles/bxt_energy.dir/dram_power.cpp.o.d"
+  "/root/repo/src/energy/gddr_trend.cpp" "src/energy/CMakeFiles/bxt_energy.dir/gddr_trend.cpp.o" "gcc" "src/energy/CMakeFiles/bxt_energy.dir/gddr_trend.cpp.o.d"
+  "/root/repo/src/energy/pod_io.cpp" "src/energy/CMakeFiles/bxt_energy.dir/pod_io.cpp.o" "gcc" "src/energy/CMakeFiles/bxt_energy.dir/pod_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/channel/CMakeFiles/bxt_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bxt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bxt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bxt_energy.dir/dram_power.cpp.o"
+  "CMakeFiles/bxt_energy.dir/dram_power.cpp.o.d"
+  "CMakeFiles/bxt_energy.dir/gddr_trend.cpp.o"
+  "CMakeFiles/bxt_energy.dir/gddr_trend.cpp.o.d"
+  "CMakeFiles/bxt_energy.dir/pod_io.cpp.o"
+  "CMakeFiles/bxt_energy.dir/pod_io.cpp.o.d"
+  "libbxt_energy.a"
+  "libbxt_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bxt_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/energy/CMakeFiles/bxt_energy.dir/pod_io.cpp.o: \
+ /root/repo/src/energy/pod_io.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/energy/pod_io.h

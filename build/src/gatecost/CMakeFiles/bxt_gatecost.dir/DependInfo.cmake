@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gatecost/encoder_costs.cpp" "src/gatecost/CMakeFiles/bxt_gatecost.dir/encoder_costs.cpp.o" "gcc" "src/gatecost/CMakeFiles/bxt_gatecost.dir/encoder_costs.cpp.o.d"
+  "/root/repo/src/gatecost/gates.cpp" "src/gatecost/CMakeFiles/bxt_gatecost.dir/gates.cpp.o" "gcc" "src/gatecost/CMakeFiles/bxt_gatecost.dir/gates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bxt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bxt_gatecost.dir/encoder_costs.cpp.o"
+  "CMakeFiles/bxt_gatecost.dir/encoder_costs.cpp.o.d"
+  "CMakeFiles/bxt_gatecost.dir/gates.cpp.o"
+  "CMakeFiles/bxt_gatecost.dir/gates.cpp.o.d"
+  "libbxt_gatecost.a"
+  "libbxt_gatecost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bxt_gatecost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

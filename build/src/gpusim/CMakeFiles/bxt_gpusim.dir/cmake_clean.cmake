@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bxt_gpusim.dir/cache.cpp.o"
+  "CMakeFiles/bxt_gpusim.dir/cache.cpp.o.d"
+  "CMakeFiles/bxt_gpusim.dir/gpu_config.cpp.o"
+  "CMakeFiles/bxt_gpusim.dir/gpu_config.cpp.o.d"
+  "CMakeFiles/bxt_gpusim.dir/gpu_system.cpp.o"
+  "CMakeFiles/bxt_gpusim.dir/gpu_system.cpp.o.d"
+  "CMakeFiles/bxt_gpusim.dir/memctrl.cpp.o"
+  "CMakeFiles/bxt_gpusim.dir/memctrl.cpp.o.d"
+  "libbxt_gpusim.a"
+  "libbxt_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bxt_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bxt_workloads.dir/apps.cpp.o"
+  "CMakeFiles/bxt_workloads.dir/apps.cpp.o.d"
+  "CMakeFiles/bxt_workloads.dir/patterns.cpp.o"
+  "CMakeFiles/bxt_workloads.dir/patterns.cpp.o.d"
+  "CMakeFiles/bxt_workloads.dir/trace.cpp.o"
+  "CMakeFiles/bxt_workloads.dir/trace.cpp.o.d"
+  "libbxt_workloads.a"
+  "libbxt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bxt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbxt_workloads.a"
+)

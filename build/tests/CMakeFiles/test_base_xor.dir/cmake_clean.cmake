@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_base_xor.dir/test_base_xor.cpp.o"
+  "CMakeFiles/test_base_xor.dir/test_base_xor.cpp.o.d"
+  "test_base_xor"
+  "test_base_xor.pdb"
+  "test_base_xor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_base_xor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

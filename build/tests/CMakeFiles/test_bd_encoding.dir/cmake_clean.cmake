@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bd_encoding.dir/test_bd_encoding.cpp.o"
+  "CMakeFiles/test_bd_encoding.dir/test_bd_encoding.cpp.o.d"
+  "test_bd_encoding"
+  "test_bd_encoding.pdb"
+  "test_bd_encoding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bd_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_channel_eval.dir/test_channel_eval.cpp.o"
+  "CMakeFiles/test_channel_eval.dir/test_channel_eval.cpp.o.d"
+  "test_channel_eval"
+  "test_channel_eval.pdb"
+  "test_channel_eval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_channel_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

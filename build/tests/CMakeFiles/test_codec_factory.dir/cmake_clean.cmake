@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codec_factory.dir/test_codec_factory.cpp.o"
+  "CMakeFiles/test_codec_factory.dir/test_codec_factory.cpp.o.d"
+  "test_codec_factory"
+  "test_codec_factory.pdb"
+  "test_codec_factory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codec_factory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_dbi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_roundtrip.dir/test_fuzz_roundtrip.cpp.o"
+  "CMakeFiles/test_fuzz_roundtrip.dir/test_fuzz_roundtrip.cpp.o.d"
+  "test_fuzz_roundtrip"
+  "test_fuzz_roundtrip.pdb"
+  "test_fuzz_roundtrip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

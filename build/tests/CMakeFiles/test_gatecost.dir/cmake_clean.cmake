@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gatecost.dir/test_gatecost.cpp.o"
+  "CMakeFiles/test_gatecost.dir/test_gatecost.cpp.o.d"
+  "test_gatecost"
+  "test_gatecost.pdb"
+  "test_gatecost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gatecost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

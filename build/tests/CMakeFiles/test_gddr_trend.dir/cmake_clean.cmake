@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gddr_trend.dir/test_gddr_trend.cpp.o"
+  "CMakeFiles/test_gddr_trend.dir/test_gddr_trend.cpp.o.d"
+  "test_gddr_trend"
+  "test_gddr_trend.pdb"
+  "test_gddr_trend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gddr_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

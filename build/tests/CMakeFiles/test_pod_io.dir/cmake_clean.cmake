@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pod_io.dir/test_pod_io.cpp.o"
+  "CMakeFiles/test_pod_io.dir/test_pod_io.cpp.o.d"
+  "test_pod_io"
+  "test_pod_io.pdb"
+  "test_pod_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pod_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suite_eval.dir/test_suite_eval.cpp.o"
+  "CMakeFiles/test_suite_eval.dir/test_suite_eval.cpp.o.d"
+  "test_suite_eval"
+  "test_suite_eval.pdb"
+  "test_suite_eval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suite_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

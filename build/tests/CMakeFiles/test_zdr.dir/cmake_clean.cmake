@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zdr.dir/test_zdr.cpp.o"
+  "CMakeFiles/test_zdr.dir/test_zdr.cpp.o.d"
+  "test_zdr"
+  "test_zdr.pdb"
+  "test_zdr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bitops[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_histogram[1]_include.cmake")
+include("/root/repo/build/tests/test_table[1]_include.cmake")
+include("/root/repo/build/tests/test_transaction[1]_include.cmake")
+include("/root/repo/build/tests/test_zdr[1]_include.cmake")
+include("/root/repo/build/tests/test_base_xor[1]_include.cmake")
+include("/root/repo/build/tests/test_universal[1]_include.cmake")
+include("/root/repo/build/tests/test_dbi[1]_include.cmake")
+include("/root/repo/build/tests/test_bd_encoding[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_codec_factory[1]_include.cmake")
+include("/root/repo/build/tests/test_bus[1]_include.cmake")
+include("/root/repo/build/tests/test_channel_eval[1]_include.cmake")
+include("/root/repo/build/tests/test_pod_io[1]_include.cmake")
+include("/root/repo/build/tests/test_dram_power[1]_include.cmake")
+include("/root/repo/build/tests/test_gddr_trend[1]_include.cmake")
+include("/root/repo/build/tests/test_gatecost[1]_include.cmake")
+include("/root/repo/build/tests/test_patterns[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_io[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_memctrl[1]_include.cmake")
+include("/root/repo/build/tests/test_gpu_system[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_roundtrip[1]_include.cmake")
+include("/root/repo/build/tests/test_suite_eval[1]_include.cmake")
