@@ -1,16 +1,33 @@
 /**
  * @file
- * Software throughput of every codec (google-benchmark): encode, decode,
- * and round-trip on 32-byte transactions of patterned and random data.
- * Not a paper artifact — it documents that the library itself is fast
- * enough to sit in a simulator's memory-controller path.
+ * Software throughput of the codec layer and the batch-evaluation engine.
+ *
+ * Two parts:
+ *  1. google-benchmark microbenches: encode/decode round-trips on 32-byte
+ *     transactions, in the allocating (`encode`) and allocation-free
+ *     (`encodeInto`) forms, on patterned and random data.
+ *  2. An end-to-end suite sweep (the workload every figure bench runs):
+ *     full GPU population x paper scheme set, executed serially and then
+ *     on the parallel engine. Reports GB/s for both, asserts that the
+ *     parallel BusStats are bit-identical to the serial run, and emits
+ *     `BENCH_codec_throughput.json` for CI tracking.
+ *
+ * Not a paper artifact — it documents that the library is fast enough to
+ * sit in a simulator's memory-controller path.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <vector>
 
+#include "common/error.h"
+#include "common/parallel.h"
 #include "core/codec_factory.h"
+#include "suite_eval.h"
+#include "workloads/apps.h"
 #include "workloads/patterns.h"
 
 namespace {
@@ -35,8 +52,8 @@ makeInput(bool random_data, std::size_t count)
 }
 
 void
-runEncodeDecode(benchmark::State &state, const std::string &spec,
-                bool random_data)
+BM_RoundTrip(benchmark::State &state, const std::string &spec,
+             bool random_data)
 {
     CodecPtr codec = makeCodec(spec);
     const std::vector<Transaction> input = makeInput(random_data, 256);
@@ -52,11 +69,121 @@ runEncodeDecode(benchmark::State &state, const std::string &spec,
                             32);
 }
 
+/** The allocation-free hot path: scratch Encoded/Transaction reuse. */
 void
-BM_RoundTrip(benchmark::State &state, const std::string &spec,
-             bool random_data)
+BM_RoundTripInto(benchmark::State &state, const std::string &spec,
+                 bool random_data)
 {
-    runEncodeDecode(state, spec, random_data);
+    CodecPtr codec = makeCodec(spec);
+    const std::vector<Transaction> input = makeInput(random_data, 256);
+
+    Encoded enc;
+    Transaction back;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        codec->encodeInto(input[i % input.size()], enc);
+        codec->decodeInto(enc, back);
+        benchmark::DoNotOptimize(back.data());
+        ++i;
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            32);
+}
+
+/** Transactions per app in the end-to-end sweep (kept short for CI). */
+constexpr std::size_t sweepTxPerApp = 512;
+
+struct SweepRun
+{
+    double seconds = 0.0;
+    double gbPerSecond = 0.0;
+    std::vector<AppResult> results;
+};
+
+SweepRun
+runSweep(unsigned threads, const std::vector<std::string> &specs,
+         std::size_t *bytes_out)
+{
+    // Rebuild the population each run: equal seeds give bit-identical
+    // traces, which is what makes serial-vs-parallel comparable.
+    std::vector<App> apps = buildGpuSuite();
+
+    std::size_t bytes = 0;
+    for (const App &app : apps)
+        bytes += app.txBytes * sweepTxPerApp * specs.size();
+    if (bytes_out != nullptr)
+        *bytes_out = bytes;
+
+    const auto start = std::chrono::steady_clock::now();
+    SweepRun run;
+    run.results = evalSuite(apps, specs, sweepTxPerApp, threads);
+    const auto stop = std::chrono::steady_clock::now();
+    run.seconds =
+        std::chrono::duration<double>(stop - start).count();
+    run.gbPerSecond = static_cast<double>(bytes) / run.seconds / 1.0e9;
+    return run;
+}
+
+bool
+identicalResults(const std::vector<AppResult> &a,
+                 const std::vector<AppResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].app != b[i].app || a[i].rawOnes != b[i].rawOnes ||
+            a[i].mixedRatio != b[i].mixedRatio ||
+            a[i].stats != b[i].stats)
+            return false;
+    }
+    return true;
+}
+
+void
+runSuiteSweep()
+{
+    const std::vector<std::string> specs = paperSchemeSpecs();
+    const unsigned parallel_threads = defaultThreadCount();
+
+    std::printf("\n--- end-to-end suite sweep: %zu specs x GPU "
+                "population, %zu tx/app ---\n",
+                specs.size(), sweepTxPerApp);
+
+    std::size_t bytes = 0;
+    const SweepRun serial = runSweep(1, specs, &bytes);
+    std::printf("serial   (1 thread)  : %6.2f s  %6.3f GB/s\n",
+                serial.seconds, serial.gbPerSecond);
+
+    const SweepRun parallel = runSweep(parallel_threads, specs, nullptr);
+    std::printf("parallel (%u threads): %6.2f s  %6.3f GB/s\n",
+                parallel_threads, parallel.seconds,
+                parallel.gbPerSecond);
+
+    const bool identical =
+        identicalResults(serial.results, parallel.results);
+    const double speedup = serial.seconds / parallel.seconds;
+    std::printf("speedup: %.2fx   BusStats bit-identical: %s\n", speedup,
+                identical ? "yes" : "NO");
+    if (!identical)
+        panic("parallel evalSuite diverged from the serial run");
+
+    std::ofstream json("BENCH_codec_throughput.json");
+    json << "{\n"
+         << "  \"bench\": \"codec_throughput\",\n"
+         << "  \"apps\": " << serial.results.size() << ",\n"
+         << "  \"specs\": " << specs.size() << ",\n"
+         << "  \"tx_per_app\": " << sweepTxPerApp << ",\n"
+         << "  \"bytes_swept\": " << bytes << ",\n"
+         << "  \"serial\": {\"threads\": 1, \"seconds\": "
+         << serial.seconds << ", \"gb_per_s\": " << serial.gbPerSecond
+         << "},\n"
+         << "  \"parallel\": {\"threads\": " << parallel_threads
+         << ", \"seconds\": " << parallel.seconds
+         << ", \"gb_per_s\": " << parallel.gbPerSecond << "},\n"
+         << "  \"speedup\": " << speedup << ",\n"
+         << "  \"bit_identical\": " << (identical ? "true" : "false")
+         << "\n}\n";
+    std::printf("wrote BENCH_codec_throughput.json\n");
 }
 
 } // namespace
@@ -72,4 +199,22 @@ BENCHMARK_CAPTURE(BM_RoundTrip, universal_dbi1_patterned,
                   "universal3+zdr|dbi1", false);
 BENCHMARK_CAPTURE(BM_RoundTrip, bd_patterned, "bd", false);
 
-BENCHMARK_MAIN();
+BENCHMARK_CAPTURE(BM_RoundTripInto, xor4_zdr_patterned, "xor4+zdr", false);
+BENCHMARK_CAPTURE(BM_RoundTripInto, xor4_zdr_random, "xor4+zdr", true);
+BENCHMARK_CAPTURE(BM_RoundTripInto, universal_zdr_patterned,
+                  "universal3+zdr", false);
+BENCHMARK_CAPTURE(BM_RoundTripInto, universal_zdr_random,
+                  "universal3+zdr", true);
+BENCHMARK_CAPTURE(BM_RoundTripInto, dbi1_patterned, "dbi1", false);
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    runSuiteSweep();
+    return 0;
+}

@@ -2,6 +2,7 @@
 
 #include "channel/channel_eval.h"
 #include "common/error.h"
+#include "common/parallel.h"
 #include "core/codec_factory.h"
 
 namespace bxt {
@@ -31,29 +32,51 @@ AppResult::normalizedToggles(const std::string &spec) const
 
 std::vector<AppResult>
 evalSuite(std::vector<App> &apps, const std::vector<std::string> &specs,
-          std::size_t tx_per_app)
+          std::size_t tx_per_app, unsigned threads)
 {
-    std::vector<AppResult> results;
-    results.reserve(apps.size());
-    for (App &app : apps) {
-        const std::vector<Transaction> trace =
-            generateTrace(app, tx_per_app);
-        const auto bus_width =
-            static_cast<unsigned>(app.txBytes == 64 ? 64 : 32);
+    const std::size_t n_apps = apps.size();
+    const std::size_t n_specs = specs.size();
 
-        AppResult result;
-        result.app = app.name;
-        result.category = app.category;
-        result.family = app.family;
-        result.mixedRatio = mixedDataRatio(trace);
-        for (const std::string &spec : specs) {
-            CodecPtr codec = makeCodec(spec, bus_width / 8);
-            const ChannelEvalResult eval =
-                evalCodecOnStream(*codec, trace, bus_width);
-            result.rawOnes = eval.rawOnes;
-            result.stats.emplace(spec, eval.stats);
-        }
-        results.push_back(std::move(result));
+    // The work is fanned over a pool in two deterministic stages; every
+    // job writes only its own index's slot, so the merged output is
+    // bit-identical to a serial run regardless of thread count.
+    ThreadPool pool(threads);
+
+    // Stage 1: materialize each app's trace (apps own independent
+    // seeded pattern state) and fill the per-app metadata once —
+    // rawOnes is a property of the *unencoded* trace, not of any spec.
+    std::vector<std::vector<Transaction>> traces(n_apps);
+    std::vector<AppResult> results(n_apps);
+    pool.run(n_apps, [&](std::size_t a) {
+        traces[a] = generateTrace(apps[a], tx_per_app);
+        AppResult &result = results[a];
+        result.app = apps[a].name;
+        result.category = apps[a].category;
+        result.family = apps[a].family;
+        result.mixedRatio = mixedDataRatio(traces[a]);
+        std::uint64_t raw = 0;
+        for (const Transaction &tx : traces[a])
+            raw += tx.ones();
+        result.rawOnes = raw;
+    });
+
+    // Stage 2: one job per (app, spec) pair. Each job owns its codec and
+    // Bus, so no channel or codec state is shared between workers.
+    std::vector<BusStats> job_stats(n_apps * n_specs);
+    pool.run(n_apps * n_specs, [&](std::size_t j) {
+        const std::size_t a = j / n_specs;
+        const std::size_t s = j % n_specs;
+        const auto bus_width =
+            static_cast<unsigned>(apps[a].txBytes == 64 ? 64 : 32);
+        CodecPtr codec = makeCodec(specs[s], bus_width / 8);
+        job_stats[j] =
+            evalCodecOnStream(*codec, traces[a], bus_width).stats;
+    });
+
+    // Merge by index (order-independent assembly).
+    for (std::size_t a = 0; a < n_apps; ++a) {
+        for (std::size_t s = 0; s < n_specs; ++s)
+            results[a].stats.emplace(specs[s], job_stats[a * n_specs + s]);
     }
     return results;
 }

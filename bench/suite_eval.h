@@ -39,10 +39,21 @@ struct AppResult
  * Evaluate every app in @p apps against every codec in @p specs with
  * @p tx_per_app transactions per application. The bus width is chosen per
  * app (32-bit for 32-byte GPU sectors, 64-bit for 64-byte CPU lines).
+ *
+ * Execution is batch-parallel: traces are materialized per app, then one
+ * (app, spec) job per pair is fanned across a thread pool. Each job owns
+ * its codec and Bus, and results are merged into the per-app slots by
+ * index, so the output is bit-identical for any thread count (including
+ * a serial run) — parallelism never changes a figure.
+ *
+ * @param threads Worker count. 0 (default) resolves via the BXT_THREADS
+ *        environment variable, falling back to the hardware concurrency;
+ *        1 forces a serial run.
  */
 std::vector<AppResult> evalSuite(std::vector<App> &apps,
                                  const std::vector<std::string> &specs,
-                                 std::size_t tx_per_app);
+                                 std::size_t tx_per_app,
+                                 unsigned threads = 0);
 
 /** Arithmetic-mean normalized ones of @p spec over @p results. */
 double meanNormalizedOnes(const std::vector<AppResult> &results,

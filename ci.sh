@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI driver: tier-1 verify in Release, plus an ASan/UBSan job so the
+# concurrency code (ThreadPool / parallel evalSuite) is sanitizer-checked
+# on every PR.
+#
+# Usage: ./ci.sh [release|asan|all]   (default: all)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+mode="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+run_release() {
+    echo "=== CI job: Release build + ctest ==="
+    cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-ci-release -j "${jobs}"
+    ctest --test-dir build-ci-release --output-on-failure -j "${jobs}"
+}
+
+run_asan() {
+    echo "=== CI job: ASan+UBSan build + ctest ==="
+    cmake -B build-ci-asan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+    cmake --build build-ci-asan -j "${jobs}"
+    # Exercise the parallel engine under the sanitizers with an
+    # oversubscribed pool to shake out data races on a small host.
+    BXT_THREADS=8 ctest --test-dir build-ci-asan --output-on-failure \
+        -j "${jobs}"
+}
+
+case "${mode}" in
+  release) run_release ;;
+  asan)    run_asan ;;
+  all)     run_release; run_asan ;;
+  *) echo "usage: $0 [release|asan|all]" >&2; exit 2 ;;
+esac
+echo "CI ${mode}: OK"

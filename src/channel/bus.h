@@ -37,6 +37,9 @@ struct BusStats
 
     /** Element-wise accumulate. */
     BusStats &operator+=(const BusStats &other);
+
+    /** Field-wise equality (used by determinism checks). */
+    bool operator==(const BusStats &other) const = default;
 };
 
 /**

@@ -31,13 +31,17 @@ evalCodecOnStream(Codec &codec, const std::vector<Transaction> &stream,
 
     ChannelEvalResult result;
     result.codec = codec.name();
+    // One scratch Encoded/Transaction reused across the stream keeps the
+    // inner loop allocation-free (the metadata vector retains capacity).
+    Encoded enc;
+    Transaction back;
     for (const Transaction &tx : stream) {
         result.rawOnes += tx.ones();
-        const Encoded enc = codec.encode(tx);
+        codec.encodeInto(tx, enc);
         bus.transmit(enc);
         // Losslessness is non-negotiable: encoded data is what gets stored
         // in DRAM, so any mismatch here would be silent data corruption.
-        const Transaction back = codec.decode(enc);
+        codec.decodeInto(enc, back);
         if (!(back == tx))
             panic("codec " + codec.name() + " failed to round-trip " +
                   tx.toHex());

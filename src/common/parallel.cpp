@@ -1,0 +1,176 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace bxt {
+
+unsigned
+parseThreadCount(const char *text)
+{
+    if (text == nullptr || *text == '\0')
+        return 0;
+    unsigned long value = 0;
+    for (const char *p = text; *p != '\0'; ++p) {
+        if (*p < '0' || *p > '9')
+            return 0;
+        value = value * 10 + static_cast<unsigned long>(*p - '0');
+        if (value > maxThreads)
+            return 0;
+    }
+    return static_cast<unsigned>(value);
+}
+
+unsigned
+defaultThreadCount()
+{
+    if (const unsigned env = parseThreadCount(std::getenv("BXT_THREADS")))
+        return env;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+/**
+ * One parallelFor dispatch. Indices are handed out in contiguous chunks
+ * from `next`; a worker is "active" between grabbing the job pointer and
+ * leaving drain(), and run() only returns once no worker is active and
+ * every index has been handed out, so the stack-allocated Job can never
+ * be touched after run() returns.
+ */
+struct ThreadPool::Job
+{
+    std::atomic<std::size_t> next{0};
+    std::size_t count = 0;
+    std::size_t chunk = 1;
+    const std::function<void(std::size_t)> *body = nullptr;
+    std::atomic<unsigned> active{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    threads = std::min(threads, maxThreads);
+    workers_.reserve(threads - 1);
+    for (unsigned t = 1; t < threads; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::drain(Job &job)
+{
+    for (;;) {
+        const std::size_t begin =
+            job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+        if (begin >= job.count)
+            break;
+        if (job.failed.load(std::memory_order_relaxed))
+            continue; // Keep handing out indices so the loop terminates.
+        const std::size_t end = std::min(begin + job.chunk, job.count);
+        for (std::size_t i = begin; i < end; ++i) {
+            try {
+                (*job.body)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(job.error_mutex);
+                if (!job.error)
+                    job.error = std::current_exception();
+                job.failed.store(true, std::memory_order_relaxed);
+                break;
+            }
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_)
+            return;
+        seen = generation_;
+        Job *job = job_;
+        if (job == nullptr)
+            continue;
+        job->active.fetch_add(1, std::memory_order_relaxed);
+        lock.unlock();
+        drain(*job);
+        lock.lock();
+        if (job->active.fetch_sub(1, std::memory_order_relaxed) == 1)
+            done_.notify_all();
+    }
+}
+
+void
+ThreadPool::run(std::size_t count,
+                const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (workers_.empty()) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i); // Serial pool: propagate exceptions directly.
+        return;
+    }
+
+    Job job;
+    job.count = count;
+    job.body = &body;
+    // Chunks small enough to balance, large enough to amortize the
+    // atomic fetch; determinism is unaffected (results go to slot i).
+    job.chunk = std::max<std::size_t>(1, count / (threadCount() * 4u));
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = &job;
+        ++generation_;
+    }
+    wake_.notify_all();
+
+    drain(job); // The calling thread is a worker too.
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] {
+            return job.active.load(std::memory_order_relaxed) == 0;
+        });
+        job_ = nullptr;
+    }
+
+    if (job.error)
+        std::rethrow_exception(job.error);
+}
+
+ThreadPool &
+globalThreadPool()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+void
+parallelFor(std::size_t count,
+            const std::function<void(std::size_t)> &body)
+{
+    globalThreadPool().run(count, body);
+}
+
+} // namespace bxt

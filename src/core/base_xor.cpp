@@ -28,9 +28,26 @@ BaseXorCodec::name() const
 Encoded
 BaseXorCodec::encode(const Transaction &tx)
 {
-    BXT_ASSERT(tx.size() % base_size_ == 0 && tx.size() > base_size_);
     Encoded enc;
+    encodeInto(tx, enc);
+    return enc;
+}
+
+Transaction
+BaseXorCodec::decode(const Encoded &enc)
+{
+    Transaction tx(enc.payload.size());
+    decodeInto(enc, tx);
+    return tx;
+}
+
+void
+BaseXorCodec::encodeInto(const Transaction &tx, Encoded &enc)
+{
+    BXT_ASSERT(tx.size() % base_size_ == 0 && tx.size() > base_size_);
     enc.payload = Transaction(tx.size());
+    enc.meta.clear();
+    enc.metaWiresPerBeat = 0;
 
     const std::uint8_t *in = tx.data();
     std::uint8_t *out = enc.payload.data();
@@ -49,15 +66,14 @@ BaseXorCodec::encode(const Transaction &tx)
         else
             xorLaneEncode(dst, element, base, base_size_);
     }
-    return enc;
 }
 
-Transaction
-BaseXorCodec::decode(const Encoded &enc)
+void
+BaseXorCodec::decodeInto(const Encoded &enc, Transaction &tx)
 {
     const Transaction &payload = enc.payload;
     BXT_ASSERT(payload.size() % base_size_ == 0);
-    Transaction tx(payload.size());
+    tx = Transaction(payload.size());
 
     const std::uint8_t *in = payload.data();
     std::uint8_t *out = tx.data();
@@ -77,7 +93,6 @@ BaseXorCodec::decode(const Encoded &enc)
         else
             xorLaneEncode(dst, encoded, base, base_size_);
     }
-    return tx;
 }
 
 } // namespace bxt

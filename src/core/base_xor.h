@@ -41,6 +41,8 @@ class BaseXorCodec : public Codec
     std::string name() const override;
     Encoded encode(const Transaction &tx) override;
     Transaction decode(const Encoded &enc) override;
+    void encodeInto(const Transaction &tx, Encoded &out) override;
+    void decodeInto(const Encoded &enc, Transaction &out) override;
 
     /** Element size in bytes. */
     std::size_t baseSize() const { return base_size_; }

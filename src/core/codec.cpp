@@ -19,11 +19,23 @@ Encoded::metaOnes() const
     return count;
 }
 
+void
+Codec::encodeInto(const Transaction &tx, Encoded &out)
+{
+    out = encode(tx);
+}
+
+void
+Codec::decodeInto(const Encoded &enc, Transaction &out)
+{
+    out = decode(enc);
+}
+
 Encoded
 IdentityCodec::encode(const Transaction &tx)
 {
     Encoded enc;
-    enc.payload = tx;
+    encodeInto(tx, enc);
     return enc;
 }
 
@@ -31,6 +43,20 @@ Transaction
 IdentityCodec::decode(const Encoded &enc)
 {
     return enc.payload;
+}
+
+void
+IdentityCodec::encodeInto(const Transaction &tx, Encoded &out)
+{
+    out.payload = tx;
+    out.meta.clear();
+    out.metaWiresPerBeat = 0;
+}
+
+void
+IdentityCodec::decodeInto(const Encoded &enc, Transaction &out)
+{
+    out = enc.payload;
 }
 
 } // namespace bxt

@@ -67,6 +67,23 @@ class Codec
     virtual Transaction decode(const Encoded &enc) = 0;
 
     /**
+     * Allocation-free encode: write the encoding of @p tx into @p out,
+     * reusing its buffers (the metadata vector's capacity is kept across
+     * calls). Semantically identical to `out = encode(tx)`; the default
+     * implementation is exactly that shim. Hot loops (evalCodecOnStream,
+     * the suite sweep workers) keep one scratch Encoded per worker and
+     * call this instead of encode(). @p out must not alias @p tx.
+     */
+    virtual void encodeInto(const Transaction &tx, Encoded &out);
+
+    /**
+     * Allocation-free decode: write the decoded transaction into @p out.
+     * Semantically identical to `out = decode(enc)` (the default shim).
+     * @p out must not alias @p enc.payload.
+     */
+    virtual void decodeInto(const Encoded &enc, Transaction &out);
+
+    /**
      * Number of dedicated metadata wires this codec drives per beat. This
      * is a static property of the codec's configuration (its group size and
      * the bus width it was configured for), so channel models can size the
@@ -99,6 +116,8 @@ class IdentityCodec : public Codec
     std::string name() const override { return "baseline"; }
     Encoded encode(const Transaction &tx) override;
     Transaction decode(const Encoded &enc) override;
+    void encodeInto(const Transaction &tx, Encoded &out) override;
+    void decodeInto(const Encoded &enc, Transaction &out) override;
 };
 
 } // namespace bxt

@@ -31,8 +31,23 @@ DbiCodec::metaWiresPerBeat() const
 Encoded
 DbiCodec::encode(const Transaction &tx)
 {
-    BXT_ASSERT(tx.size() % bus_bytes_ == 0);
     Encoded enc;
+    encodeInto(tx, enc);
+    return enc;
+}
+
+Transaction
+DbiCodec::decode(const Encoded &enc)
+{
+    Transaction tx(enc.payload.size());
+    decodeInto(enc, tx);
+    return tx;
+}
+
+void
+DbiCodec::encodeInto(const Transaction &tx, Encoded &enc)
+{
+    BXT_ASSERT(tx.size() % bus_bytes_ == 0);
     enc.payload = tx;
     enc.metaWiresPerBeat =
         static_cast<unsigned>(bus_bytes_ / group_bytes_);
@@ -40,6 +55,7 @@ DbiCodec::encode(const Transaction &tx)
     std::uint8_t *data = enc.payload.data();
     const std::size_t beats = tx.size() / bus_bytes_;
     const std::size_t half_bits = group_bytes_ * 8 / 2;
+    enc.meta.clear();
     enc.meta.reserve(beats * enc.metaWiresPerBeat);
 
     for (std::size_t beat = 0; beat < beats; ++beat) {
@@ -55,13 +71,12 @@ DbiCodec::encode(const Transaction &tx)
             enc.meta.push_back(invert ? 1 : 0);
         }
     }
-    return enc;
 }
 
-Transaction
-DbiCodec::decode(const Encoded &enc)
+void
+DbiCodec::decodeInto(const Encoded &enc, Transaction &tx)
 {
-    Transaction tx = enc.payload;
+    tx = enc.payload;
     BXT_ASSERT(tx.size() % bus_bytes_ == 0);
     const std::size_t beats = tx.size() / bus_bytes_;
     const std::size_t groups_per_beat = bus_bytes_ / group_bytes_;
@@ -78,7 +93,6 @@ DbiCodec::decode(const Encoded &enc)
             }
         }
     }
-    return tx;
 }
 
 DbiAcCodec::DbiAcCodec(std::size_t group_bytes, std::size_t bus_bytes)

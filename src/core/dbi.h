@@ -38,6 +38,8 @@ class DbiCodec : public Codec
     std::string name() const override;
     Encoded encode(const Transaction &tx) override;
     Transaction decode(const Encoded &enc) override;
+    void encodeInto(const Transaction &tx, Encoded &out) override;
+    void decodeInto(const Encoded &enc, Transaction &out) override;
     unsigned metaWiresPerBeat() const override;
 
     /** Inversion group size in bytes. */

@@ -43,30 +43,45 @@ PipelineCodec::metaWiresPerBeat() const
 Encoded
 PipelineCodec::encode(const Transaction &tx)
 {
+    Encoded result;
+    encodeInto(tx, result);
+    return result;
+}
+
+Transaction
+PipelineCodec::decode(const Encoded &enc)
+{
+    Transaction payload(enc.payload.size());
+    decodeInto(enc, payload);
+    return payload;
+}
+
+void
+PipelineCodec::encodeInto(const Transaction &tx, Encoded &result)
+{
     // Each stage encodes the previous stage's payload; metadata streams are
     // interleaved per beat in stage order when the bus serializes them, so
-    // here we simply concatenate per-beat blocks.
-    Encoded result;
-    result.payload = tx;
-
-    std::vector<Encoded> stage_outputs;
-    stage_outputs.reserve(stages_.size());
-    for (auto &stage : stages_) {
-        Encoded enc = stage->encode(result.payload);
-        result.payload = enc.payload;
-        stage_outputs.push_back(std::move(enc));
+    // here we simply concatenate per-beat blocks. Stage outputs land in the
+    // per-stage scratch slots, whose buffers persist across calls.
+    scratch_.resize(stages_.size());
+    const Transaction *payload = &tx;
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+        stages_[s]->encodeInto(*payload, scratch_[s]);
+        payload = &scratch_[s].payload;
     }
+    result.payload = *payload;
+    result.meta.clear();
 
     unsigned total_meta_wires = 0;
-    for (const auto &enc : stage_outputs)
+    for (const Encoded &enc : scratch_)
         total_meta_wires += enc.metaWiresPerBeat;
     result.metaWiresPerBeat = total_meta_wires;
     if (total_meta_wires == 0)
-        return result;
+        return;
 
     // All stages see the same beat count (payload size is preserved).
     std::size_t beats = 0;
-    for (const auto &enc : stage_outputs) {
+    for (const Encoded &enc : scratch_) {
         if (enc.metaWiresPerBeat > 0) {
             const std::size_t stage_beats =
                 enc.meta.size() / enc.metaWiresPerBeat;
@@ -77,51 +92,51 @@ PipelineCodec::encode(const Transaction &tx)
 
     result.meta.reserve(beats * total_meta_wires);
     for (std::size_t beat = 0; beat < beats; ++beat) {
-        for (const auto &enc : stage_outputs) {
+        for (const Encoded &enc : scratch_) {
             for (unsigned w = 0; w < enc.metaWiresPerBeat; ++w)
                 result.meta.push_back(
                     enc.meta[beat * enc.metaWiresPerBeat + w]);
         }
     }
-    return result;
 }
 
-Transaction
-PipelineCodec::decode(const Encoded &enc)
+void
+PipelineCodec::decodeInto(const Encoded &enc, Transaction &out)
 {
     // Split the concatenated per-beat metadata back into per-stage streams
     // using each stage's configuration-static wire count.
-    std::vector<unsigned> stage_wires(stages_.size(), 0);
+    scratch_.resize(stages_.size());
     unsigned total = 0;
-    std::vector<Encoded> stage_encs(stages_.size());
     for (std::size_t s = 0; s < stages_.size(); ++s) {
-        stage_wires[s] = stages_[s]->metaWiresPerBeat();
-        total += stage_wires[s];
+        scratch_[s].metaWiresPerBeat = stages_[s]->metaWiresPerBeat();
+        scratch_[s].meta.clear();
+        total += scratch_[s].metaWiresPerBeat;
     }
     BXT_ASSERT(total == enc.metaWiresPerBeat);
 
     const std::size_t beats =
         total == 0 ? 0 : enc.meta.size() / total;
-    for (std::size_t s = 0; s < stages_.size(); ++s) {
-        stage_encs[s].metaWiresPerBeat = stage_wires[s];
-        stage_encs[s].meta.reserve(beats * stage_wires[s]);
-    }
+    for (std::size_t s = 0; s < stages_.size(); ++s)
+        scratch_[s].meta.reserve(beats * scratch_[s].metaWiresPerBeat);
     for (std::size_t beat = 0; beat < beats; ++beat) {
         std::size_t offset = beat * total;
         for (std::size_t s = 0; s < stages_.size(); ++s) {
-            for (unsigned w = 0; w < stage_wires[s]; ++w)
-                stage_encs[s].meta.push_back(enc.meta[offset + w]);
-            offset += stage_wires[s];
+            const unsigned wires = scratch_[s].metaWiresPerBeat;
+            for (unsigned w = 0; w < wires; ++w)
+                scratch_[s].meta.push_back(enc.meta[offset + w]);
+            offset += wires;
         }
     }
 
-    // Decode stages in reverse order.
-    Transaction payload = enc.payload;
+    // Decode stages in reverse order. A scratch Transaction ping-pongs
+    // through the stages; each stage's decodeInto writes a fresh output.
+    out = enc.payload;
+    Transaction tmp;
     for (std::size_t s = stages_.size(); s-- > 0;) {
-        stage_encs[s].payload = payload;
-        payload = stages_[s]->decode(stage_encs[s]);
+        scratch_[s].payload = out;
+        stages_[s]->decodeInto(scratch_[s], tmp);
+        out = tmp;
     }
-    return payload;
 }
 
 void

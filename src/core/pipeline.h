@@ -32,12 +32,18 @@ class PipelineCodec : public Codec
     std::string name() const override;
     Encoded encode(const Transaction &tx) override;
     Transaction decode(const Encoded &enc) override;
+    void encodeInto(const Transaction &tx, Encoded &out) override;
+    void decodeInto(const Encoded &enc, Transaction &out) override;
     unsigned metaWiresPerBeat() const override;
     void reset() override;
     bool stateless() const override;
 
   private:
     std::vector<CodecPtr> stages_;
+    /** Per-stage scratch encodings reused across encodeInto/decodeInto
+     *  calls (one slot per stage; capacities persist). Makes the codec
+     *  non-reentrant, like any stateful codec — workers own their codec. */
+    std::vector<Encoded> scratch_;
 };
 
 } // namespace bxt

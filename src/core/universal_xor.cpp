@@ -42,15 +42,11 @@ UniversalXorCodec::effectiveBaseBytes(std::size_t tx_bytes) const
     return tx_bytes >> clampedStages(tx_bytes);
 }
 
-Encoded
-UniversalXorCodec::encode(const Transaction &tx)
+void
+UniversalXorCodec::foldInPlace(std::uint8_t *data, std::size_t size) const
 {
-    Encoded enc;
-    enc.payload = tx;
-    std::uint8_t *data = enc.payload.data();
-
-    std::size_t half = tx.size() / 2;
-    const unsigned stages = clampedStages(tx.size());
+    std::size_t half = size / 2;
+    const unsigned stages = clampedStages(size);
     for (unsigned s = 0; s < stages; ++s, half /= 2) {
         const std::uint8_t *left = data;
         std::uint8_t *right = data + half;
@@ -62,21 +58,17 @@ UniversalXorCodec::encode(const Transaction &tx)
         for (std::size_t off = 0; off < half; off += lane)
             zdrLaneEncode(right + off, right + off, left + off, lane);
     }
-    return enc;
 }
 
-Transaction
-UniversalXorCodec::decode(const Encoded &enc)
+void
+UniversalXorCodec::unfoldInPlace(std::uint8_t *data, std::size_t size) const
 {
-    Transaction tx = enc.payload;
-    std::uint8_t *data = tx.data();
-
     // Undo stages in reverse: each stage only read the (untouched) left
     // half, so once inner stages have restored that prefix the right half
     // can be decoded against it.
-    const unsigned stages = clampedStages(tx.size());
+    const unsigned stages = clampedStages(size);
     for (unsigned s = stages; s-- > 0;) {
-        const std::size_t half = tx.size() >> (s + 1);
+        const std::size_t half = size >> (s + 1);
         const std::uint8_t *left = data;
         std::uint8_t *right = data + half;
         if (!zdr_) {
@@ -87,7 +79,38 @@ UniversalXorCodec::decode(const Encoded &enc)
         for (std::size_t off = 0; off < half; off += lane)
             zdrLaneDecode(right + off, right + off, left + off, lane);
     }
+}
+
+Encoded
+UniversalXorCodec::encode(const Transaction &tx)
+{
+    Encoded enc;
+    encodeInto(tx, enc);
+    return enc;
+}
+
+Transaction
+UniversalXorCodec::decode(const Encoded &enc)
+{
+    Transaction tx = enc.payload;
+    unfoldInPlace(tx.data(), tx.size());
     return tx;
+}
+
+void
+UniversalXorCodec::encodeInto(const Transaction &tx, Encoded &enc)
+{
+    enc.payload = tx;
+    enc.meta.clear();
+    enc.metaWiresPerBeat = 0;
+    foldInPlace(enc.payload.data(), enc.payload.size());
+}
+
+void
+UniversalXorCodec::decodeInto(const Encoded &enc, Transaction &tx)
+{
+    tx = enc.payload;
+    unfoldInPlace(tx.data(), tx.size());
 }
 
 } // namespace bxt

@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "channel/bus.h"
+#include "common/bitops.h"
+#include "common/rng.h"
 #include "core/dbi.h"
 
 namespace bxt {
@@ -143,6 +147,64 @@ TEST(Bus, ZeroDataNeverToggles)
         const BusStats delta = bus.transmit(plain(Transaction(32)));
         EXPECT_EQ(delta.dataToggles, 0u);
         EXPECT_EQ(delta.dataOnes, 0u);
+    }
+}
+
+/**
+ * Byte-lane reference model for transmit counting: the formulation
+ * Bus::transmit used before it was rewritten to count word-at-a-time.
+ * Ignores idle parking (tested with idle_fraction = 0).
+ */
+void
+referenceTransmit(const Encoded &enc, unsigned data_wires,
+                  std::vector<std::uint8_t> &last_data,
+                  std::vector<std::uint8_t> &last_meta, BusStats &acc)
+{
+    const std::size_t bus_bytes = data_wires / 8;
+    const std::size_t beats = enc.payload.size() / bus_bytes;
+    const unsigned meta_wires = enc.metaWiresPerBeat;
+    const std::uint8_t *payload = enc.payload.data();
+    for (std::size_t beat = 0; beat < beats; ++beat) {
+        for (std::size_t lane = 0; lane < bus_bytes; ++lane) {
+            const std::uint8_t value = payload[beat * bus_bytes + lane];
+            acc.dataOnes +=
+                static_cast<std::uint64_t>(popcount64(value));
+            acc.dataToggles += static_cast<std::uint64_t>(popcount64(
+                static_cast<std::uint8_t>(value ^ last_data[lane])));
+            last_data[lane] = value;
+        }
+        for (unsigned w = 0; w < meta_wires; ++w) {
+            const std::uint8_t bit = enc.meta[beat * meta_wires + w];
+            acc.metaOnes += bit;
+            acc.metaToggles += (bit != last_meta[w]) ? 1u : 0u;
+            last_meta[w] = bit;
+        }
+    }
+}
+
+TEST(Bus, WordWideCountingMatchesByteLaneReference)
+{
+    Rng rng(0xb05);
+    for (const unsigned data_wires : {32u, 64u}) {
+        const std::size_t tx_bytes = data_wires == 64 ? 64 : 32;
+        DbiCodec dbi(1, data_wires / 8);
+        Bus bus(data_wires, dbi.metaWiresPerBeat());
+        std::vector<std::uint8_t> ref_data(data_wires / 8, 0);
+        std::vector<std::uint8_t> ref_meta(dbi.metaWiresPerBeat(), 0);
+        BusStats ref;
+
+        for (int i = 0; i < 200; ++i) {
+            Transaction tx(tx_bytes);
+            for (std::size_t off = 0; off < tx_bytes; off += 8)
+                tx.setWord64(off, rng.next64());
+            const Encoded enc = dbi.encode(tx);
+            bus.transmit(enc);
+            referenceTransmit(enc, data_wires, ref_data, ref_meta, ref);
+        }
+        EXPECT_EQ(bus.stats().dataOnes, ref.dataOnes);
+        EXPECT_EQ(bus.stats().dataToggles, ref.dataToggles);
+        EXPECT_EQ(bus.stats().metaOnes, ref.metaOnes);
+        EXPECT_EQ(bus.stats().metaToggles, ref.metaToggles);
     }
 }
 

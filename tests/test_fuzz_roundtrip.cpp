@@ -110,6 +110,69 @@ TEST(FuzzRoundTrip, MetadataFreeSchemesStayMetadataFree)
     }
 }
 
+/**
+ * Differential fuzz of the allocation-free hot paths: encodeInto /
+ * decodeInto must produce exactly what encode / decode produce, for every
+ * factory spec, with a *dirty* scratch reused across calls. Stateful
+ * codecs (bd) advance their repository per encode, so each form gets its
+ * own codec instance fed the identical stream.
+ */
+void
+fuzzIntoMatchesAllocating(const std::string &spec, std::size_t tx_bytes,
+                          std::size_t bus_bytes, Rng &rng)
+{
+    CodecPtr allocating = makeCodec(spec, bus_bytes);
+    CodecPtr into = makeCodec(spec, bus_bytes);
+
+    Encoded scratch_enc;
+    Transaction scratch_back;
+    for (int i = 0; i < 40; ++i) {
+        const Transaction tx = randomTransaction(rng, tx_bytes);
+
+        const Encoded enc = allocating->encode(tx);
+        into->encodeInto(tx, scratch_enc);
+        ASSERT_EQ(scratch_enc.payload, enc.payload)
+            << "spec " << spec << " tx " << tx.toHex();
+        ASSERT_EQ(scratch_enc.meta, enc.meta) << "spec " << spec;
+        ASSERT_EQ(scratch_enc.metaWiresPerBeat, enc.metaWiresPerBeat)
+            << "spec " << spec;
+
+        const Transaction back = allocating->decode(enc);
+        into->decodeInto(scratch_enc, scratch_back);
+        ASSERT_EQ(scratch_back, back) << "spec " << spec;
+        ASSERT_EQ(scratch_back, tx) << "spec " << spec;
+    }
+}
+
+TEST(FuzzRoundTrip, EncodeIntoMatchesEncodeForEveryFactorySpec)
+{
+    std::vector<std::string> specs = paperSchemeSpecs();
+    for (const char *stage : stage_pool)
+        specs.push_back(stage);
+
+    Rng rng(0x1207);
+    for (const std::string &spec : specs)
+        fuzzIntoMatchesAllocating(spec, 32, 4, rng);
+}
+
+TEST(FuzzRoundTrip, EncodeIntoMatchesEncodeOn64ByteCpuTransactions)
+{
+    std::vector<std::string> specs = paperSchemeSpecs();
+    for (const char *stage : stage_pool)
+        specs.push_back(stage);
+
+    Rng rng(0x6464);
+    for (const std::string &spec : specs)
+        fuzzIntoMatchesAllocating(spec, 64, 8, rng);
+}
+
+TEST(FuzzRoundTrip, EncodeIntoMatchesEncodeForRandomPipelines)
+{
+    Rng rng(0x77aa);
+    for (int pipeline = 0; pipeline < 25; ++pipeline)
+        fuzzIntoMatchesAllocating(randomSpec(rng), 32, 4, rng);
+}
+
 TEST(FuzzRoundTrip, EncodedSizeAlwaysEqualsInputSize)
 {
     // The schemes are codes, not compressors: payload size is invariant,

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the ThreadPool / parallelFor primitives and the
+ * determinism guarantee of the batch-parallel suite evaluation engine:
+ * a parallel evalSuite run must be bit-identical to a 1-thread run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.h"
+#include "suite_eval.h"
+#include "workloads/apps.h"
+
+namespace bxt {
+namespace {
+
+TEST(ParseThreadCount, AcceptsPositiveIntegers)
+{
+    EXPECT_EQ(parseThreadCount("1"), 1u);
+    EXPECT_EQ(parseThreadCount("8"), 8u);
+    EXPECT_EQ(parseThreadCount("256"), 256u);
+}
+
+TEST(ParseThreadCount, RejectsGarbageZeroAndOutOfRange)
+{
+    EXPECT_EQ(parseThreadCount(nullptr), 0u);
+    EXPECT_EQ(parseThreadCount(""), 0u);
+    EXPECT_EQ(parseThreadCount("0"), 0u);
+    EXPECT_EQ(parseThreadCount("-4"), 0u);
+    EXPECT_EQ(parseThreadCount("4x"), 0u);
+    EXPECT_EQ(parseThreadCount("257"), 0u);
+    EXPECT_EQ(parseThreadCount("999999999999"), 0u);
+}
+
+TEST(DefaultThreadCount, HonorsEnvironmentOverride)
+{
+    ::setenv("BXT_THREADS", "3", 1);
+    EXPECT_EQ(defaultThreadCount(), 3u);
+    ::setenv("BXT_THREADS", "not-a-number", 1);
+    EXPECT_GE(defaultThreadCount(), 1u); // Falls back to hardware count.
+    ::unsetenv("BXT_THREADS");
+    EXPECT_GE(defaultThreadCount(), 1u);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    for (unsigned threads : {1u, 2u, 4u, 7u}) {
+        ThreadPool pool(threads);
+        EXPECT_EQ(pool.threadCount(), threads);
+
+        constexpr std::size_t count = 10007;
+        std::vector<std::atomic<int>> hits(count);
+        pool.run(count, [&](std::size_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (std::size_t i = 0; i < count; ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "index " << i << " threads "
+                                         << threads;
+    }
+}
+
+TEST(ThreadPool, HandlesZeroAndTinyCounts)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    pool.run(0, [&](std::size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0);
+    pool.run(1, [&](std::size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 1);
+    pool.run(2, [&](std::size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPool, IsReusableAcrossJobs)
+{
+    ThreadPool pool(3);
+    std::atomic<std::uint64_t> sum{0};
+    for (int round = 0; round < 20; ++round) {
+        pool.run(100, [&](std::size_t i) {
+            sum.fetch_add(i, std::memory_order_relaxed);
+        });
+    }
+    EXPECT_EQ(sum.load(), 20ull * (99ull * 100ull / 2ull));
+}
+
+TEST(ThreadPool, PropagatesTheFirstException)
+{
+    for (unsigned threads : {1u, 4u}) {
+        ThreadPool pool(threads);
+        EXPECT_THROW(pool.run(64,
+                              [&](std::size_t i) {
+                                  if (i == 13)
+                                      throw std::runtime_error("boom");
+                              }),
+                     std::runtime_error);
+        // The pool must stay usable after a failed job.
+        std::atomic<int> calls{0};
+        pool.run(8, [&](std::size_t) { calls.fetch_add(1); });
+        EXPECT_EQ(calls.load(), 8);
+    }
+}
+
+TEST(ParallelFor, GlobalPoolCoversAllIndices)
+{
+    constexpr std::size_t count = 4096;
+    std::vector<int> hits(count, 0);
+    parallelFor(count, [&](std::size_t i) { hits[i] += 1; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+              static_cast<int>(count));
+}
+
+/** Small app sample spanning both suites (GPU 32 B and CPU 64 B). */
+std::vector<App>
+sampleApps()
+{
+    std::vector<App> gpu = buildGpuSuite();
+    std::vector<App> cpu = buildCpuSuite();
+    std::vector<App> sample;
+    sample.push_back(std::move(gpu[0]));
+    sample.push_back(std::move(gpu[41]));
+    sample.push_back(std::move(gpu[120]));
+    sample.push_back(std::move(cpu[0]));
+    sample.push_back(std::move(cpu[7]));
+    return sample;
+}
+
+TEST(SuiteEvalDeterminism, ParallelMatchesSerialBitForBit)
+{
+    const std::vector<std::string> specs = {"baseline", "universal3+zdr",
+                                            "universal3+zdr|dbi1", "bd"};
+
+    std::vector<App> serial_apps = sampleApps();
+    const auto serial = evalSuite(serial_apps, specs, 96, /*threads=*/1);
+
+    for (unsigned threads : {2u, 5u, 8u}) {
+        std::vector<App> apps = sampleApps();
+        const auto parallel = evalSuite(apps, specs, 96, threads);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t a = 0; a < serial.size(); ++a) {
+            EXPECT_EQ(parallel[a].app, serial[a].app);
+            EXPECT_EQ(parallel[a].rawOnes, serial[a].rawOnes);
+            EXPECT_EQ(parallel[a].mixedRatio, serial[a].mixedRatio);
+            ASSERT_EQ(parallel[a].stats.size(), serial[a].stats.size());
+            for (const auto &[spec, stats] : serial[a].stats) {
+                ASSERT_TRUE(parallel[a].stats.count(spec));
+                EXPECT_EQ(parallel[a].stats.at(spec), stats)
+                    << parallel[a].app << " / " << spec << " with "
+                    << threads << " threads";
+            }
+        }
+    }
+}
+
+TEST(SuiteEvalDeterminism, RawOnesIsAPropertyOfTheTraceNotTheSpecs)
+{
+    // rawOnes must not depend on which specs run (it is computed once
+    // per app from the unencoded trace).
+    std::vector<App> apps_a = sampleApps();
+    std::vector<App> apps_b = sampleApps();
+    const auto with_one = evalSuite(apps_a, {"baseline"}, 64, 1);
+    const auto with_two =
+        evalSuite(apps_b, {"baseline", "dbi1"}, 64, 2);
+    ASSERT_EQ(with_one.size(), with_two.size());
+    for (std::size_t a = 0; a < with_one.size(); ++a) {
+        EXPECT_GT(with_one[a].rawOnes, 0u);
+        EXPECT_EQ(with_one[a].rawOnes, with_two[a].rawOnes);
+    }
+}
+
+} // namespace
+} // namespace bxt
