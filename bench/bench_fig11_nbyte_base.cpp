@@ -8,16 +8,26 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 #include "common/stats.h"
 #include "common/table.h"
 #include "suite_eval.h"
+#include "verify/golden.h"
 #include "workloads/apps.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bxt;
+
+    // --golden PATH appends this figure's endpoint lines (the aggregate a
+    // regression can diff) in the tests/golden/endpoints.txt format.
+    std::string golden_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--golden") == 0 && i + 1 < argc)
+            golden_path = argv[++i];
+    }
 
     std::printf("%s", banner("Figure 11: 2-/4-/8-byte Base+XOR Transfer "
                              "(normalized # of 1 values)").c_str());
@@ -69,5 +79,20 @@ main()
                 Table::cell(meanNormalizedOnes(results, "xor8+zdr") * 100.0),
                 "70.4"});
     std::printf("%s", avg.render().c_str());
+
+    if (!golden_path.empty()) {
+        std::vector<verify::Endpoint> endpoints;
+        for (const std::string &spec : specs) {
+            endpoints.push_back({"fig11", spec, defaultTraceLength,
+                                 meanNormalizedOnes(results, spec)});
+        }
+        if (!verify::appendEndpoints(golden_path, endpoints)) {
+            std::fprintf(stderr, "cannot append endpoints to %s\n",
+                         golden_path.c_str());
+            return 1;
+        }
+        std::printf("\nappended %zu endpoint(s) to %s\n", endpoints.size(),
+                    golden_path.c_str());
+    }
     return 0;
 }

@@ -7,15 +7,25 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 #include "common/table.h"
 #include "suite_eval.h"
+#include "verify/golden.h"
 #include "workloads/apps.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bxt;
+
+    // --golden PATH appends this figure's endpoint lines (the aggregate a
+    // regression can diff) in the tests/golden/endpoints.txt format.
+    std::string golden_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--golden") == 0 && i + 1 < argc)
+            golden_path = argv[++i];
+    }
 
     std::printf("%s", banner("Figure 12: Universal Base+XOR Transfer vs "
                              "best fixed base").c_str());
@@ -61,5 +71,18 @@ main()
                 "universal <= best-of-fixed in %zu/%zu apps\n",
                 sum_best / n, sum_universal / n, universal_wins,
                 results.size());
+
+    if (!golden_path.empty()) {
+        const std::vector<verify::Endpoint> endpoints = {
+            {"fig12", "universal3+zdr", defaultTraceLength,
+             meanNormalizedOnes(results, "universal3+zdr")}};
+        if (!verify::appendEndpoints(golden_path, endpoints)) {
+            std::fprintf(stderr, "cannot append endpoints to %s\n",
+                         golden_path.c_str());
+            return 1;
+        }
+        std::printf("appended %zu endpoint(s) to %s\n", endpoints.size(),
+                    golden_path.c_str());
+    }
     return 0;
 }

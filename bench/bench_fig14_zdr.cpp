@@ -8,17 +8,27 @@
  */
 
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "common/stats.h"
 #include "common/table.h"
 #include "suite_eval.h"
+#include "verify/golden.h"
 #include "workloads/apps.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bxt;
+
+    // --golden PATH appends this figure's endpoint lines (the aggregate a
+    // regression can diff) in the tests/golden/endpoints.txt format.
+    std::string golden_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--golden") == 0 && i + 1 < argc)
+            golden_path = argv[++i];
+    }
 
     std::printf("%s", banner("Figure 14: Zero Data Remapping vs mixed-data "
                              "transaction ratio").c_str());
@@ -83,5 +93,20 @@ main()
     std::printf("worst-case increase: +%.1f %% -> +%.1f %% "
                 "(paper: +100 %% -> +8.4 %%)\n",
                 worst_plain, worst_zdr);
+
+    if (!golden_path.empty()) {
+        std::vector<verify::Endpoint> endpoints;
+        for (const std::string &spec : specs) {
+            endpoints.push_back({"fig14", spec, defaultTraceLength,
+                                 meanNormalizedOnes(results, spec)});
+        }
+        if (!verify::appendEndpoints(golden_path, endpoints)) {
+            std::fprintf(stderr, "cannot append endpoints to %s\n",
+                         golden_path.c_str());
+            return 1;
+        }
+        std::printf("appended %zu endpoint(s) to %s\n", endpoints.size(),
+                    golden_path.c_str());
+    }
     return 0;
 }

@@ -1,38 +1,63 @@
 #!/usr/bin/env bash
 # CI driver: tier-1 verify in Release, plus an ASan/UBSan job so the
 # concurrency code (ThreadPool / parallel evalSuite) is sanitizer-checked
-# on every PR.
+# on every PR, plus a fuzz job that runs the differential verifier
+# (tools/bxt_fuzz) under the sanitizers on a wall-clock budget.
 #
-# Usage: ./ci.sh [release|asan|all]   (default: all)
+# Usage: ./ci.sh [release|asan|fuzz|all]   (default: all)
+#   release  Release build + `ctest -L tier1`
+#   asan     ASan/UBSan build + `ctest -L tier1` (oversubscribed pool)
+#   fuzz     ASan/UBSan build + bxt_fuzz campaign + fuzz/golden-labeled
+#            ctest; BXT_FUZZ_SECONDS scales the budget (default 60)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 mode="${1:-all}"
 jobs="$(nproc 2>/dev/null || echo 2)"
 
-run_release() {
-    echo "=== CI job: Release build + ctest ==="
-    cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
-    cmake --build build-ci-release -j "${jobs}"
-    ctest --test-dir build-ci-release --output-on-failure -j "${jobs}"
-}
-
-run_asan() {
-    echo "=== CI job: ASan+UBSan build + ctest ==="
+configure_asan() {
     cmake -B build-ci-asan -S . \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+}
+
+run_release() {
+    echo "=== CI job: Release build + tier-1 ctest ==="
+    cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-ci-release -j "${jobs}"
+    ctest --test-dir build-ci-release --output-on-failure -j "${jobs}" \
+        -L tier1
+}
+
+run_asan() {
+    echo "=== CI job: ASan+UBSan build + tier-1 ctest ==="
+    configure_asan
     cmake --build build-ci-asan -j "${jobs}"
     # Exercise the parallel engine under the sanitizers with an
     # oversubscribed pool to shake out data races on a small host.
     BXT_THREADS=8 ctest --test-dir build-ci-asan --output-on-failure \
-        -j "${jobs}"
+        -j "${jobs}" -L tier1
+}
+
+run_fuzz() {
+    echo "=== CI job: differential fuzz (ASan+UBSan) ==="
+    configure_asan
+    cmake --build build-ci-asan -j "${jobs}" \
+        --target bxt_fuzz test_differential test_golden
+    # The time-budgeted campaign sweeps every canonical spec and shrinks
+    # any failure into tests/corpus/ (uploaded as a CI artifact).
+    ./build-ci-asan/tools/bxt_fuzz \
+        --seconds "${BXT_FUZZ_SECONDS:-60}" \
+        --corpus tests/corpus
+    ctest --test-dir build-ci-asan --output-on-failure -j "${jobs}" \
+        -L 'fuzz|golden'
 }
 
 case "${mode}" in
   release) run_release ;;
   asan)    run_asan ;;
+  fuzz)    run_fuzz ;;
   all)     run_release; run_asan ;;
-  *) echo "usage: $0 [release|asan|all]" >&2; exit 2 ;;
+  *) echo "usage: $0 [release|asan|fuzz|all]" >&2; exit 2 ;;
 esac
 echo "CI ${mode}: OK"

@@ -1,0 +1,195 @@
+#include "verify/differential.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/rng.h"
+#include "core/codec_factory.h"
+#include "verify/generators.h"
+
+namespace bxt::verify {
+namespace {
+
+std::uint64_t
+mixSeed(std::uint64_t seed, const std::string &spec, unsigned wires)
+{
+    std::uint64_t h = seed ^ 0xcbf29ce484222325ull;
+    for (char c : spec) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    h ^= wires;
+    h *= 0x100000001b3ull;
+    return h;
+}
+
+/** One (spec, wires) fuzzing unit with its own RNG, checker, and stream. */
+struct Unit
+{
+    std::string spec;
+    unsigned wires;
+    std::uint64_t seed;
+    Rng rng;
+    DifferentialChecker checker;
+    Transaction previous;
+    std::uint64_t iteration = 0;
+    bool failed = false;
+
+    Unit(const std::string &spec_in, unsigned wires_in, std::uint64_t campaign,
+         double idle_fraction)
+        : spec(spec_in), wires(wires_in),
+          seed(mixSeed(campaign, spec_in, wires_in)), rng(seed),
+          checker(spec_in, wires_in, idle_fraction), previous(wires_in)
+    {
+    }
+};
+
+void
+handleFailure(Unit &unit, const Transaction &tx, const Violation &violation,
+              const FuzzOptions &options, FuzzReport &report)
+{
+    unit.failed = true;
+    FuzzFailure failure;
+    failure.spec = unit.spec;
+    failure.dataWires = unit.wires;
+    failure.seed = unit.seed;
+    failure.violation = violation;
+    failure.original = tx;
+    failure.shrunk = tx;
+
+    // Shrinking restarts from a fresh checker, so it only applies to
+    // failures that do not depend on accumulated stream state.
+    const FailPredicate fails = [&](const Transaction &candidate) {
+        DifferentialChecker fresh(unit.spec, unit.wires,
+                                  options.idleFraction);
+        return fresh.check(candidate).has_value();
+    };
+    failure.reproducesFresh = fails(tx);
+    if (failure.reproducesFresh && options.shrinkFailures)
+        failure.shrunk = shrinkTransaction(tx, fails);
+
+    if (!options.corpusDir.empty()) {
+        Repro repro;
+        repro.spec = unit.spec;
+        repro.dataWires = unit.wires;
+        repro.seed = unit.seed;
+        repro.invariant = violation.invariant;
+        repro.detail = violation.detail;
+        repro.tx = failure.shrunk;
+        failure.reproPath = writeRepro(options.corpusDir, repro);
+    }
+    report.failures.push_back(std::move(failure));
+}
+
+/** Run up to @p count iterations of @p unit; false once the unit failed. */
+void
+runChunk(Unit &unit, std::uint64_t count, const FuzzOptions &options,
+         FuzzReport &report)
+{
+    const std::vector<GenKind> &kinds = allGenKinds();
+    const std::size_t tx_bytes = unit.wires;
+    for (std::uint64_t i = 0; i < count && !unit.failed; ++i) {
+        const GenKind kind = kinds[unit.iteration % kinds.size()];
+        const Transaction tx =
+            generate(unit.rng, tx_bytes, kind, unit.previous);
+        unit.previous = tx;
+        ++unit.iteration;
+        ++report.transactionsChecked;
+        if (auto violation = unit.checker.check(tx))
+            handleFailure(unit, tx, *violation, options, report);
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+canonicalSpecs()
+{
+    std::vector<std::string> specs = paperSchemeSpecs();
+    for (const char *extra :
+         {"xor2+zdr", "xor4", "xor4+zdr", "xor8+zdr", "xor16", "xor4+fixed",
+          "universal1", "universal3", "universal4+zdr", "universal5+zdr",
+          "xor4+zdr|dbi4", "dbi4|xor4+zdr", "dbi-ac1", "dbi-ac4"}) {
+        if (std::find(specs.begin(), specs.end(), extra) == specs.end())
+            specs.emplace_back(extra);
+    }
+    return specs;
+}
+
+FuzzReport
+runDifferentialFuzz(const FuzzOptions &options)
+{
+    const std::vector<std::string> specs =
+        options.specs.empty() ? canonicalSpecs() : options.specs;
+
+    std::vector<Unit> units;
+    for (const std::string &spec : specs) {
+        for (unsigned wires : options.dataWires)
+            units.emplace_back(spec, wires, options.seed,
+                               options.idleFraction);
+    }
+
+    FuzzReport report;
+    if (options.secondsBudget > 0.0) {
+        // Time-bounded mode: round-robin chunks until the budget expires.
+        const auto start = std::chrono::steady_clock::now();
+        const auto budget = std::chrono::duration<double>(
+            options.secondsBudget);
+        bool expired = false;
+        while (!expired) {
+            for (Unit &unit : units) {
+                runChunk(unit, 2000, options, report);
+                if (std::chrono::steady_clock::now() - start >= budget) {
+                    expired = true;
+                    break;
+                }
+            }
+        }
+    } else {
+        for (Unit &unit : units)
+            runChunk(unit, options.iterationsPerSpec, options, report);
+    }
+
+    if (options.progress) {
+        for (const Unit &unit : units) {
+            options.progress(
+                unit.spec + " wires=" + std::to_string(unit.wires) + " " +
+                std::to_string(unit.iteration) + " tx " +
+                (unit.failed ? "FAIL" : "ok") +
+                (unit.checker.hasReference() ? "" : " (round-trip/bus only)"));
+        }
+    }
+    return report;
+}
+
+FuzzReport
+replayCorpus(const std::string &dir)
+{
+    FuzzReport report;
+    for (const std::string &path : listRepros(dir)) {
+        const std::optional<Repro> repro = loadRepro(path);
+        if (!repro) {
+            FuzzFailure failure;
+            failure.violation = {"corpus-malformed", path};
+            failure.reproPath = path;
+            report.failures.push_back(std::move(failure));
+            continue;
+        }
+        DifferentialChecker checker(repro->spec, repro->dataWires, 0.0);
+        ++report.transactionsChecked;
+        if (auto violation = checker.check(repro->tx)) {
+            FuzzFailure failure;
+            failure.spec = repro->spec;
+            failure.dataWires = repro->dataWires;
+            failure.seed = repro->seed;
+            failure.violation = *violation;
+            failure.original = repro->tx;
+            failure.shrunk = repro->tx;
+            failure.reproPath = path;
+            report.failures.push_back(std::move(failure));
+        }
+    }
+    return report;
+}
+
+} // namespace bxt::verify

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The differential fuzz driver: sweeps codec specs over the structured
+ * generators, checks every invariant per transaction (verify/invariants.h),
+ * and shrinks + persists failing inputs to the repro corpus. Shared by the
+ * `bxt_fuzz` CLI, the nightly CI job, and `tests/test_differential.cpp`.
+ */
+
+#ifndef BXT_VERIFY_DIFFERENTIAL_H
+#define BXT_VERIFY_DIFFERENTIAL_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "verify/shrink.h"
+
+namespace bxt::verify {
+
+/** Fuzzing campaign parameters. */
+struct FuzzOptions
+{
+    /** Specs to sweep; empty selects canonicalSpecs(). */
+    std::vector<std::string> specs;
+
+    /** Channel widths to run each spec on (transaction = wires bytes × 8). */
+    std::vector<unsigned> dataWires = {32, 64};
+
+    /** Transactions per (spec, wires) unit when secondsBudget == 0. */
+    std::uint64_t iterationsPerSpec = 20000;
+
+    /** When > 0, fuzz round-robin until this wall-clock budget expires. */
+    double secondsBudget = 0.0;
+
+    /** Campaign seed; every (spec, wires) unit derives its own stream. */
+    std::uint64_t seed = 0xb8715eedull;
+
+    /** Bus idle-gap fraction (0.3 = the paper's 70 % utilization). */
+    double idleFraction = 0.3;
+
+    /** Directory for shrunken repros; empty disables persistence. */
+    std::string corpusDir;
+
+    /** Minimize failing inputs before reporting/persisting them. */
+    bool shrinkFailures = true;
+
+    /** Optional progress sink (one line per unit). */
+    std::function<void(const std::string &)> progress;
+};
+
+/** One invariant violation found by the campaign. */
+struct FuzzFailure
+{
+    std::string spec;
+    unsigned dataWires = 32;
+    std::uint64_t seed = 0;
+    Violation violation;
+    Transaction original{Transaction::minBytes};
+    Transaction shrunk{Transaction::minBytes};
+    /** True when the failure reproduces from a fresh checker (stateless). */
+    bool reproducesFresh = false;
+    std::string reproPath; ///< Corpus file, when persisted.
+};
+
+/** Campaign outcome. */
+struct FuzzReport
+{
+    std::uint64_t transactionsChecked = 0;
+    std::vector<FuzzFailure> failures;
+    bool ok() const { return failures.empty(); }
+};
+
+/**
+ * The canonical spec set every scaling PR must keep green: the paper's
+ * scheme table (codec_factory::paperSchemeSpecs) plus the per-codec
+ * building blocks and both pipeline orders.
+ */
+std::vector<std::string> canonicalSpecs();
+
+/** Run a fuzzing campaign. */
+FuzzReport runDifferentialFuzz(const FuzzOptions &options);
+
+/**
+ * Re-check every shrunken repro in @p dir against the current build; a
+ * failure here means a previously-fixed bug regressed (or a corpus file is
+ * malformed). Counts as 0 checked transactions when the dir is missing.
+ */
+FuzzReport replayCorpus(const std::string &dir);
+
+} // namespace bxt::verify
+
+#endif // BXT_VERIFY_DIFFERENTIAL_H

@@ -1,0 +1,113 @@
+#include "verify/generators.h"
+
+#include "common/error.h"
+
+namespace bxt::verify {
+
+const std::vector<GenKind> &
+allGenKinds()
+{
+    static const std::vector<GenKind> kinds = {
+        GenKind::AllZero,    GenKind::ZdrConstant,   GenKind::Stride,
+        GenKind::FloatLike,  GenKind::SparseZero,    GenKind::DenseOnes,
+        GenKind::NeighbourFlip, GenKind::Random,
+    };
+    return kinds;
+}
+
+const char *
+genKindName(GenKind kind)
+{
+    switch (kind) {
+      case GenKind::AllZero:       return "all-zero";
+      case GenKind::ZdrConstant:   return "zdr-constant";
+      case GenKind::Stride:        return "stride";
+      case GenKind::FloatLike:     return "float-like";
+      case GenKind::SparseZero:    return "sparse-zero";
+      case GenKind::DenseOnes:     return "dense-ones";
+      case GenKind::NeighbourFlip: return "neighbour-flip";
+      case GenKind::Random:        return "random";
+    }
+    return "unknown";
+}
+
+Transaction
+generate(Rng &rng, std::size_t size, GenKind kind, const Transaction &previous)
+{
+    Transaction tx(size);
+    switch (kind) {
+      case GenKind::AllZero:
+        break;
+
+      case GenKind::ZdrConstant: {
+        // Word lanes drawn from the ZDR symbol set: 0, C, base and base⊕C
+        // for a random per-transaction base — the values whose outputs the
+        // remap swaps or leaves fixed.
+        const std::uint32_t base = rng.next32();
+        for (std::size_t off = 0; off < size; off += 4) {
+            switch (rng.nextBounded(4)) {
+              case 0: tx.setWord32(off, 0); break;
+              case 1: tx.setWord32(off, 0x40000000u); break;
+              case 2: tx.setWord32(off, base); break;
+              default: tx.setWord32(off, base ^ 0x40000000u); break;
+            }
+        }
+        break;
+      }
+
+      case GenKind::Stride: {
+        // A pointer-array walk: consecutive elements differ by a small
+        // stride, the adjacent-base similarity Base+XOR is built for.
+        std::uint64_t addr = rng.next64() & 0x0000ffffffffffc0ull;
+        const std::uint64_t stride = (1ull << rng.nextBounded(8)) *
+                                     (1 + rng.nextBounded(4));
+        for (std::size_t off = 0; off + 8 <= size; off += 8) {
+            tx.setWord64(off, addr);
+            addr += stride;
+        }
+        break;
+      }
+
+      case GenKind::FloatLike: {
+        // 32-bit floats sharing sign+exponent with noisy low mantissa bits,
+        // the partial-similarity case ZDR alone cannot fix.
+        const std::uint32_t exponent = (rng.next32() & 0xff800000u);
+        for (std::size_t off = 0; off < size; off += 4) {
+            tx.setWord32(off, exponent |
+                                  (rng.next32() & 0x00000fffu));
+        }
+        break;
+      }
+
+      case GenKind::SparseZero:
+        for (std::size_t i = 0; i < size; ++i) {
+            if (rng.nextBounded(4) == 0)
+                tx.data()[i] = static_cast<std::uint8_t>(rng.next32());
+        }
+        break;
+
+      case GenKind::DenseOnes:
+        for (std::size_t i = 0; i < size; ++i) {
+            tx.data()[i] = static_cast<std::uint8_t>(
+                0xff ^ (rng.nextBounded(8) == 0 ? rng.next32() & 0xf : 0));
+        }
+        break;
+
+      case GenKind::NeighbourFlip: {
+        BXT_ASSERT(previous.size() == size);
+        tx = previous;
+        const std::size_t bit = rng.nextBounded(size * 8);
+        tx.data()[bit / 8] = static_cast<std::uint8_t>(
+            tx.data()[bit / 8] ^ (1u << (bit % 8)));
+        break;
+      }
+
+      case GenKind::Random:
+        for (std::size_t off = 0; off + 8 <= size; off += 8)
+            tx.setWord64(off, rng.next64());
+        break;
+    }
+    return tx;
+}
+
+} // namespace bxt::verify

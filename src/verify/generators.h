@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Structured transaction generators for the differential fuzzer. Each kind
+ * targets a family of inputs the encoders treat specially: all-zero data
+ * (the ZDR remap), ZDR-constant-shaped values (the rare swapped symbol),
+ * strided pointer-like arrays (the similarity Base+XOR exploits),
+ * float-like data with shared exponents, sparse and dense random data, and
+ * single-bit-flip neighbourhoods of a previous transaction.
+ */
+
+#ifndef BXT_VERIFY_GENERATORS_H
+#define BXT_VERIFY_GENERATORS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/transaction.h"
+
+namespace bxt::verify {
+
+/** Input families the fuzzer sweeps; roughly ordered from most to least structured. */
+enum class GenKind
+{
+    AllZero,       ///< Every byte zero (exercises the ZDR constant path).
+    ZdrConstant,   ///< Lanes equal to C or base⊕C shapes (the swapped symbols).
+    Stride,        ///< Pointer-array-like: base address + i·stride elements.
+    FloatLike,     ///< IEEE-754-shaped words sharing exponent bytes.
+    SparseZero,    ///< Random data with most bytes forced to zero.
+    DenseOnes,     ///< Mostly-set bytes (exercises the DBI inversion path).
+    NeighbourFlip, ///< Previous transaction with a single bit flipped.
+    Random,        ///< Uniform random bytes.
+};
+
+/** All generator kinds, in sweep order. */
+const std::vector<GenKind> &allGenKinds();
+
+/** Short stable name for logs and corpus files. */
+const char *genKindName(GenKind kind);
+
+/**
+ * Generate one @p size byte transaction of the given family from @p rng.
+ * NeighbourFlip derives from @p previous (pass the last generated
+ * transaction of the stream; it must have the same size).
+ */
+Transaction generate(Rng &rng, std::size_t size, GenKind kind,
+                     const Transaction &previous);
+
+} // namespace bxt::verify
+
+#endif // BXT_VERIFY_GENERATORS_H

@@ -1,0 +1,71 @@
+#include "verify/reference_bus.h"
+
+#include "common/error.h"
+
+namespace bxt::verify {
+
+RefBus::RefBus(unsigned data_wires, unsigned meta_wires, double idle_fraction)
+    : data_wires_(data_wires), meta_wires_(meta_wires),
+      idle_fraction_(idle_fraction), last_data_bits_(data_wires, 0),
+      last_meta_bits_(meta_wires, 0)
+{
+    BXT_ASSERT(data_wires >= 8 && data_wires % 8 == 0);
+    BXT_ASSERT(idle_fraction >= 0.0 && idle_fraction < 1.0);
+}
+
+BusStats
+RefBus::transmit(const std::vector<std::uint8_t> &payload,
+                 const std::vector<std::uint8_t> &meta,
+                 unsigned meta_wires_per_beat)
+{
+    const std::size_t bus_bytes = data_wires_ / 8;
+    BXT_ASSERT(payload.size() % bus_bytes == 0);
+    BXT_ASSERT(meta_wires_per_beat == meta_wires_);
+
+    const std::size_t beats = payload.size() / bus_bytes;
+    BXT_ASSERT(meta.size() == beats * meta_wires_);
+
+    BusStats delta;
+    delta.transactions = 1;
+    delta.beats = beats;
+    for (std::size_t beat = 0; beat < beats; ++beat) {
+        // Data wire w carries bit (w % 8) of byte lane (w / 8) this beat.
+        for (unsigned w = 0; w < data_wires_; ++w) {
+            const std::uint8_t byte = payload[beat * bus_bytes + w / 8];
+            const std::uint8_t bit = (byte >> (w % 8)) & 1;
+            delta.dataOnes += bit;
+            if (bit != last_data_bits_[w])
+                delta.dataToggles += 1;
+            last_data_bits_[w] = bit;
+        }
+        for (unsigned w = 0; w < meta_wires_; ++w) {
+            const std::uint8_t bit = meta[beat * meta_wires_ + w];
+            delta.metaOnes += bit;
+            if (bit != last_meta_bits_[w])
+                delta.metaToggles += 1;
+            last_meta_bits_[w] = bit;
+        }
+    }
+    delta.dataBits = beats * data_wires_;
+    delta.metaBits = beats * meta_wires_;
+
+    // Deterministic idle-gap accumulator, as in Bus::transmit: park every
+    // wire at the idle 0 level, charging one transition per driven `1`.
+    idle_accum_ += idle_fraction_;
+    if (idle_accum_ >= 1.0) {
+        idle_accum_ -= 1.0;
+        for (std::uint8_t &bit : last_data_bits_) {
+            delta.dataToggles += bit;
+            bit = 0;
+        }
+        for (std::uint8_t &bit : last_meta_bits_) {
+            delta.metaToggles += bit;
+            bit = 0;
+        }
+    }
+
+    stats_ += delta;
+    return delta;
+}
+
+} // namespace bxt::verify

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Byte-lane/bit-level reference model of the physical channel
+ * (`src/channel/bus.h`): walks every wire of every beat one bit at a time
+ * and accounts `1` values and transitions with no word loads and no
+ * popcount intrinsics. The word-wide `Bus::transmit` hot path must stay
+ * bit-identical to this model, including the cross-transaction wire memory
+ * and the deterministic idle-gap parking.
+ */
+
+#ifndef BXT_VERIFY_REFERENCE_BUS_H
+#define BXT_VERIFY_REFERENCE_BUS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "channel/bus.h"
+
+namespace bxt::verify {
+
+/** Bit-at-a-time reference bus producing the same BusStats counters. */
+class RefBus
+{
+  public:
+    /** Parameters mirror Bus: wires idle at logical 0, park when idle. */
+    explicit RefBus(unsigned data_wires, unsigned meta_wires = 0,
+                    double idle_fraction = 0.0);
+
+    /**
+     * Transmit one encoded transaction given as raw payload bytes plus
+     * beat-major metadata bits; returns this transaction's counter deltas.
+     */
+    BusStats transmit(const std::vector<std::uint8_t> &payload,
+                      const std::vector<std::uint8_t> &meta,
+                      unsigned meta_wires_per_beat);
+
+    /** Counters accumulated since construction. */
+    const BusStats &stats() const { return stats_; }
+
+  private:
+    unsigned data_wires_;
+    unsigned meta_wires_;
+    double idle_fraction_;
+    double idle_accum_ = 0.0;
+    std::vector<std::uint8_t> last_data_bits_; ///< One 0/1 entry per wire.
+    std::vector<std::uint8_t> last_meta_bits_;
+    BusStats stats_;
+};
+
+} // namespace bxt::verify
+
+#endif // BXT_VERIFY_REFERENCE_BUS_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Failure-input shrinking and the on-disk repro corpus.
+ *
+ * When the differential fuzzer finds a transaction that violates an
+ * invariant, it greedily minimizes the input while the failure persists —
+ * zeroing whole elements, then bytes, then clearing single bits — and
+ * writes the shrunken repro to `tests/corpus/` with the spec, seed, and
+ * violated invariant embedded, so the bug reproduces from one small file
+ * with no fuzzing involved.
+ */
+
+#ifndef BXT_VERIFY_SHRINK_H
+#define BXT_VERIFY_SHRINK_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/transaction.h"
+#include "verify/invariants.h"
+
+namespace bxt::verify {
+
+/** Returns true when @p tx still triggers the failure being minimized. */
+using FailPredicate = std::function<bool(const Transaction &)>;
+
+/**
+ * Greedy fixpoint shrink: repeatedly apply the simplifications above,
+ * keeping any candidate for which @p fails stays true. @p tx must satisfy
+ * @p fails on entry; the result does too and is never larger.
+ */
+Transaction shrinkTransaction(const Transaction &tx, const FailPredicate &fails);
+
+/** One reproducible failure, as serialized into the corpus. */
+struct Repro
+{
+    std::string spec;
+    unsigned dataWires = 32;
+    std::uint64_t seed = 0;
+    std::string invariant;
+    std::string detail;
+    Transaction tx{Transaction::minBytes};
+};
+
+/**
+ * Write @p repro into directory @p dir (created if missing) under a
+ * content-derived file name; returns the path, or empty on I/O failure.
+ */
+std::string writeRepro(const std::string &dir, const Repro &repro);
+
+/** Parse one corpus file; nullopt on malformed content. */
+std::optional<Repro> loadRepro(const std::string &path);
+
+/** All `.repro` files under @p dir, sorted (empty when dir is missing). */
+std::vector<std::string> listRepros(const std::string &dir);
+
+} // namespace bxt::verify
+
+#endif // BXT_VERIFY_SHRINK_H

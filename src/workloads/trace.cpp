@@ -97,9 +97,27 @@ loadTrace(const std::string &path)
     // An empty trace legitimately records size 0; otherwise the size must
     // be a valid Transaction size.
     if (count > 0 && (tx_bytes < Transaction::minBytes ||
-                      tx_bytes > Transaction::maxBytes)) {
+                      tx_bytes > Transaction::maxBytes ||
+                      (tx_bytes & (tx_bytes - 1)) != 0)) {
         fatal("loadTrace: bad transaction size in " + path);
     }
+
+    // Validate the header's length fields against the actual file size
+    // before allocating anything: a corrupt count or name length must fail
+    // with a diagnostic, not an allocation failure.
+    const long header_end = std::ftell(f.get());
+    if (header_end < 0 || std::fseek(f.get(), 0, SEEK_END) != 0)
+        fatal("loadTrace: cannot determine size of " + path);
+    const long file_end = std::ftell(f.get());
+    if (file_end < header_end ||
+        std::fseek(f.get(), header_end, SEEK_SET) != 0) {
+        fatal("loadTrace: cannot determine size of " + path);
+    }
+    const auto remaining = static_cast<std::uint64_t>(file_end - header_end);
+    if (name_len > remaining)
+        fatal("loadTrace: oversized name length in " + path);
+    if (count > 0 && (remaining - name_len) / tx_bytes < count)
+        fatal("loadTrace: transaction count exceeds file size in " + path);
 
     trace.name.resize(name_len);
     if (name_len > 0 &&

@@ -186,5 +186,91 @@ TEST(FuzzRoundTrip, EncodedSizeAlwaysEqualsInputSize)
     }
 }
 
+/** Stages legal for a given transaction size (BaseXor needs > base bytes). */
+std::vector<std::string>
+stagesForSize(std::size_t tx_bytes)
+{
+    std::vector<std::string> stages = {"xor2",      "xor2+zdr", "xor4",
+                                       "xor4+zdr",  "universal1",
+                                       "universal2", "dbi1",    "dbi2",
+                                       "dbi4",      "dbi-ac1",  "bd"};
+    if (tx_bytes > 8) {
+        stages.insert(stages.end(), {"xor8", "xor8+zdr", "xor4+fixed",
+                                     "universal3+zdr"});
+    }
+    if (tx_bytes > 16)
+        stages.insert(stages.end(), {"xor16", "universal4+zdr"});
+    return stages;
+}
+
+/**
+ * Round-trip coverage for every valid transaction size, not just the
+ * 32-byte GPU sector: the 8-byte minimum, 16-byte sectors, and 64-byte CPU
+ * cache lines (which exercise base sizes and fold depths the 32-byte
+ * stream never reaches).
+ */
+TEST(FuzzRoundTrip, AllValidTransactionSizesRoundTrip)
+{
+    Rng rng(0x5123);
+    for (std::size_t tx_bytes : {8u, 16u, 64u}) {
+        const std::size_t bus_bytes = tx_bytes == 64 ? 8 : 4;
+        for (const std::string &stage : stagesForSize(tx_bytes)) {
+            CodecPtr codec = makeCodec(stage, bus_bytes);
+            for (int i = 0; i < 60; ++i) {
+                const Transaction tx = randomTransaction(rng, tx_bytes);
+                const Encoded enc = codec->encode(tx);
+                ASSERT_EQ(enc.payload.size(), tx.size()) << stage;
+                ASSERT_EQ(codec->decode(enc), tx)
+                    << "spec " << stage << " size " << tx_bytes << " tx "
+                    << tx.toHex();
+            }
+        }
+    }
+}
+
+/**
+ * The documented error path for invalid sizes: Transaction supports
+ * power-of-two sizes in [8, 64] only, and constructing anything else —
+ * 1-byte, non-power-of-two, or beyond 64 bytes — must hit the release-mode
+ * invariant check, not silently round or truncate.
+ */
+TEST(FuzzRoundTrip, InvalidTransactionSizesHitTheAssertPath)
+{
+    // The documented contract: power-of-two byte counts in [min, max].
+    const auto valid = [](std::size_t n) {
+        return n >= Transaction::minBytes && n <= Transaction::maxBytes &&
+               (n & (n - 1)) == 0;
+    };
+    EXPECT_TRUE(valid(8) && valid(16) && valid(32) && valid(64));
+    for (std::size_t bad : {0u, 1u, 2u, 4u, 12u, 24u, 48u, 65u, 128u}) {
+        EXPECT_FALSE(valid(bad)) << bad;
+        EXPECT_DEATH({ Transaction tx(bad); (void)tx; },
+                     "assertion failed")
+            << "size " << bad;
+    }
+}
+
+/** fromHex is a fatal() user-error path, not an assert: exits with 1. */
+TEST(FuzzRoundTrip, FromHexRejectsBadLengthsWithFatalError)
+{
+    // 1-byte and non-power-of-two byte counts are invalid input lengths.
+    EXPECT_EXIT(Transaction::fromHex("ff"), ::testing::ExitedWithCode(1),
+                "bad input length");
+    EXPECT_EXIT(Transaction::fromHex("00112233445566"),
+                ::testing::ExitedWithCode(1), "bad input length");
+    EXPECT_EXIT(Transaction::fromHex(std::string(48, 'a')),
+                ::testing::ExitedWithCode(1), "bad input length");
+    EXPECT_EXIT(Transaction::fromHex("zz00112233445566"),
+                ::testing::ExitedWithCode(1), "non-hex character");
+}
+
+/** A base as large as the whole transaction leaves nothing to XOR. */
+TEST(FuzzRoundTrip, BaseSizeEqualToTransactionAsserts)
+{
+    CodecPtr codec = makeCodec("xor8");
+    Transaction tx(8);
+    EXPECT_DEATH(codec->encode(tx), "assertion failed");
+}
+
 } // namespace
 } // namespace bxt

@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "core/base_xor.h"
 #include "core/bd_encoding.h"
+#include "core/codec_factory.h"
 #include "core/dbi.h"
 #include "core/pipeline.h"
 #include "core/universal_xor.h"
@@ -129,6 +130,62 @@ TEST(Pipeline, ResetPropagates)
     const Encoded expected = fresh.encode(tx);
     EXPECT_EQ(again.payload, expected.payload);
     EXPECT_EQ(again.meta, expected.meta);
+}
+
+TEST(Pipeline, CompositionOrderBothRoundTrip)
+{
+    // Codec composition does not commute, but both orders must stay
+    // bijections: XOR-then-DBI and DBI-then-XOR each round-trip on the
+    // same stream.
+    PipelineCodec xor_then_dbi(std::make_unique<BaseXorCodec>(4, true),
+                               std::make_unique<DbiCodec>(4, 4));
+    PipelineCodec dbi_then_xor(std::make_unique<DbiCodec>(4, 4),
+                               std::make_unique<BaseXorCodec>(4, true));
+    Rng rng(0x0d0e);
+    for (int trial = 0; trial < 400; ++trial) {
+        Transaction tx(32);
+        for (std::size_t off = 0; off < 32; off += 8)
+            tx.setWord64(off, rng.next64());
+        ASSERT_EQ(xor_then_dbi.decode(xor_then_dbi.encode(tx)), tx);
+        ASSERT_EQ(dbi_then_xor.decode(dbi_then_xor.encode(tx)), tx);
+    }
+}
+
+TEST(Pipeline, CompositionOrderChangesWireActivity)
+{
+    // On an all-ones transaction, XOR first cancels everything except the
+    // base element (DBI then barely fires), while DBI first inverts dense
+    // groups before XOR sees them — the two orders must not produce the
+    // same wire image. This is why the factory's paper spec fixes the
+    // order to XOR-then-DBI.
+    PipelineCodec xor_then_dbi(std::make_unique<UniversalXorCodec>(3, true),
+                               std::make_unique<DbiCodec>(4, 4));
+    PipelineCodec dbi_then_xor(std::make_unique<DbiCodec>(4, 4),
+                               std::make_unique<UniversalXorCodec>(3, true));
+    Transaction tx = Transaction::fromWords64(
+        {0xffffffffffffffffull, 0xffffffffffffffffull,
+         0xffffffffffffffffull, 0xffffffffffffffffull});
+
+    const Encoded forward = xor_then_dbi.encode(tx);
+    const Encoded reverse = dbi_then_xor.encode(tx);
+    EXPECT_EQ(xor_then_dbi.decode(forward), tx);
+    EXPECT_EQ(dbi_then_xor.decode(reverse), tx);
+
+    // XOR first: every non-base element cancels, so only the base carries
+    // ones and DBI has nothing left to invert.
+    EXPECT_LT(forward.ones(), reverse.ones());
+    EXPECT_NE(forward.payload, reverse.payload);
+}
+
+TEST(Pipeline, FactoryPinsThePaperCompositionOrder)
+{
+    // Lock the default order so a refactor cannot silently swap it: the
+    // paper applies Universal Base+XOR with ZDR *before* DBI.
+    EXPECT_EQ(makeUniversalDbi(4).name(), "universal3+zdr|dbi4");
+    bool found = false;
+    for (const std::string &spec : paperSchemeSpecs())
+        found = found || spec == "universal3+zdr|dbi4";
+    EXPECT_TRUE(found) << "paper spec table lost universal3+zdr|dbi4";
 }
 
 TEST(Pipeline, MetadataInterleavingRoundTrips)

@@ -102,14 +102,90 @@ TEST(TraceIoDeath, RejectsTruncatedPayload)
     const Trace original = makeTrace(8, 32);
     const std::string path = tempPath("truncated.bxtrace");
     ASSERT_TRUE(saveTrace(original, path));
-    // Chop the file short.
+    // Chop the file short: the header-vs-file-size validation catches the
+    // mismatch before any record is read.
     std::FILE *f = std::fopen(path.c_str(), "rb+");
     ASSERT_NE(f, nullptr);
     std::fseek(f, 0, SEEK_END);
     const long size = std::ftell(f);
     std::fclose(f);
     ASSERT_EQ(truncate(path.c_str(), size - 16), 0);
-    EXPECT_EXIT(loadTrace(path), testing::ExitedWithCode(1), "truncated");
+    EXPECT_EXIT(loadTrace(path), testing::ExitedWithCode(1),
+                "count exceeds file size");
+    std::remove(path.c_str());
+}
+
+/** Overwrite @p n bytes at @p offset of the file at @p path. */
+void
+patchFile(const std::string &path, long offset, const void *bytes,
+          std::size_t n)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    ASSERT_EQ(std::fwrite(bytes, 1, n, f), n);
+    std::fclose(f);
+}
+
+TEST(TraceIoDeath, RejectsEmptyFile)
+{
+    const std::string path = tempPath("zero-bytes.bxtrace");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+    EXPECT_EXIT(loadTrace(path), testing::ExitedWithCode(1), "bad magic");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeath, RejectsTruncatedHeader)
+{
+    // Magic and version only, cut before the size/count/name fields.
+    const std::string path = tempPath("short-header.bxtrace");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char magic_and_version[8] = {'B', 'X', 'T', 'R', 1, 0, 0, 0};
+    ASSERT_EQ(std::fwrite(magic_and_version, 1, 8, f), 8u);
+    std::fclose(f);
+    EXPECT_EXIT(loadTrace(path), testing::ExitedWithCode(1),
+                "truncated header");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeath, RejectsOversizedCountField)
+{
+    // A count field claiming ~10^18 transactions must die with a
+    // diagnostic, not attempt the allocation. Count lives at offset 12.
+    const std::string path = tempPath("huge-count.bxtrace");
+    ASSERT_TRUE(saveTrace(makeTrace(4, 32), path));
+    const std::uint64_t huge = 0x0de0b6b3a7640000ull;
+    patchFile(path, 12, &huge, sizeof(huge));
+    EXPECT_EXIT(loadTrace(path), testing::ExitedWithCode(1),
+                "count exceeds file size");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeath, RejectsOversizedNameLength)
+{
+    // A 4 GiB name length in a tiny file. Name length lives at offset 20.
+    const std::string path = tempPath("huge-name.bxtrace");
+    ASSERT_TRUE(saveTrace(makeTrace(4, 32), path));
+    const std::uint32_t huge = 0xffffffffu;
+    patchFile(path, 20, &huge, sizeof(huge));
+    EXPECT_EXIT(loadTrace(path), testing::ExitedWithCode(1),
+                "oversized name length");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeath, RejectsNonPowerOfTwoTransactionSize)
+{
+    // tx_bytes = 24 passes a naive range check but is not a Transaction
+    // size; it must be a fatal() user error, not an assert. Offset 8.
+    const std::string path = tempPath("bad-size.bxtrace");
+    ASSERT_TRUE(saveTrace(makeTrace(4, 32), path));
+    const std::uint32_t bad = 24;
+    patchFile(path, 8, &bad, sizeof(bad));
+    EXPECT_EXIT(loadTrace(path), testing::ExitedWithCode(1),
+                "bad transaction size");
     std::remove(path.c_str());
 }
 
