@@ -20,7 +20,8 @@
 
 #include <chrono>
 #include <cstdio>
-#include <fstream>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/error.h"
@@ -139,8 +140,8 @@ identicalResults(const std::vector<AppResult> &a,
     return true;
 }
 
-void
-runSuiteSweep()
+int
+runSuiteSweep(const std::string &json_path)
 {
     const std::vector<std::string> specs = paperSchemeSpecs();
     const unsigned parallel_threads = defaultThreadCount();
@@ -167,23 +168,32 @@ runSuiteSweep()
     if (!identical)
         panic("parallel evalSuite diverged from the serial run");
 
-    std::ofstream json("BENCH_codec_throughput.json");
-    json << "{\n"
-         << "  \"bench\": \"codec_throughput\",\n"
-         << "  \"apps\": " << serial.results.size() << ",\n"
-         << "  \"specs\": " << specs.size() << ",\n"
-         << "  \"tx_per_app\": " << sweepTxPerApp << ",\n"
-         << "  \"bytes_swept\": " << bytes << ",\n"
-         << "  \"serial\": {\"threads\": 1, \"seconds\": "
-         << serial.seconds << ", \"gb_per_s\": " << serial.gbPerSecond
-         << "},\n"
-         << "  \"parallel\": {\"threads\": " << parallel_threads
-         << ", \"seconds\": " << parallel.seconds
-         << ", \"gb_per_s\": " << parallel.gbPerSecond << "},\n"
-         << "  \"speedup\": " << speedup << ",\n"
-         << "  \"bit_identical\": " << (identical ? "true" : "false")
-         << "\n}\n";
-    std::printf("wrote BENCH_codec_throughput.json\n");
+    const bool ok = writeBenchJson(
+        json_path, "codec_throughput", [&](JsonWriter &w) {
+            auto emit = [&](const char *mode, unsigned threads,
+                            const SweepRun &run) {
+                w.beginObject();
+                w.kv("mode", mode);
+                w.kv("threads", static_cast<std::uint64_t>(threads));
+                w.kv("seconds", run.seconds);
+                w.kv("gb_per_s", run.gbPerSecond);
+                w.kv("apps",
+                     static_cast<std::uint64_t>(run.results.size()));
+                w.kv("specs", static_cast<std::uint64_t>(specs.size()));
+                w.kv("tx_per_app",
+                     static_cast<std::uint64_t>(sweepTxPerApp));
+                w.kv("bytes_swept", static_cast<std::uint64_t>(bytes));
+                w.kv("speedup", speedup);
+                w.kv("bit_identical", identical);
+                w.endObject();
+            };
+            emit("serial", 1, serial);
+            emit("parallel", parallel_threads, parallel);
+        });
+    if (!ok)
+        return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+    return 0;
 }
 
 } // namespace
@@ -210,11 +220,30 @@ BENCHMARK_CAPTURE(BM_RoundTripInto, dbi1_patterned, "dbi1", false);
 int
 main(int argc, char **argv)
 {
-    benchmark::Initialize(&argc, argv);
-    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    // Strip this bench's own flags before google-benchmark parses the
+    // rest. --sweep-only skips the microbenches (the overhead gate in
+    // `ci.sh metrics` only needs the sweep); --json redirects the sweep
+    // document (default BENCH_codec_throughput.json, unified schema).
+    bool sweep_only = false;
+    std::string json_path = "BENCH_codec_throughput.json";
+    std::vector<char *> passthrough = {argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--sweep-only") == 0) {
+            sweep_only = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            passthrough.push_back(argv[i]);
+        }
+    }
+    int pass_argc = static_cast<int>(passthrough.size());
+
+    benchmark::Initialize(&pass_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(pass_argc,
+                                               passthrough.data()))
         return 1;
-    benchmark::RunSpecifiedBenchmarks();
+    if (!sweep_only)
+        benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    runSuiteSweep();
-    return 0;
+    return runSuiteSweep(json_path);
 }

@@ -8,7 +8,6 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
 
 #include "common/stats.h"
 #include "common/table.h"
@@ -21,13 +20,9 @@ main(int argc, char **argv)
 {
     using namespace bxt;
 
-    // --golden PATH appends this figure's endpoint lines (the aggregate a
-    // regression can diff) in the tests/golden/endpoints.txt format.
-    std::string golden_path;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--golden") == 0 && i + 1 < argc)
-            golden_path = argv[++i];
-    }
+    const BenchArgs args = parseBenchArgs(
+        argc, argv, "bench_fig11_nbyte_base",
+        "Figure 11: 2-/4-/8-byte Base+XOR Transfer normalized ones");
 
     std::printf("%s", banner("Figure 11: 2-/4-/8-byte Base+XOR Transfer "
                              "(normalized # of 1 values)").c_str());
@@ -80,19 +75,24 @@ main(int argc, char **argv)
                 "70.4"});
     std::printf("%s", avg.render().c_str());
 
-    if (!golden_path.empty()) {
+    if (!args.goldenPath.empty()) {
         std::vector<verify::Endpoint> endpoints;
         for (const std::string &spec : specs) {
             endpoints.push_back({"fig11", spec, defaultTraceLength,
                                  meanNormalizedOnes(results, spec)});
         }
-        if (!verify::appendEndpoints(golden_path, endpoints)) {
+        if (!verify::appendEndpoints(args.goldenPath, endpoints)) {
             std::fprintf(stderr, "cannot append endpoints to %s\n",
-                         golden_path.c_str());
+                         args.goldenPath.c_str());
             return 1;
         }
         std::printf("\nappended %zu endpoint(s) to %s\n", endpoints.size(),
-                    golden_path.c_str());
+                    args.goldenPath.c_str());
     }
+    if (!args.jsonPath.empty() &&
+        !writeBenchJson(args.jsonPath, "fig11", [&](JsonWriter &w) {
+            writeAppResults(w, results, specs);
+        }))
+        return 1;
     return 0;
 }

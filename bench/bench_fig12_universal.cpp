@@ -7,7 +7,6 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
 
 #include "common/table.h"
 #include "suite_eval.h"
@@ -19,13 +18,9 @@ main(int argc, char **argv)
 {
     using namespace bxt;
 
-    // --golden PATH appends this figure's endpoint lines (the aggregate a
-    // regression can diff) in the tests/golden/endpoints.txt format.
-    std::string golden_path;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--golden") == 0 && i + 1 < argc)
-            golden_path = argv[++i];
-    }
+    const BenchArgs args = parseBenchArgs(
+        argc, argv, "bench_fig12_universal",
+        "Figure 12: Universal Base+XOR Transfer vs best fixed base");
 
     std::printf("%s", banner("Figure 12: Universal Base+XOR Transfer vs "
                              "best fixed base").c_str());
@@ -72,17 +67,22 @@ main(int argc, char **argv)
                 sum_best / n, sum_universal / n, universal_wins,
                 results.size());
 
-    if (!golden_path.empty()) {
+    if (!args.goldenPath.empty()) {
         const std::vector<verify::Endpoint> endpoints = {
             {"fig12", "universal3+zdr", defaultTraceLength,
              meanNormalizedOnes(results, "universal3+zdr")}};
-        if (!verify::appendEndpoints(golden_path, endpoints)) {
+        if (!verify::appendEndpoints(args.goldenPath, endpoints)) {
             std::fprintf(stderr, "cannot append endpoints to %s\n",
-                         golden_path.c_str());
+                         args.goldenPath.c_str());
             return 1;
         }
         std::printf("appended %zu endpoint(s) to %s\n", endpoints.size(),
-                    golden_path.c_str());
+                    args.goldenPath.c_str());
     }
+    if (!args.jsonPath.empty() &&
+        !writeBenchJson(args.jsonPath, "fig12", [&](JsonWriter &w) {
+            writeAppResults(w, results, specs);
+        }))
+        return 1;
     return 0;
 }

@@ -15,9 +15,13 @@
 #include "workloads/apps.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bxt;
+
+    const BenchArgs args = parseBenchArgs(
+        argc, argv, "bench_fig13_distribution",
+        "Figure 13: application distribution of 1-value reduction");
 
     std::printf("%s", banner("Figure 13: application distribution of "
                              "1-value reduction").c_str());
@@ -43,5 +47,11 @@ main()
                     spec.c_str(), regressions, results.size());
         std::printf("%s", hist.render(40).c_str());
     }
+
+    if (!args.jsonPath.empty() &&
+        !writeBenchJson(args.jsonPath, "fig13", [&](JsonWriter &w) {
+            writeAppResults(w, results, specs);
+        }))
+        return 1;
     return 0;
 }

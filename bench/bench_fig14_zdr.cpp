@@ -8,7 +8,6 @@
  */
 
 #include <cstdio>
-#include <cstring>
 #include <vector>
 
 #include "common/stats.h"
@@ -22,13 +21,9 @@ main(int argc, char **argv)
 {
     using namespace bxt;
 
-    // --golden PATH appends this figure's endpoint lines (the aggregate a
-    // regression can diff) in the tests/golden/endpoints.txt format.
-    std::string golden_path;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--golden") == 0 && i + 1 < argc)
-            golden_path = argv[++i];
-    }
+    const BenchArgs args = parseBenchArgs(
+        argc, argv, "bench_fig14_zdr",
+        "Figure 14: Zero Data Remapping vs mixed-data ratio");
 
     std::printf("%s", banner("Figure 14: Zero Data Remapping vs mixed-data "
                              "transaction ratio").c_str());
@@ -94,19 +89,24 @@ main(int argc, char **argv)
                 "(paper: +100 %% -> +8.4 %%)\n",
                 worst_plain, worst_zdr);
 
-    if (!golden_path.empty()) {
+    if (!args.goldenPath.empty()) {
         std::vector<verify::Endpoint> endpoints;
         for (const std::string &spec : specs) {
             endpoints.push_back({"fig14", spec, defaultTraceLength,
                                  meanNormalizedOnes(results, spec)});
         }
-        if (!verify::appendEndpoints(golden_path, endpoints)) {
+        if (!verify::appendEndpoints(args.goldenPath, endpoints)) {
             std::fprintf(stderr, "cannot append endpoints to %s\n",
-                         golden_path.c_str());
+                         args.goldenPath.c_str());
             return 1;
         }
         std::printf("appended %zu endpoint(s) to %s\n", endpoints.size(),
-                    golden_path.c_str());
+                    args.goldenPath.c_str());
     }
+    if (!args.jsonPath.empty() &&
+        !writeBenchJson(args.jsonPath, "fig14", [&](JsonWriter &w) {
+            writeAppResults(w, results, specs);
+        }))
+        return 1;
     return 0;
 }

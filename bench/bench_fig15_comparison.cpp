@@ -18,9 +18,14 @@
 #include "workloads/apps.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bxt;
+
+    const BenchArgs args = parseBenchArgs(
+        argc, argv, "bench_fig15_comparison",
+        "Figure 15: Base+XOR Transfer vs previous works (normalized "
+        "ones)");
 
     std::printf("%s", banner("Figure 15: Base+XOR Transfer vs. previous "
                              "works (normalized # of 1 values)")
@@ -52,5 +57,11 @@ main()
     std::printf("(avg over %zu apps: 106 compute + 81 graphics; "
                 "%zu transactions per app)\n",
                 results.size(), defaultTraceLength);
+
+    if (!args.jsonPath.empty() &&
+        !writeBenchJson(args.jsonPath, "fig15", [&](JsonWriter &w) {
+            writeAppResults(w, results, specs);
+        }))
+        return 1;
     return 0;
 }

@@ -19,9 +19,13 @@
 #include "workloads/apps.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bxt;
+
+    const BenchArgs args = parseBenchArgs(
+        argc, argv, "bench_fig16_toggles",
+        "Figure 16: I/O switching activity (normalized toggles)");
 
     std::printf("%s", banner("Figure 16: I/O switching activity "
                              "(normalized toggles)").c_str());
@@ -63,5 +67,11 @@ main()
                                 static_cast<double>(acc.second) * 100.0)});
     }
     std::printf("\n%s", fam.render().c_str());
+
+    if (!args.jsonPath.empty() &&
+        !writeBenchJson(args.jsonPath, "fig16", [&](JsonWriter &w) {
+            writeAppResults(w, results, specs);
+        }))
+        return 1;
     return 0;
 }

@@ -18,9 +18,13 @@
 #include "workloads/apps.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bxt;
+
+    const BenchArgs args = parseBenchArgs(
+        argc, argv, "bench_fig17_energy",
+        "Figure 17: DRAM energy reduction at 70% bandwidth utilization");
 
     std::printf("%s", banner("Figure 17: DRAM energy reduction "
                              "(70 % bandwidth utilization)").c_str());
@@ -70,5 +74,18 @@ main()
                 base.ioToggles / base.total() * 100.0,
                 (base.ioOnes + base.ioToggles + base.ioFixed) /
                     base.total() * 100.0);
+
+    if (!args.jsonPath.empty() &&
+        !writeBenchJson(args.jsonPath, "fig17", [&](JsonWriter &w) {
+            for (const std::string &spec : specs) {
+                w.beginObject();
+                w.kv("spec", spec);
+                w.kv("energy_j", total_energy(spec));
+                w.kv("reduction_pct",
+                     (1.0 - total_energy(spec) / baseline) * 100.0);
+                w.endObject();
+            }
+        }))
+        return 1;
     return 0;
 }

@@ -16,9 +16,14 @@
 #include "workloads/apps.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bxt;
+
+    const BenchArgs args = parseBenchArgs(
+        argc, argv, "bench_fig18_cpu",
+        "Figure 18: Base+XOR Transfer on CPU workloads (DDR4, 64B "
+        "lines)");
 
     std::printf("%s", banner("Figure 18: Base+XOR Transfer with CPU "
                              "workloads (normalized # of 1 values)")
@@ -83,5 +88,11 @@ main()
                     (1.0 - report.energy.total() / baseline_energy) *
                         100.0);
     }
+
+    if (!args.jsonPath.empty() &&
+        !writeBenchJson(args.jsonPath, "fig18", [&](JsonWriter &w) {
+            writeAppResults(w, results, specs);
+        }))
+        return 1;
     return 0;
 }

@@ -10,11 +10,17 @@
 
 #include "common/table.h"
 #include "energy/gddr_trend.h"
+#include "suite_eval.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bxt;
+
+    const BenchArgs args = parseBenchArgs(
+        argc, argv, "bench_fig1_trend",
+        "Figure 1: GDDR generation trend of energy/bit, bandwidth, and "
+        "peak power");
 
     std::printf("%s", banner("Figure 1: hypothetical GPU memory system "
                              "trend (normalized to GDDR5 6Gbps)").c_str());
@@ -29,5 +35,18 @@ main()
     }
     std::printf("%s", table.render().c_str());
     std::printf("(paper end point: 81 / 200 / 163 at GDDR5X 12Gbps)\n");
+
+    if (!args.jsonPath.empty() &&
+        !writeBenchJson(args.jsonPath, "fig1", [&](JsonWriter &w) {
+            for (const GddrTrendPoint &p : trend) {
+                w.beginObject();
+                w.kv("generation", p.name);
+                w.kv("energy_per_bit_pct", p.energyPerBitPct);
+                w.kv("bandwidth_pct", p.bandwidthPct);
+                w.kv("peak_power_pct", p.peakPowerPct);
+                w.endObject();
+            }
+        }))
+        return 1;
     return 0;
 }

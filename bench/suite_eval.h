@@ -8,11 +8,13 @@
 #ifndef BXT_BENCH_SUITE_EVAL_H
 #define BXT_BENCH_SUITE_EVAL_H
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "channel/bus.h"
+#include "common/json.h"
 #include "workloads/apps.h"
 
 namespace bxt {
@@ -74,6 +76,46 @@ double aggregateNormalizedOnes(const std::vector<AppResult> &results,
 /** Traffic-weighted normalized toggles (vs the baseline scheme). */
 double aggregateNormalizedToggles(const std::vector<AppResult> &results,
                                   const std::string &spec);
+
+/** Flags shared by every figure bench. */
+struct BenchArgs
+{
+    /** `--golden PATH`: append this bench's endpoint lines. */
+    std::string goldenPath;
+    /** `--json PATH`: write the unified bench JSON document. */
+    std::string jsonPath;
+};
+
+/**
+ * Parse the common bench command line (`--golden`, `--json`, `--help`,
+ * `--version`). Exits the process directly after `--help`/`--version`
+ * (status 0) or on an unknown flag (status 2), so callers just use the
+ * returned values.
+ */
+BenchArgs parseBenchArgs(int argc, char **argv, const std::string &bench,
+                         const std::string &summary);
+
+/**
+ * Write the unified bench JSON document (satellite schema, version 1):
+ *
+ *   {"bench": <name>, "schema": 1, "results": [...], "metrics": {...}}
+ *
+ * @p fill_results is invoked inside the "results" array and emits one
+ * value per row; "metrics" embeds the current telemetry snapshot (always
+ * valid, `"enabled": false` when metrics are off). Returns false on I/O
+ * failure (message on stderr).
+ */
+bool writeBenchJson(const std::string &path, const std::string &bench,
+                    const std::function<void(JsonWriter &)> &fill_results);
+
+/**
+ * Emit one results-array row per (app, spec) pair: app metadata plus
+ * absolute and normalized wire-activity numbers. The standard body for
+ * suite-sweep benches' writeBenchJson callback.
+ */
+void writeAppResults(JsonWriter &writer,
+                     const std::vector<AppResult> &results,
+                     const std::vector<std::string> &specs);
 
 } // namespace bxt
 

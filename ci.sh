@@ -4,11 +4,16 @@
 # on every PR, plus a fuzz job that runs the differential verifier
 # (tools/bxt_fuzz) under the sanitizers on a wall-clock budget.
 #
-# Usage: ./ci.sh [release|asan|fuzz|all]   (default: all)
+# Usage: ./ci.sh [release|asan|fuzz|metrics|all]   (default: all)
 #   release  Release build + `ctest -L tier1`
 #   asan     ASan/UBSan build + `ctest -L tier1` (oversubscribed pool)
 #   fuzz     ASan/UBSan build + bxt_fuzz campaign + fuzz/golden-labeled
 #            ctest; BXT_FUZZ_SECONDS scales the budget (default 60)
+#   metrics  Release build + telemetry-enabled run: validates the metrics
+#            snapshot and trace with bxt_report, then asserts the
+#            compiled-in-but-disabled telemetry costs under
+#            BXT_METRICS_OVERHEAD_PCT (default 2) percent versus a
+#            -DBXT_TELEMETRY=OFF baseline build of the same sources
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -53,11 +58,64 @@ run_fuzz() {
         -L 'fuzz|golden'
 }
 
+run_metrics() {
+    echo "=== CI job: telemetry snapshot + overhead gate ==="
+    cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-ci-release -j "${jobs}" \
+        --target bench_codec_throughput bench_fig15_comparison bxt_report \
+        test_telemetry
+    local out=build-ci-release/metrics
+    mkdir -p "${out}"
+
+    # Telemetry-labeled tests, then a telemetry-on figure run: validate
+    # the emitted snapshot and trace with bxt_report.
+    ctest --test-dir build-ci-release --output-on-failure -L telemetry
+    BXT_METRICS=1 BXT_TRACE="${out}/fig15_trace.json" \
+        ./build-ci-release/bench/bench_fig15_comparison \
+        --json "${out}/fig15.json" > /dev/null
+    ./build-ci-release/tools/bxt_report --validate "${out}/fig15.json"
+    ./build-ci-release/tools/bxt_report --validate-trace \
+        "${out}/fig15_trace.json"
+
+    # Overhead gate for the zero-cost-when-off contract: the metrics-off
+    # suite sweep must stay within the budget of the same sweep built
+    # with telemetry compiled out (-DBXT_TELEMETRY=OFF), which stands in
+    # for the pre-telemetry baseline. The sweep is short, so give CI
+    # timing noise a couple of retries before failing.
+    cmake -B build-ci-notelemetry -S . -DCMAKE_BUILD_TYPE=Release \
+        -DBXT_TELEMETRY=OFF
+    cmake --build build-ci-notelemetry -j "${jobs}" \
+        --target bench_codec_throughput
+    local limit="${BXT_METRICS_OVERHEAD_PCT:-2}"
+    # Untimed warmup of both binaries so attempt 1 is not measuring cold
+    # page caches / frequency ramp.
+    ./build-ci-notelemetry/bench/bench_codec_throughput --sweep-only \
+        --json "${out}/sweep_baseline.json" > /dev/null
+    ./build-ci-release/bench/bench_codec_throughput --sweep-only \
+        --json "${out}/sweep_off.json" > /dev/null
+    local attempt
+    for attempt in 1 2 3; do
+        ./build-ci-notelemetry/bench/bench_codec_throughput --sweep-only \
+            --json "${out}/sweep_baseline.json" > /dev/null
+        ./build-ci-release/bench/bench_codec_throughput --sweep-only \
+            --json "${out}/sweep_off.json" > /dev/null
+        if ./build-ci-release/tools/bxt_report \
+            --assert-overhead "${limit}" \
+            "${out}/sweep_baseline.json" "${out}/sweep_off.json"; then
+            return 0
+        fi
+        echo "overhead gate attempt ${attempt} failed; retrying"
+    done
+    echo "telemetry overhead gate failed after 3 attempts" >&2
+    return 1
+}
+
 case "${mode}" in
   release) run_release ;;
   asan)    run_asan ;;
   fuzz)    run_fuzz ;;
-  all)     run_release; run_asan ;;
-  *) echo "usage: $0 [release|asan|fuzz|all]" >&2; exit 2 ;;
+  metrics) run_metrics ;;
+  all)     run_release; run_asan; run_metrics ;;
+  *) echo "usage: $0 [release|asan|fuzz|metrics|all]" >&2; exit 2 ;;
 esac
 echo "CI ${mode}: OK"

@@ -2,8 +2,36 @@
 
 #include "common/bitops.h"
 #include "common/error.h"
+#include "telemetry/metrics.h"
 
 namespace bxt {
+
+namespace {
+
+/** Process-wide wire-activity counters (all Bus instances aggregate). */
+void
+recordBusDelta(const BusStats &delta)
+{
+    static telemetry::Counter &transactions =
+        telemetry::counter("bxt.bus.transactions");
+    static telemetry::Counter &beats = telemetry::counter("bxt.bus.beats");
+    static telemetry::Counter &data_ones =
+        telemetry::counter("bxt.bus.data_ones");
+    static telemetry::Counter &data_toggles =
+        telemetry::counter("bxt.bus.data_toggles");
+    static telemetry::Counter &meta_ones =
+        telemetry::counter("bxt.bus.meta_ones");
+    static telemetry::Counter &meta_toggles =
+        telemetry::counter("bxt.bus.meta_toggles");
+    transactions.add(delta.transactions);
+    beats.add(delta.beats);
+    data_ones.add(delta.dataOnes);
+    data_toggles.add(delta.dataToggles);
+    meta_ones.add(delta.metaOnes);
+    meta_toggles.add(delta.metaToggles);
+}
+
+} // namespace
 
 BusStats &
 BusStats::operator+=(const BusStats &other)
@@ -118,6 +146,8 @@ Bus::transmit(const Encoded &enc)
     }
 
     stats_ += delta;
+    if (telemetry::metricsEnabled())
+        recordBusDelta(delta);
     return delta;
 }
 

@@ -2,8 +2,35 @@
 
 #include "common/bitops.h"
 #include "common/error.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace bxt {
+
+namespace {
+
+/** Stream-level eval counters (all codecs/streams aggregate). */
+void
+recordEvalStream(const ChannelEvalResult &result, std::size_t bytes)
+{
+    static telemetry::Counter &streams =
+        telemetry::counter("bxt.channel.eval.streams");
+    static telemetry::Counter &transactions =
+        telemetry::counter("bxt.channel.eval.transactions");
+    static telemetry::Counter &raw_ones =
+        telemetry::counter("bxt.channel.eval.raw_ones");
+    static telemetry::Counter &encoded_ones =
+        telemetry::counter("bxt.channel.eval.encoded_ones");
+    static telemetry::Counter &byte_count =
+        telemetry::counter("bxt.channel.eval.bytes");
+    streams.add(1);
+    transactions.add(result.stats.transactions);
+    raw_ones.add(result.rawOnes);
+    encoded_ones.add(result.stats.ones());
+    byte_count.add(bytes);
+}
+
+} // namespace
 
 double
 ChannelEvalResult::normalizedOnes() const
@@ -29,14 +56,17 @@ evalCodecOnStream(Codec &codec, const std::vector<Transaction> &stream,
     codec.reset();
     Bus bus(data_wires, codec.metaWiresPerBeat(), idle_fraction);
 
+    telemetry::ScopedSpan span("eval " + codec.name(), "channel");
     ChannelEvalResult result;
     result.codec = codec.name();
+    std::size_t stream_bytes = 0;
     // One scratch Encoded/Transaction reused across the stream keeps the
     // inner loop allocation-free (the metadata vector retains capacity).
     Encoded enc;
     Transaction back;
     for (const Transaction &tx : stream) {
         result.rawOnes += tx.ones();
+        stream_bytes += tx.size();
         codec.encodeInto(tx, enc);
         bus.transmit(enc);
         // Losslessness is non-negotiable: encoded data is what gets stored
@@ -47,6 +77,8 @@ evalCodecOnStream(Codec &codec, const std::vector<Transaction> &stream,
                   tx.toHex());
     }
     result.stats = bus.stats();
+    if (telemetry::metricsEnabled())
+        recordEvalStream(result, stream_bytes);
     return result;
 }
 

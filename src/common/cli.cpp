@@ -1,0 +1,117 @@
+#include "common/cli.h"
+
+#include <cstdio>
+
+namespace bxt {
+
+const char *const versionString = "1.0.0";
+
+Cli::Cli(std::string prog, std::string summary)
+    : prog_(std::move(prog)), summary_(std::move(summary))
+{
+}
+
+void
+Cli::add(const std::string &flag, const std::string &value_name,
+         const std::string &help,
+         std::function<void(const std::string &)> handler)
+{
+    options_.push_back({flag, value_name, help, std::move(handler)});
+}
+
+void
+Cli::addFlag(const std::string &flag, const std::string &help,
+             std::function<void()> handler)
+{
+    options_.push_back({flag, "", help,
+                        [h = std::move(handler)](const std::string &) {
+                            h();
+                        }});
+}
+
+void
+Cli::addPositional(const std::string &name, const std::string &help,
+                   std::function<void(const std::string &)> handler)
+{
+    positional_name_ = name;
+    positional_help_ = help;
+    positional_handler_ = std::move(handler);
+}
+
+std::string
+Cli::usage() const
+{
+    std::string text = "usage: " + prog_ + " [options]";
+    if (positional_handler_)
+        text += " [" + positional_name_ + "...]";
+    text += "\n" + summary_ + "\n\noptions:\n";
+    for (const Option &option : options_) {
+        std::string left = "  " + option.flag;
+        if (!option.valueName.empty())
+            left += " " + option.valueName;
+        if (left.size() < 22)
+            left.append(22 - left.size(), ' ');
+        text += left + " " + option.help + "\n";
+    }
+    text += "  --help, -h           show this help and exit\n";
+    text += "  --version            print version and exit\n";
+    if (positional_handler_ && !positional_help_.empty())
+        text += "\n" + positional_name_ + ": " + positional_help_ + "\n";
+    return text;
+}
+
+bool
+Cli::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage().c_str(), stdout);
+            exit_code_ = 0;
+            return false;
+        }
+        if (arg == "--version") {
+            std::printf("%s (bxt) %s\n", prog_.c_str(), versionString);
+            exit_code_ = 0;
+            return false;
+        }
+        if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+            const Option *match = nullptr;
+            for (const Option &option : options_) {
+                if (option.flag == arg) {
+                    match = &option;
+                    break;
+                }
+            }
+            if (match == nullptr) {
+                std::fprintf(stderr, "%s: unknown option '%s'\n\n%s",
+                             prog_.c_str(), arg.c_str(), usage().c_str());
+                exit_code_ = 2;
+                return false;
+            }
+            std::string value;
+            if (!match->valueName.empty()) {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "%s: option '%s' needs a value\n",
+                                 prog_.c_str(), arg.c_str());
+                    exit_code_ = 2;
+                    return false;
+                }
+                value = argv[++i];
+            }
+            match->handler(value);
+            continue;
+        }
+        if (positional_handler_) {
+            positional_handler_(arg);
+            continue;
+        }
+        std::fprintf(stderr, "%s: unexpected argument '%s'\n\n%s",
+                     prog_.c_str(), arg.c_str(), usage().c_str());
+        exit_code_ = 2;
+        return false;
+    }
+    return true;
+}
+
+} // namespace bxt

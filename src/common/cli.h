@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tiny shared command-line parser for the repo's tools and benches
+ * (`bxt_fuzz`, `gen_golden`, `bxt_report`, the fig benches). Provides
+ * `--help`/`--version` uniformly and rejects unknown flags with a
+ * non-zero exit code instead of silently ignoring them.
+ */
+
+#ifndef BXT_COMMON_CLI_H
+#define BXT_COMMON_CLI_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace bxt {
+
+/** Library version string reported by every tool's `--version`. */
+extern const char *const versionString;
+
+/**
+ * Declarative flag parser. Register options, then call parse(); the
+ * parser handles `--help`/`-h` and `--version` itself and reports
+ * unknown flags or missing values on stderr.
+ *
+ * Typical use:
+ *
+ *   Cli cli("bxt_report", "pretty-print and diff metrics snapshots");
+ *   cli.add("--diff", "B", "diff against snapshot B",
+ *           [&](const std::string &v) { diff_path = v; });
+ *   if (!cli.parse(argc, argv))
+ *       return cli.exitCode();
+ */
+class Cli
+{
+  public:
+    Cli(std::string prog, std::string summary);
+
+    /** Option taking one value (`--flag VALUE`). Repeatable by caller. */
+    void add(const std::string &flag, const std::string &value_name,
+             const std::string &help,
+             std::function<void(const std::string &)> handler);
+
+    /** Boolean option (`--flag`). */
+    void addFlag(const std::string &flag, const std::string &help,
+                 std::function<void()> handler);
+
+    /** Accept bare (non-flag) arguments; rejected unless registered. */
+    void addPositional(const std::string &name, const std::string &help,
+                       std::function<void(const std::string &)> handler);
+
+    /**
+     * Parse @p argv. Returns true when the program should continue;
+     * false after `--help`/`--version` (exitCode() == 0) or on a parse
+     * error (exitCode() == 2, usage printed to stderr).
+     */
+    bool parse(int argc, char **argv);
+
+    /** Process exit status to use when parse() returned false. */
+    int exitCode() const { return exit_code_; }
+
+    /** The generated usage/help text. */
+    std::string usage() const;
+
+  private:
+    struct Option
+    {
+        std::string flag;
+        std::string valueName; ///< Empty for boolean flags.
+        std::string help;
+        std::function<void(const std::string &)> handler;
+    };
+
+    std::string prog_;
+    std::string summary_;
+    std::vector<Option> options_;
+    std::string positional_name_;
+    std::string positional_help_;
+    std::function<void(const std::string &)> positional_handler_;
+    int exit_code_ = 0;
+};
+
+} // namespace bxt
+
+#endif // BXT_COMMON_CLI_H

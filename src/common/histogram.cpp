@@ -14,15 +14,21 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
     BXT_ASSERT(buckets > 0);
 }
 
-void
-Histogram::add(double sample)
+std::size_t
+Histogram::bucketIndex(double sample) const
 {
     const double span = hi_ - lo_;
     double pos = (sample - lo_) / span * static_cast<double>(counts_.size());
     auto index = static_cast<std::ptrdiff_t>(pos);
     index = std::clamp<std::ptrdiff_t>(
         index, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-    ++counts_[static_cast<std::size_t>(index)];
+    return static_cast<std::size_t>(index);
+}
+
+void
+Histogram::add(double sample)
+{
+    ++counts_[bucketIndex(sample)];
     ++total_;
 }
 

@@ -31,6 +31,13 @@ class Histogram
     /** Add a sample (clamped into range). */
     void add(double sample);
 
+    /**
+     * Bucket a sample falls into (clamped into range). Exposed so the
+     * telemetry histograms can reuse the exact edge/clamp math while
+     * keeping their own atomic counts.
+     */
+    std::size_t bucketIndex(double sample) const;
+
     /** Count in bucket @p index. */
     std::size_t bucketCount(std::size_t index) const;
 

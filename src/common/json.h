@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Minimal JSON support shared by the telemetry exporters, the unified
+ * bench `--json` output, and `tools/bxt_report`: a streaming writer with
+ * automatic comma/indent handling and a small recursive-descent parser
+ * producing a navigable value tree. No third-party dependency — the
+ * documents involved (metrics snapshots, bench results, Chrome trace
+ * files) are small and machine-generated.
+ */
+
+#ifndef BXT_COMMON_JSON_H
+#define BXT_COMMON_JSON_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bxt {
+
+/**
+ * Streaming JSON writer. Containers are opened/closed explicitly; the
+ * writer tracks nesting and inserts commas, newlines, and two-space
+ * indentation. Keys are only legal inside objects, bare values only
+ * inside arrays (or as the single root value).
+ */
+class JsonWriter
+{
+  public:
+    /** @param pretty Emit newlines + 2-space indent (else one line). */
+    explicit JsonWriter(bool pretty = true);
+
+    /** Finish and return the document; the writer must be balanced. */
+    std::string str() const;
+
+    void beginObject();
+    void beginObject(const std::string &key);
+    void endObject();
+    void beginArray();
+    void beginArray(const std::string &key);
+    void endArray();
+
+    /** Key/value pairs (object context). */
+    void kv(const std::string &key, const std::string &value);
+    void kv(const std::string &key, const char *value);
+    void kv(const std::string &key, double value);
+    void kv(const std::string &key, std::uint64_t value);
+    void kv(const std::string &key, std::int64_t value);
+    void kv(const std::string &key, int value);
+    void kv(const std::string &key, bool value);
+    /** Splice @p raw_json verbatim as @p key's value (must be valid). */
+    void kvRaw(const std::string &key, const std::string &raw_json);
+
+    /** Bare values (array context / root). */
+    void value(const std::string &text);
+    void value(double number);
+    void value(std::uint64_t number);
+
+    /** JSON string escaping (quotes not included). */
+    static std::string escape(const std::string &text);
+
+    /** Shortest round-trippable rendering of a double (17 sig. digits). */
+    static std::string formatNumber(double number);
+
+  private:
+    void separator();
+    void writeKey(const std::string &key);
+
+    std::string out_;
+    std::vector<bool> needs_comma_; ///< One entry per open container.
+    bool pretty_;
+};
+
+/**
+ * Parsed JSON value. A deliberately plain tagged struct (no variant
+ * gymnastics): exactly one of the payload members is meaningful per kind.
+ * Object member order is preserved.
+ */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Member lookup; nullptr when not an object or key absent. */
+    const JsonValue *find(const std::string &key) const;
+};
+
+/**
+ * Parse @p text into @p out. Returns false (and fills @p error with a
+ * position-annotated message when non-null) on malformed input. Trailing
+ * non-whitespace after the root value is an error.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string *error = nullptr);
+
+} // namespace bxt
+
+#endif // BXT_COMMON_JSON_H

@@ -5,7 +5,43 @@
 #include <cstdlib>
 #include <exception>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
 namespace bxt {
+
+namespace {
+
+/**
+ * Pool instruments (DESIGN.md §9). Registered lazily on first enabled
+ * dispatch; the references are cached for the process lifetime so the
+ * hot path never takes the registry lock.
+ */
+struct PoolMetrics
+{
+    telemetry::Counter &jobs = telemetry::counter("bxt.pool.jobs");
+    telemetry::Counter &indices = telemetry::counter("bxt.pool.indices");
+    telemetry::Counter &chunksClaimed =
+        telemetry::counter("bxt.pool.chunks_claimed");
+    telemetry::Gauge &threads = telemetry::gauge("bxt.pool.threads");
+    telemetry::Gauge &queueDepth =
+        telemetry::gauge("bxt.pool.queue_depth");
+    /** Per-chunk body latency, 0..5 ms in 100 us buckets (clamped). */
+    telemetry::Histo &taskUs =
+        telemetry::histogram("bxt.pool.task_us", 0.0, 5000.0, 50);
+    /** Whole-dispatch latency, 0..5 s in 100 ms buckets (clamped). */
+    telemetry::Histo &jobUs =
+        telemetry::histogram("bxt.pool.job_us", 0.0, 5.0e6, 50);
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    static PoolMetrics *metrics = new PoolMetrics();
+    return *metrics;
+}
+
+} // namespace
 
 unsigned
 parseThreadCount(const char *text)
@@ -75,6 +111,9 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::drain(Job &job)
 {
+    // One span per worker per job; chunk latencies feed the histogram.
+    telemetry::ScopedSpan span("pool.drain", "pool");
+    const bool metrics_on = telemetry::metricsEnabled();
     for (;;) {
         const std::size_t begin =
             job.next.fetch_add(job.chunk, std::memory_order_relaxed);
@@ -83,6 +122,8 @@ ThreadPool::drain(Job &job)
         if (job.failed.load(std::memory_order_relaxed))
             continue; // Keep handing out indices so the loop terminates.
         const std::size_t end = std::min(begin + job.chunk, job.count);
+        const std::uint64_t chunk_start =
+            metrics_on ? telemetry::nowMicros() : 0;
         for (std::size_t i = begin; i < end; ++i) {
             try {
                 (*job.body)(i);
@@ -93,6 +134,12 @@ ThreadPool::drain(Job &job)
                 job.failed.store(true, std::memory_order_relaxed);
                 break;
             }
+        }
+        if (metrics_on) {
+            PoolMetrics &pm = poolMetrics();
+            pm.chunksClaimed.add(1);
+            pm.taskUs.add(static_cast<double>(telemetry::nowMicros() -
+                                              chunk_start));
         }
     }
 }
@@ -125,9 +172,28 @@ ThreadPool::run(std::size_t count,
 {
     if (count == 0)
         return;
+
+    telemetry::ScopedSpan run_span("pool.run", "pool");
+    const bool metrics_on = telemetry::metricsEnabled();
+    const std::uint64_t run_start =
+        metrics_on ? telemetry::nowMicros() : 0;
+    if (metrics_on) {
+        PoolMetrics &pm = poolMetrics();
+        pm.jobs.add(1);
+        pm.indices.add(count);
+        pm.threads.set(threadCount());
+        // Pending work at dispatch — the closest analogue of a queue
+        // depth for a chunked index pool.
+        pm.queueDepth.set(static_cast<double>(count));
+    }
+
     if (workers_.empty()) {
         for (std::size_t i = 0; i < count; ++i)
             body(i); // Serial pool: propagate exceptions directly.
+        if (metrics_on) {
+            poolMetrics().jobUs.add(static_cast<double>(
+                telemetry::nowMicros() - run_start));
+        }
         return;
     }
 
@@ -153,6 +219,11 @@ ThreadPool::run(std::size_t count,
             return job.active.load(std::memory_order_relaxed) == 0;
         });
         job_ = nullptr;
+    }
+
+    if (metrics_on) {
+        poolMetrics().jobUs.add(
+            static_cast<double>(telemetry::nowMicros() - run_start));
     }
 
     if (job.error)

@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include "common/error.h"
+#include "telemetry/metrics.h"
 
 namespace bxt {
 
@@ -72,6 +73,9 @@ PipelineCodec::encodeInto(const Transaction &tx, Encoded &result)
     result.payload = *payload;
     result.meta.clear();
 
+    if (telemetry::metricsEnabled())
+        recordStageMetrics(tx);
+
     unsigned total_meta_wires = 0;
     for (const Encoded &enc : scratch_)
         total_meta_wires += enc.metaWiresPerBeat;
@@ -97,6 +101,39 @@ PipelineCodec::encodeInto(const Transaction &tx, Encoded &result)
                 result.meta.push_back(
                     enc.meta[beat * enc.metaWiresPerBeat + w]);
         }
+    }
+}
+
+void
+PipelineCodec::recordStageMetrics(const Transaction &tx)
+{
+    if (stage_counters_.empty()) {
+        const std::string pipeline = telemetry::sanitizeMetricName(name());
+        stage_counters_.reserve(stages_.size());
+        for (std::size_t s = 0; s < stages_.size(); ++s) {
+            const std::string prefix =
+                "bxt.codec." + pipeline + ".stage" + std::to_string(s) +
+                "." + telemetry::sanitizeMetricName(stages_[s]->name()) +
+                ".";
+            StageCounters c;
+            c.onesIn = &telemetry::counter(prefix + "ones_in");
+            c.onesOut = &telemetry::counter(prefix + "ones_out");
+            c.metaOnes = &telemetry::counter(prefix + "meta_ones");
+            c.bytes = &telemetry::counter(prefix + "bytes");
+            stage_counters_.push_back(c);
+        }
+    }
+
+    std::size_t ones_in = tx.ones();
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+        const std::size_t payload_ones = scratch_[s].payload.ones();
+        const std::size_t meta_ones = scratch_[s].metaOnes();
+        const StageCounters &c = stage_counters_[s];
+        c.onesIn->add(ones_in);
+        c.onesOut->add(payload_ones + meta_ones);
+        c.metaOnes->add(meta_ones);
+        c.bytes->add(tx.size());
+        ones_in = payload_ones;
     }
 }
 

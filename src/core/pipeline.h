@@ -15,6 +15,10 @@
 
 namespace bxt {
 
+namespace telemetry {
+class Counter;
+} // namespace telemetry
+
 /**
  * Applies member codecs in order on encode and in reverse order on decode.
  * Metadata restrictions: every stage must preserve payload size (all codecs
@@ -39,11 +43,34 @@ class PipelineCodec : public Codec
     bool stateless() const override;
 
   private:
+    /**
+     * Cached per-stage telemetry counters (DESIGN.md §9): for stage s of
+     * pipeline P the names are
+     * `bxt.codec.<P>.stage<s>.<name>.{ones_in,ones_out,meta_ones,bytes}`
+     * with P and name run through telemetry::sanitizeMetricName. ones_in
+     * is the payload entering the stage, ones_out the stage's payload
+     * plus metadata ones, so `ones_in - ones_out` is the stage's net
+     * wire-ones removal and the removals telescope: raw ones minus the
+     * summed removals equals the encoding's total (bus-visible) ones.
+     */
+    struct StageCounters
+    {
+        telemetry::Counter *onesIn = nullptr;
+        telemetry::Counter *onesOut = nullptr;
+        telemetry::Counter *metaOnes = nullptr;
+        telemetry::Counter *bytes = nullptr;
+    };
+
+    /** Record per-stage attribution for one encoded transaction. */
+    void recordStageMetrics(const Transaction &tx);
+
     std::vector<CodecPtr> stages_;
     /** Per-stage scratch encodings reused across encodeInto/decodeInto
      *  calls (one slot per stage; capacities persist). Makes the codec
      *  non-reentrant, like any stateful codec — workers own their codec. */
     std::vector<Encoded> scratch_;
+    /** Lazily bound counter set; empty until first enabled encode. */
+    std::vector<StageCounters> stage_counters_;
 };
 
 } // namespace bxt

@@ -2,8 +2,35 @@
 
 #include "common/error.h"
 #include "core/codec_factory.h"
+#include "telemetry/metrics.h"
 
 namespace bxt {
+
+namespace {
+
+/** Per-request DRAM counters (all controllers/channels aggregate). */
+struct MemCtrlMetrics
+{
+    telemetry::Counter &reads =
+        telemetry::counter("bxt.gpusim.memctrl.reads");
+    telemetry::Counter &writes =
+        telemetry::counter("bxt.gpusim.memctrl.writes");
+    telemetry::Counter &activates =
+        telemetry::counter("bxt.gpusim.memctrl.activates");
+    telemetry::Counter &rowHits =
+        telemetry::counter("bxt.gpusim.memctrl.row_hits");
+    telemetry::Counter &bytes =
+        telemetry::counter("bxt.gpusim.memctrl.bytes");
+};
+
+MemCtrlMetrics &
+memCtrlMetrics()
+{
+    static MemCtrlMetrics *metrics = new MemCtrlMetrics();
+    return *metrics;
+}
+
+} // namespace
 
 MemoryController::MemoryController(const GpuConfig &config) : config_(config)
 {
@@ -44,8 +71,12 @@ MemoryController::touchRow(Channel &channel, std::uint64_t sector_addr)
         channel.openRow[bank] = row;
         ++channel.stats.activates;
         channel.stats.totalTimeNs += config_.tRowMissNs;
+        if (telemetry::metricsEnabled())
+            memCtrlMetrics().activates.add(1);
     } else {
         ++channel.stats.rowHits;
+        if (telemetry::metricsEnabled())
+            memCtrlMetrics().rowHits.add(1);
     }
 
     const double beats = static_cast<double>(config_.sectorBytes * 8) /
@@ -62,6 +93,11 @@ MemoryController::readSector(std::uint64_t sector_addr)
     Channel &channel = channels_[channelOf(sector_addr)];
     touchRow(channel, sector_addr);
     ++channel.stats.reads;
+    if (telemetry::metricsEnabled()) {
+        MemCtrlMetrics &mm = memCtrlMetrics();
+        mm.reads.add(1);
+        mm.bytes.add(config_.sectorBytes);
+    }
 
     auto shadow_it = channel.shadow.find(sector_addr);
     if (shadow_it == channel.shadow.end()) {
@@ -104,6 +140,11 @@ MemoryController::writeSector(std::uint64_t sector_addr,
     Channel &channel = channels_[channelOf(sector_addr)];
     touchRow(channel, sector_addr);
     ++channel.stats.writes;
+    if (telemetry::metricsEnabled()) {
+        MemCtrlMetrics &mm = memCtrlMetrics();
+        mm.writes.add(1);
+        mm.bytes.add(config_.sectorBytes);
+    }
 
     const Encoded enc = channel.codec->encode(data);
     channel.bus->transmit(enc);

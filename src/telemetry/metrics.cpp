@@ -1,0 +1,174 @@
+#include "telemetry/metrics.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "telemetry/trace.h"
+
+namespace bxt::telemetry {
+
+namespace detail {
+
+namespace {
+
+bool
+envEnabled(const char *name)
+{
+    const char *value = std::getenv(name);
+    return value != nullptr && *value != '\0' &&
+           std::string(value) != "0";
+}
+
+} // namespace
+
+std::atomic<bool> metricsOn{envEnabled("BXT_METRICS")};
+
+} // namespace detail
+
+namespace {
+
+/**
+ * The process-wide registry. std::map keeps instruments name-sorted so
+ * snapshots are deterministic; unique_ptr keeps instrument addresses
+ * stable across rehash-free inserts (call sites cache references).
+ */
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histo>> histos;
+};
+
+Registry &
+registry()
+{
+    static Registry *instance = new Registry(); // Never destroyed:
+    // instruments may be touched from atexit trace flushing.
+    return *instance;
+}
+
+} // namespace
+
+void
+setMetricsEnabled(bool on)
+{
+    detail::metricsOn.store(on, std::memory_order_relaxed);
+}
+
+Histo::Histo(std::string name, double lo, double hi, std::size_t buckets)
+    : name_(std::move(name)), edges_(lo, hi, buckets), counts_(buckets)
+{
+    for (auto &count : counts_)
+        count.store(0, std::memory_order_relaxed);
+}
+
+void
+Histo::reset()
+{
+    for (auto &count : counts_)
+        count.store(0, std::memory_order_relaxed);
+    total_.store(0, std::memory_order_relaxed);
+    sum_micro_.store(0, std::memory_order_relaxed);
+}
+
+std::string
+sanitizeMetricName(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '+') {
+            out += '-';
+        } else if (c == '|') {
+            out += "__";
+        } else if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                   (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                   c == '-') {
+            out += c;
+        } else {
+            out += '_';
+        }
+    }
+    return out;
+}
+
+Counter &
+counter(const std::string &name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto &slot = reg.counters[name];
+    if (slot == nullptr)
+        slot = std::make_unique<Counter>(name);
+    return *slot;
+}
+
+Gauge &
+gauge(const std::string &name)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto &slot = reg.gauges[name];
+    if (slot == nullptr)
+        slot = std::make_unique<Gauge>(name);
+    return *slot;
+}
+
+Histo &
+histogram(const std::string &name, double lo, double hi,
+          std::size_t buckets)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto &slot = reg.histos[name];
+    if (slot == nullptr)
+        slot = std::make_unique<Histo>(name, lo, hi, buckets);
+    return *slot;
+}
+
+void
+forEachCounter(const std::function<void(const Counter &)> &fn)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto &[name, instrument] : reg.counters)
+        fn(*instrument);
+}
+
+void
+forEachGauge(const std::function<void(const Gauge &)> &fn)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto &[name, instrument] : reg.gauges)
+        fn(*instrument);
+}
+
+void
+forEachHisto(const std::function<void(const Histo &)> &fn)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (const auto &[name, instrument] : reg.histos)
+        fn(*instrument);
+}
+
+void
+resetForTest()
+{
+    Registry &reg = registry();
+    {
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        for (auto &[name, instrument] : reg.counters)
+            instrument->reset();
+        for (auto &[name, instrument] : reg.gauges)
+            instrument->reset();
+        for (auto &[name, instrument] : reg.histos)
+            instrument->reset();
+    }
+    clearTraceBuffer();
+}
+
+} // namespace bxt::telemetry

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Process-wide, thread-safe metrics registry: monotonic counters, gauges,
+ * and fixed-bucket histograms, addressed by hierarchical names following
+ * the `bxt.<layer>.<name>` convention (DESIGN.md §9).
+ *
+ * Zero-cost-when-off contract: instrumentation is compiled in
+ * unconditionally but gated behind `metricsEnabled()` — a single relaxed
+ * atomic load — so the tier-1 throughput numbers are unaffected when
+ * `BXT_METRICS` is unset. When enabled, the record paths are lock-free
+ * relaxed atomics; only registration (first lookup of a name) takes the
+ * registry mutex, and hot call sites cache the returned reference.
+ */
+
+#ifndef BXT_TELEMETRY_METRICS_H
+#define BXT_TELEMETRY_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace bxt::telemetry {
+
+namespace detail {
+/** Global gate; initialized from BXT_METRICS, flipped programmatically. */
+extern std::atomic<bool> metricsOn;
+} // namespace detail
+
+/**
+ * True when metric recording is active (BXT_METRICS=1 or programmatic).
+ * Constant-false under -DBXT_TELEMETRY=OFF so every gated call site
+ * folds away (the baseline the metrics CI job measures against).
+ */
+inline bool
+metricsEnabled()
+{
+#ifdef BXT_NO_TELEMETRY
+    return false;
+#else
+    return detail::metricsOn.load(std::memory_order_relaxed);
+#endif
+}
+
+/** Programmatic enable/disable (overrides the environment). */
+void setMetricsEnabled(bool on);
+
+/**
+ * Zero every registered instrument and clear the span buffer. Registered
+ * instruments stay registered (call sites hold references). Test-only.
+ */
+void resetForTest();
+
+/**
+ * Map an arbitrary identifier (codec spec, app name) into a metric-name
+ * segment: '+' -> '-', '|' -> "__", anything outside [A-Za-z0-9_.-]
+ * -> '_'. "universal3+zdr|dbi4" becomes "universal3-zdr__dbi4".
+ */
+std::string sanitizeMetricName(const std::string &text);
+
+/** Monotonic 64-bit counter. */
+class Counter
+{
+  public:
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+
+    void add(std::uint64_t n = 1)
+    {
+        if (!metricsEnabled())
+            return;
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    const std::string &name() const { return name_; }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::string name_;
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-write-wins floating-point gauge. */
+class Gauge
+{
+  public:
+    explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+    void set(double v)
+    {
+        if (!metricsEnabled())
+            return;
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    double value() const { return value_.load(std::memory_order_relaxed); }
+    const std::string &name() const { return name_; }
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::string name_;
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Fixed-range, uniformly bucketed histogram with atomic per-bucket
+ * counts. Bucket-edge and clamp math is delegated to the existing
+ * `common/histogram` (Histogram::bucketIndex), so the telemetry view and
+ * the figure-plot histograms agree on semantics.
+ */
+class Histo
+{
+  public:
+    Histo(std::string name, double lo, double hi, std::size_t buckets);
+
+    void add(double sample)
+    {
+        if (!metricsEnabled())
+            return;
+        counts_[edges_.bucketIndex(sample)].fetch_add(
+            1, std::memory_order_relaxed);
+        total_.fetch_add(1, std::memory_order_relaxed);
+        // Sum tracked in fixed-point microunits to stay lock-free
+        // without atomic<double> RMW loops.
+        sum_micro_.fetch_add(static_cast<std::int64_t>(sample * 1.0e6),
+                             std::memory_order_relaxed);
+    }
+
+    const std::string &name() const { return name_; }
+    double lo() const { return edges_.bucketLo(0); }
+    double hi() const { return edges_.bucketHi(edges_.buckets() - 1); }
+    std::size_t buckets() const { return counts_.size(); }
+    double bucketLo(std::size_t i) const { return edges_.bucketLo(i); }
+    double bucketHi(std::size_t i) const { return edges_.bucketHi(i); }
+
+    std::uint64_t bucketCount(std::size_t i) const
+    {
+        return counts_[i].load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t total() const
+    {
+        return total_.load(std::memory_order_relaxed);
+    }
+
+    /** Sum of all samples (microunit-resolution). */
+    double sum() const
+    {
+        return static_cast<double>(
+                   sum_micro_.load(std::memory_order_relaxed)) /
+               1.0e6;
+    }
+
+    /** Mean sample, 0 when empty. */
+    double mean() const
+    {
+        const std::uint64_t n = total();
+        return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+    }
+
+    void reset();
+
+  private:
+    std::string name_;
+    Histogram edges_; ///< Edge/clamp math only; its counts stay empty.
+    std::vector<std::atomic<std::uint64_t>> counts_;
+    std::atomic<std::uint64_t> total_{0};
+    std::atomic<std::int64_t> sum_micro_{0};
+};
+
+/**
+ * Look up or create an instrument by name. References stay valid for the
+ * process lifetime; hot paths call once and cache. Re-registering a
+ * histogram name with different bounds keeps the original bounds.
+ */
+Counter &counter(const std::string &name);
+Gauge &gauge(const std::string &name);
+Histo &histogram(const std::string &name, double lo, double hi,
+                 std::size_t buckets);
+
+/** Visit every registered instrument in name order (snapshot export). */
+void forEachCounter(const std::function<void(const Counter &)> &fn);
+void forEachGauge(const std::function<void(const Gauge &)> &fn);
+void forEachHisto(const std::function<void(const Histo &)> &fn);
+
+} // namespace bxt::telemetry
+
+#endif // BXT_TELEMETRY_METRICS_H

@@ -1,0 +1,58 @@
+#include "telemetry/snapshot.h"
+
+#include <fstream>
+
+#include "common/json.h"
+#include "telemetry/metrics.h"
+
+namespace bxt::telemetry {
+
+std::string
+snapshotJson(bool pretty)
+{
+    JsonWriter w(pretty);
+    w.beginObject();
+    w.kv("schema", snapshotSchema);
+    w.kv("enabled", metricsEnabled());
+
+    w.beginObject("counters");
+    forEachCounter([&](const Counter &c) { w.kv(c.name(), c.value()); });
+    w.endObject();
+
+    w.beginObject("gauges");
+    forEachGauge([&](const Gauge &g) { w.kv(g.name(), g.value()); });
+    w.endObject();
+
+    w.beginObject("histograms");
+    forEachHisto([&](const Histo &h) {
+        w.beginObject(h.name());
+        w.kv("lo", h.lo());
+        w.kv("hi", h.hi());
+        w.kv("total", h.total());
+        w.kv("sum", h.sum());
+        w.kv("mean", h.mean());
+        w.beginArray("counts");
+        for (std::size_t i = 0; i < h.buckets(); ++i)
+            w.value(h.bucketCount(i));
+        w.endArray();
+        w.endObject();
+    });
+    w.endObject();
+
+    w.endObject();
+    return w.str();
+}
+
+bool
+writeSnapshot(const std::string &path)
+{
+    if (!metricsEnabled())
+        return false;
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << snapshotJson() << '\n';
+    return out.good();
+}
+
+} // namespace bxt::telemetry

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * JSON metrics-snapshot exporter. The snapshot is a stable, versioned
+ * document (schema 1):
+ *
+ *   {
+ *     "schema": 1,
+ *     "enabled": true,
+ *     "counters":   {"bxt.bus.data_ones": 123, ...},
+ *     "gauges":     {"bxt.pool.threads": 8, ...},
+ *     "histograms": {"bxt.pool.task_us":
+ *                      {"lo": 0, "hi": 5000, "total": 42, "sum": 99.5,
+ *                       "mean": 2.37, "counts": [ ... ]}, ...}
+ *   }
+ *
+ * Instruments appear in name order, so two snapshots of the same run are
+ * byte-identical and snapshots of different runs diff cleanly
+ * (`tools/bxt_report --diff`). The benches embed this object under the
+ * "metrics" key of their unified `--json` output.
+ */
+
+#ifndef BXT_TELEMETRY_SNAPSHOT_H
+#define BXT_TELEMETRY_SNAPSHOT_H
+
+#include <string>
+
+namespace bxt::telemetry {
+
+/** Snapshot document version ("schema" field). */
+constexpr int snapshotSchema = 1;
+
+/**
+ * Render the registry as a snapshot JSON object. Always returns a valid
+ * document; with metrics disabled it reports "enabled": false over the
+ * (all-zero) registry. @p pretty selects indented vs one-line output.
+ */
+std::string snapshotJson(bool pretty = true);
+
+/**
+ * Write the snapshot to @p path. A disabled registry is not exported:
+ * returns false without creating the file (the exporter no-op guarantee
+ * tested by tests/test_telemetry.cpp). Also false on I/O failure.
+ */
+bool writeSnapshot(const std::string &path);
+
+} // namespace bxt::telemetry
+
+#endif // BXT_TELEMETRY_SNAPSHOT_H

@@ -1,0 +1,202 @@
+#include "telemetry/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "common/json.h"
+
+namespace bxt::telemetry {
+
+namespace {
+
+/** Process-start anchor for span timestamps. */
+const std::chrono::steady_clock::time_point traceEpoch =
+    std::chrono::steady_clock::now();
+
+struct TraceState
+{
+    std::mutex mutex;
+    std::string path;
+    std::vector<TraceEvent> events;
+    std::atomic<std::uint64_t> dropped{0};
+};
+
+TraceState &
+state()
+{
+    // Never destroyed: spans may be recorded from static destructors
+    // racing the atexit flush.
+    static TraceState *instance = new TraceState();
+    return *instance;
+}
+
+/** Expand "%p" in a BXT_TRACE path to the pid (one expansion). */
+std::string
+expandPath(std::string path)
+{
+    const std::size_t pos = path.find("%p");
+    if (pos != std::string::npos) {
+        path.replace(pos, 2, std::to_string(
+#ifdef _WIN32
+                                 0
+#else
+                                 static_cast<long>(::getpid())
+#endif
+                                 ));
+    }
+    return path;
+}
+
+void
+flushAtExit()
+{
+    const std::string path = tracePath();
+    if (!path.empty())
+        writeTrace(path);
+}
+
+/** Reads BXT_TRACE once at static init; installs the atexit flush. */
+bool
+initFromEnv()
+{
+    const char *env = std::getenv("BXT_TRACE");
+    if (env == nullptr || *env == '\0')
+        return false;
+    state().path = expandPath(env);
+    std::atexit(flushAtExit);
+    return true;
+}
+
+} // namespace
+
+namespace detail {
+std::atomic<bool> traceOn{initFromEnv()};
+} // namespace detail
+
+void
+setTraceEnabled(bool on)
+{
+    detail::traceOn.store(on, std::memory_order_relaxed);
+}
+
+std::string
+tracePath()
+{
+    TraceState &ts = state();
+    std::lock_guard<std::mutex> lock(ts.mutex);
+    return ts.path;
+}
+
+void
+setTracePath(const std::string &path)
+{
+    {
+        TraceState &ts = state();
+        std::lock_guard<std::mutex> lock(ts.mutex);
+        ts.path = expandPath(path);
+    }
+    if (!path.empty())
+        setTraceEnabled(true);
+}
+
+std::uint64_t
+nowMicros()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - traceEpoch)
+            .count());
+}
+
+std::uint32_t
+currentThreadId()
+{
+    static std::atomic<std::uint32_t> next{1};
+    thread_local std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+void
+recordSpan(const std::string &name, const std::string &category,
+           std::uint64_t start_us, std::uint64_t duration_us)
+{
+    if (!traceEnabled())
+        return;
+    TraceState &ts = state();
+    std::lock_guard<std::mutex> lock(ts.mutex);
+    if (ts.events.size() >= traceBufferCap) {
+        ts.dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    ts.events.push_back(
+        {name, category, currentThreadId(), start_us, duration_us});
+}
+
+std::uint64_t
+droppedSpans()
+{
+    return state().dropped.load(std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent>
+traceEvents()
+{
+    TraceState &ts = state();
+    std::lock_guard<std::mutex> lock(ts.mutex);
+    return ts.events;
+}
+
+void
+clearTraceBuffer()
+{
+    TraceState &ts = state();
+    std::lock_guard<std::mutex> lock(ts.mutex);
+    ts.events.clear();
+    ts.dropped.store(0, std::memory_order_relaxed);
+}
+
+bool
+writeTrace(const std::string &path)
+{
+    if (!traceEnabled() || path.empty())
+        return false;
+
+    const std::vector<TraceEvent> events = traceEvents();
+    JsonWriter w(/*pretty=*/false);
+    w.beginObject();
+    w.beginArray("traceEvents");
+    for (const TraceEvent &event : events) {
+        w.beginObject();
+        w.kv("name", event.name);
+        w.kv("cat", event.category);
+        w.kv("ph", "X");
+        w.kv("ts", event.startUs);
+        w.kv("dur", event.durationUs);
+        w.kv("pid", 1);
+        w.kv("tid", static_cast<std::uint64_t>(event.tid));
+        w.endObject();
+    }
+    w.endArray();
+    w.kv("displayTimeUnit", "ms");
+    w.beginObject("otherData");
+    w.kv("droppedSpans", droppedSpans());
+    w.kv("tool", "bxt");
+    w.endObject();
+    w.endObject();
+
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << w.str() << '\n';
+    return out.good();
+}
+
+} // namespace bxt::telemetry

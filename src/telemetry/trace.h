@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Scoped-timer spans and the Chrome trace-event exporter. Spans are
+ * recorded into a bounded process-wide buffer and written as a
+ * `chrome://tracing` / Perfetto-loadable `trace.json` (complete "X"
+ * events, microsecond timestamps anchored at process start).
+ *
+ * Gating mirrors the metrics registry: tracing is off unless the
+ * `BXT_TRACE=<path>` environment variable is set (which also installs an
+ * atexit flush to that path, with `%p` expanded to the pid so parallel
+ * test processes do not clobber each other) or `setTraceEnabled(true)` /
+ * `setTracePath(...)` is called. A disabled ScopedSpan costs one relaxed
+ * atomic load and never takes a clock sample.
+ */
+
+#ifndef BXT_TELEMETRY_TRACE_H
+#define BXT_TELEMETRY_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bxt::telemetry {
+
+namespace detail {
+extern std::atomic<bool> traceOn;
+} // namespace detail
+
+/** True when span recording is active (constant-false when compiled out). */
+inline bool
+traceEnabled()
+{
+#ifdef BXT_NO_TELEMETRY
+    return false;
+#else
+    return detail::traceOn.load(std::memory_order_relaxed);
+#endif
+}
+
+/** Programmatic enable/disable (overrides the environment). */
+void setTraceEnabled(bool on);
+
+/** Output path from BXT_TRACE / setTracePath ("" when unset). */
+std::string tracePath();
+
+/** Set the output path; a non-empty path also enables tracing. */
+void setTracePath(const std::string &path);
+
+/** Microseconds since the process-wide trace epoch (steady clock). */
+std::uint64_t nowMicros();
+
+/** Small dense id for the calling thread (chrome trace `tid`). */
+std::uint32_t currentThreadId();
+
+/** One completed span. */
+struct TraceEvent
+{
+    std::string name;
+    std::string category;
+    std::uint32_t tid = 0;
+    std::uint64_t startUs = 0;
+    std::uint64_t durationUs = 0;
+};
+
+/**
+ * Append a completed span to the buffer (no-op when tracing is off).
+ * The buffer is bounded (traceBufferCap); overflow increments the
+ * dropped-span count instead of silently growing without bound.
+ */
+void recordSpan(const std::string &name, const std::string &category,
+                std::uint64_t start_us, std::uint64_t duration_us);
+
+/** Span buffer capacity. */
+constexpr std::size_t traceBufferCap = 1u << 20;
+
+/** Spans discarded because the buffer was full. */
+std::uint64_t droppedSpans();
+
+/** Copy of the recorded spans (tests / custom exporters). */
+std::vector<TraceEvent> traceEvents();
+
+/** Drop every recorded span and zero the dropped count. */
+void clearTraceBuffer();
+
+/**
+ * Write the buffered spans as a Chrome trace-event JSON object
+ * (`{"traceEvents": [...], ...}`). Returns false (writing nothing) when
+ * tracing is disabled or the file cannot be created.
+ */
+bool writeTrace(const std::string &path);
+
+/**
+ * RAII span: samples the clock on construction and records on
+ * destruction. Construction with tracing disabled is a no-op (no clock
+ * sample, no allocation).
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(const char *name, const char *category = "bxt")
+    {
+        if (traceEnabled()) {
+            name_ = name;
+            category_ = category;
+            start_ = nowMicros();
+            active_ = true;
+        }
+    }
+
+    /** Dynamic-name overload for per-spec / per-unit spans. */
+    ScopedSpan(std::string name, const char *category)
+    {
+        if (traceEnabled()) {
+            dynamic_name_ = std::move(name);
+            name_ = dynamic_name_.c_str();
+            category_ = category;
+            start_ = nowMicros();
+            active_ = true;
+        }
+    }
+
+    ~ScopedSpan()
+    {
+        if (active_)
+            recordSpan(name_, category_, start_, nowMicros() - start_);
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    /** Wall-clock so far; 0 when the span is inactive. */
+    std::uint64_t elapsedUs() const
+    {
+        return active_ ? nowMicros() - start_ : 0;
+    }
+
+  private:
+    const char *name_ = nullptr;
+    const char *category_ = nullptr;
+    std::string dynamic_name_;
+    std::uint64_t start_ = 0;
+    bool active_ = false;
+};
+
+} // namespace bxt::telemetry
+
+#endif // BXT_TELEMETRY_TRACE_H

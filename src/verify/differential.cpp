@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "core/codec_factory.h"
+#include "telemetry/trace.h"
 #include "verify/generators.h"
 
 namespace bxt::verify {
@@ -86,6 +87,10 @@ void
 runChunk(Unit &unit, std::uint64_t count, const FuzzOptions &options,
          FuzzReport &report)
 {
+    // One span per (spec, wires) chunk; a trace of a fuzz run shows where
+    // the wall-clock budget goes across the unit matrix.
+    telemetry::ScopedSpan span(
+        "fuzz." + unit.spec + "." + std::to_string(unit.wires), "fuzz");
     const std::vector<GenKind> &kinds = allGenKinds();
     const std::size_t tx_bytes = unit.wires;
     for (std::uint64_t i = 0; i < count && !unit.failed; ++i) {

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Telemetry subsystem tests: instrument correctness under thread-pool
+ * contention, snapshot schema round-trip, Chrome trace export, the
+ * zero-cost-when-off guard, and the per-stage attribution acceptance
+ * check — the pipeline stage counters of a `universal3+zdr|dbi4` run
+ * must telescope to the exact Bus ones total, cross-checked against the
+ * bit-level reference bus.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "channel/channel_eval.h"
+#include "common/json.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/codec_factory.h"
+#include "telemetry/metrics.h"
+#include "telemetry/snapshot.h"
+#include "telemetry/trace.h"
+#include "verify/reference_bus.h"
+#include "workloads/patterns.h"
+
+namespace bxt {
+namespace {
+
+namespace tm = bxt::telemetry;
+
+/** Every test starts from a zeroed, enabled registry and leaves both the
+ *  metrics gate and the trace gate off. */
+class TelemetryTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        tm::resetForTest();
+        tm::setMetricsEnabled(true);
+    }
+
+    void TearDown() override
+    {
+        tm::setMetricsEnabled(false);
+        tm::setTraceEnabled(false);
+        tm::resetForTest();
+    }
+};
+
+/** Deterministic mixed-content 32-byte transaction stream. */
+std::vector<Transaction>
+makeStream(std::size_t count)
+{
+    PatternPtr pattern = makeSoaFloatPattern(1.0e3, 1.0e-3, 7);
+    Rng rng(11);
+    std::vector<Transaction> stream;
+    stream.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        Transaction tx(32);
+        pattern->fill(rng, tx.bytes());
+        stream.push_back(tx);
+    }
+    return stream;
+}
+
+const JsonValue &
+member(const JsonValue &object, const std::string &key)
+{
+    const JsonValue *value = object.find(key);
+    EXPECT_NE(value, nullptr) << "missing member " << key;
+    static const JsonValue null_value;
+    return value != nullptr ? *value : null_value;
+}
+
+TEST_F(TelemetryTest, CounterGaugeHistogramBasics)
+{
+    tm::Counter &counter = tm::counter("bxt.test.counter");
+    counter.add();
+    counter.add(41);
+    EXPECT_EQ(counter.value(), 42u);
+
+    tm::Gauge &gauge = tm::gauge("bxt.test.gauge");
+    gauge.set(2.5);
+    EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+
+    tm::Histo &histo = tm::histogram("bxt.test.histo", 0.0, 10.0, 10);
+    histo.add(0.5);   // bucket 0
+    histo.add(9.5);   // bucket 9
+    histo.add(-3.0);  // clamped into bucket 0
+    histo.add(100.0); // clamped into bucket 9
+    EXPECT_EQ(histo.total(), 4u);
+    EXPECT_EQ(histo.bucketCount(0), 2u);
+    EXPECT_EQ(histo.bucketCount(9), 2u);
+    EXPECT_NEAR(histo.sum(), 107.0, 1e-3);
+    EXPECT_NEAR(histo.mean(), 26.75, 1e-3);
+
+    // Re-registering under the same name returns the same instrument.
+    EXPECT_EQ(&counter, &tm::counter("bxt.test.counter"));
+    EXPECT_EQ(&histo, &tm::histogram("bxt.test.histo", 0.0, 99.0, 3));
+}
+
+TEST_F(TelemetryTest, SanitizeMetricName)
+{
+    EXPECT_EQ(tm::sanitizeMetricName("universal3+zdr|dbi4"),
+              "universal3-zdr__dbi4");
+    EXPECT_EQ(tm::sanitizeMetricName("ok_name.09-A"), "ok_name.09-A");
+    EXPECT_EQ(tm::sanitizeMetricName("a b/c"), "a_b_c");
+}
+
+TEST_F(TelemetryTest, CountersExactUnderContention)
+{
+    constexpr std::size_t iterations = 20000;
+    tm::Counter &counter = tm::counter("bxt.test.contended");
+    tm::Histo &histo = tm::histogram("bxt.test.contended_histo", 0.0,
+                                     1.0e6, 4);
+    ThreadPool pool(4);
+    pool.run(iterations, [&](std::size_t i) {
+        counter.add(1);
+        histo.add(static_cast<double>(i));
+    });
+    EXPECT_EQ(counter.value(), iterations);
+    EXPECT_EQ(histo.total(), iterations);
+    std::uint64_t bucket_sum = 0;
+    for (std::size_t b = 0; b < histo.buckets(); ++b)
+        bucket_sum += histo.bucketCount(b);
+    EXPECT_EQ(bucket_sum, iterations);
+}
+
+TEST_F(TelemetryTest, PoolMetricsRecorded)
+{
+    ThreadPool pool(2);
+    pool.run(100, [](std::size_t) {});
+    EXPECT_GE(tm::counter("bxt.pool.jobs").value(), 1u);
+    EXPECT_GE(tm::counter("bxt.pool.indices").value(), 100u);
+    EXPECT_EQ(tm::gauge("bxt.pool.threads").value(), 2.0);
+}
+
+TEST_F(TelemetryTest, SnapshotRoundTripsThroughParser)
+{
+    // Instruments registered by other tests persist (references stay
+    // valid for the process lifetime), so this test uses its own names.
+    tm::counter("bxt.test.roundtrip").add(7);
+    tm::gauge("bxt.test.rt_gauge").set(1.5);
+    tm::histogram("bxt.test.rt_histo", 0.0, 4.0, 4).add(3.0);
+
+    for (const bool pretty : {true, false}) {
+        JsonValue doc;
+        std::string error;
+        ASSERT_TRUE(parseJson(tm::snapshotJson(pretty), doc, &error))
+            << error;
+        EXPECT_EQ(member(doc, "schema").number, tm::snapshotSchema);
+        EXPECT_TRUE(member(doc, "enabled").boolean);
+        EXPECT_EQ(member(member(doc, "counters"),
+                         "bxt.test.roundtrip").number,
+                  7.0);
+        EXPECT_EQ(member(member(doc, "gauges"),
+                         "bxt.test.rt_gauge").number,
+                  1.5);
+        const JsonValue &histo =
+            member(member(doc, "histograms"), "bxt.test.rt_histo");
+        EXPECT_EQ(member(histo, "total").number, 1.0);
+        EXPECT_EQ(member(histo, "counts").array.size(), 4u);
+    }
+}
+
+TEST_F(TelemetryTest, WriteSnapshotCreatesValidFile)
+{
+    tm::counter("bxt.test.file").add(3);
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "bxt_snapshot_test.json")
+            .string();
+    ASSERT_TRUE(tm::writeSnapshot(path));
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    JsonValue doc;
+    std::string error;
+    EXPECT_TRUE(parseJson(text, doc, &error)) << error;
+    EXPECT_EQ(member(member(doc, "counters"), "bxt.test.file").number,
+              3.0);
+    std::filesystem::remove(path);
+}
+
+TEST_F(TelemetryTest, DisabledMetricsAreZeroCostNoops)
+{
+    tm::setMetricsEnabled(false);
+
+    tm::Counter &counter = tm::counter("bxt.test.off");
+    counter.add(5);
+    EXPECT_EQ(counter.value(), 0u);
+    tm::Gauge &gauge = tm::gauge("bxt.test.off_gauge");
+    gauge.set(9.0);
+    EXPECT_EQ(gauge.value(), 0.0);
+    tm::Histo &histo = tm::histogram("bxt.test.off_histo", 0.0, 1.0, 2);
+    histo.add(0.5);
+    EXPECT_EQ(histo.total(), 0u);
+
+    // Instrumented library code records nothing either.
+    CodecPtr codec = makeCodec("universal3+zdr|dbi4", 4);
+    evalCodecOnStream(*codec, makeStream(8), 32);
+    EXPECT_EQ(tm::counter("bxt.bus.transactions").value(), 0u);
+    EXPECT_EQ(tm::counter("bxt.channel.eval.streams").value(), 0u);
+
+    // The snapshot exporter refuses to write a disabled registry...
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "bxt_snapshot_off.json")
+            .string();
+    std::filesystem::remove(path);
+    EXPECT_FALSE(tm::writeSnapshot(path));
+    EXPECT_FALSE(std::filesystem::exists(path));
+
+    // ...but snapshotJson still returns a valid "enabled": false doc.
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(tm::snapshotJson(), doc, &error)) << error;
+    EXPECT_FALSE(member(doc, "enabled").boolean);
+}
+
+TEST_F(TelemetryTest, ScopedSpansExportAsChromeTrace)
+{
+    tm::setTraceEnabled(true);
+    tm::clearTraceBuffer();
+    {
+        tm::ScopedSpan outer("outer", "test");
+        tm::ScopedSpan inner(std::string("inner.dynamic"), "test");
+    }
+    const std::vector<tm::TraceEvent> events = tm::traceEvents();
+    ASSERT_EQ(events.size(), 2u);
+    // Destruction order: inner records first.
+    EXPECT_EQ(events[0].name, "inner.dynamic");
+    EXPECT_EQ(events[1].name, "outer");
+    EXPECT_EQ(events[1].category, "test");
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "bxt_trace_test.json")
+            .string();
+    ASSERT_TRUE(tm::writeTrace(path));
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(text, doc, &error)) << error;
+    const JsonValue &trace_events = member(doc, "traceEvents");
+    ASSERT_EQ(trace_events.array.size(), 2u);
+    for (const JsonValue &event : trace_events.array) {
+        EXPECT_EQ(member(event, "ph").string, "X");
+        EXPECT_TRUE(member(event, "ts").isNumber());
+        EXPECT_TRUE(member(event, "dur").isNumber());
+    }
+    std::filesystem::remove(path);
+}
+
+TEST_F(TelemetryTest, DisabledSpansRecordNothing)
+{
+    tm::clearTraceBuffer();
+    {
+        tm::ScopedSpan span("ignored", "test");
+        EXPECT_EQ(span.elapsedUs(), 0u);
+    }
+    EXPECT_TRUE(tm::traceEvents().empty());
+    EXPECT_FALSE(tm::writeTrace(
+        (std::filesystem::temp_directory_path() / "bxt_trace_off.json")
+            .string()));
+}
+
+/**
+ * Acceptance criterion (ISSUE 3): per-stage ones-removed counters of a
+ * `universal3+zdr|dbi4` run must telescope against the raw baseline to
+ * the exact total Bus ones count, cross-checked against the PR 2
+ * bit-level reference bus.
+ */
+TEST_F(TelemetryTest, StageAttributionTelescopesToRefBusOnes)
+{
+    const std::string spec = "universal3+zdr|dbi4";
+    constexpr unsigned data_wires = 32;
+    constexpr double idle_fraction = 0.3;
+    const std::vector<Transaction> stream = makeStream(256);
+
+    // Reference pass with metrics off: feed each encoding through the
+    // bit-level reference bus (this also keeps the reference encodes out
+    // of the stage counters measured below).
+    tm::setMetricsEnabled(false);
+    std::uint64_t raw_ones = 0;
+    std::uint64_t ref_ones = 0;
+    {
+        CodecPtr codec = makeCodec(spec, data_wires / 8);
+        verify::RefBus ref(data_wires, codec->metaWiresPerBeat(),
+                           idle_fraction);
+        for (const Transaction &tx : stream) {
+            raw_ones += tx.ones();
+            const Encoded enc = codec->encode(tx);
+            ref.transmit({enc.payload.data(),
+                          enc.payload.data() + enc.payload.size()},
+                         enc.meta, enc.metaWiresPerBeat);
+        }
+        ref_ones = ref.stats().ones();
+    }
+
+    // Instrumented pass: same stream through the production eval path.
+    tm::resetForTest();
+    tm::setMetricsEnabled(true);
+    {
+        CodecPtr codec = makeCodec(spec, data_wires / 8);
+        evalCodecOnStream(*codec, stream, data_wires, idle_fraction);
+    }
+
+    const std::string prefix = "bxt.codec.universal3-zdr__dbi4.";
+    const std::uint64_t in0 =
+        tm::counter(prefix + "stage0.universal3-zdr.ones_in").value();
+    const std::uint64_t out0 =
+        tm::counter(prefix + "stage0.universal3-zdr.ones_out").value();
+    const std::uint64_t in1 =
+        tm::counter(prefix + "stage1.dbi4.ones_in").value();
+    const std::uint64_t out1 =
+        tm::counter(prefix + "stage1.dbi4.ones_out").value();
+    ASSERT_GT(in0, 0u);
+
+    // The stream's raw ones entered stage 0.
+    EXPECT_EQ(in0, raw_ones);
+    EXPECT_EQ(tm::counter("bxt.channel.eval.raw_ones").value(), raw_ones);
+
+    // Removals telescope: raw - sum(in - out) == bus-visible ones.
+    const std::uint64_t removed = (in0 - out0) + (in1 - out1);
+    const std::uint64_t bus_ones =
+        tm::counter("bxt.bus.data_ones").value() +
+        tm::counter("bxt.bus.meta_ones").value();
+    EXPECT_EQ(raw_ones - removed, bus_ones);
+
+    // And the production Bus counters match the bit-level reference.
+    EXPECT_EQ(bus_ones, ref_ones);
+    EXPECT_EQ(tm::counter("bxt.channel.eval.encoded_ones").value(),
+              ref_ones);
+}
+
+} // namespace
+} // namespace bxt

@@ -11,32 +11,11 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/cli.h"
 #include "verify/differential.h"
-
-namespace {
-
-void
-usage(const char *argv0)
-{
-    std::fprintf(
-        stderr,
-        "usage: %s [options]\n"
-        "  --iters N     transactions per (spec, wires) unit (default 20000)\n"
-        "  --seconds S   wall-clock budget; overrides --iters when > 0\n"
-        "  --seed X      campaign seed (hex or decimal)\n"
-        "  --spec S      spec to fuzz; repeatable (default: canonical set)\n"
-        "  --wires W     channel width in bits; repeatable (default: 32 64)\n"
-        "  --corpus DIR  write shrunken repros here (default: off)\n"
-        "  --idle F      bus idle-gap fraction (default 0.3)\n"
-        "  --no-shrink   keep failing inputs unminimized\n",
-        argv0);
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -45,41 +24,44 @@ main(int argc, char **argv)
 
     FuzzOptions options;
     std::vector<unsigned> wires;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "%s: %s needs a value\n", argv[0],
-                             arg.c_str());
-                std::exit(2);
-            }
-            return argv[++i];
-        };
-        if (arg == "--iters") {
-            options.iterationsPerSpec = std::strtoull(next(), nullptr, 0);
-        } else if (arg == "--seconds") {
-            options.secondsBudget = std::strtod(next(), nullptr);
-        } else if (arg == "--seed") {
-            options.seed = std::strtoull(next(), nullptr, 0);
-        } else if (arg == "--spec") {
-            options.specs.emplace_back(next());
-        } else if (arg == "--wires") {
-            wires.push_back(
-                static_cast<unsigned>(std::strtoul(next(), nullptr, 0)));
-        } else if (arg == "--corpus") {
-            options.corpusDir = next();
-        } else if (arg == "--idle") {
-            options.idleFraction = std::strtod(next(), nullptr);
-        } else if (arg == "--no-shrink") {
-            options.shrinkFailures = false;
-        } else if (arg == "--help" || arg == "-h") {
-            usage(argv[0]);
-            return 0;
-        } else {
-            usage(argv[0]);
-            return 2;
-        }
-    }
+    bxt::Cli cli("bxt_fuzz",
+                 "differential fuzzer: sweep codec specs over structured "
+                 "generators and check every invariant");
+    cli.add("--iters", "N",
+            "transactions per (spec, wires) unit (default 20000)",
+            [&](const std::string &v) {
+                options.iterationsPerSpec =
+                    std::strtoull(v.c_str(), nullptr, 0);
+            });
+    cli.add("--seconds", "S",
+            "wall-clock budget; overrides --iters when > 0",
+            [&](const std::string &v) {
+                options.secondsBudget = std::strtod(v.c_str(), nullptr);
+            });
+    cli.add("--seed", "X", "campaign seed (hex or decimal)",
+            [&](const std::string &v) {
+                options.seed = std::strtoull(v.c_str(), nullptr, 0);
+            });
+    cli.add("--spec", "S",
+            "spec to fuzz; repeatable (default: canonical set)",
+            [&](const std::string &v) { options.specs.push_back(v); });
+    cli.add("--wires", "W",
+            "channel width in bits; repeatable (default: 32 64)",
+            [&](const std::string &v) {
+                wires.push_back(static_cast<unsigned>(
+                    std::strtoul(v.c_str(), nullptr, 0)));
+            });
+    cli.add("--corpus", "DIR",
+            "write shrunken repros here (default: off)",
+            [&](const std::string &v) { options.corpusDir = v; });
+    cli.add("--idle", "F", "bus idle-gap fraction (default 0.3)",
+            [&](const std::string &v) {
+                options.idleFraction = std::strtod(v.c_str(), nullptr);
+            });
+    cli.addFlag("--no-shrink", "keep failing inputs unminimized",
+                [&] { options.shrinkFailures = false; });
+    if (!cli.parse(argc, argv))
+        return cli.exitCode();
     if (!wires.empty())
         options.dataWires = wires;
     options.progress = [](const std::string &line) {

@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Metrics-snapshot reporting CLI (DESIGN.md §9). Modes:
+ *
+ *   bxt_report FILE                      pretty-print a snapshot
+ *   bxt_report --validate FILE...       schema-check snapshots (exit 1 on
+ *                                        the first invalid document)
+ *   bxt_report --validate-trace FILE    check a Chrome trace-event file
+ *   bxt_report --diff A B               per-instrument numeric diff
+ *   bxt_report --assert-overhead PCT OFF.json ON.json
+ *                                        compare two codec-throughput
+ *                                        bench documents and fail when the
+ *                                        serial sweep regressed by more
+ *                                        than PCT percent (the `ci.sh
+ *                                        metrics` overhead gate)
+ *
+ * Every mode accepts either a bare snapshot document or a unified bench
+ * JSON document (the snapshot is read from its "metrics" member).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/json.h"
+#include "common/table.h"
+
+namespace {
+
+using bxt::JsonValue;
+using bxt::Table;
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bxt_report: cannot read %s\n", path.c_str());
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out = buffer.str();
+    return true;
+}
+
+/**
+ * Parse @p path and return the snapshot object: the document root for a
+ * bare snapshot, or the "metrics" member of a unified bench document.
+ */
+bool
+loadSnapshot(const std::string &path, JsonValue &doc, JsonValue &snapshot)
+{
+    std::string text;
+    if (!readFile(path, text))
+        return false;
+    std::string error;
+    if (!bxt::parseJson(text, doc, &error)) {
+        std::fprintf(stderr, "bxt_report: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return false;
+    }
+    const JsonValue *metrics = doc.find("metrics");
+    snapshot = metrics != nullptr ? *metrics : doc;
+    return true;
+}
+
+bool
+checkMember(const std::string &path, const JsonValue &obj,
+            const char *key, JsonValue::Kind kind, const char *what)
+{
+    const JsonValue *member = obj.find(key);
+    if (member == nullptr || member->kind != kind) {
+        std::fprintf(stderr, "bxt_report: %s: missing or mistyped %s "
+                             "member \"%s\"\n",
+                     path.c_str(), what, key);
+        return false;
+    }
+    return true;
+}
+
+/** Validate snapshot schema 1 (see src/telemetry/snapshot.h). */
+bool
+validateSnapshot(const std::string &path, const JsonValue &snapshot)
+{
+    if (!snapshot.isObject()) {
+        std::fprintf(stderr, "bxt_report: %s: snapshot is not an object\n",
+                     path.c_str());
+        return false;
+    }
+    if (!checkMember(path, snapshot, "schema", JsonValue::Kind::Number,
+                     "snapshot") ||
+        !checkMember(path, snapshot, "enabled", JsonValue::Kind::Bool,
+                     "snapshot") ||
+        !checkMember(path, snapshot, "counters", JsonValue::Kind::Object,
+                     "snapshot") ||
+        !checkMember(path, snapshot, "gauges", JsonValue::Kind::Object,
+                     "snapshot") ||
+        !checkMember(path, snapshot, "histograms",
+                     JsonValue::Kind::Object, "snapshot"))
+        return false;
+    if (snapshot.find("schema")->number != 1.0) {
+        std::fprintf(stderr, "bxt_report: %s: unsupported schema %g\n",
+                     path.c_str(), snapshot.find("schema")->number);
+        return false;
+    }
+    for (const auto &[name, value] : snapshot.find("counters")->object) {
+        if (!value.isNumber()) {
+            std::fprintf(stderr, "bxt_report: %s: counter %s is not a "
+                                 "number\n",
+                         path.c_str(), name.c_str());
+            return false;
+        }
+    }
+    for (const auto &[name, value] : snapshot.find("gauges")->object) {
+        if (!value.isNumber()) {
+            std::fprintf(stderr, "bxt_report: %s: gauge %s is not a "
+                                 "number\n",
+                         path.c_str(), name.c_str());
+            return false;
+        }
+    }
+    for (const auto &[name, histo] : snapshot.find("histograms")->object) {
+        if (!histo.isObject() ||
+            !checkMember(path, histo, "lo", JsonValue::Kind::Number,
+                         "histogram") ||
+            !checkMember(path, histo, "hi", JsonValue::Kind::Number,
+                         "histogram") ||
+            !checkMember(path, histo, "total", JsonValue::Kind::Number,
+                         "histogram") ||
+            !checkMember(path, histo, "sum", JsonValue::Kind::Number,
+                         "histogram") ||
+            !checkMember(path, histo, "mean", JsonValue::Kind::Number,
+                         "histogram") ||
+            !checkMember(path, histo, "counts", JsonValue::Kind::Array,
+                         "histogram")) {
+            std::fprintf(stderr, "bxt_report: %s: bad histogram %s\n",
+                         path.c_str(), name.c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Validate the shape of a Chrome trace-event file. */
+bool
+validateTrace(const std::string &path)
+{
+    std::string text;
+    if (!readFile(path, text))
+        return false;
+    std::string error;
+    JsonValue doc;
+    if (!bxt::parseJson(text, doc, &error)) {
+        std::fprintf(stderr, "bxt_report: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return false;
+    }
+    if (!doc.isObject() ||
+        !checkMember(path, doc, "traceEvents", JsonValue::Kind::Array,
+                     "trace"))
+        return false;
+    for (const JsonValue &event : doc.find("traceEvents")->array) {
+        if (!event.isObject() ||
+            !checkMember(path, event, "name", JsonValue::Kind::String,
+                         "trace event") ||
+            !checkMember(path, event, "ph", JsonValue::Kind::String,
+                         "trace event") ||
+            !checkMember(path, event, "ts", JsonValue::Kind::Number,
+                         "trace event"))
+            return false;
+    }
+    std::printf("%s: valid trace, %zu event(s)\n", path.c_str(),
+                doc.find("traceEvents")->array.size());
+    return true;
+}
+
+int
+printSnapshot(const std::string &path)
+{
+    JsonValue doc;
+    JsonValue snapshot;
+    if (!loadSnapshot(path, doc, snapshot) ||
+        !validateSnapshot(path, snapshot))
+        return 1;
+
+    std::printf("%s (enabled: %s)\n", path.c_str(),
+                snapshot.find("enabled")->boolean ? "yes" : "no");
+
+    const JsonValue &counters = *snapshot.find("counters");
+    if (!counters.object.empty()) {
+        Table table({"counter", "value"});
+        for (const auto &[name, value] : counters.object)
+            table.addRow({name, Table::cell(value.number, 0)});
+        std::printf("%s", table.render().c_str());
+    }
+    const JsonValue &gauges = *snapshot.find("gauges");
+    if (!gauges.object.empty()) {
+        Table table({"gauge", "value"});
+        for (const auto &[name, value] : gauges.object)
+            table.addRow({name, Table::cell(value.number, 2)});
+        std::printf("\n%s", table.render().c_str());
+    }
+    const JsonValue &histos = *snapshot.find("histograms");
+    if (!histos.object.empty()) {
+        Table table({"histogram", "total", "mean", "sum"});
+        for (const auto &[name, histo] : histos.object) {
+            table.addRow({name,
+                          Table::cell(histo.find("total")->number, 0),
+                          Table::cell(histo.find("mean")->number, 2),
+                          Table::cell(histo.find("sum")->number, 1)});
+        }
+        std::printf("\n%s", table.render().c_str());
+    }
+    return 0;
+}
+
+/** Name -> value map of one numeric snapshot section. */
+std::map<std::string, double>
+sectionValues(const JsonValue &snapshot, const char *section)
+{
+    std::map<std::string, double> values;
+    for (const auto &[name, value] : snapshot.find(section)->object)
+        values.emplace(name, value.number);
+    return values;
+}
+
+int
+diffSnapshots(const std::string &path_a, const std::string &path_b)
+{
+    JsonValue doc_a;
+    JsonValue doc_b;
+    JsonValue snap_a;
+    JsonValue snap_b;
+    if (!loadSnapshot(path_a, doc_a, snap_a) ||
+        !validateSnapshot(path_a, snap_a) ||
+        !loadSnapshot(path_b, doc_b, snap_b) ||
+        !validateSnapshot(path_b, snap_b))
+        return 1;
+
+    for (const char *section : {"counters", "gauges"}) {
+        const auto a = sectionValues(snap_a, section);
+        const auto b = sectionValues(snap_b, section);
+        std::map<std::string, std::pair<double, double>> merged;
+        for (const auto &[name, value] : a)
+            merged[name].first = value;
+        for (const auto &[name, value] : b)
+            merged[name].second = value;
+
+        Table table({section, "a", "b", "delta"});
+        for (const auto &[name, values] : merged) {
+            if (values.first == values.second)
+                continue;
+            table.addRow({name, Table::cell(values.first, 0),
+                          Table::cell(values.second, 0),
+                          Table::cell(values.second - values.first, 0)});
+        }
+        if (table.rows() > 0)
+            std::printf("%s\n", table.render().c_str());
+    }
+    return 0;
+}
+
+/** Serial sweep seconds from a codec-throughput bench document. */
+bool
+serialSeconds(const std::string &path, double &seconds)
+{
+    std::string text;
+    if (!readFile(path, text))
+        return false;
+    std::string error;
+    JsonValue doc;
+    if (!bxt::parseJson(text, doc, &error)) {
+        std::fprintf(stderr, "bxt_report: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return false;
+    }
+    const JsonValue *results = doc.find("results");
+    if (results == nullptr || !results->isArray()) {
+        std::fprintf(stderr, "bxt_report: %s: no results array\n",
+                     path.c_str());
+        return false;
+    }
+    for (const JsonValue &row : results->array) {
+        const JsonValue *mode = row.find("mode");
+        const JsonValue *secs = row.find("seconds");
+        if (mode != nullptr && mode->string == "serial" &&
+            secs != nullptr && secs->isNumber()) {
+            seconds = secs->number;
+            return true;
+        }
+    }
+    std::fprintf(stderr, "bxt_report: %s: no serial sweep row\n",
+                 path.c_str());
+    return false;
+}
+
+int
+assertOverhead(double limit_pct, const std::string &off_path,
+               const std::string &on_path)
+{
+    double off = 0.0;
+    double on = 0.0;
+    if (!serialSeconds(off_path, off) || !serialSeconds(on_path, on))
+        return 1;
+    if (off <= 0.0) {
+        std::fprintf(stderr, "bxt_report: %s: non-positive serial time\n",
+                     off_path.c_str());
+        return 1;
+    }
+    const double overhead_pct = (on - off) / off * 100.0;
+    std::printf("serial sweep: %.3f s off, %.3f s on -> %+.2f %% "
+                "(limit %.2f %%)\n",
+                off, on, overhead_pct, limit_pct);
+    if (overhead_pct > limit_pct) {
+        std::fprintf(stderr, "bxt_report: telemetry overhead %.2f %% "
+                             "exceeds limit %.2f %%\n",
+                     overhead_pct, limit_pct);
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool validate = false;
+    bool validate_trace = false;
+    bool diff = false;
+    bool overhead = false;
+    double overhead_limit = 0.0;
+    std::vector<std::string> files;
+
+    bxt::Cli cli("bxt_report",
+                 "pretty-print, validate, and diff bxt metrics snapshots");
+    cli.addFlag("--validate", "schema-check the given snapshot files",
+                [&] { validate = true; });
+    cli.addFlag("--validate-trace",
+                "check the given Chrome trace-event files",
+                [&] { validate_trace = true; });
+    cli.addFlag("--diff", "diff two snapshots (two files expected)",
+                [&] { diff = true; });
+    cli.add("--assert-overhead", "PCT",
+            "fail when ON.json's serial sweep is more than PCT percent "
+            "slower than OFF.json's (two bench files expected)",
+            [&](const std::string &v) {
+                overhead = true;
+                overhead_limit = std::strtod(v.c_str(), nullptr);
+            });
+    cli.addPositional("FILE", "snapshot / bench / trace JSON file(s)",
+                      [&](const std::string &v) { files.push_back(v); });
+    if (!cli.parse(argc, argv))
+        return cli.exitCode();
+
+    if (files.empty()) {
+        std::fprintf(stderr, "bxt_report: no input files\n\n%s",
+                     cli.usage().c_str());
+        return 2;
+    }
+
+    if (overhead) {
+        if (files.size() != 2) {
+            std::fprintf(stderr, "bxt_report: --assert-overhead needs "
+                                 "OFF.json and ON.json\n");
+            return 2;
+        }
+        return assertOverhead(overhead_limit, files[0], files[1]);
+    }
+    if (diff) {
+        if (files.size() != 2) {
+            std::fprintf(stderr,
+                         "bxt_report: --diff needs exactly two files\n");
+            return 2;
+        }
+        return diffSnapshots(files[0], files[1]);
+    }
+    if (validate_trace) {
+        for (const std::string &file : files) {
+            if (!validateTrace(file))
+                return 1;
+        }
+        return 0;
+    }
+    if (validate) {
+        for (const std::string &file : files) {
+            JsonValue doc;
+            JsonValue snapshot;
+            if (!loadSnapshot(file, doc, snapshot) ||
+                !validateSnapshot(file, snapshot))
+                return 1;
+            std::printf("%s: valid snapshot (schema 1)\n", file.c_str());
+        }
+        return 0;
+    }
+
+    for (const std::string &file : files) {
+        if (const int status = printSnapshot(file))
+            return status;
+    }
+    return 0;
+}
