@@ -4,16 +4,23 @@
 # on every PR, plus a fuzz job that runs the differential verifier
 # (tools/bxt_fuzz) under the sanitizers on a wall-clock budget.
 #
-# Usage: ./ci.sh [release|asan|fuzz|metrics|all]   (default: all)
+# Usage: ./ci.sh [release|asan|fuzz|metrics|serve|all]   (default: all)
 #   release  Release build + `ctest -L tier1`
 #   asan     ASan/UBSan build + `ctest -L tier1` (oversubscribed pool)
 #   fuzz     ASan/UBSan build + bxt_fuzz campaign + fuzz/golden-labeled
-#            ctest; BXT_FUZZ_SECONDS scales the budget (default 60)
+#            ctest; BXT_FUZZ_SECONDS scales the budget (default 60) and
+#            BXT_FUZZ_FRAMES the wire-frame parser pass (default 100000)
 #   metrics  Release build + telemetry-enabled run: validates the metrics
 #            snapshot and trace with bxt_report, then asserts the
 #            compiled-in-but-disabled telemetry costs under
 #            BXT_METRICS_OVERHEAD_PCT (default 2) percent versus a
 #            -DBXT_TELEMETRY=OFF baseline build of the same sources
+#   serve    Release build + server-labeled ctest + live bxtd smoke: boot
+#            a 4-thread bxtd on a Unix socket, ping it, round-trip a
+#            captured trace through it, drive a closed-loop bxt_loadgen
+#            burst (asserting >= BXT_SERVE_MIN_TX_RATE encoded tx/s,
+#            default 100000, into BENCH_server_loadgen.json), then SIGTERM
+#            it and assert a clean drain (exit 0)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -50,9 +57,12 @@ run_fuzz() {
     cmake --build build-ci-asan -j "${jobs}" \
         --target bxt_fuzz test_differential test_golden
     # The time-budgeted campaign sweeps every canonical spec and shrinks
-    # any failure into tests/corpus/ (uploaded as a CI artifact).
+    # any failure into tests/corpus/ (uploaded as a CI artifact). The
+    # --frames pass also fuzzes the bxtd wire-frame parser (clean frames
+    # must round-trip; corrupted ones must yield typed errors, never UB).
     ./build-ci-asan/tools/bxt_fuzz \
         --seconds "${BXT_FUZZ_SECONDS:-60}" \
+        --frames "${BXT_FUZZ_FRAMES:-100000}" \
         --corpus tests/corpus
     ctest --test-dir build-ci-asan --output-on-failure -j "${jobs}" \
         -L 'fuzz|golden'
@@ -110,12 +120,71 @@ run_metrics() {
     return 1
 }
 
+run_serve() {
+    echo "=== CI job: bxtd loopback smoke + loadgen burst ==="
+    cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-ci-release -j "${jobs}" \
+        --target bxtd bxt_client bxt_loadgen trace_tool test_server
+    ctest --test-dir build-ci-release --output-on-failure -j "${jobs}" \
+        -L server
+
+    local out=build-ci-release/serve
+    mkdir -p "${out}"
+    local sock="${out}/bxtd.sock"
+    rm -f "${sock}"
+
+    # Plain background command (no subshell) so $! is bxtd itself and the
+    # SIGTERM below reaches the daemon, not a wrapper.
+    ./build-ci-release/tools/bxtd --unix "${sock}" --threads 4 \
+        > "${out}/bxtd.log" 2>&1 &
+    local bxtd_pid=$!
+    local i
+    for i in $(seq 1 100); do
+        [ -S "${sock}" ] && break
+        sleep 0.1
+    done
+    if ! [ -S "${sock}" ]; then
+        echo "bxtd never created ${sock}" >&2
+        cat "${out}/bxtd.log" >&2
+        kill "${bxtd_pid}" 2>/dev/null || true
+        return 1
+    fi
+
+    # Loopback smoke: ping, then round-trip a captured workload trace
+    # through a paper-representative pipeline and confirm bit-identity.
+    ./build-ci-release/tools/bxt_client --unix "${sock}" --mode ping
+    ./build-ci-release/examples/trace_tool gen rodinia-bfs \
+        "${out}/smoke.bxtrace" 512
+    ./build-ci-release/tools/bxt_client --unix "${sock}" \
+        --spec universal3+zdr --mode roundtrip "${out}/smoke.bxtrace"
+
+    # Closed-loop load: every request is one batch of 32-byte encodes;
+    # the tx-rate floor is the acceptance bar for a 4-thread server.
+    ./build-ci-release/tools/bxt_loadgen --unix "${sock}" \
+        --closed-loop --spec baseline --tx-bytes 32 --batch 64 \
+        --requests 4000 --json BENCH_server_loadgen.json \
+        --assert-min-tx-rate "${BXT_SERVE_MIN_TX_RATE:-100000}"
+
+    # Graceful drain: SIGTERM must produce a clean exit 0, not 143.
+    kill -TERM "${bxtd_pid}"
+    local status=0
+    wait "${bxtd_pid}" || status=$?
+    if [ "${status}" -ne 0 ]; then
+        echo "bxtd did not drain cleanly (exit ${status})" >&2
+        cat "${out}/bxtd.log" >&2
+        return 1
+    fi
+    grep -q "drained, exiting" "${out}/bxtd.log"
+    echo "serve: clean drain, BENCH_server_loadgen.json written"
+}
+
 case "${mode}" in
   release) run_release ;;
   asan)    run_asan ;;
   fuzz)    run_fuzz ;;
   metrics) run_metrics ;;
-  all)     run_release; run_asan; run_metrics ;;
-  *) echo "usage: $0 [release|asan|fuzz|metrics|all]" >&2; exit 2 ;;
+  serve)   run_serve ;;
+  all)     run_release; run_asan; run_metrics; run_serve ;;
+  *) echo "usage: $0 [release|asan|fuzz|metrics|serve|all]" >&2; exit 2 ;;
 esac
 echo "CI ${mode}: OK"

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The bxtd client library: a blocking, single-connection wrapper over the
+ * framed wire protocol (server/wire.h). One Client is one connection; it
+ * is not thread-safe (open one per thread — the server treats each
+ * connection as an independent codec stream anyway, which is what makes
+ * stateful codecs such as `bd` roundtrip correctly).
+ *
+ * All calls return false with a human-readable @p err on failure. Typed
+ * server errors (Error frames) additionally set lastErrorCode(), so tools
+ * can distinguish `busy` (retry later) from `bad-spec` (give up).
+ */
+
+#ifndef BXT_CLIENT_CLIENT_H
+#define BXT_CLIENT_CLIENT_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "server/net.h"
+#include "server/wire.h"
+
+namespace bxt::client {
+
+/** One Encode response, decoded from the wire body. */
+struct EncodeResult
+{
+    std::uint32_t txBytes = 0;
+    std::uint32_t busBits = 0;
+    std::uint32_t metaWiresPerBeat = 0;
+    std::uint32_t metaBytesPerTx = 0;
+    std::uint64_t count = 0;
+
+    std::uint64_t inputOnes = 0;   ///< 1-bits across the raw inputs.
+    std::uint64_t payloadOnes = 0; ///< 1-bits across encoded payloads.
+    std::uint64_t metaOnes = 0;    ///< 1-values on metadata wires.
+
+    std::vector<std::uint8_t> payloads; ///< count * txBytes bytes.
+    std::vector<std::uint8_t> meta;     ///< count * metaBytesPerTx bytes.
+
+    /** Ones saved versus sending the inputs unencoded (may be negative). */
+    std::int64_t onesDelta() const
+    {
+        return static_cast<std::int64_t>(inputOnes) -
+               static_cast<std::int64_t>(payloadOnes + metaOnes);
+    }
+};
+
+/** One Decode response. */
+struct DecodeResult
+{
+    std::uint32_t txBytes = 0;
+    std::vector<std::uint8_t> raw; ///< count * txBytes recovered bytes.
+};
+
+/** A blocking connection to a bxtd server. */
+class Client
+{
+  public:
+    Client() = default;
+
+    /** Connect over TCP (IPv4 literal host). Invalid client on failure. */
+    static Client connectTcp(const std::string &host, int port,
+                             std::string &err);
+
+    /** Connect over a Unix-domain socket. */
+    static Client connectUnix(const std::string &path, std::string &err);
+
+    bool connected() const { return fd_.valid(); }
+
+    /** Liveness probe. */
+    bool ping(std::string &err);
+
+    /**
+     * Encode @p raw (a whole number of @p tx_bytes-sized transactions, at
+     * most wire::maxTxPerRequest of them) under @p spec.
+     */
+    bool encode(const std::string &spec, std::uint32_t tx_bytes,
+                std::uint32_t bus_bits, std::span<const std::uint8_t> raw,
+                EncodeResult &out, std::string &err);
+
+    /** Decode a previous EncodeResult back to raw transactions. */
+    bool decode(const std::string &spec, const EncodeResult &enc,
+                DecodeResult &out, std::string &err);
+
+    /** Fetch the server's telemetry snapshot JSON. */
+    bool stats(std::string &json, std::string &err);
+
+    /** Typed code from the last Error frame (None when the last call
+     *  succeeded or failed below the protocol layer). */
+    wire::ErrorCode lastErrorCode() const { return last_error_; }
+
+    /**
+     * The underlying socket, for callers that need to pipeline raw
+     * frames (bxt_loadgen's open loop). Mixing raw I/O with the
+     * request/response methods on the same Client is undefined.
+     */
+    int rawFd() const { return fd_.get(); }
+
+  private:
+    /**
+     * Send @p request and block for one response frame. Error frames are
+     * surfaced as failures (false, err = "<code-name>: <message>",
+     * lastErrorCode() set); @p response is only filled on success.
+     */
+    bool roundTrip(const wire::Frame &request, wire::Frame &response,
+                   std::string &err);
+
+    net::UniqueFd fd_;
+    wire::FrameParser parser_;
+    wire::ErrorCode last_error_ = wire::ErrorCode::None;
+};
+
+} // namespace bxt::client
+
+#endif // BXT_CLIENT_CLIENT_H

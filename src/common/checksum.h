@@ -1,0 +1,67 @@
+/**
+ * @file
+ * CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) used to integrity-
+ * check frames on the bxtd wire protocol. Table-driven, one byte per step;
+ * the table is built at compile time so there is no init-order dependency.
+ */
+
+#ifndef BXT_COMMON_CHECKSUM_H
+#define BXT_COMMON_CHECKSUM_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace bxt {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256>
+makeCrc32Table()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1u) ? 0xedb88320u : 0u);
+        table[i] = crc;
+    }
+    return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> crc32Table = makeCrc32Table();
+
+} // namespace detail
+
+/**
+ * Update a running CRC32 with @p bytes. Start from crc32Init, finish with
+ * crc32Final; `crc32Final(crc32Update(crc32Init, data))` is the standard
+ * zlib/PNG CRC-32 of `data`.
+ */
+constexpr std::uint32_t crc32Init = 0xffffffffu;
+
+inline std::uint32_t
+crc32Update(std::uint32_t crc, std::span<const std::uint8_t> bytes)
+{
+    for (const std::uint8_t byte : bytes)
+        crc = (crc >> 8) ^ detail::crc32Table[(crc ^ byte) & 0xffu];
+    return crc;
+}
+
+constexpr std::uint32_t
+crc32Final(std::uint32_t crc)
+{
+    return crc ^ 0xffffffffu;
+}
+
+/** One-shot CRC32 of @p bytes. */
+inline std::uint32_t
+crc32(std::span<const std::uint8_t> bytes)
+{
+    return crc32Final(crc32Update(crc32Init, bytes));
+}
+
+} // namespace bxt
+
+#endif // BXT_COMMON_CHECKSUM_H

@@ -76,28 +76,44 @@ Cli::parse(int argc, char **argv)
             return false;
         }
         if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+            // Both `--flag VALUE` and `--flag=VALUE` spellings are
+            // accepted; the name is everything before the first '='.
+            const std::size_t eq = arg.find('=');
+            const std::string name =
+                eq == std::string::npos ? arg : arg.substr(0, eq);
+            const bool has_inline_value = eq != std::string::npos;
+
             const Option *match = nullptr;
             for (const Option &option : options_) {
-                if (option.flag == arg) {
+                if (option.flag == name) {
                     match = &option;
                     break;
                 }
             }
             if (match == nullptr) {
                 std::fprintf(stderr, "%s: unknown option '%s'\n\n%s",
-                             prog_.c_str(), arg.c_str(), usage().c_str());
+                             prog_.c_str(), name.c_str(), usage().c_str());
                 exit_code_ = 2;
                 return false;
             }
             std::string value;
             if (!match->valueName.empty()) {
-                if (i + 1 >= argc) {
+                if (has_inline_value) {
+                    value = arg.substr(eq + 1);
+                } else if (i + 1 < argc) {
+                    value = argv[++i];
+                } else {
                     std::fprintf(stderr, "%s: option '%s' needs a value\n",
-                                 prog_.c_str(), arg.c_str());
+                                 prog_.c_str(), name.c_str());
                     exit_code_ = 2;
                     return false;
                 }
-                value = argv[++i];
+            } else if (has_inline_value) {
+                std::fprintf(stderr,
+                             "%s: option '%s' does not take a value\n",
+                             prog_.c_str(), name.c_str());
+                exit_code_ = 2;
+                return false;
             }
             match->handler(value);
             continue;

@@ -36,7 +36,10 @@ class Cli
   public:
     Cli(std::string prog, std::string summary);
 
-    /** Option taking one value (`--flag VALUE`). Repeatable by caller. */
+    /**
+     * Option taking one value (`--flag VALUE` or `--flag=VALUE`).
+     * Repeatable by caller.
+     */
     void add(const std::string &flag, const std::string &value_name,
              const std::string &help,
              std::function<void(const std::string &)> handler);

@@ -73,6 +73,22 @@ median(std::vector<double> values)
     return 0.5 * (values[n / 2 - 1] + values[n / 2]);
 }
 
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    p = std::clamp(p, 0.0, 100.0);
+    const double rank =
+        p / 100.0 * static_cast<double>(values.size() - 1);
+    const auto below = static_cast<std::size_t>(rank);
+    if (below + 1 >= values.size())
+        return values.back();
+    const double frac = rank - static_cast<double>(below);
+    return values[below] + frac * (values[below + 1] - values[below]);
+}
+
 std::string
 formatPercent(double fraction, int decimals)
 {

@@ -59,6 +59,13 @@ double geomean(const std::vector<double> &values);
 /** Median (interpolated for even counts; 0 if empty). */
 double median(std::vector<double> values);
 
+/**
+ * Linearly interpolated @p p-th percentile of @p values, p in [0, 100]
+ * (clamped); 0 if empty. percentile(v, 50) == median(v). Used by the
+ * bxt_loadgen latency report.
+ */
+double percentile(std::vector<double> values, double p);
+
 /** Format @p fraction (e.g. 0.353) as a percent string like "35.3". */
 std::string formatPercent(double fraction, int decimals = 1);
 

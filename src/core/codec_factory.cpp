@@ -26,8 +26,12 @@ splitOn(const std::string &text, char sep)
     return parts;
 }
 
+/**
+ * Build one pipeline stage; on a malformed token sets @p err and returns
+ * nullptr (the tryMakeCodec contract — makeCodec escalates to fatal()).
+ */
 CodecPtr
-makeStage(const std::string &token, std::size_t bus_bytes)
+makeStage(const std::string &token, std::size_t bus_bytes, std::string &err)
 {
     const std::vector<std::string> parts = splitOn(token, '+');
     const std::string &head = parts[0];
@@ -35,95 +39,136 @@ makeStage(const std::string &token, std::size_t bus_bytes)
     bool zdr = false;
     bool fixed = false;
     for (std::size_t i = 1; i < parts.size(); ++i) {
-        if (parts[i] == "zdr")
+        if (parts[i] == "zdr") {
             zdr = true;
-        else if (parts[i] == "fixed")
+        } else if (parts[i] == "fixed") {
             fixed = true;
-        else
-            fatal("makeCodec: unknown flag '+" + parts[i] + "' in '" +
-                  token + "'");
+        } else {
+            err = "makeCodec: unknown flag '+" + parts[i] + "' in '" +
+                  token + "'";
+            return nullptr;
+        }
     }
 
+    bool bad_suffix = false;
     auto numeric_suffix = [&](std::size_t prefix_len) -> long {
         if (head.size() == prefix_len)
             return -1;
         long value = 0;
         for (std::size_t i = prefix_len; i < head.size(); ++i) {
-            if (!std::isdigit(static_cast<unsigned char>(head[i])))
-                fatal("makeCodec: bad stage '" + token + "'");
+            if (!std::isdigit(static_cast<unsigned char>(head[i]))) {
+                bad_suffix = true;
+                return -1;
+            }
             value = value * 10 + (head[i] - '0');
         }
         return value;
     };
 
     if (head == "baseline" || head == "identity") {
-        if (zdr || fixed)
-            fatal("makeCodec: baseline takes no flags");
+        if (zdr || fixed) {
+            err = "makeCodec: baseline takes no flags";
+            return nullptr;
+        }
         return std::make_unique<IdentityCodec>();
     }
     if (head.rfind("xor", 0) == 0) {
         const long n = numeric_suffix(3);
-        if (n != 2 && n != 4 && n != 8 && n != 16)
-            fatal("makeCodec: xor base size must be 2/4/8/16 in '" + token +
-                  "'");
+        if (bad_suffix || (n != 2 && n != 4 && n != 8 && n != 16)) {
+            err = "makeCodec: xor base size must be 2/4/8/16 in '" + token +
+                  "'";
+            return nullptr;
+        }
         return std::make_unique<BaseXorCodec>(static_cast<std::size_t>(n),
                                               zdr, !fixed);
     }
     if (head.rfind("universal", 0) == 0) {
         long stages = numeric_suffix(9);
-        if (stages == -1)
+        if (stages == -1 && !bad_suffix)
             stages = 3;
-        if (stages < 1 || stages > 5)
-            fatal("makeCodec: universal stages must be 1..5 in '" + token +
-                  "'");
-        if (fixed)
-            fatal("makeCodec: universal takes no '+fixed' flag");
+        if (bad_suffix || stages < 1 || stages > 5) {
+            err = "makeCodec: universal stages must be 1..5 in '" + token +
+                  "'";
+            return nullptr;
+        }
+        if (fixed) {
+            err = "makeCodec: universal takes no '+fixed' flag";
+            return nullptr;
+        }
         return std::make_unique<UniversalXorCodec>(
             static_cast<unsigned>(stages), zdr);
     }
     if (head.rfind("dbi-ac", 0) == 0) {
         const long g = numeric_suffix(6);
-        if (g != 1 && g != 2 && g != 4 && g != 8)
-            fatal("makeCodec: dbi-ac group must be 1/2/4/8 in '" + token +
-                  "'");
-        if (zdr || fixed)
-            fatal("makeCodec: dbi-ac takes no flags");
+        if (bad_suffix || (g != 1 && g != 2 && g != 4 && g != 8)) {
+            err = "makeCodec: dbi-ac group must be 1/2/4/8 in '" + token +
+                  "'";
+            return nullptr;
+        }
+        if (zdr || fixed) {
+            err = "makeCodec: dbi-ac takes no flags";
+            return nullptr;
+        }
         return std::make_unique<DbiAcCodec>(static_cast<std::size_t>(g),
                                             bus_bytes);
     }
     if (head.rfind("dbi", 0) == 0) {
         const long g = numeric_suffix(3);
-        if (g != 1 && g != 2 && g != 4 && g != 8)
-            fatal("makeCodec: dbi group must be 1/2/4/8 in '" + token + "'");
-        if (zdr || fixed)
-            fatal("makeCodec: dbi takes no flags");
+        if (bad_suffix || (g != 1 && g != 2 && g != 4 && g != 8)) {
+            err = "makeCodec: dbi group must be 1/2/4/8 in '" + token + "'";
+            return nullptr;
+        }
+        if (zdr || fixed) {
+            err = "makeCodec: dbi takes no flags";
+            return nullptr;
+        }
         return std::make_unique<DbiCodec>(static_cast<std::size_t>(g),
                                           bus_bytes);
     }
     if (head == "bd") {
-        if (zdr || fixed)
-            fatal("makeCodec: bd takes no flags");
+        if (zdr || fixed) {
+            err = "makeCodec: bd takes no flags";
+            return nullptr;
+        }
         return std::make_unique<BdEncodingCodec>(64, 12, bus_bytes);
     }
-    fatal("makeCodec: unknown stage '" + token + "'");
+    err = "makeCodec: unknown stage '" + token + "'";
+    return nullptr;
 }
 
 } // namespace
 
 CodecPtr
-makeCodec(const std::string &spec, std::size_t bus_bytes)
+tryMakeCodec(const std::string &spec, std::size_t bus_bytes,
+             std::string &err)
 {
-    if (spec.empty())
-        fatal("makeCodec: empty spec");
+    if (spec.empty()) {
+        err = "makeCodec: empty spec";
+        return nullptr;
+    }
     std::vector<std::string> tokens = splitOn(spec, '|');
     if (tokens.size() == 1)
-        return makeStage(tokens[0], bus_bytes);
+        return makeStage(tokens[0], bus_bytes, err);
 
     std::vector<CodecPtr> stages;
     stages.reserve(tokens.size());
-    for (const auto &token : tokens)
-        stages.push_back(makeStage(token, bus_bytes));
+    for (const auto &token : tokens) {
+        CodecPtr stage = makeStage(token, bus_bytes, err);
+        if (!stage)
+            return nullptr;
+        stages.push_back(std::move(stage));
+    }
     return std::make_unique<PipelineCodec>(std::move(stages));
+}
+
+CodecPtr
+makeCodec(const std::string &spec, std::size_t bus_bytes)
+{
+    std::string err;
+    CodecPtr codec = tryMakeCodec(spec, bus_bytes, err);
+    if (!codec)
+        fatal(err);
+    return codec;
 }
 
 std::vector<std::string>

@@ -33,6 +33,14 @@ namespace bxt {
  */
 CodecPtr makeCodec(const std::string &spec, std::size_t bus_bytes = 4);
 
+/**
+ * Non-fatal variant of makeCodec for callers handling untrusted specs
+ * (the bxtd request path): returns nullptr and fills @p err instead of
+ * terminating the process on a malformed spec.
+ */
+CodecPtr tryMakeCodec(const std::string &spec, std::size_t bus_bytes,
+                      std::string &err);
+
 /** The specs evaluated throughout the paper's figures, in plot order. */
 std::vector<std::string> paperSchemeSpecs();
 

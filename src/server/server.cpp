@@ -1,0 +1,300 @@
+#include "server/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+
+#include "server/service.h"
+#include "server/wire.h"
+#include "telemetry/metrics.h"
+
+namespace bxt::server {
+namespace {
+
+/** Listener/queue instruments (DESIGN.md §10). */
+struct ServerMetrics
+{
+    telemetry::Counter &connections =
+        telemetry::counter("bxt.server.connections");
+    telemetry::Counter &rejectedBusy =
+        telemetry::counter("bxt.server.rejected_busy");
+    telemetry::Gauge &queueDepth =
+        telemetry::gauge("bxt.server.queue_depth");
+    /** Frames coalesced per read pass, 0..64 in unit buckets. */
+    telemetry::Histo &batchSize =
+        telemetry::histogram("bxt.server.batch_size", 0.0, 64.0, 64);
+};
+
+ServerMetrics &
+serverMetrics()
+{
+    static ServerMetrics *metrics = new ServerMetrics();
+    return *metrics;
+}
+
+/** Best-effort: send one frame and ignore failures (peer may be gone). */
+void
+sendFrameBestEffort(int fd, const wire::Frame &frame)
+{
+    const std::vector<std::uint8_t> bytes = wire::serializeFrame(frame);
+    std::string err;
+    net::writeAll(fd, bytes.data(), bytes.size(), err);
+}
+
+} // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {}
+
+Server::~Server()
+{
+    if (!options_.unixPath.empty() && unix_listener_.valid())
+        ::unlink(options_.unixPath.c_str());
+}
+
+bool
+Server::start(std::string &err)
+{
+    if (options_.tcpPort < 0 && options_.unixPath.empty()) {
+        err = "no listener configured (need a TCP port or a Unix path)";
+        return false;
+    }
+    int fds[2];
+    if (::pipe(fds) != 0) {
+        err = "pipe: failed to create stop pipe";
+        return false;
+    }
+    stop_read_ = net::UniqueFd(fds[0]);
+    stop_write_ = net::UniqueFd(fds[1]);
+
+    if (options_.tcpPort >= 0) {
+        tcp_listener_ =
+            net::listenTcp(options_.tcpHost, options_.tcpPort, err);
+        if (!tcp_listener_.valid())
+            return false;
+        resolved_tcp_port_ = net::boundTcpPort(tcp_listener_.get());
+    }
+    if (!options_.unixPath.empty()) {
+        unix_listener_ = net::listenUnix(options_.unixPath, err);
+        if (!unix_listener_.valid())
+            return false;
+    }
+    return true;
+}
+
+void
+Server::requestStop()
+{
+    stopping_.store(true, std::memory_order_relaxed);
+    const int fd = stop_write_.get();
+    if (fd >= 0) {
+        const char byte = 's';
+        // Async-signal-safe; a full pipe still leaves earlier bytes
+        // readable, so the wakeup is never lost.
+        [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+    }
+}
+
+void
+Server::acceptLoop(int listen_fd)
+{
+    for (;;) {
+        const net::PollResult ready =
+            net::pollIn(listen_fd, stop_read_.get(), -1);
+        if (ready == net::PollResult::Aux || ready == net::PollResult::Error)
+            break;
+        if (ready != net::PollResult::Readable)
+            continue;
+        net::UniqueFd conn(::accept(listen_fd, nullptr, nullptr));
+        if (!conn.valid())
+            continue; // Transient (ECONNABORTED, EINTR); keep accepting.
+
+        bool queued = false;
+        {
+            std::lock_guard<std::mutex> lock(queue_mutex_);
+            if (pending_.size() < options_.maxPending &&
+                !stopping_.load(std::memory_order_relaxed)) {
+                pending_.push_back(std::move(conn));
+                serverMetrics().queueDepth.set(
+                    static_cast<double>(pending_.size()));
+                queued = true;
+            }
+        }
+        if (queued) {
+            serverMetrics().connections.add(1);
+            queue_cv_.notify_one();
+        } else {
+            serverMetrics().rejectedBusy.add(1);
+            sendFrameBestEffort(
+                conn.get(),
+                wire::makeErrorFrame(wire::ErrorCode::Busy,
+                                     "accept queue full; retry later"));
+        }
+    }
+    // Wake every worker so shutdown never races a missed notify (the
+    // stop path must not rely on signal-unsafe condition variables).
+    queue_cv_.notify_all();
+}
+
+net::UniqueFd
+Server::popConnection()
+{
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    queue_cv_.wait(lock, [&] {
+        return !pending_.empty() ||
+               stopping_.load(std::memory_order_relaxed);
+    });
+    if (pending_.empty())
+        return {};
+    net::UniqueFd fd = std::move(pending_.front());
+    pending_.pop_front();
+    serverMetrics().queueDepth.set(static_cast<double>(pending_.size()));
+    return fd;
+}
+
+void
+Server::serveConnection(net::UniqueFd fd)
+{
+    wire::FrameParser parser;
+    Service service;
+    std::vector<std::uint8_t> read_buf(64 * 1024);
+    ServerMetrics &metrics = serverMetrics();
+
+    bool draining = false;
+    for (;;) {
+        // Serve everything already buffered, coalescing up to maxBatch
+        // frames into one response write.
+        std::vector<std::uint8_t> out;
+        std::size_t batch = 0;
+        bool close_after_flush = false;
+        while (batch < options_.maxBatch) {
+            wire::Frame request;
+            wire::WireError parse_err;
+            const wire::FrameParser::Status st =
+                parser.next(request, parse_err);
+            if (st == wire::FrameParser::Status::NeedMore)
+                break;
+            if (st == wire::FrameParser::Status::Bad) {
+                // Framing is untrustworthy after a structural error:
+                // answer with the typed error, then drop the stream.
+                const std::vector<std::uint8_t> reply =
+                    wire::serializeFrame(wire::makeErrorFrame(
+                        parse_err.code, parse_err.detail));
+                out.insert(out.end(), reply.begin(), reply.end());
+                close_after_flush = true;
+                break;
+            }
+            const std::vector<std::uint8_t> reply =
+                wire::serializeFrame(service.handle(request));
+            out.insert(out.end(), reply.begin(), reply.end());
+            ++batch;
+        }
+        if (batch > 0)
+            metrics.batchSize.add(static_cast<double>(batch));
+        if (!out.empty()) {
+            std::string err;
+            if (!net::writeAll(fd.get(), out.data(), out.size(), err))
+                return; // Peer vanished mid-response.
+        }
+        if (close_after_flush)
+            return;
+        if (batch == options_.maxBatch)
+            continue; // More frames may already be buffered.
+        if (draining)
+            return; // Buffered frames served; drain complete.
+
+        const net::PollResult ready = net::pollIn(
+            fd.get(), stop_read_.get(), options_.idleTimeoutMs);
+        if (ready == net::PollResult::Timeout ||
+            ready == net::PollResult::Error) {
+            return;
+        }
+        if (ready == net::PollResult::Aux) {
+            // Graceful drain: serve whatever is already buffered on this
+            // connection, then close without reading more.
+            draining = true;
+            continue;
+        }
+        std::string err;
+        const long n = net::readSome(fd.get(), read_buf.data(),
+                                     read_buf.size(), err);
+        if (n <= 0)
+            return; // EOF or socket error.
+        parser.feed(read_buf.data(), static_cast<std::size_t>(n));
+    }
+}
+
+void
+Server::workerLoop()
+{
+    for (;;) {
+        net::UniqueFd conn = popConnection();
+        if (!conn.valid()) {
+            if (stopping_.load(std::memory_order_relaxed))
+                return;
+            continue; // Spurious empty pop; wait again.
+        }
+        if (stopping_.load(std::memory_order_relaxed)) {
+            // Accepted but never served: tell the peer we are going away
+            // rather than silently dropping the connection.
+            sendFrameBestEffort(
+                conn.get(),
+                wire::makeErrorFrame(wire::ErrorCode::ShuttingDown,
+                                     "server is draining"));
+            continue;
+        }
+        serveConnection(std::move(conn));
+    }
+}
+
+void
+Server::serve()
+{
+    if (tcp_listener_.valid()) {
+        acceptors_.emplace_back(
+            [this, fd = tcp_listener_.get()] { acceptLoop(fd); });
+    }
+    if (unix_listener_.valid()) {
+        acceptors_.emplace_back(
+            [this, fd = unix_listener_.get()] { acceptLoop(fd); });
+    }
+
+    const unsigned threads =
+        options_.threads == 0 ? defaultThreadCount() : options_.threads;
+    ThreadPool pool(threads);
+    // Each index is one worker loop that blocks until shutdown; with
+    // count == thread count the pool degrades into a plain worker pool
+    // (the calling thread participates, so serve() blocks here).
+    pool.run(threads, [this](std::size_t) { workerLoop(); });
+
+    for (std::thread &acceptor : acceptors_)
+        acceptor.join();
+    acceptors_.clear();
+
+    // Drain connections that were queued but never claimed by a worker.
+    for (;;) {
+        net::UniqueFd conn;
+        {
+            std::lock_guard<std::mutex> lock(queue_mutex_);
+            if (pending_.empty())
+                break;
+            conn = std::move(pending_.front());
+            pending_.pop_front();
+        }
+        sendFrameBestEffort(
+            conn.get(),
+            wire::makeErrorFrame(wire::ErrorCode::ShuttingDown,
+                                 "server is draining"));
+    }
+
+    // The drain is complete; remove the Unix socket path now so a caller
+    // that observes serve() returning sees no stale socket file. The
+    // destructor also unlinks, covering start()-without-serve() paths.
+    if (!options_.unixPath.empty() && unix_listener_.valid()) {
+        ::unlink(options_.unixPath.c_str());
+        unix_listener_.reset();
+    }
+}
+
+} // namespace bxt::server

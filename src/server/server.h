@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The bxtd server: listeners (TCP and/or Unix-domain), a bounded queue of
+ * accepted connections, and a worker pool (bxt::ThreadPool) of
+ * frame-serving loops (DESIGN.md §10).
+ *
+ * Threading model:
+ *  - One acceptor std::thread per listener. Each polls its listen socket
+ *    and the stop pipe; accepted connections go into a bounded pending
+ *    queue. When the queue is full the acceptor answers with a typed
+ *    Busy error frame and closes — backpressure is explicit, never
+ *    unbounded buffering.
+ *  - `threads` workers run inside ThreadPool::run (the calling thread
+ *    participates, so serve() blocks until shutdown). Each worker pops
+ *    one connection at a time and serves it to completion: frames are
+ *    coalesced up to maxBatch per read pass and their responses written
+ *    back in one send.
+ *  - requestStop() is async-signal-safe (atomic store + pipe write), so
+ *    a SIGTERM handler may call it directly. Shutdown drains gracefully:
+ *    in-flight connections finish every frame already buffered, queued
+ *    but unserved connections get a ShuttingDown error, then serve()
+ *    returns.
+ */
+
+#ifndef BXT_SERVER_SERVER_H
+#define BXT_SERVER_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+#include "server/net.h"
+
+namespace bxt::server {
+
+/** bxtd configuration (tools/bxtd flags map 1:1 onto these). */
+struct ServerOptions
+{
+    /** TCP listen address (IPv4 literal). */
+    std::string tcpHost = "127.0.0.1";
+
+    /** TCP port; < 0 disables TCP, 0 picks an ephemeral port. */
+    int tcpPort = -1;
+
+    /** Unix-domain socket path; empty disables the Unix listener. */
+    std::string unixPath;
+
+    /** Worker threads (0 = defaultThreadCount()). */
+    unsigned threads = 0;
+
+    /** Max frames coalesced per connection read pass. */
+    std::size_t maxBatch = 64;
+
+    /** Per-connection idle timeout; < 0 waits forever. */
+    int idleTimeoutMs = 30000;
+
+    /** Accepted-but-unserved connection bound (0 = reject when no worker
+     *  is immediately available; the Busy-backpressure test uses this). */
+    std::size_t maxPending = 64;
+};
+
+/**
+ * A running bxtd instance. Lifecycle: construct, start() (binds
+ * listeners), serve() (blocks until requestStop()), destruct.
+ */
+class Server
+{
+  public:
+    explicit Server(ServerOptions options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind listeners and the stop pipe. False + @p err on failure (port
+     * in use, bad path, no listener configured). Does not serve yet.
+     */
+    bool start(std::string &err);
+
+    /**
+     * Accept and serve until requestStop(). The calling thread becomes
+     * one of the workers; returns after the graceful drain completes.
+     */
+    void serve();
+
+    /**
+     * Ask serve() to drain and return. Async-signal-safe: one relaxed
+     * atomic store plus one write() on the stop pipe.
+     */
+    void requestStop();
+
+    /** True once requestStop() was called. */
+    bool stopping() const
+    {
+        return stopping_.load(std::memory_order_relaxed);
+    }
+
+    /** Resolved TCP port after start() (-1 when TCP is disabled). */
+    int tcpPort() const { return resolved_tcp_port_; }
+
+    const ServerOptions &options() const { return options_; }
+
+  private:
+    void acceptLoop(int listen_fd);
+    void workerLoop();
+    void serveConnection(net::UniqueFd fd);
+
+    /** Pop one pending connection; invalid fd means "shut down". */
+    net::UniqueFd popConnection();
+
+    ServerOptions options_;
+    net::UniqueFd tcp_listener_;
+    net::UniqueFd unix_listener_;
+    int resolved_tcp_port_ = -1;
+
+    net::UniqueFd stop_read_;
+    net::UniqueFd stop_write_;
+    std::atomic<bool> stopping_{false};
+
+    std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<net::UniqueFd> pending_;
+
+    std::vector<std::thread> acceptors_;
+};
+
+} // namespace bxt::server
+
+#endif // BXT_SERVER_SERVER_H

@@ -1,0 +1,346 @@
+#include "server/service.h"
+
+#include <exception>
+#include <span>
+
+#include "core/codec_factory.h"
+#include "telemetry/metrics.h"
+#include "telemetry/snapshot.h"
+#include "telemetry/trace.h"
+
+namespace bxt::server {
+namespace {
+
+/**
+ * Process-wide service instruments (DESIGN.md §10). Looked up once; the
+ * per-spec ones counters are cached per Service entry instead.
+ */
+struct ServiceMetrics
+{
+    telemetry::Counter &requests =
+        telemetry::counter("bxt.server.requests");
+    telemetry::Counter &errors = telemetry::counter("bxt.server.errors");
+    telemetry::Counter &txEncoded =
+        telemetry::counter("bxt.server.tx_encoded");
+    telemetry::Counter &txDecoded =
+        telemetry::counter("bxt.server.tx_decoded");
+    /** Per-request service latency, 0..5 ms in 100 us buckets. */
+    telemetry::Histo &requestUs =
+        telemetry::histogram("bxt.server.request_us", 0.0, 5000.0, 50);
+};
+
+ServiceMetrics &
+serviceMetrics()
+{
+    static ServiceMetrics *metrics = new ServiceMetrics();
+    return *metrics;
+}
+
+/** Bits of metadata one transaction carries for this geometry. */
+std::size_t
+metaBitsPerTx(std::uint32_t tx_bytes, std::uint32_t bus_bits,
+              unsigned meta_wires_per_beat)
+{
+    const std::size_t beats = tx_bytes * 8u / bus_bits;
+    return beats * meta_wires_per_beat;
+}
+
+/** Pack beat-major 0/1 metadata values LSB-first into @p writer. */
+void
+packMeta(wire::BodyWriter &writer, const std::vector<std::uint8_t> &meta,
+         std::size_t packed_bytes)
+{
+    std::vector<std::uint8_t> packed(packed_bytes, 0);
+    for (std::size_t j = 0; j < meta.size(); ++j) {
+        if (meta[j] != 0)
+            packed[j / 8] |= static_cast<std::uint8_t>(1u << (j % 8));
+    }
+    writer.bytes(packed.data(), packed.size());
+}
+
+/** Unpack LSB-first packed metadata into @p bits 0/1 values. */
+void
+unpackMeta(const std::uint8_t *packed, std::size_t bit_count,
+           std::vector<std::uint8_t> &bits)
+{
+    bits.resize(bit_count);
+    for (std::size_t j = 0; j < bit_count; ++j)
+        bits[j] = (packed[j / 8] >> (j % 8)) & 1u;
+}
+
+wire::Frame
+errorResponse(wire::ErrorCode code, const std::string &detail)
+{
+    serviceMetrics().errors.add(1);
+    return wire::makeErrorFrame(code, detail);
+}
+
+} // namespace
+
+std::string
+validateGeometry(std::uint32_t tx_bytes, std::uint32_t bus_bits)
+{
+    if (tx_bytes < Transaction::minBytes ||
+        tx_bytes > Transaction::maxBytes ||
+        (tx_bytes & (tx_bytes - 1)) != 0) {
+        return "txBytes " + std::to_string(tx_bytes) +
+               " is not a power of two in [" +
+               std::to_string(Transaction::minBytes) + ", " +
+               std::to_string(Transaction::maxBytes) + "]";
+    }
+    if (bus_bits != 32 && bus_bits != 64)
+        return "busBits " + std::to_string(bus_bits) + " is not 32 or 64";
+    if (tx_bytes * 8u % bus_bits != 0) {
+        return "txBytes " + std::to_string(tx_bytes) +
+               " is not a whole number of " + std::to_string(bus_bits) +
+               "-bit beats";
+    }
+    return {};
+}
+
+Service::Entry *
+Service::entryFor(const std::string &spec, std::uint32_t tx_bytes,
+                  std::uint32_t bus_bits, std::string &err)
+{
+    const Key key{spec, tx_bytes, bus_bits};
+    auto it = codecs_.find(key);
+    if (it != codecs_.end())
+        return &it->second;
+
+    CodecPtr codec = tryMakeCodec(spec, bus_bits / 8u, err);
+    if (!codec)
+        return nullptr;
+    Entry entry;
+    entry.codec = std::move(codec);
+    entry.scratchTx = Transaction(tx_bytes);
+    return &codecs_.emplace(key, std::move(entry)).first->second;
+}
+
+wire::Frame
+Service::handleEncode(const wire::Frame &request)
+{
+    wire::BodyReader reader(request.body);
+    std::uint32_t tx_bytes = 0;
+    std::uint32_t bus_bits = 0;
+    std::uint64_t count = 0;
+    if (!reader.u32(tx_bytes) || !reader.u32(bus_bits) ||
+        !reader.u64(count)) {
+        return errorResponse(wire::ErrorCode::Malformed,
+                             "encode: truncated request header");
+    }
+    const std::string geometry = validateGeometry(tx_bytes, bus_bits);
+    if (!geometry.empty())
+        return errorResponse(wire::ErrorCode::Malformed, "encode: " + geometry);
+    if (count > wire::maxTxPerRequest) {
+        return errorResponse(wire::ErrorCode::Malformed,
+                             "encode: count " + std::to_string(count) +
+                                 " exceeds " +
+                                 std::to_string(wire::maxTxPerRequest));
+    }
+    if (reader.remaining() != count * tx_bytes) {
+        return errorResponse(wire::ErrorCode::Malformed,
+                             "encode: body size does not match count");
+    }
+
+    std::string err;
+    Entry *entry = entryFor(request.spec, tx_bytes, bus_bits, err);
+    if (entry == nullptr)
+        return errorResponse(wire::ErrorCode::BadSpec, err);
+
+    const unsigned meta_wires = entry->codec->metaWiresPerBeat();
+    const std::size_t meta_bits =
+        metaBitsPerTx(tx_bytes, bus_bits, meta_wires);
+    const std::size_t meta_bytes = (meta_bits + 7) / 8;
+
+    wire::Frame response;
+    response.opcode = wire::Opcode::Encode;
+    response.spec = request.spec;
+    wire::BodyWriter writer;
+    writer.u32(tx_bytes);
+    writer.u32(bus_bits);
+    writer.u32(meta_wires);
+    writer.u32(static_cast<std::uint32_t>(meta_bytes));
+    writer.u64(count);
+
+    // The ones tallies travel in the response so clients can print
+    // ones-on-bus deltas without re-popcounting payloads.
+    std::uint64_t input_ones = 0;
+    std::uint64_t payload_ones = 0;
+    std::uint64_t meta_ones = 0;
+    std::vector<std::uint8_t> payloads;
+    payloads.reserve(count * tx_bytes);
+    wire::BodyWriter meta_writer;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint8_t *raw = nullptr;
+        reader.view(raw, tx_bytes); // Size pre-validated above.
+        const Transaction tx(std::span<const std::uint8_t>(raw, tx_bytes));
+        entry->codec->encodeInto(tx, entry->scratch);
+        input_ones += tx.ones();
+        payload_ones += entry->scratch.payload.ones();
+        meta_ones += entry->scratch.metaOnes();
+        const auto bytes = entry->scratch.payload.bytes();
+        payloads.insert(payloads.end(), bytes.begin(), bytes.end());
+        packMeta(meta_writer, entry->scratch.meta, meta_bytes);
+    }
+    writer.u64(input_ones);
+    writer.u64(payload_ones);
+    writer.u64(meta_ones);
+    writer.bytes(payloads.data(), payloads.size());
+    const std::vector<std::uint8_t> meta_packed = meta_writer.take();
+    writer.bytes(meta_packed.data(), meta_packed.size());
+    response.body = writer.take();
+
+    if (telemetry::metricsEnabled()) {
+        serviceMetrics().txEncoded.add(count);
+        const std::string base =
+            "bxt.server." + telemetry::sanitizeMetricName(request.spec);
+        telemetry::counter(base + ".ones_in").add(input_ones);
+        telemetry::counter(base + ".ones_out")
+            .add(payload_ones + meta_ones);
+        const std::uint64_t out = payload_ones + meta_ones;
+        telemetry::counter(base + ".ones_removed")
+            .add(input_ones > out ? input_ones - out : 0);
+    }
+    entry->onesIn += input_ones;
+    entry->onesOut += payload_ones + meta_ones;
+    return response;
+}
+
+wire::Frame
+Service::handleDecode(const wire::Frame &request)
+{
+    wire::BodyReader reader(request.body);
+    std::uint32_t tx_bytes = 0;
+    std::uint32_t bus_bits = 0;
+    std::uint32_t meta_wires = 0;
+    std::uint32_t meta_bytes = 0;
+    std::uint64_t count = 0;
+    if (!reader.u32(tx_bytes) || !reader.u32(bus_bits) ||
+        !reader.u32(meta_wires) || !reader.u32(meta_bytes) ||
+        !reader.u64(count)) {
+        return errorResponse(wire::ErrorCode::Malformed,
+                             "decode: truncated request header");
+    }
+    const std::string geometry = validateGeometry(tx_bytes, bus_bits);
+    if (!geometry.empty())
+        return errorResponse(wire::ErrorCode::Malformed, "decode: " + geometry);
+    if (count > wire::maxTxPerRequest) {
+        return errorResponse(wire::ErrorCode::Malformed,
+                             "decode: count " + std::to_string(count) +
+                                 " exceeds " +
+                                 std::to_string(wire::maxTxPerRequest));
+    }
+
+    std::string err;
+    Entry *entry = entryFor(request.spec, tx_bytes, bus_bits, err);
+    if (entry == nullptr)
+        return errorResponse(wire::ErrorCode::BadSpec, err);
+
+    const unsigned codec_meta_wires = entry->codec->metaWiresPerBeat();
+    const std::size_t meta_bits =
+        metaBitsPerTx(tx_bytes, bus_bits, codec_meta_wires);
+    const std::size_t expected_meta_bytes = (meta_bits + 7) / 8;
+    if (meta_wires != codec_meta_wires ||
+        meta_bytes != expected_meta_bytes) {
+        return errorResponse(
+            wire::ErrorCode::Malformed,
+            "decode: metadata geometry does not match codec '" +
+                request.spec + "' (expects " +
+                std::to_string(codec_meta_wires) + " wires/beat)");
+    }
+    if (reader.remaining() !=
+        count * (static_cast<std::uint64_t>(tx_bytes) + meta_bytes)) {
+        return errorResponse(wire::ErrorCode::Malformed,
+                             "decode: body size does not match count");
+    }
+
+    wire::Frame response;
+    response.opcode = wire::Opcode::Decode;
+    response.spec = request.spec;
+    wire::BodyWriter writer;
+    writer.u32(tx_bytes);
+    writer.u64(count);
+
+    const std::uint8_t *payloads = nullptr;
+    const std::uint8_t *metas = nullptr;
+    reader.view(payloads, count * tx_bytes); // Sizes pre-validated above.
+    reader.view(metas, count * meta_bytes);
+
+    Encoded enc;
+    enc.metaWiresPerBeat = codec_meta_wires;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint8_t *payload = payloads + i * tx_bytes;
+        const std::uint8_t *packed = metas + i * meta_bytes;
+        enc.payload =
+            Transaction(std::span<const std::uint8_t>(payload, tx_bytes));
+        unpackMeta(packed, meta_bits, enc.meta);
+        entry->codec->decodeInto(enc, entry->scratchTx);
+        const auto bytes = entry->scratchTx.bytes();
+        writer.bytes(bytes.data(), bytes.size());
+    }
+    response.body = writer.take();
+
+    if (telemetry::metricsEnabled())
+        serviceMetrics().txDecoded.add(count);
+    return response;
+}
+
+wire::Frame
+Service::handleStats()
+{
+    wire::Frame response;
+    response.opcode = wire::Opcode::Stats;
+    const std::string snapshot = telemetry::snapshotJson(false);
+    response.body.assign(snapshot.begin(), snapshot.end());
+    return response;
+}
+
+wire::Frame
+Service::handle(const wire::Frame &request)
+{
+    ServiceMetrics &metrics = serviceMetrics();
+    metrics.requests.add(1);
+    const bool metrics_on = telemetry::metricsEnabled();
+    const std::uint64_t start = metrics_on ? telemetry::nowMicros() : 0;
+
+    wire::Frame response;
+    try {
+        switch (request.opcode) {
+        case wire::Opcode::Ping:
+            response.opcode = wire::Opcode::Ping;
+            break;
+        case wire::Opcode::Encode:
+            response = handleEncode(request);
+            break;
+        case wire::Opcode::Decode:
+            response = handleDecode(request);
+            break;
+        case wire::Opcode::Stats:
+            response = handleStats();
+            break;
+        case wire::Opcode::Error:
+            response = errorResponse(wire::ErrorCode::Malformed,
+                                     "error frames are response-only");
+            break;
+        default:
+            response = errorResponse(
+                wire::ErrorCode::UnknownOpcode,
+                "unknown opcode " +
+                    std::to_string(static_cast<unsigned>(request.opcode)));
+            break;
+        }
+    } catch (const std::exception &e) {
+        response = errorResponse(wire::ErrorCode::Internal, e.what());
+    } catch (...) {
+        response = errorResponse(wire::ErrorCode::Internal,
+                                 "unknown exception");
+    }
+
+    if (metrics_on) {
+        metrics.requestUs.add(
+            static_cast<double>(telemetry::nowMicros() - start));
+    }
+    return response;
+}
+
+} // namespace bxt::server

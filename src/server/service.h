@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The bxtd request service: maps one parsed wire frame to one response
+ * frame, independent of any socket, so the loopback tests and the frame
+ * fuzzer can drive the full dispatch path in-process.
+ *
+ * A Service instance is per-connection state: it caches one codec (plus
+ * allocation-free scratch buffers) per (spec, txBytes, busBits) it has
+ * seen, so a connection streaming one spec pays codec construction once
+ * and every transaction runs through encodeInto/decodeInto. Stateful
+ * codecs (bd) therefore behave like one side of a channel per connection:
+ * requests on the same connection share repository history, exactly like
+ * transactions sharing a link.
+ */
+
+#ifndef BXT_SERVER_SERVICE_H
+#define BXT_SERVER_SERVICE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "core/codec.h"
+#include "server/wire.h"
+
+namespace bxt::server {
+
+/**
+ * Per-connection request dispatcher. handle() never throws and never
+ * calls fatal(): every failure becomes a typed Error frame.
+ */
+class Service
+{
+  public:
+    Service() = default;
+
+    /** Process one request frame; returns the response frame. */
+    wire::Frame handle(const wire::Frame &request);
+
+    /** Codec instances cached so far (test/diagnostic hook). */
+    std::size_t cachedCodecs() const { return codecs_.size(); }
+
+  private:
+    struct Entry
+    {
+        CodecPtr codec;
+        Encoded scratch;             ///< encodeInto target, reused.
+        Transaction scratchTx{32};   ///< decodeInto target, reused.
+        std::uint64_t onesIn = 0;    ///< Per-connection running tallies.
+        std::uint64_t onesOut = 0;
+    };
+
+    using Key = std::tuple<std::string, std::uint32_t, std::uint32_t>;
+
+    wire::Frame handleEncode(const wire::Frame &request);
+    wire::Frame handleDecode(const wire::Frame &request);
+    wire::Frame handleStats();
+
+    /**
+     * Look up / build the codec for (spec, txBytes, busBits). Returns
+     * nullptr with @p err filled (BadSpec detail) when the spec or the
+     * geometry is invalid.
+     */
+    Entry *entryFor(const std::string &spec, std::uint32_t tx_bytes,
+                    std::uint32_t bus_bits, std::string &err);
+
+    std::map<Key, Entry> codecs_;
+};
+
+/**
+ * Validate the (txBytes, busBits) geometry shared by encode and decode
+ * requests; returns an explanation or empty when valid. Exposed for the
+ * client library's preflight checks.
+ */
+std::string validateGeometry(std::uint32_t tx_bytes, std::uint32_t bus_bits);
+
+} // namespace bxt::server
+
+#endif // BXT_SERVER_SERVICE_H

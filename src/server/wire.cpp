@@ -1,0 +1,365 @@
+#include "server/wire.h"
+
+#include <cstring>
+
+#include "common/bitops.h"
+#include "common/checksum.h"
+#include "common/rng.h"
+
+namespace bxt::wire {
+
+bool
+opcodeKnown(std::uint8_t op)
+{
+    switch (static_cast<Opcode>(op)) {
+    case Opcode::Ping:
+    case Opcode::Encode:
+    case Opcode::Decode:
+    case Opcode::Stats:
+    case Opcode::Error:
+        return true;
+    }
+    return false;
+}
+
+std::string
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+    case ErrorCode::None: return "none";
+    case ErrorCode::BadMagic: return "bad-magic";
+    case ErrorCode::BadVersion: return "bad-version";
+    case ErrorCode::BadCrc: return "bad-crc";
+    case ErrorCode::UnknownOpcode: return "unknown-opcode";
+    case ErrorCode::FrameTooLarge: return "frame-too-large";
+    case ErrorCode::Malformed: return "malformed";
+    case ErrorCode::BadSpec: return "bad-spec";
+    case ErrorCode::Busy: return "busy";
+    case ErrorCode::ShuttingDown: return "shutting-down";
+    case ErrorCode::Internal: return "internal";
+    }
+    return "unknown-error-" +
+           std::to_string(static_cast<std::uint32_t>(code));
+}
+
+std::vector<std::uint8_t>
+serializeFrame(const Frame &frame)
+{
+    const std::size_t spec_len = frame.spec.size();
+    const std::size_t body_len = frame.body.size();
+    std::vector<std::uint8_t> out(headerBytes + spec_len + body_len +
+                                  crcBytes);
+
+    storeWord32(out.data(), frameMagic);
+    out[4] = wireVersion;
+    out[5] = static_cast<std::uint8_t>(frame.opcode);
+    out[6] = 0;
+    out[7] = 0;
+    storeWord32(out.data() + 8, static_cast<std::uint32_t>(spec_len));
+    storeWord32(out.data() + 12, static_cast<std::uint32_t>(body_len));
+    if (spec_len > 0)
+        std::memcpy(out.data() + headerBytes, frame.spec.data(), spec_len);
+    if (body_len > 0) {
+        std::memcpy(out.data() + headerBytes + spec_len, frame.body.data(),
+                    body_len);
+    }
+    const std::size_t crc_off = headerBytes + spec_len + body_len;
+    storeWord32(out.data() + crc_off,
+                crc32({out.data(), crc_off}));
+    return out;
+}
+
+Frame
+makeErrorFrame(ErrorCode code, const std::string &message)
+{
+    Frame frame;
+    frame.opcode = Opcode::Error;
+    BodyWriter body;
+    body.u32(static_cast<std::uint32_t>(code));
+    body.bytes(reinterpret_cast<const std::uint8_t *>(message.data()),
+               message.size());
+    frame.body = body.take();
+    return frame;
+}
+
+bool
+parseErrorFrame(const Frame &frame, ErrorCode &code, std::string &message)
+{
+    if (frame.opcode != Opcode::Error || frame.body.size() < 4)
+        return false;
+    code = static_cast<ErrorCode>(loadWord32(frame.body.data()));
+    message.assign(frame.body.begin() + 4, frame.body.end());
+    return true;
+}
+
+void
+FrameParser::feed(const std::uint8_t *data, std::size_t n)
+{
+    if (failed() || n == 0)
+        return;
+    // Reclaim the consumed prefix before growing, so a long-lived
+    // connection's buffer stays proportional to one in-flight frame.
+    if (consumed_ > 0 && consumed_ == buffer_.size()) {
+        buffer_.clear();
+        consumed_ = 0;
+    } else if (consumed_ > 4096) {
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() +
+                          static_cast<std::ptrdiff_t>(consumed_));
+        consumed_ = 0;
+    }
+    buffer_.insert(buffer_.end(), data, data + n);
+}
+
+FrameParser::Status
+FrameParser::fail(ErrorCode code, const std::string &detail, WireError &err)
+{
+    error_ = {code, detail};
+    err = error_;
+    return Status::Bad;
+}
+
+FrameParser::Status
+FrameParser::next(Frame &out, WireError &err)
+{
+    if (failed()) {
+        err = error_;
+        return Status::Bad;
+    }
+    const std::uint8_t *base = buffer_.data() + consumed_;
+    const std::size_t avail = buffered();
+    if (avail < headerBytes)
+        return Status::NeedMore;
+
+    if (loadWord32(base) != frameMagic)
+        return fail(ErrorCode::BadMagic, "frame magic is not 'BXTP'", err);
+    if (base[4] != wireVersion) {
+        return fail(ErrorCode::BadVersion,
+                    "unsupported wire version " + std::to_string(base[4]),
+                    err);
+    }
+    if (!opcodeKnown(base[5])) {
+        return fail(ErrorCode::UnknownOpcode,
+                    "unknown opcode " + std::to_string(base[5]), err);
+    }
+    if (base[6] != 0 || base[7] != 0) {
+        return fail(ErrorCode::Malformed, "reserved header bits set", err);
+    }
+    const std::uint32_t spec_len = loadWord32(base + 8);
+    const std::uint32_t body_len = loadWord32(base + 12);
+    if (spec_len > maxSpecLen) {
+        return fail(ErrorCode::FrameTooLarge,
+                    "spec length " + std::to_string(spec_len) +
+                        " exceeds " + std::to_string(maxSpecLen),
+                    err);
+    }
+    if (body_len > maxBodyLen) {
+        return fail(ErrorCode::FrameTooLarge,
+                    "body length " + std::to_string(body_len) +
+                        " exceeds " + std::to_string(maxBodyLen),
+                    err);
+    }
+
+    const std::size_t total = headerBytes + spec_len + body_len + crcBytes;
+    if (avail < total)
+        return Status::NeedMore;
+
+    const std::uint32_t stored_crc = loadWord32(base + total - crcBytes);
+    const std::uint32_t computed_crc = crc32({base, total - crcBytes});
+    if (stored_crc != computed_crc)
+        return fail(ErrorCode::BadCrc, "frame CRC32 mismatch", err);
+
+    out.opcode = static_cast<Opcode>(base[5]);
+    out.spec.assign(reinterpret_cast<const char *>(base + headerBytes),
+                    spec_len);
+    out.body.assign(base + headerBytes + spec_len,
+                    base + headerBytes + spec_len + body_len);
+    consumed_ += total;
+    return Status::Ready;
+}
+
+void
+BodyWriter::u32(std::uint32_t v)
+{
+    const std::size_t at = out_.size();
+    out_.resize(at + 4);
+    storeWord32(out_.data() + at, v);
+}
+
+void
+BodyWriter::u64(std::uint64_t v)
+{
+    const std::size_t at = out_.size();
+    out_.resize(at + 8);
+    storeWord64(out_.data() + at, v);
+}
+
+void
+BodyWriter::bytes(const std::uint8_t *data, std::size_t n)
+{
+    if (n > 0)
+        out_.insert(out_.end(), data, data + n);
+}
+
+bool
+BodyReader::u32(std::uint32_t &v)
+{
+    if (!ok_ || remaining() < 4) {
+        ok_ = false;
+        return false;
+    }
+    v = loadWord32(data_ + pos_);
+    pos_ += 4;
+    return true;
+}
+
+bool
+BodyReader::u64(std::uint64_t &v)
+{
+    if (!ok_ || remaining() < 8) {
+        ok_ = false;
+        return false;
+    }
+    v = loadWord64(data_ + pos_);
+    pos_ += 8;
+    return true;
+}
+
+bool
+BodyReader::bytes(std::uint8_t *out, std::size_t n)
+{
+    if (!ok_ || remaining() < n) {
+        ok_ = false;
+        return false;
+    }
+    // n == 0 must not reach memcpy: an empty destination vector hands us
+    // a null `out`, and memcpy's arguments are declared nonnull.
+    if (n > 0)
+        std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+}
+
+bool
+BodyReader::view(const std::uint8_t *&out, std::size_t n)
+{
+    if (!ok_ || remaining() < n) {
+        ok_ = false;
+        return false;
+    }
+    out = data_ + pos_;
+    pos_ += n;
+    return true;
+}
+
+namespace {
+
+Frame
+randomFrame(Rng &rng)
+{
+    static const Opcode opcodes[] = {Opcode::Ping, Opcode::Encode,
+                                     Opcode::Decode, Opcode::Stats,
+                                     Opcode::Error};
+    Frame frame;
+    frame.opcode = opcodes[rng.nextBounded(5)];
+    const std::size_t spec_len = rng.nextBounded(13);
+    static const char charset[] =
+        "abcdefghijklmnopqrstuvwxyz0123456789+|";
+    for (std::size_t i = 0; i < spec_len; ++i)
+        frame.spec += charset[rng.nextBounded(sizeof(charset) - 1)];
+    const std::size_t body_len = rng.nextBounded(65);
+    frame.body.resize(body_len);
+    for (std::size_t i = 0; i < body_len; ++i)
+        frame.body[i] = static_cast<std::uint8_t>(rng.nextBounded(256));
+    return frame;
+}
+
+} // namespace
+
+FrameFuzzReport
+fuzzFrameParser(std::uint64_t seed, std::uint64_t iterations)
+{
+    FrameFuzzReport report;
+    report.iterations = iterations;
+    Rng rng(seed ^ 0xf8a3e5ull);
+
+    for (std::uint64_t iter = 0; iter < iterations; ++iter) {
+        const Frame frame = randomFrame(rng);
+        const std::vector<std::uint8_t> bytes = serializeFrame(frame);
+        const auto record = [&](const std::string &what) {
+            if (report.failures.size() < 32) {
+                report.failures.push_back(
+                    "iter " + std::to_string(iter) + ": " + what);
+            }
+        };
+
+        const std::uint64_t mode = rng.nextBounded(4);
+        FrameParser parser;
+        Frame parsed;
+        WireError err;
+        if (mode == 0) {
+            // Clean single feed: must round-trip byte-identically.
+            parser.feed(bytes.data(), bytes.size());
+            if (parser.next(parsed, err) != FrameParser::Status::Ready)
+                record("clean frame did not parse");
+            else if (!(parsed == frame))
+                record("clean frame round-trip mismatch");
+            else
+                ++report.framesParsed;
+        } else if (mode == 1) {
+            // Random chunk boundaries: same result as one feed.
+            std::size_t fed = 0;
+            bool done = false;
+            while (fed < bytes.size()) {
+                const std::size_t chunk = 1 + rng.nextBounded(7);
+                const std::size_t n =
+                    std::min(chunk, bytes.size() - fed);
+                parser.feed(bytes.data() + fed, n);
+                fed += n;
+                const FrameParser::Status st = parser.next(parsed, err);
+                if (st == FrameParser::Status::Bad) {
+                    record("chunked clean frame reported " +
+                           errorCodeName(err.code));
+                    done = true;
+                    break;
+                }
+                if (st == FrameParser::Status::Ready) {
+                    if (fed < bytes.size())
+                        record("frame parsed before all bytes arrived");
+                    else if (!(parsed == frame))
+                        record("chunked round-trip mismatch");
+                    else
+                        ++report.framesParsed;
+                    done = true;
+                    break;
+                }
+            }
+            if (!done)
+                record("chunked clean frame never completed");
+        } else if (mode == 2) {
+            // Truncation: a clean prefix must only ever ask for more.
+            const std::size_t keep = rng.nextBounded(bytes.size());
+            parser.feed(bytes.data(), keep);
+            if (parser.next(parsed, err) != FrameParser::Status::NeedMore)
+                record("truncated frame did not report NeedMore");
+        } else {
+            // Single-byte corruption: CRC (or a structural check) must
+            // reject it — a corrupted frame may stall (NeedMore, when a
+            // length field grew) but must never parse as Ready.
+            std::vector<std::uint8_t> mutated = bytes;
+            const std::size_t at = rng.nextBounded(mutated.size());
+            const auto flip = static_cast<std::uint8_t>(
+                1 + rng.nextBounded(255));
+            mutated[at] = static_cast<std::uint8_t>(mutated[at] ^ flip);
+            parser.feed(mutated.data(), mutated.size());
+            const FrameParser::Status st = parser.next(parsed, err);
+            if (st == FrameParser::Status::Ready)
+                record("corrupted frame parsed as valid");
+            else if (st == FrameParser::Status::Bad)
+                ++report.errorsTyped;
+        }
+    }
+    return report;
+}
+
+} // namespace bxt::wire

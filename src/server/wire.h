@@ -1,0 +1,247 @@
+/**
+ * @file
+ * The bxtd framed wire protocol (DESIGN.md §10). Every message — request
+ * or response, TCP or Unix-domain — is one length-prefixed, CRC32-checked
+ * frame:
+ *
+ *   offset  size  field
+ *        0     4  magic "BXTP"
+ *        4     1  version (wireVersion)
+ *        5     1  opcode
+ *        6     2  reserved, must be 0
+ *        8     4  specLen   (little-endian, <= maxSpecLen)
+ *       12     4  bodyLen   (little-endian, <= maxBodyLen)
+ *       16  specLen  codec-spec string (UTF-8, no terminator)
+ *        +  bodyLen  opcode-specific body
+ *        +     4  CRC32 over everything above (header + spec + body)
+ *
+ * All integers are little-endian. A frame that fails any structural check
+ * maps to a typed ErrorCode; the server answers with an Error frame and
+ * closes the connection (framing cannot be trusted after a corrupt
+ * header). Error frames carry `u32 code | message bytes` as their body.
+ *
+ * Request bodies (u32/u64 little-endian, payloads byte-exact):
+ *   Ping    —
+ *   Encode  u32 txBytes | u32 busBits | u64 count | count·txBytes raw
+ *   Decode  u32 txBytes | u32 busBits | u32 metaWiresPerBeat |
+ *           u32 metaBytesPerTx | u64 count |
+ *           count·txBytes payload | count·metaBytesPerTx packed meta
+ *   Stats   —
+ *
+ * Response bodies:
+ *   Ping    —
+ *   Encode  u32 txBytes | u32 busBits | u32 metaWiresPerBeat |
+ *           u32 metaBytesPerTx | u64 count | u64 inputOnes |
+ *           u64 payloadOnes | u64 metaOnes |
+ *           count·txBytes payload | count·metaBytesPerTx packed meta
+ *   Decode  u32 txBytes | u64 count | count·txBytes raw
+ *   Stats   telemetry snapshot JSON (schema 1) as bytes
+ *
+ * Metadata bits are packed LSB-first: metadata bit j of a transaction
+ * (beat-major, as in Encoded::meta) lives in packed byte j/8, bit j%8.
+ */
+
+#ifndef BXT_SERVER_WIRE_H
+#define BXT_SERVER_WIRE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bxt::wire {
+
+/** Frame magic, little-endian "BXTP". */
+constexpr std::uint32_t frameMagic = 0x50545842u;
+
+/** Protocol version carried in every frame. */
+constexpr std::uint8_t wireVersion = 1;
+
+/** Fixed frame-header size (before spec/body/CRC). */
+constexpr std::size_t headerBytes = 16;
+
+/** Trailing CRC32 size. */
+constexpr std::size_t crcBytes = 4;
+
+/** Upper bound on the codec-spec string. */
+constexpr std::size_t maxSpecLen = 128;
+
+/** Upper bound on a frame body (16 MiB). */
+constexpr std::size_t maxBodyLen = 16u << 20;
+
+/** Upper bound on transactions per Encode/Decode request. */
+constexpr std::size_t maxTxPerRequest = 4096;
+
+/** Message opcodes. Responses echo the request opcode (or Error). */
+enum class Opcode : std::uint8_t {
+    Ping = 1,   ///< Liveness probe; empty body both ways.
+    Encode = 2, ///< Encode raw transactions under the frame's spec.
+    Decode = 3, ///< Decode payload+metadata back to raw transactions.
+    Stats = 4,  ///< Fetch the server's telemetry snapshot JSON.
+    Error = 0x7f, ///< Response-only: u32 ErrorCode + message bytes.
+};
+
+/** True when @p op is a value the protocol defines. */
+bool opcodeKnown(std::uint8_t op);
+
+/** Typed protocol/request failures (Error-frame body code). */
+enum class ErrorCode : std::uint32_t {
+    None = 0,
+    BadMagic = 1,      ///< First 4 bytes are not "BXTP".
+    BadVersion = 2,    ///< Unsupported protocol version.
+    BadCrc = 3,        ///< CRC32 mismatch.
+    UnknownOpcode = 4, ///< Opcode outside the defined set.
+    FrameTooLarge = 5, ///< specLen/bodyLen above the protocol bounds.
+    Malformed = 6,     ///< Reserved bits set or body fails validation.
+    BadSpec = 7,       ///< Codec spec rejected by tryMakeCodec.
+    Busy = 8,          ///< Accept queue full; retry later.
+    ShuttingDown = 9,  ///< Server draining; connection closing.
+    Internal = 10,     ///< Unexpected server-side failure.
+};
+
+/** Stable lower-case token for an error code (log/CLI output). */
+std::string errorCodeName(ErrorCode code);
+
+/** One parsed (or to-be-serialized) frame. */
+struct Frame
+{
+    Opcode opcode = Opcode::Ping;
+    std::string spec;               ///< Codec spec ("" when unused).
+    std::vector<std::uint8_t> body; ///< Opcode-specific body bytes.
+
+    bool operator==(const Frame &other) const = default;
+};
+
+/** A typed parse/validation failure with a human-readable detail. */
+struct WireError
+{
+    ErrorCode code = ErrorCode::None;
+    std::string detail;
+};
+
+/** Serialize @p frame (header + spec + body + CRC32). */
+std::vector<std::uint8_t> serializeFrame(const Frame &frame);
+
+/** Build an Error response frame for @p code. */
+Frame makeErrorFrame(ErrorCode code, const std::string &message);
+
+/**
+ * Interpret an Error frame's body. Returns false when @p frame is not an
+ * Error frame or its body is shorter than the code field.
+ */
+bool parseErrorFrame(const Frame &frame, ErrorCode &code,
+                     std::string &message);
+
+/**
+ * Incremental frame parser: feed() raw bytes as they arrive, then drain
+ * complete frames with next(). Structural failures (bad magic, version,
+ * oversized lengths, unknown opcode, CRC mismatch) are sticky — framing
+ * is untrustworthy after corruption, so the connection must be torn down
+ * after sending the typed error.
+ */
+class FrameParser
+{
+  public:
+    enum class Status {
+        NeedMore, ///< No complete frame buffered yet.
+        Ready,    ///< A frame was produced.
+        Bad,      ///< Typed error; parser is now stuck (failed()).
+    };
+
+    /** Append @p n raw stream bytes. No-op once failed(). */
+    void feed(const std::uint8_t *data, std::size_t n);
+
+    /**
+     * Try to extract the next complete frame into @p out. On Bad, @p err
+     * carries the typed error; every later call repeats it.
+     */
+    Status next(Frame &out, WireError &err);
+
+    /** Bytes buffered but not yet consumed by next(). */
+    std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+    /** True after a structural error; the stream cannot be re-synced. */
+    bool failed() const { return error_.code != ErrorCode::None; }
+
+  private:
+    Status fail(ErrorCode code, const std::string &detail, WireError &err);
+
+    std::vector<std::uint8_t> buffer_;
+    std::size_t consumed_ = 0; ///< Prefix of buffer_ already parsed.
+    WireError error_;
+};
+
+/**
+ * Little-endian body serializer (u32/u64/raw bytes), shared by the
+ * service, the client library, and the tests.
+ */
+class BodyWriter
+{
+  public:
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void bytes(const std::uint8_t *data, std::size_t n);
+
+    std::vector<std::uint8_t> take() { return std::move(out_); }
+
+  private:
+    std::vector<std::uint8_t> out_;
+};
+
+/**
+ * Bounds-checked little-endian body reader. All accessors return false
+ * once the body is exhausted; ok() stays false after the first failure.
+ */
+class BodyReader
+{
+  public:
+    BodyReader(const std::uint8_t *data, std::size_t n)
+        : data_(data), size_(n)
+    {
+    }
+    explicit BodyReader(const std::vector<std::uint8_t> &body)
+        : BodyReader(body.data(), body.size())
+    {
+    }
+
+    bool u32(std::uint32_t &v);
+    bool u64(std::uint64_t &v);
+    bool bytes(std::uint8_t *out, std::size_t n);
+    /** Borrow @p n bytes in place (valid while the body lives). */
+    bool view(const std::uint8_t *&out, std::size_t n);
+
+    std::size_t remaining() const { return size_ - pos_; }
+    bool ok() const { return ok_; }
+
+  private:
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+/** Frame-parser fuzz outcome (tools/bxt_fuzz --frames). */
+struct FrameFuzzReport
+{
+    std::uint64_t iterations = 0;
+    std::uint64_t framesParsed = 0;   ///< Clean frames round-tripped.
+    std::uint64_t errorsTyped = 0;    ///< Corruptions caught with a type.
+    std::vector<std::string> failures;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/**
+ * Self-checking fuzz of the frame parser: generates valid frames, then
+ * replays them clean (must round-trip byte-identically through
+ * serialize→parse), chunked at random boundaries (must still round-trip),
+ * truncated (must report NeedMore, never a frame), and with random byte
+ * corruptions (must yield a typed error or NeedMore, never a parsed
+ * frame). Deterministic per @p seed.
+ */
+FrameFuzzReport fuzzFrameParser(std::uint64_t seed,
+                                std::uint64_t iterations);
+
+} // namespace bxt::wire
+
+#endif // BXT_SERVER_WIRE_H

@@ -43,41 +43,77 @@ readValue(std::FILE *f, T &value)
 bool
 saveTrace(const Trace &trace, const std::string &path)
 {
+    // Mixed sizes are unrepresentable in the format; fail before touching
+    // the filesystem so @p path is left exactly as it was.
     const std::size_t tx_bytes = trace.txBytes();
-    for (const Transaction &tx : trace.txs)
-        BXT_ASSERT(tx.size() == tx_bytes);
-
-    FileHandle f(std::fopen(path.c_str(), "wb"));
-    if (!f)
-        return false;
-
-    if (std::fwrite(magic, sizeof(magic), 1, f.get()) != 1 ||
-        !writeValue(f.get(), version) ||
-        !writeValue(f.get(), static_cast<std::uint32_t>(tx_bytes)) ||
-        !writeValue(f.get(), static_cast<std::uint64_t>(trace.txs.size()))) {
-        return false;
-    }
-    const auto name_len = static_cast<std::uint32_t>(trace.name.size());
-    if (!writeValue(f.get(), name_len))
-        return false;
-    if (name_len > 0 &&
-        std::fwrite(trace.name.data(), 1, name_len, f.get()) != name_len) {
-        return false;
-    }
     for (const Transaction &tx : trace.txs) {
-        if (std::fwrite(tx.data(), 1, tx.size(), f.get()) != tx.size())
+        if (tx.size() != tx_bytes)
             return false;
+    }
+
+    // Atomicity: write everything to a sibling temporary and rename it
+    // into place only once fully flushed, so a crash mid-write can never
+    // leave a truncated trace at @p path (trace.h documents this).
+    const std::string tmp_path = path + ".tmp";
+    const auto write_all = [&](std::FILE *f) {
+        if (std::fwrite(magic, sizeof(magic), 1, f) != 1 ||
+            !writeValue(f, version) ||
+            !writeValue(f, static_cast<std::uint32_t>(tx_bytes)) ||
+            !writeValue(f, static_cast<std::uint64_t>(trace.txs.size()))) {
+            return false;
+        }
+        const auto name_len = static_cast<std::uint32_t>(trace.name.size());
+        if (!writeValue(f, name_len))
+            return false;
+        if (name_len > 0 &&
+            std::fwrite(trace.name.data(), 1, name_len, f) != name_len) {
+            return false;
+        }
+        for (const Transaction &tx : trace.txs) {
+            if (std::fwrite(tx.data(), 1, tx.size(), f) != tx.size())
+                return false;
+        }
+        return true;
+    };
+
+    std::FILE *f = std::fopen(tmp_path.c_str(), "wb");
+    if (f == nullptr)
+        return false;
+    const bool written = write_all(f);
+    // Close explicitly (not via a RAII handle) so a failed final flush —
+    // e.g. a full disk — is a clean failure, not a rename of a short file.
+    const bool closed = std::fclose(f) == 0;
+    if (!written || !closed) {
+        std::remove(tmp_path.c_str());
+        return false;
+    }
+    if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+        std::remove(tmp_path.c_str());
+        return false;
     }
     return true;
 }
 
-Trace
-loadTrace(const std::string &path)
+namespace {
+
+enum class LoadStatus { Ok, CannotOpen, Malformed };
+
+/** Shared reader behind loadTrace/tryLoadTrace; never calls fatal(). */
+LoadStatus
+loadTraceImpl(const std::string &path, Trace &trace, std::string &err)
 {
-    Trace trace;
+    trace = Trace{};
     FileHandle f(std::fopen(path.c_str(), "rb"));
-    if (!f)
-        return trace;
+    if (!f) {
+        err = "loadTrace: cannot open " + path;
+        return LoadStatus::CannotOpen;
+    }
+
+    const auto malformed = [&](const std::string &what) {
+        trace = Trace{};
+        err = "loadTrace: " + what + " in " + path;
+        return LoadStatus::Malformed;
+    };
 
     char file_magic[4];
     std::uint32_t file_version = 0;
@@ -86,20 +122,20 @@ loadTrace(const std::string &path)
     std::uint32_t name_len = 0;
     if (std::fread(file_magic, sizeof(file_magic), 1, f.get()) != 1 ||
         std::memcmp(file_magic, magic, sizeof(magic)) != 0) {
-        fatal("loadTrace: bad magic in " + path);
+        return malformed("bad magic");
     }
     if (!readValue(f.get(), file_version) || file_version != version)
-        fatal("loadTrace: unsupported version in " + path);
+        return malformed("unsupported version");
     if (!readValue(f.get(), tx_bytes) || !readValue(f.get(), count) ||
         !readValue(f.get(), name_len)) {
-        fatal("loadTrace: truncated header in " + path);
+        return malformed("truncated header");
     }
     // An empty trace legitimately records size 0; otherwise the size must
     // be a valid Transaction size.
     if (count > 0 && (tx_bytes < Transaction::minBytes ||
                       tx_bytes > Transaction::maxBytes ||
                       (tx_bytes & (tx_bytes - 1)) != 0)) {
-        fatal("loadTrace: bad transaction size in " + path);
+        return malformed("bad transaction size");
     }
 
     // Validate the header's length fields against the actual file size
@@ -107,33 +143,56 @@ loadTrace(const std::string &path)
     // with a diagnostic, not an allocation failure.
     const long header_end = std::ftell(f.get());
     if (header_end < 0 || std::fseek(f.get(), 0, SEEK_END) != 0)
-        fatal("loadTrace: cannot determine size of " + path);
+        return malformed("cannot determine size");
     const long file_end = std::ftell(f.get());
     if (file_end < header_end ||
         std::fseek(f.get(), header_end, SEEK_SET) != 0) {
-        fatal("loadTrace: cannot determine size of " + path);
+        return malformed("cannot determine size");
     }
     const auto remaining = static_cast<std::uint64_t>(file_end - header_end);
     if (name_len > remaining)
-        fatal("loadTrace: oversized name length in " + path);
+        return malformed("oversized name length");
     if (count > 0 && (remaining - name_len) / tx_bytes < count)
-        fatal("loadTrace: transaction count exceeds file size in " + path);
+        return malformed("transaction count exceeds file size");
 
     trace.name.resize(name_len);
     if (name_len > 0 &&
         std::fread(trace.name.data(), 1, name_len, f.get()) != name_len) {
-        fatal("loadTrace: truncated name in " + path);
+        return malformed("truncated name");
     }
 
     trace.txs.reserve(count);
     std::uint8_t buffer[Transaction::maxBytes];
     for (std::uint64_t i = 0; i < count; ++i) {
         if (std::fread(buffer, 1, tx_bytes, f.get()) != tx_bytes)
-            fatal("loadTrace: truncated payload in " + path);
+            return malformed("truncated payload");
         trace.txs.emplace_back(
             std::span<const std::uint8_t>(buffer, tx_bytes));
     }
-    return trace;
+    return LoadStatus::Ok;
+}
+
+} // namespace
+
+Trace
+loadTrace(const std::string &path)
+{
+    Trace trace;
+    std::string err;
+    switch (loadTraceImpl(path, trace, err)) {
+    case LoadStatus::Ok:
+    case LoadStatus::CannotOpen: // Historical contract: empty trace.
+        return trace;
+    case LoadStatus::Malformed:
+        fatal(err);
+    }
+    return trace; // Unreachable.
+}
+
+bool
+tryLoadTrace(const std::string &path, Trace &out, std::string &err)
+{
+    return loadTraceImpl(path, out, err) == LoadStatus::Ok;
 }
 
 } // namespace bxt

@@ -34,8 +34,13 @@ struct Trace
 };
 
 /**
- * Write @p trace to @p path. Returns false (and leaves no partial file
- * guarantee) on I/O failure. All transactions must share one size.
+ * Write @p trace to @p path atomically: the bytes are written to a
+ * `path + ".tmp"` sibling and rename(2)d into place only once complete,
+ * so a crashed or interrupted writer (e.g. a bxt_client capture) never
+ * leaves a truncated `.bxtrace` at @p path — readers see either the old
+ * file or the complete new one. Returns false on I/O failure or when the
+ * transactions do not all share one size (the temporary is removed;
+ * @p path is untouched).
  */
 bool saveTrace(const Trace &trace, const std::string &path);
 
@@ -44,6 +49,14 @@ bool saveTrace(const Trace &trace, const std::string &path);
  * an empty-name trace with no transactions if the file cannot be opened.
  */
 Trace loadTrace(const std::string &path);
+
+/**
+ * Non-fatal variant of loadTrace for untrusted inputs (bxt_client uploads,
+ * server-side trace handling): fills @p out and returns true on success;
+ * on a missing file or malformed content returns false with a diagnostic
+ * in @p err and leaves @p out empty. Never terminates the process.
+ */
+bool tryLoadTrace(const std::string &path, Trace &out, std::string &err);
 
 } // namespace bxt
 

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Cli parser tests: both `--flag VALUE` and `--flag=VALUE` spellings,
+ * boolean flags, positionals, and the exit-2 error contract for unknown
+ * options and misuse. Death tests are unnecessary — parse() reports
+ * through its return value and exitCode().
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+
+namespace bxt {
+namespace {
+
+/** Build argv from string literals and run parse(). */
+struct ParseResult
+{
+    bool ok = false;
+    int exitCode = 0;
+};
+
+ParseResult
+parseWith(Cli &cli, std::vector<std::string> args)
+{
+    args.insert(args.begin(), "prog");
+    std::vector<char *> argv;
+    argv.reserve(args.size());
+    for (std::string &arg : args)
+        argv.push_back(arg.data());
+    ParseResult result;
+    result.ok = cli.parse(static_cast<int>(argv.size()), argv.data());
+    result.exitCode = cli.exitCode();
+    return result;
+}
+
+TEST(Cli, SeparateValueForm)
+{
+    std::string seen;
+    Cli cli("t", "test");
+    cli.add("--spec", "S", "spec", [&](const std::string &v) { seen = v; });
+    EXPECT_TRUE(parseWith(cli, {"--spec", "xor4+zdr"}).ok);
+    EXPECT_EQ(seen, "xor4+zdr");
+}
+
+TEST(Cli, InlineEqualsValueForm)
+{
+    std::string seen;
+    Cli cli("t", "test");
+    cli.add("--spec", "S", "spec", [&](const std::string &v) { seen = v; });
+    EXPECT_TRUE(parseWith(cli, {"--spec=universal3+zdr"}).ok);
+    EXPECT_EQ(seen, "universal3+zdr");
+}
+
+TEST(Cli, InlineValueMayContainEquals)
+{
+    std::string seen;
+    Cli cli("t", "test");
+    cli.add("--filter", "F", "filter",
+            [&](const std::string &v) { seen = v; });
+    // Only the first '=' splits flag from value.
+    EXPECT_TRUE(parseWith(cli, {"--filter=key=value"}).ok);
+    EXPECT_EQ(seen, "key=value");
+}
+
+TEST(Cli, InlineValueMayBeEmpty)
+{
+    std::string seen = "unset";
+    Cli cli("t", "test");
+    cli.add("--out", "PATH", "path",
+            [&](const std::string &v) { seen = v; });
+    EXPECT_TRUE(parseWith(cli, {"--out="}).ok);
+    EXPECT_EQ(seen, "");
+}
+
+TEST(Cli, BothFormsMixInOneInvocation)
+{
+    std::string a, b;
+    int flag_hits = 0;
+    Cli cli("t", "test");
+    cli.add("--alpha", "A", "a", [&](const std::string &v) { a = v; });
+    cli.add("--beta", "B", "b", [&](const std::string &v) { b = v; });
+    cli.addFlag("--verbose", "v", [&] { ++flag_hits; });
+    EXPECT_TRUE(
+        parseWith(cli, {"--alpha=1", "--verbose", "--beta", "2"}).ok);
+    EXPECT_EQ(a, "1");
+    EXPECT_EQ(b, "2");
+    EXPECT_EQ(flag_hits, 1);
+}
+
+TEST(Cli, BooleanFlagRejectsInlineValue)
+{
+    Cli cli("t", "test");
+    cli.addFlag("--verbose", "v", [] {});
+    const ParseResult result = parseWith(cli, {"--verbose=1"});
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.exitCode, 2);
+}
+
+TEST(Cli, UnknownFlagExitsTwo)
+{
+    Cli cli("t", "test");
+    const ParseResult result = parseWith(cli, {"--nope"});
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.exitCode, 2);
+}
+
+TEST(Cli, UnknownFlagWithInlineValueExitsTwo)
+{
+    Cli cli("t", "test");
+    const ParseResult result = parseWith(cli, {"--nope=3"});
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.exitCode, 2);
+}
+
+TEST(Cli, MissingValueExitsTwo)
+{
+    Cli cli("t", "test");
+    cli.add("--spec", "S", "spec", [](const std::string &) {});
+    const ParseResult result = parseWith(cli, {"--spec"});
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.exitCode, 2);
+}
+
+TEST(Cli, UnexpectedPositionalExitsTwo)
+{
+    Cli cli("t", "test");
+    const ParseResult result = parseWith(cli, {"stray"});
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.exitCode, 2);
+}
+
+TEST(Cli, RegisteredPositionalIsDelivered)
+{
+    std::vector<std::string> seen;
+    Cli cli("t", "test");
+    cli.addPositional("FILE", "input",
+                      [&](const std::string &v) { seen.push_back(v); });
+    EXPECT_TRUE(parseWith(cli, {"a.trace", "b.trace"}).ok);
+    EXPECT_EQ(seen, (std::vector<std::string>{"a.trace", "b.trace"}));
+}
+
+TEST(Cli, HelpAndVersionExitZero)
+{
+    for (const char *flag : {"--help", "-h", "--version"}) {
+        Cli cli("t", "test");
+        const ParseResult result = parseWith(cli, {flag});
+        EXPECT_FALSE(result.ok);
+        EXPECT_EQ(result.exitCode, 0) << flag;
+    }
+}
+
+} // namespace
+} // namespace bxt

@@ -1,0 +1,682 @@
+/**
+ * @file
+ * bxtd server tests: frame-parser structural checks (every malformed
+ * input maps to a typed error), socket-free Service dispatch, and
+ * loopback end-to-end runs — a live server on an ephemeral TCP port and
+ * on a Unix-domain socket, round-tripping the golden-vector corpus
+ * bit-identically through every codec spec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/client.h"
+#include "common/bitops.h"
+#include "core/codec_factory.h"
+#include "server/server.h"
+#include "server/service.h"
+#include "server/wire.h"
+#include "telemetry/metrics.h"
+#include "verify/golden.h"
+
+namespace bxt {
+namespace {
+
+// ---------------------------------------------------------------------
+// Frame parser
+
+wire::Frame
+pingFrame()
+{
+    wire::Frame frame;
+    frame.opcode = wire::Opcode::Ping;
+    return frame;
+}
+
+wire::Frame
+encodeFrameWithSpec(const std::string &spec)
+{
+    wire::Frame frame;
+    frame.opcode = wire::Opcode::Encode;
+    frame.spec = spec;
+    frame.body = {1, 2, 3, 4};
+    return frame;
+}
+
+/**
+ * Overwrite a length field in a serialized frame. Length-bound checks
+ * run before the CRC check, so the stale CRC does not mask them.
+ */
+void
+storeLen(std::vector<std::uint8_t> &bytes, std::size_t offset,
+         std::size_t value)
+{
+    storeWord32(bytes.data() + offset, static_cast<std::uint32_t>(value));
+}
+
+/** Feed @p bytes and expect one typed error. */
+wire::ErrorCode
+parseExpectingError(const std::vector<std::uint8_t> &bytes)
+{
+    wire::FrameParser parser;
+    parser.feed(bytes.data(), bytes.size());
+    wire::Frame out;
+    wire::WireError err;
+    EXPECT_EQ(parser.next(out, err), wire::FrameParser::Status::Bad);
+    EXPECT_TRUE(parser.failed());
+    return err.code;
+}
+
+TEST(FrameParser, CleanFrameRoundTrips)
+{
+    const wire::Frame frame = encodeFrameWithSpec("universal3+zdr");
+    const std::vector<std::uint8_t> bytes = wire::serializeFrame(frame);
+
+    wire::FrameParser parser;
+    parser.feed(bytes.data(), bytes.size());
+    wire::Frame out;
+    wire::WireError err;
+    ASSERT_EQ(parser.next(out, err), wire::FrameParser::Status::Ready);
+    EXPECT_EQ(out, frame);
+    EXPECT_EQ(parser.buffered(), 0u);
+    EXPECT_EQ(parser.next(out, err), wire::FrameParser::Status::NeedMore);
+}
+
+TEST(FrameParser, TruncatedFrameNeedsMore)
+{
+    const std::vector<std::uint8_t> bytes =
+        wire::serializeFrame(encodeFrameWithSpec("xor4+zdr"));
+    for (const std::size_t keep :
+         {std::size_t{0}, std::size_t{5}, std::size_t{15},
+          bytes.size() - 1}) {
+        wire::FrameParser parser;
+        parser.feed(bytes.data(), keep);
+        wire::Frame out;
+        wire::WireError err;
+        EXPECT_EQ(parser.next(out, err),
+                  wire::FrameParser::Status::NeedMore)
+            << "prefix of " << keep << " bytes";
+        EXPECT_FALSE(parser.failed());
+    }
+}
+
+TEST(FrameParser, ByteAtATimeDeliveryStillParses)
+{
+    const wire::Frame frame = encodeFrameWithSpec("dbi4");
+    const std::vector<std::uint8_t> bytes = wire::serializeFrame(frame);
+    wire::FrameParser parser;
+    wire::Frame out;
+    wire::WireError err;
+    for (std::size_t i = 0; i + 1 < bytes.size(); ++i) {
+        parser.feed(&bytes[i], 1);
+        ASSERT_EQ(parser.next(out, err),
+                  wire::FrameParser::Status::NeedMore);
+    }
+    parser.feed(&bytes.back(), 1);
+    ASSERT_EQ(parser.next(out, err), wire::FrameParser::Status::Ready);
+    EXPECT_EQ(out, frame);
+}
+
+TEST(FrameParser, BadMagicIsTyped)
+{
+    std::vector<std::uint8_t> bytes =
+        wire::serializeFrame(pingFrame());
+    bytes[0] ^= 0xff;
+    EXPECT_EQ(parseExpectingError(bytes), wire::ErrorCode::BadMagic);
+}
+
+TEST(FrameParser, BadVersionIsTyped)
+{
+    std::vector<std::uint8_t> bytes = wire::serializeFrame(pingFrame());
+    bytes[4] = wire::wireVersion + 1;
+    EXPECT_EQ(parseExpectingError(bytes), wire::ErrorCode::BadVersion);
+}
+
+TEST(FrameParser, UnknownOpcodeIsTyped)
+{
+    std::vector<std::uint8_t> bytes = wire::serializeFrame(pingFrame());
+    bytes[5] = 0x42; // Not a defined opcode.
+    EXPECT_EQ(parseExpectingError(bytes), wire::ErrorCode::UnknownOpcode);
+}
+
+TEST(FrameParser, ReservedBitsAreTyped)
+{
+    std::vector<std::uint8_t> bytes = wire::serializeFrame(pingFrame());
+    bytes[6] = 1;
+    EXPECT_EQ(parseExpectingError(bytes), wire::ErrorCode::Malformed);
+}
+
+TEST(FrameParser, OversizedSpecIsTyped)
+{
+    std::vector<std::uint8_t> bytes = wire::serializeFrame(pingFrame());
+    storeLen(bytes, 8, wire::maxSpecLen + 1);
+    EXPECT_EQ(parseExpectingError(bytes), wire::ErrorCode::FrameTooLarge);
+}
+
+TEST(FrameParser, OversizedBodyIsTyped)
+{
+    std::vector<std::uint8_t> bytes = wire::serializeFrame(pingFrame());
+    storeLen(bytes, 12, wire::maxBodyLen + 1);
+    EXPECT_EQ(parseExpectingError(bytes), wire::ErrorCode::FrameTooLarge);
+}
+
+TEST(FrameParser, BadCrcIsTypedAndSticky)
+{
+    std::vector<std::uint8_t> bytes =
+        wire::serializeFrame(encodeFrameWithSpec("baseline"));
+    bytes[bytes.size() - 1] ^= 0x01;
+
+    wire::FrameParser parser;
+    parser.feed(bytes.data(), bytes.size());
+    wire::Frame out;
+    wire::WireError err;
+    ASSERT_EQ(parser.next(out, err), wire::FrameParser::Status::Bad);
+    EXPECT_EQ(err.code, wire::ErrorCode::BadCrc);
+
+    // Sticky: feeding a clean frame afterwards must not recover.
+    const std::vector<std::uint8_t> clean =
+        wire::serializeFrame(pingFrame());
+    parser.feed(clean.data(), clean.size());
+    EXPECT_EQ(parser.next(out, err), wire::FrameParser::Status::Bad);
+    EXPECT_EQ(err.code, wire::ErrorCode::BadCrc);
+}
+
+TEST(FrameParser, SelfCheckingFuzzPasses)
+{
+    const wire::FrameFuzzReport report =
+        wire::fuzzFrameParser(/*seed=*/7, /*iterations=*/3000);
+    EXPECT_GT(report.framesParsed, 0u);
+    EXPECT_GT(report.errorsTyped, 0u);
+    for (const std::string &failure : report.failures)
+        ADD_FAILURE() << failure;
+}
+
+TEST(ErrorFrames, RoundTripCodeAndMessage)
+{
+    const wire::Frame frame =
+        wire::makeErrorFrame(wire::ErrorCode::Busy, "try later");
+    wire::ErrorCode code = wire::ErrorCode::None;
+    std::string message;
+    ASSERT_TRUE(wire::parseErrorFrame(frame, code, message));
+    EXPECT_EQ(code, wire::ErrorCode::Busy);
+    EXPECT_EQ(message, "try later");
+    EXPECT_EQ(wire::errorCodeName(code), "busy");
+}
+
+// ---------------------------------------------------------------------
+// Service dispatch (socket-free)
+
+wire::ErrorCode
+errorCodeOf(const wire::Frame &frame)
+{
+    wire::ErrorCode code = wire::ErrorCode::None;
+    std::string message;
+    EXPECT_TRUE(wire::parseErrorFrame(frame, code, message))
+        << "expected an Error frame";
+    return code;
+}
+
+wire::Frame
+makeEncodeRequest(const std::string &spec, std::uint32_t tx_bytes,
+                  std::uint32_t bus_bits,
+                  const std::vector<std::uint8_t> &raw)
+{
+    wire::Frame request;
+    request.opcode = wire::Opcode::Encode;
+    request.spec = spec;
+    wire::BodyWriter body;
+    body.u32(tx_bytes);
+    body.u32(bus_bits);
+    body.u64(raw.size() / tx_bytes);
+    body.bytes(raw.data(), raw.size());
+    request.body = body.take();
+    return request;
+}
+
+TEST(Service, PingEchoes)
+{
+    server::Service service;
+    const wire::Frame reply = service.handle(pingFrame());
+    EXPECT_EQ(reply.opcode, wire::Opcode::Ping);
+    EXPECT_TRUE(reply.body.empty());
+}
+
+TEST(Service, ErrorOpcodeAsRequestIsMalformed)
+{
+    server::Service service;
+    const wire::Frame reply = service.handle(
+        wire::makeErrorFrame(wire::ErrorCode::Internal, "not a request"));
+    EXPECT_EQ(errorCodeOf(reply), wire::ErrorCode::Malformed);
+}
+
+TEST(Service, BadSpecIsTyped)
+{
+    server::Service service;
+    const std::vector<std::uint8_t> raw(32, 0);
+    const wire::Frame reply =
+        service.handle(makeEncodeRequest("no-such-codec", 32, 32, raw));
+    EXPECT_EQ(errorCodeOf(reply), wire::ErrorCode::BadSpec);
+}
+
+TEST(Service, BadGeometryIsMalformed)
+{
+    server::Service service;
+    const std::vector<std::uint8_t> raw(24, 0);
+    // 24 is not a power of two.
+    wire::Frame reply =
+        service.handle(makeEncodeRequest("baseline", 24, 32, raw));
+    EXPECT_EQ(errorCodeOf(reply), wire::ErrorCode::Malformed);
+    // 48-bit bus does not exist.
+    reply = service.handle(
+        makeEncodeRequest("baseline", 32, 48,
+                          std::vector<std::uint8_t>(32, 0)));
+    EXPECT_EQ(errorCodeOf(reply), wire::ErrorCode::Malformed);
+}
+
+TEST(Service, TruncatedEncodeBodyIsMalformed)
+{
+    server::Service service;
+    wire::Frame request =
+        makeEncodeRequest("baseline", 32, 32,
+                          std::vector<std::uint8_t>(64, 0));
+    request.body.pop_back(); // Body no longer matches the count field.
+    EXPECT_EQ(errorCodeOf(service.handle(request)),
+              wire::ErrorCode::Malformed);
+}
+
+TEST(Service, OversizedCountIsMalformed)
+{
+    server::Service service;
+    wire::Frame request;
+    request.opcode = wire::Opcode::Encode;
+    request.spec = "baseline";
+    wire::BodyWriter body;
+    body.u32(32);
+    body.u32(32);
+    body.u64(wire::maxTxPerRequest + 1);
+    request.body = body.take();
+    EXPECT_EQ(errorCodeOf(service.handle(request)),
+              wire::ErrorCode::Malformed);
+}
+
+TEST(Service, DecodeGeometryMismatchIsMalformed)
+{
+    server::Service service;
+    // dbi1 on a 32-bit bus drives 4 metadata wires per beat; claim 1.
+    wire::Frame request;
+    request.opcode = wire::Opcode::Decode;
+    request.spec = "dbi1";
+    wire::BodyWriter body;
+    body.u32(32);
+    body.u32(32);
+    body.u32(1); // Wrong metaWiresPerBeat.
+    body.u32(1);
+    body.u64(1);
+    const std::vector<std::uint8_t> payload(33, 0);
+    body.bytes(payload.data(), payload.size());
+    request.body = body.take();
+    EXPECT_EQ(errorCodeOf(service.handle(request)),
+              wire::ErrorCode::Malformed);
+}
+
+TEST(Service, EncodeMatchesDirectCodecAndCachesIt)
+{
+    server::Service service;
+    const std::string spec = "universal3+zdr";
+    std::vector<std::uint8_t> raw(3 * 32);
+    for (std::size_t i = 0; i < raw.size(); ++i)
+        raw[i] = static_cast<std::uint8_t>(i * 37 + 11);
+
+    const wire::Frame reply =
+        service.handle(makeEncodeRequest(spec, 32, 32, raw));
+    ASSERT_EQ(reply.opcode, wire::Opcode::Encode);
+    EXPECT_EQ(service.cachedCodecs(), 1u);
+
+    wire::BodyReader reader(reply.body);
+    std::uint32_t tx_bytes = 0, bus_bits = 0, meta_wires = 0,
+                  meta_bytes = 0;
+    std::uint64_t count = 0, in_ones = 0, payload_ones = 0, meta_ones = 0;
+    ASSERT_TRUE(reader.u32(tx_bytes));
+    ASSERT_TRUE(reader.u32(bus_bits));
+    ASSERT_TRUE(reader.u32(meta_wires));
+    ASSERT_TRUE(reader.u32(meta_bytes));
+    ASSERT_TRUE(reader.u64(count));
+    ASSERT_TRUE(reader.u64(in_ones));
+    ASSERT_TRUE(reader.u64(payload_ones));
+    ASSERT_TRUE(reader.u64(meta_ones));
+    ASSERT_EQ(count, 3u);
+    ASSERT_EQ(reader.remaining(), count * (tx_bytes + meta_bytes));
+
+    CodecPtr codec = makeCodec(spec, 4);
+    std::uint64_t want_in = 0, want_payload = 0;
+    for (std::size_t i = 0; i < 3; ++i) {
+        const Transaction tx(
+            std::span<const std::uint8_t>(raw.data() + i * 32, 32));
+        const Encoded enc = codec->encode(tx);
+        want_in += tx.ones();
+        want_payload += enc.payload.ones();
+        std::vector<std::uint8_t> got(32);
+        ASSERT_TRUE(reader.bytes(got.data(), got.size()));
+        EXPECT_EQ(std::vector<std::uint8_t>(enc.payload.bytes().begin(),
+                                            enc.payload.bytes().end()),
+                  got)
+            << "payload " << i << " differs from direct codec";
+    }
+    EXPECT_EQ(in_ones, want_in);
+    EXPECT_EQ(payload_ones, want_payload);
+    EXPECT_EQ(meta_ones, 0u);
+
+    // Same spec again: the codec cache must not grow.
+    service.handle(makeEncodeRequest(spec, 32, 32, raw));
+    EXPECT_EQ(service.cachedCodecs(), 1u);
+}
+
+TEST(Service, StatsReturnsSnapshotJson)
+{
+    server::Service service;
+    wire::Frame request;
+    request.opcode = wire::Opcode::Stats;
+    const wire::Frame reply = service.handle(request);
+    ASSERT_EQ(reply.opcode, wire::Opcode::Stats);
+    const std::string json(reply.body.begin(), reply.body.end());
+    EXPECT_NE(json.find("\"schema\""), std::string::npos);
+}
+
+TEST(Service, ValidateGeometryAcceptsAndRejects)
+{
+    EXPECT_TRUE(server::validateGeometry(32, 32).empty());
+    EXPECT_TRUE(server::validateGeometry(64, 64).empty());
+    EXPECT_TRUE(server::validateGeometry(8, 32).empty());
+    EXPECT_FALSE(server::validateGeometry(24, 32).empty());
+    EXPECT_FALSE(server::validateGeometry(128, 32).empty());
+    EXPECT_FALSE(server::validateGeometry(32, 48).empty());
+    EXPECT_FALSE(server::validateGeometry(4, 64).empty());
+}
+
+// ---------------------------------------------------------------------
+// Loopback end-to-end
+
+/** A live server on a background thread, torn down on destruction. */
+class LiveServer
+{
+  public:
+    explicit LiveServer(server::ServerOptions options)
+        : server_(std::move(options))
+    {
+        std::string err;
+        if (!server_.start(err)) {
+            ADD_FAILURE() << "server start failed: " << err;
+            return;
+        }
+        thread_ = std::thread([this] { server_.serve(); });
+        started_ = true;
+    }
+
+    ~LiveServer() { stop(); }
+
+    void stop()
+    {
+        if (started_) {
+            server_.requestStop();
+            thread_.join();
+            started_ = false;
+        }
+    }
+
+    bool started() const { return started_; }
+    int tcpPort() const { return server_.tcpPort(); }
+
+  private:
+    server::Server server_;
+    std::thread thread_;
+    bool started_ = false;
+};
+
+server::ServerOptions
+ephemeralTcpOptions()
+{
+    server::ServerOptions options;
+    options.tcpPort = 0; // Ephemeral.
+    options.threads = 2;
+    return options;
+}
+
+std::string
+uniqueSocketPath(const char *tag)
+{
+    return std::filesystem::temp_directory_path() /
+           ("bxt_test_" + std::string(tag) + "_" +
+            std::to_string(::getpid()) + ".sock");
+}
+
+/** Golden file headers: (spec, wires, seed, count) per corpus file. */
+struct GoldenHeader
+{
+    std::string spec;
+    unsigned wires = 0;
+    std::uint64_t seed = 0;
+    std::size_t count = 0;
+};
+
+std::vector<GoldenHeader>
+loadGoldenHeaders()
+{
+    std::vector<GoldenHeader> headers;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(BXT_GOLDEN_DIR)) {
+        if (!entry.is_regular_file() ||
+            entry.path().extension() != ".txt" ||
+            entry.path().filename() == "endpoints.txt") {
+            continue;
+        }
+        std::ifstream in(entry.path());
+        GoldenHeader header;
+        std::string key;
+        while (in >> key) {
+            if (key == "#") {
+                std::string rest;
+                std::getline(in, rest);
+            } else if (key == "spec") {
+                in >> header.spec;
+            } else if (key == "wires") {
+                in >> header.wires;
+            } else if (key == "seed") {
+                std::string value;
+                in >> value;
+                header.seed = std::stoull(value, nullptr, 0);
+            } else if (key == "count") {
+                in >> header.count;
+                break; // Header complete; vectors follow.
+            } else {
+                std::string rest;
+                std::getline(in, rest);
+            }
+        }
+        if (!header.spec.empty() && header.wires != 0 && header.count > 0)
+            headers.push_back(std::move(header));
+    }
+    return headers;
+}
+
+/** Unpack LSB-first packed metadata back to 0/1 values. */
+std::vector<std::uint8_t>
+unpackMetaBits(const std::uint8_t *packed, std::size_t bit_count)
+{
+    std::vector<std::uint8_t> bits(bit_count);
+    for (std::size_t j = 0; j < bit_count; ++j)
+        bits[j] = (packed[j / 8] >> (j % 8)) & 1u;
+    return bits;
+}
+
+/**
+ * Round-trip every golden-corpus spec through a live client connection:
+ * encoded payload and metadata must match generateGolden bit-for-bit,
+ * and decode must recover the inputs exactly.
+ */
+void
+roundtripGoldenCorpus(client::Client &client)
+{
+    const std::vector<GoldenHeader> headers = loadGoldenHeaders();
+    ASSERT_GE(headers.size(), 17u) << "golden corpus went missing";
+
+    for (const GoldenHeader &header : headers) {
+        SCOPED_TRACE(header.spec + " w" + std::to_string(header.wires));
+        const verify::GoldenFile golden = verify::generateGolden(
+            header.spec, header.wires, header.seed, header.count);
+        ASSERT_EQ(golden.vectors.size(), header.count);
+
+        const std::uint32_t tx_bytes = header.wires; // By construction.
+        std::vector<std::uint8_t> raw;
+        raw.reserve(header.count * tx_bytes);
+        for (const verify::GoldenVector &vec : golden.vectors) {
+            const auto bytes = vec.input.bytes();
+            ASSERT_EQ(bytes.size(), tx_bytes);
+            raw.insert(raw.end(), bytes.begin(), bytes.end());
+        }
+
+        std::string err;
+        client::EncodeResult enc;
+        ASSERT_TRUE(client.encode(header.spec, tx_bytes, header.wires,
+                                  raw, enc, err))
+            << err;
+        ASSERT_EQ(enc.count, header.count);
+        ASSERT_EQ(enc.payloads.size(), raw.size());
+
+        for (std::size_t i = 0; i < header.count; ++i) {
+            const verify::GoldenVector &vec = golden.vectors[i];
+            const auto want = vec.payload.bytes();
+            ASSERT_EQ(std::memcmp(want.data(),
+                                  enc.payloads.data() + i * tx_bytes,
+                                  tx_bytes),
+                      0)
+                << "payload " << i << " differs from golden vector";
+            const std::vector<std::uint8_t> got_meta = unpackMetaBits(
+                enc.meta.data() + i * enc.metaBytesPerTx, vec.meta.size());
+            ASSERT_EQ(got_meta, vec.meta)
+                << "metadata " << i << " differs from golden vector";
+        }
+
+        client::DecodeResult dec;
+        ASSERT_TRUE(client.decode(header.spec, enc, dec, err)) << err;
+        ASSERT_EQ(dec.raw, raw)
+            << "decode did not recover the original transactions";
+    }
+}
+
+TEST(Loopback, GoldenCorpusRoundTripsOverTcp)
+{
+    LiveServer live(ephemeralTcpOptions());
+    ASSERT_TRUE(live.started());
+
+    std::string err;
+    client::Client client =
+        client::Client::connectTcp("127.0.0.1", live.tcpPort(), err);
+    ASSERT_TRUE(client.connected()) << err;
+    ASSERT_TRUE(client.ping(err)) << err;
+    roundtripGoldenCorpus(client);
+}
+
+TEST(Loopback, GoldenCorpusRoundTripsOverUnixSocket)
+{
+    const std::string path = uniqueSocketPath("unix");
+    server::ServerOptions options;
+    options.unixPath = path;
+    options.threads = 2;
+    LiveServer live(options);
+    ASSERT_TRUE(live.started());
+
+    std::string err;
+    client::Client client = client::Client::connectUnix(path, err);
+    ASSERT_TRUE(client.connected()) << err;
+    roundtripGoldenCorpus(client);
+    live.stop();
+    EXPECT_FALSE(std::filesystem::exists(path))
+        << "server left its socket file behind";
+}
+
+TEST(Loopback, ServerErrorsAreTypedNotFatal)
+{
+    LiveServer live(ephemeralTcpOptions());
+    ASSERT_TRUE(live.started());
+
+    std::string err;
+    client::Client client =
+        client::Client::connectTcp("127.0.0.1", live.tcpPort(), err);
+    ASSERT_TRUE(client.connected()) << err;
+
+    // Bad spec is a typed failure on a healthy connection…
+    client::EncodeResult enc;
+    const std::vector<std::uint8_t> raw(32, 0xff);
+    EXPECT_FALSE(client.encode("bogus-spec", 32, 32, raw, enc, err));
+    EXPECT_EQ(client.lastErrorCode(), wire::ErrorCode::BadSpec);
+
+    // …and the connection still works afterwards.
+    EXPECT_TRUE(client.ping(err)) << err;
+    EXPECT_TRUE(client.encode("baseline", 32, 32, raw, enc, err)) << err;
+    EXPECT_EQ(enc.inputOnes, 256u);
+}
+
+TEST(Loopback, StatsOpcodeServesLiveTelemetry)
+{
+    telemetry::setMetricsEnabled(true);
+    LiveServer live(ephemeralTcpOptions());
+    ASSERT_TRUE(live.started());
+
+    std::string err;
+    client::Client client =
+        client::Client::connectTcp("127.0.0.1", live.tcpPort(), err);
+    ASSERT_TRUE(client.connected()) << err;
+
+    client::EncodeResult enc;
+    const std::vector<std::uint8_t> raw(64, 0x0f);
+    ASSERT_TRUE(client.encode("xor4+zdr", 32, 32, raw, enc, err)) << err;
+
+    std::string json;
+    ASSERT_TRUE(client.stats(json, err)) << err;
+    EXPECT_NE(json.find("bxt.server.requests"), std::string::npos);
+    EXPECT_NE(json.find("bxt.server.xor4-zdr.ones_in"), std::string::npos);
+    telemetry::setMetricsEnabled(false);
+}
+
+TEST(Loopback, FullAcceptQueueAnswersBusy)
+{
+    server::ServerOptions options = ephemeralTcpOptions();
+    options.maxPending = 0; // Every accept is immediately rejected.
+    LiveServer live(options);
+    ASSERT_TRUE(live.started());
+
+    std::string err;
+    client::Client client =
+        client::Client::connectTcp("127.0.0.1", live.tcpPort(), err);
+    ASSERT_TRUE(client.connected()) << err;
+    EXPECT_FALSE(client.ping(err));
+    EXPECT_EQ(client.lastErrorCode(), wire::ErrorCode::Busy);
+}
+
+TEST(Loopback, GracefulDrainClosesIdleConnections)
+{
+    LiveServer live(ephemeralTcpOptions());
+    ASSERT_TRUE(live.started());
+
+    std::string err;
+    client::Client client =
+        client::Client::connectTcp("127.0.0.1", live.tcpPort(), err);
+    ASSERT_TRUE(client.connected()) << err;
+    ASSERT_TRUE(client.ping(err)) << err;
+
+    // stop() returns only after serve() drained: the held connection
+    // must not block shutdown.
+    live.stop();
+    EXPECT_FALSE(client.ping(err));
+}
+
+} // namespace
+} // namespace bxt

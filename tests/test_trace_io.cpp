@@ -176,6 +176,77 @@ TEST(TraceIoDeath, RejectsOversizedNameLength)
     std::remove(path.c_str());
 }
 
+TEST(TraceIo, SaveLeavesNoTemporaryBehind)
+{
+    const std::string path = tempPath("atomic.bxtrace");
+    ASSERT_TRUE(saveTrace(makeTrace(4, 32), path));
+    std::FILE *tmp = std::fopen((path + ".tmp").c_str(), "rb");
+    EXPECT_EQ(tmp, nullptr) << "temporary survived a successful save";
+    if (tmp != nullptr)
+        std::fclose(tmp);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, FailedSaveLeavesOldFileIntact)
+{
+    // Overwriting an existing trace with an unsaveable one (mixed
+    // transaction sizes) must leave the original readable: the write
+    // goes to the .tmp sibling and never reaches the target.
+    const std::string path = tempPath("preserved.bxtrace");
+    ASSERT_TRUE(saveTrace(makeTrace(3, 32), path));
+
+    Trace mixed = makeTrace(2, 32);
+    mixed.txs.push_back(Transaction(64));
+    EXPECT_FALSE(saveTrace(mixed, path));
+
+    Trace still_there;
+    std::string err;
+    ASSERT_TRUE(tryLoadTrace(path, still_there, err)) << err;
+    EXPECT_EQ(still_there.txs.size(), 3u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, TryLoadReportsMissingFile)
+{
+    Trace out;
+    std::string err;
+    EXPECT_FALSE(tryLoadTrace(tempPath("nope.bxtrace"), out, err));
+    EXPECT_NE(err.find("cannot open"), std::string::npos) << err;
+    EXPECT_TRUE(out.txs.empty());
+}
+
+TEST(TraceIo, TryLoadReportsMalformedContentWithoutDying)
+{
+    const std::string path = tempPath("try-corrupt.bxtrace");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("NOT A TRACE FILE AT ALL", f);
+    std::fclose(f);
+
+    Trace out;
+    std::string err;
+    EXPECT_FALSE(tryLoadTrace(path, out, err));
+    EXPECT_NE(err.find("bad magic"), std::string::npos) << err;
+    EXPECT_TRUE(out.txs.empty());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, TryLoadRoundTrips)
+{
+    const Trace original = makeTrace(6, 32);
+    const std::string path = tempPath("try-ok.bxtrace");
+    ASSERT_TRUE(saveTrace(original, path));
+
+    Trace out;
+    std::string err;
+    ASSERT_TRUE(tryLoadTrace(path, out, err)) << err;
+    EXPECT_EQ(out.name, original.name);
+    ASSERT_EQ(out.txs.size(), original.txs.size());
+    for (std::size_t i = 0; i < out.txs.size(); ++i)
+        EXPECT_EQ(out.txs[i], original.txs[i]);
+    std::remove(path.c_str());
+}
+
 TEST(TraceIoDeath, RejectsNonPowerOfTwoTransactionSize)
 {
     // tx_bytes = 24 passes a naive range check but is not a Transaction

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/cli.h"
+#include "server/wire.h"
 #include "verify/differential.h"
 
 int
@@ -60,8 +61,29 @@ main(int argc, char **argv)
             });
     cli.addFlag("--no-shrink", "keep failing inputs unminimized",
                 [&] { options.shrinkFailures = false; });
+    std::uint64_t frame_iters = 0;
+    cli.add("--frames", "N",
+            "also fuzz the bxtd wire-frame parser for N iterations",
+            [&](const std::string &v) {
+                frame_iters = std::strtoull(v.c_str(), nullptr, 0);
+            });
     if (!cli.parse(argc, argv))
         return cli.exitCode();
+
+    bool frames_ok = true;
+    if (frame_iters > 0) {
+        const bxt::wire::FrameFuzzReport frames =
+            bxt::wire::fuzzFrameParser(options.seed, frame_iters);
+        std::printf("frame parser: %llu iterations, %llu clean frames "
+                    "round-tripped, %llu corruptions typed, %zu failure(s)\n",
+                    static_cast<unsigned long long>(frames.iterations),
+                    static_cast<unsigned long long>(frames.framesParsed),
+                    static_cast<unsigned long long>(frames.errorsTyped),
+                    frames.failures.size());
+        for (const std::string &failure : frames.failures)
+            std::printf("FRAME FAIL %s\n", failure.c_str());
+        frames_ok = frames.ok();
+    }
     if (!wires.empty())
         options.dataWires = wires;
     options.progress = [](const std::string &line) {
@@ -85,5 +107,5 @@ main(int argc, char **argv)
         if (!failure.reproPath.empty())
             std::printf("  repro: %s\n", failure.reproPath.c_str());
     }
-    return report.ok() ? 0 : 1;
+    return (report.ok() && frames_ok) ? 0 : 1;
 }

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * bxt_loadgen: drive a running bxtd with encode traffic and report
+ * latency percentiles and throughput.
+ *
+ * Two modes:
+ *  - closed-loop (default): one request in flight; each request waits
+ *    for its response, so the latency distribution is pure service +
+ *    round-trip time.
+ *  - open-loop: keep up to --depth request frames in flight on one
+ *    connection (pipelined); latencies then include queueing delay.
+ *
+ * Every request frame carries --batch transactions, so the transaction
+ * rate is the request rate times the batch size. Results go to stdout
+ * and, with --json, into the unified bench JSON schema
+ * (BENCH_server_loadgen.json in CI).
+ *
+ * Usage:
+ *   bxt_loadgen (--tcp HOST:PORT | --unix PATH) [--spec S] [--wires W]
+ *               [--tx-bytes B] [--batch N] [--requests N] [--depth D]
+ *               [--open-loop | --closed-loop] [--seed X] [--json PATH]
+ *               [--assert-min-tx-rate R]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "suite_eval.h"
+#include "telemetry/trace.h"
+
+namespace {
+
+struct Args
+{
+    std::string tcp;
+    std::string unixPath;
+    std::string spec = "baseline";
+    unsigned wires = 32;
+    std::uint32_t txBytes = 32;
+    std::size_t batch = 64;
+    std::size_t requests = 2000;
+    std::size_t depth = 16;
+    bool openLoop = false;
+    std::uint64_t seed = 1;
+    std::string jsonPath;
+    double assertMinTxRate = 0.0;
+};
+
+struct RunResult
+{
+    double seconds = 0.0;
+    std::vector<double> latenciesUs; ///< One sample per request frame.
+};
+
+std::vector<std::uint8_t>
+randomPayload(const Args &args, bxt::Rng &rng)
+{
+    std::vector<std::uint8_t> raw(args.batch * args.txBytes);
+    for (std::uint8_t &byte : raw)
+        byte = static_cast<std::uint8_t>(rng.nextBounded(256));
+    return raw;
+}
+
+/** Closed loop through the client library: one request in flight. */
+bool
+runClosedLoop(const Args &args, bxt::client::Client &client,
+              RunResult &out, std::string &err)
+{
+    bxt::Rng rng(args.seed);
+    const std::vector<std::uint8_t> raw = randomPayload(args, rng);
+    out.latenciesUs.reserve(args.requests);
+    const std::uint64_t start = bxt::telemetry::nowMicros();
+    for (std::size_t i = 0; i < args.requests; ++i) {
+        bxt::client::EncodeResult enc;
+        const std::uint64_t t0 = bxt::telemetry::nowMicros();
+        if (!client.encode(args.spec, args.txBytes, args.wires, raw, enc,
+                           err))
+            return false;
+        out.latenciesUs.push_back(
+            static_cast<double>(bxt::telemetry::nowMicros() - t0));
+    }
+    out.seconds =
+        static_cast<double>(bxt::telemetry::nowMicros() - start) / 1.0e6;
+    return true;
+}
+
+/**
+ * Open loop over the raw wire: keep up to --depth serialized request
+ * frames in flight, reading responses as they arrive.
+ */
+bool
+runOpenLoop(const Args &args, int fd, RunResult &out, std::string &err)
+{
+    bxt::Rng rng(args.seed);
+    const std::vector<std::uint8_t> raw = randomPayload(args, rng);
+
+    bxt::wire::Frame request;
+    request.opcode = bxt::wire::Opcode::Encode;
+    request.spec = args.spec;
+    bxt::wire::BodyWriter body;
+    body.u32(args.txBytes);
+    body.u32(args.wires);
+    body.u64(args.batch);
+    body.bytes(raw.data(), raw.size());
+    request.body = body.take();
+    const std::vector<std::uint8_t> frame_bytes =
+        bxt::wire::serializeFrame(request);
+
+    bxt::wire::FrameParser parser;
+    std::uint8_t buf[64 * 1024];
+    std::deque<std::uint64_t> send_times;
+    std::size_t sent = 0;
+    std::size_t received = 0;
+    out.latenciesUs.reserve(args.requests);
+
+    const std::uint64_t start = bxt::telemetry::nowMicros();
+    while (received < args.requests) {
+        while (sent < args.requests && send_times.size() < args.depth) {
+            if (!bxt::net::writeAll(fd, frame_bytes.data(),
+                                    frame_bytes.size(), err))
+                return false;
+            send_times.push_back(bxt::telemetry::nowMicros());
+            ++sent;
+        }
+
+        bxt::wire::Frame response;
+        bxt::wire::WireError parse_err;
+        const bxt::wire::FrameParser::Status st =
+            parser.next(response, parse_err);
+        if (st == bxt::wire::FrameParser::Status::Bad) {
+            err = "response stream corrupt: " + parse_err.detail;
+            return false;
+        }
+        if (st == bxt::wire::FrameParser::Status::NeedMore) {
+            const long n = bxt::net::readSome(fd, buf, sizeof(buf), err);
+            if (n < 0)
+                return false;
+            if (n == 0) {
+                err = "server closed the connection";
+                return false;
+            }
+            parser.feed(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (response.opcode == bxt::wire::Opcode::Error) {
+            bxt::wire::ErrorCode code = bxt::wire::ErrorCode::None;
+            std::string message;
+            bxt::wire::parseErrorFrame(response, code, message);
+            err = bxt::wire::errorCodeName(code) + ": " + message;
+            return false;
+        }
+        out.latenciesUs.push_back(static_cast<double>(
+            bxt::telemetry::nowMicros() - send_times.front()));
+        send_times.pop_front();
+        ++received;
+    }
+    out.seconds =
+        static_cast<double>(bxt::telemetry::nowMicros() - start) / 1.0e6;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args;
+    bxt::Cli cli("bxt_loadgen",
+                 "load generator for bxtd: encode traffic, latency "
+                 "percentiles, throughput");
+    cli.add("--tcp", "HOST:PORT", "connect over TCP",
+            [&](const std::string &v) { args.tcp = v; });
+    cli.add("--unix", "PATH", "connect over a Unix-domain socket",
+            [&](const std::string &v) { args.unixPath = v; });
+    cli.add("--spec", "S", "codec spec (default baseline)",
+            [&](const std::string &v) { args.spec = v; });
+    cli.add("--wires", "W", "bus width in bits (default 32)",
+            [&](const std::string &v) {
+                args.wires = static_cast<unsigned>(
+                    std::strtoul(v.c_str(), nullptr, 0));
+            });
+    cli.add("--tx-bytes", "B", "transaction size (default 32)",
+            [&](const std::string &v) {
+                args.txBytes = static_cast<std::uint32_t>(
+                    std::strtoul(v.c_str(), nullptr, 0));
+            });
+    cli.add("--batch", "N", "transactions per request frame (default 64)",
+            [&](const std::string &v) {
+                args.batch = std::strtoul(v.c_str(), nullptr, 0);
+            });
+    cli.add("--requests", "N", "request frames to send (default 2000)",
+            [&](const std::string &v) {
+                args.requests = std::strtoul(v.c_str(), nullptr, 0);
+            });
+    cli.add("--depth", "D", "open-loop frames in flight (default 16)",
+            [&](const std::string &v) {
+                args.depth = std::strtoul(v.c_str(), nullptr, 0);
+            });
+    cli.addFlag("--open-loop", "pipeline up to --depth requests",
+                [&] { args.openLoop = true; });
+    cli.addFlag("--closed-loop", "one request in flight (default)",
+                [&] { args.openLoop = false; });
+    cli.add("--seed", "X", "payload RNG seed (default 1)",
+            [&](const std::string &v) {
+                args.seed = std::strtoull(v.c_str(), nullptr, 0);
+            });
+    cli.add("--json", "PATH", "write bench JSON here",
+            [&](const std::string &v) { args.jsonPath = v; });
+    cli.add("--assert-min-tx-rate", "R",
+            "exit 1 unless the tx/s rate reaches R (CI gate)",
+            [&](const std::string &v) {
+                args.assertMinTxRate = std::strtod(v.c_str(), nullptr);
+            });
+    if (!cli.parse(argc, argv))
+        return cli.exitCode();
+
+    if (args.tcp.empty() && args.unixPath.empty()) {
+        std::fprintf(stderr, "bxt_loadgen: need --tcp or --unix\n");
+        return 2;
+    }
+    if (args.batch == 0 || args.batch > bxt::wire::maxTxPerRequest ||
+        args.requests == 0 || args.depth == 0) {
+        std::fprintf(stderr, "bxt_loadgen: bad --batch/--requests/--depth\n");
+        return 2;
+    }
+
+    std::string err;
+    bxt::client::Client client;
+    if (!args.unixPath.empty()) {
+        client = bxt::client::Client::connectUnix(args.unixPath, err);
+    } else {
+        const std::size_t colon = args.tcp.rfind(':');
+        if (colon == std::string::npos) {
+            std::fprintf(stderr, "bxt_loadgen: bad --tcp '%s'\n",
+                         args.tcp.c_str());
+            return 2;
+        }
+        client = bxt::client::Client::connectTcp(
+            args.tcp.substr(0, colon),
+            static_cast<int>(
+                std::strtol(args.tcp.c_str() + colon + 1, nullptr, 10)),
+            err);
+    }
+    if (!client.connected()) {
+        std::fprintf(stderr, "bxt_loadgen: %s\n", err.c_str());
+        return 1;
+    }
+
+    RunResult result;
+    bool ok;
+    if (args.openLoop) {
+        // The open loop speaks the raw wire to pipeline frames, which
+        // the strictly request-response client API cannot express.
+        ok = runOpenLoop(args, client.rawFd(), result, err);
+    } else {
+        ok = runClosedLoop(args, client, result, err);
+    }
+    if (!ok) {
+        std::fprintf(stderr, "bxt_loadgen: %s\n", err.c_str());
+        return 1;
+    }
+
+    const double req_rate =
+        result.seconds > 0.0
+            ? static_cast<double>(args.requests) / result.seconds
+            : 0.0;
+    const double tx_rate = req_rate * static_cast<double>(args.batch);
+    const double p50 = bxt::percentile(result.latenciesUs, 50.0);
+    const double p95 = bxt::percentile(result.latenciesUs, 95.0);
+    const double p99 = bxt::percentile(result.latenciesUs, 99.0);
+
+    std::printf("mode: %s  spec: %s  tx: %u B  batch: %zu  requests: %zu\n",
+                args.openLoop ? "open-loop" : "closed-loop",
+                args.spec.c_str(), args.txBytes, args.batch,
+                args.requests);
+    std::printf("elapsed: %.3f s  throughput: %.0f req/s  %.0f tx/s\n",
+                result.seconds, req_rate, tx_rate);
+    std::printf("latency us: p50 %.1f  p95 %.1f  p99 %.1f\n", p50, p95,
+                p99);
+
+    if (!args.jsonPath.empty() &&
+        !bxt::writeBenchJson(args.jsonPath, "server_loadgen",
+                             [&](bxt::JsonWriter &w) {
+                                 w.beginObject();
+                                 w.kv("mode", args.openLoop
+                                                  ? "open-loop"
+                                                  : "closed-loop");
+                                 w.kv("spec", args.spec);
+                                 w.kv("tx_bytes",
+                                      static_cast<std::uint64_t>(
+                                          args.txBytes));
+                                 w.kv("batch", static_cast<std::uint64_t>(
+                                                   args.batch));
+                                 w.kv("requests",
+                                      static_cast<std::uint64_t>(
+                                          args.requests));
+                                 w.kv("seconds", result.seconds);
+                                 w.kv("req_per_s", req_rate);
+                                 w.kv("tx_per_s", tx_rate);
+                                 w.kv("p50_us", p50);
+                                 w.kv("p95_us", p95);
+                                 w.kv("p99_us", p99);
+                                 w.endObject();
+                             }))
+        return 1;
+
+    if (args.assertMinTxRate > 0.0 && tx_rate < args.assertMinTxRate) {
+        std::fprintf(stderr,
+                     "bxt_loadgen: tx rate %.0f/s below required %.0f/s\n",
+                     tx_rate, args.assertMinTxRate);
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * bxtd: the batched encode/decode daemon. Serves the framed wire
+ * protocol (server/wire.h) over TCP and/or a Unix-domain socket until
+ * SIGTERM/SIGINT, then drains gracefully and exits 0.
+ *
+ * Usage:
+ *   bxtd [--listen HOST:PORT] [--unix PATH] [--threads N]
+ *        [--max-batch K] [--idle-timeout MS] [--max-pending N]
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/cli.h"
+#include "server/server.h"
+#include "telemetry/metrics.h"
+
+namespace {
+
+bxt::server::Server *g_server = nullptr;
+
+void
+onSignal(int)
+{
+    // requestStop is async-signal-safe (atomic store + pipe write).
+    if (g_server != nullptr)
+        g_server->requestStop();
+}
+
+/** Split "HOST:PORT"; false on a missing/invalid port. */
+bool
+parseListen(const std::string &text, std::string &host, int &port)
+{
+    const std::size_t colon = text.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= text.size())
+        return false;
+    host = text.substr(0, colon);
+    char *end = nullptr;
+    const long value = std::strtol(text.c_str() + colon + 1, &end, 10);
+    if (*end != '\0' || value < 0 || value > 65535)
+        return false;
+    port = static_cast<int>(value);
+    return !host.empty();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bxt::server::ServerOptions options;
+    std::string listen_spec;
+
+    bxt::Cli cli("bxtd",
+                 "batched encode/decode server for the bxt wire protocol");
+    cli.add("--listen", "HOST:PORT",
+            "TCP listen address (port 0 picks an ephemeral port)",
+            [&](const std::string &v) { listen_spec = v; });
+    cli.add("--unix", "PATH", "Unix-domain socket path",
+            [&](const std::string &v) { options.unixPath = v; });
+    cli.add("--threads", "N", "worker threads (default: hardware count)",
+            [&](const std::string &v) {
+                options.threads = static_cast<unsigned>(
+                    std::strtoul(v.c_str(), nullptr, 0));
+            });
+    cli.add("--max-batch", "K",
+            "max frames coalesced per connection pass (default 64)",
+            [&](const std::string &v) {
+                options.maxBatch = std::strtoul(v.c_str(), nullptr, 0);
+            });
+    cli.add("--idle-timeout", "MS",
+            "per-connection idle timeout, -1 = forever (default 30000)",
+            [&](const std::string &v) {
+                options.idleTimeoutMs =
+                    static_cast<int>(std::strtol(v.c_str(), nullptr, 0));
+            });
+    cli.add("--max-pending", "N",
+            "accepted-but-unserved connection bound (default 64)",
+            [&](const std::string &v) {
+                options.maxPending = std::strtoul(v.c_str(), nullptr, 0);
+            });
+    if (!cli.parse(argc, argv))
+        return cli.exitCode();
+
+    if (!listen_spec.empty() &&
+        !parseListen(listen_spec, options.tcpHost, options.tcpPort)) {
+        std::fprintf(stderr, "bxtd: bad --listen '%s' (want HOST:PORT)\n",
+                     listen_spec.c_str());
+        return 2;
+    }
+    if (options.tcpPort < 0 && options.unixPath.empty()) {
+        std::fprintf(stderr,
+                     "bxtd: nothing to serve (need --listen or --unix)\n");
+        return 2;
+    }
+    if (options.maxBatch == 0)
+        options.maxBatch = 1;
+
+    // A server without telemetry is blind: the Stats opcode and
+    // bxt_report both read the live snapshot, so enable recording even
+    // when BXT_METRICS is unset in the environment.
+    bxt::telemetry::setMetricsEnabled(true);
+
+    bxt::server::Server server(options);
+    std::string err;
+    if (!server.start(err)) {
+        std::fprintf(stderr, "bxtd: %s\n", err.c_str());
+        return 1;
+    }
+
+    g_server = &server;
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    if (server.tcpPort() >= 0) {
+        std::printf("bxtd: listening on tcp://%s:%d\n",
+                    options.tcpHost.c_str(), server.tcpPort());
+    }
+    if (!options.unixPath.empty())
+        std::printf("bxtd: listening on unix://%s\n",
+                    options.unixPath.c_str());
+    std::printf("bxtd: serving (max-batch %zu, max-pending %zu)\n",
+                options.maxBatch, options.maxPending);
+    std::fflush(stdout); // Scripts parse the resolved port from stdout.
+
+    server.serve();
+
+    g_server = nullptr;
+    std::printf("bxtd: drained, exiting\n");
+    return 0;
+}
