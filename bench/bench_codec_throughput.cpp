@@ -11,6 +11,12 @@
  *     on the parallel engine. Reports GB/s for both, asserts that the
  *     parallel BusStats are bit-identical to the serial run, and emits
  *     `BENCH_codec_throughput.json` for CI tracking.
+ *  3. A batch-vs-scalar kernel sweep: encode+decode throughput of the
+ *     batch hot path (encodeBatch / decodeBatch) against the scalar
+ *     reference loop at batch sizes 1/8/64/512/4096, after asserting the
+ *     two paths produce field-identical BusStats through the full eval
+ *     pipeline. `--batch-min-speedup F` turns the best batch>=512
+ *     speedup into a CI gate.
  *
  * Not a paper artifact — it documents that the library is fast enough to
  * sit in a simulator's memory-controller path.
@@ -24,8 +30,10 @@
 #include <string>
 #include <vector>
 
+#include "channel/channel_eval.h"
 #include "common/error.h"
 #include "common/parallel.h"
+#include "core/batch.h"
 #include "core/codec_factory.h"
 #include "suite_eval.h"
 #include "workloads/apps.h"
@@ -140,8 +148,154 @@ identicalResults(const std::vector<AppResult> &a,
     return true;
 }
 
+/** Specs the batch-vs-scalar sweep times (one per kernel family). */
+const std::vector<std::string> batchSweepSpecs = {
+    "baseline", "xor4+zdr", "universal3+zdr", "dbi4",
+    "universal3+zdr|dbi1"};
+
+/** Batch sizes swept; 1 isolates the per-call overhead. */
+const std::vector<std::size_t> batchSweepSizes = {1, 8, 64, 512, 4096};
+
+/** Transactions per timed run (32-byte GPU sectors). */
+constexpr std::size_t batchSweepTx = 16384;
+
+struct BatchRow
+{
+    std::string spec;
+    std::size_t batchTx = 0; ///< 0 = the scalar reference loop.
+    double seconds = 0.0;
+    double txPerSecond = 0.0;
+    double speedup = 1.0; ///< vs the same spec's scalar row.
+};
+
+/** Best wall-clock of three codec-only round-trip passes over @p stream. */
+double
+timeScalarRoundTrips(const std::string &spec,
+                     const std::vector<Transaction> &stream)
+{
+    double best = 1.0e30;
+    for (int rep = 0; rep < 3; ++rep) {
+        CodecPtr codec = makeCodec(spec);
+        Encoded enc;
+        Transaction back;
+        const auto start = std::chrono::steady_clock::now();
+        for (const Transaction &tx : stream) {
+            codec->encodeInto(tx, enc);
+            codec->decodeInto(enc, back);
+            benchmark::DoNotOptimize(back.data());
+        }
+        const auto stop = std::chrono::steady_clock::now();
+        best = std::min(best,
+                        std::chrono::duration<double>(stop - start).count());
+    }
+    return best;
+}
+
+double
+timeBatchRoundTrips(const std::string &spec,
+                    const std::vector<Transaction> &stream,
+                    std::size_t batch_tx)
+{
+    // Batch consumers (bxtd frames, materialized traces) hold the
+    // transactions as one flat plane already, so the timed region fills
+    // each TxBatch with append() from a pre-flattened copy rather than
+    // paying a per-transaction push loop the real hot path never runs.
+    const std::size_t tx_bytes = stream[0].size();
+    std::vector<std::uint8_t> plane(stream.size() * tx_bytes);
+    for (std::size_t i = 0; i < stream.size(); ++i)
+        std::memcpy(plane.data() + i * tx_bytes, stream[i].data(),
+                    tx_bytes);
+
+    double best = 1.0e30;
+    for (int rep = 0; rep < 3; ++rep) {
+        CodecPtr codec = makeCodec(spec);
+        TxBatch batch(tx_bytes, batch_tx);
+        EncodedBatch enc;
+        TxBatch decoded;
+        const auto start = std::chrono::steady_clock::now();
+        std::size_t i = 0;
+        while (i < stream.size()) {
+            batch.clear();
+            const std::size_t chunk =
+                std::min(batch_tx, stream.size() - i);
+            batch.append(plane.data() + i * tx_bytes, chunk);
+            codec->encodeBatch(batch, enc);
+            codec->decodeBatch(enc, decoded);
+            benchmark::DoNotOptimize(decoded.data());
+            i += chunk;
+        }
+        const auto stop = std::chrono::steady_clock::now();
+        best = std::min(best,
+                        std::chrono::duration<double>(stop - start).count());
+    }
+    return best;
+}
+
+/**
+ * The batch-vs-scalar sweep. Per spec: assert the batch eval pipeline's
+ * BusStats are field-identical to the scalar reference at every batch
+ * size, then time codec-only round trips. Returns the rows (scalar row
+ * first per spec) and the best batch>=512 speedup via @p best_out.
+ */
+std::vector<BatchRow>
+runBatchSweep(double *best_out)
+{
+    const std::vector<Transaction> stream = makeInput(false, batchSweepTx);
+    std::vector<BatchRow> rows;
+    double best = 0.0;
+
+    std::printf("\n--- batch kernels vs scalar reference: %zu tx/run ---\n",
+                batchSweepTx);
+    for (const std::string &spec : batchSweepSpecs) {
+        // Field-identity gate first: the full eval pipeline (encode,
+        // transmit, decode) must report the same BusStats either way.
+        CodecPtr scalar_codec = makeCodec(spec);
+        const BusStats want =
+            evalCodecOnStream(*scalar_codec, stream, 32, 0.3, 0).stats;
+        for (std::size_t batch_tx : batchSweepSizes) {
+            CodecPtr codec = makeCodec(spec);
+            const BusStats got =
+                evalCodecOnStream(*codec, stream, 32, 0.3, batch_tx).stats;
+            if (!(got == want))
+                panic("batch eval BusStats diverged from scalar (" + spec +
+                      ", batch " + std::to_string(batch_tx) + ")");
+        }
+
+        BatchRow scalar;
+        scalar.spec = spec;
+        scalar.seconds = timeScalarRoundTrips(spec, stream);
+        scalar.txPerSecond =
+            static_cast<double>(stream.size()) / scalar.seconds;
+        std::printf("%-22s scalar      %9.0f ktx/s\n", spec.c_str(),
+                    scalar.txPerSecond / 1.0e3);
+        rows.push_back(scalar);
+
+        for (std::size_t batch_tx : batchSweepSizes) {
+            BatchRow row;
+            row.spec = spec;
+            row.batchTx = batch_tx;
+            row.seconds = timeBatchRoundTrips(spec, stream, batch_tx);
+            row.txPerSecond =
+                static_cast<double>(stream.size()) / row.seconds;
+            row.speedup = row.txPerSecond / scalar.txPerSecond;
+            std::printf("%-22s batch %-5zu %9.0f ktx/s  %5.2fx\n",
+                        spec.c_str(), batch_tx, row.txPerSecond / 1.0e3,
+                        row.speedup);
+            if (batch_tx >= 512)
+                best = std::max(best, row.speedup);
+            rows.push_back(row);
+        }
+    }
+    std::printf("best batch>=512 speedup: %.2fx  (BusStats field-identical "
+                "at every batch size)\n",
+                best);
+    if (best_out != nullptr)
+        *best_out = best;
+    return rows;
+}
+
 int
-runSuiteSweep(const std::string &json_path)
+runSuiteSweep(const std::string &json_path, double batch_min_speedup)
 {
     const std::vector<std::string> specs = paperSchemeSpecs();
     const unsigned parallel_threads = defaultThreadCount();
@@ -168,6 +322,10 @@ runSuiteSweep(const std::string &json_path)
     if (!identical)
         panic("parallel evalSuite diverged from the serial run");
 
+    double best_batch_speedup = 0.0;
+    const std::vector<BatchRow> batch_rows =
+        runBatchSweep(&best_batch_speedup);
+
     const bool ok = writeBenchJson(
         json_path, "codec_throughput", [&](JsonWriter &w) {
             auto emit = [&](const char *mode, unsigned threads,
@@ -189,10 +347,30 @@ runSuiteSweep(const std::string &json_path)
             };
             emit("serial", 1, serial);
             emit("parallel", parallel_threads, parallel);
+            for (const BatchRow &row : batch_rows) {
+                w.beginObject();
+                w.kv("mode", row.batchTx == 0 ? "scalar_codec"
+                                              : "batch_codec");
+                w.kv("spec", row.spec);
+                w.kv("batch_tx", static_cast<std::uint64_t>(row.batchTx));
+                w.kv("seconds", row.seconds);
+                w.kv("tx_per_s", row.txPerSecond);
+                w.kv("speedup_vs_scalar", row.speedup);
+                w.kv("stats_identical", true);
+                w.endObject();
+            }
         });
     if (!ok)
         return 1;
     std::printf("wrote %s\n", json_path.c_str());
+
+    if (batch_min_speedup > 0.0 && best_batch_speedup < batch_min_speedup) {
+        std::fprintf(stderr,
+                     "FAIL: best batch>=512 speedup %.2fx is below the "
+                     "--batch-min-speedup gate %.2fx\n",
+                     best_batch_speedup, batch_min_speedup);
+        return 1;
+    }
     return 0;
 }
 
@@ -223,15 +401,21 @@ main(int argc, char **argv)
     // Strip this bench's own flags before google-benchmark parses the
     // rest. --sweep-only skips the microbenches (the overhead gate in
     // `ci.sh metrics` only needs the sweep); --json redirects the sweep
-    // document (default BENCH_codec_throughput.json, unified schema).
+    // document (default BENCH_codec_throughput.json, unified schema);
+    // --batch-min-speedup F fails the run when the best batch>=512
+    // codec speedup over scalar falls below F (the `ci.sh batch` gate).
     bool sweep_only = false;
     std::string json_path = "BENCH_codec_throughput.json";
+    double batch_min_speedup = 0.0;
     std::vector<char *> passthrough = {argv[0]};
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--sweep-only") == 0) {
             sweep_only = true;
         } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--batch-min-speedup") == 0 &&
+                   i + 1 < argc) {
+            batch_min_speedup = std::strtod(argv[++i], nullptr);
         } else {
             passthrough.push_back(argv[i]);
         }
@@ -245,5 +429,5 @@ main(int argc, char **argv)
     if (!sweep_only)
         benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    return runSuiteSweep(json_path);
+    return runSuiteSweep(json_path, batch_min_speedup);
 }

@@ -4,12 +4,16 @@
 # on every PR, plus a fuzz job that runs the differential verifier
 # (tools/bxt_fuzz) under the sanitizers on a wall-clock budget.
 #
-# Usage: ./ci.sh [release|asan|fuzz|metrics|serve|all]   (default: all)
+# Usage: ./ci.sh [release|asan|fuzz|batch|metrics|serve|all]   (default: all)
 #   release  Release build + `ctest -L tier1`
 #   asan     ASan/UBSan build + `ctest -L tier1` (oversubscribed pool)
 #   fuzz     ASan/UBSan build + bxt_fuzz campaign + fuzz/golden-labeled
 #            ctest; BXT_FUZZ_SECONDS scales the budget (default 60) and
 #            BXT_FUZZ_FRAMES the wire-frame parser pass (default 100000)
+#   batch    Release build + batch-labeled ctest (batch kernels vs the
+#            scalar reference) + the bench_codec_throughput batch sweep
+#            with its speedup gate (BXT_BATCH_MIN_SPEEDUP, default 1.5,
+#            over scalar at batch >= 512 on the best spec)
 #   metrics  Release build + telemetry-enabled run: validates the metrics
 #            snapshot and trace with bxt_report, then asserts the
 #            compiled-in-but-disabled telemetry costs under
@@ -59,13 +63,33 @@ run_fuzz() {
     # The time-budgeted campaign sweeps every canonical spec and shrinks
     # any failure into tests/corpus/ (uploaded as a CI artifact). The
     # --frames pass also fuzzes the bxtd wire-frame parser (clean frames
-    # must round-trip; corrupted ones must yield typed errors, never UB).
+    # must round-trip; corrupted ones must yield typed errors, never UB),
+    # and --batch differentially checks the batch kernels against the
+    # scalar path under the sanitizers (BXT_FUZZ_BATCH_STREAMS scales it).
     ./build-ci-asan/tools/bxt_fuzz \
         --seconds "${BXT_FUZZ_SECONDS:-60}" \
         --frames "${BXT_FUZZ_FRAMES:-100000}" \
+        --batch --batch-streams "${BXT_FUZZ_BATCH_STREAMS:-12}" \
         --corpus tests/corpus
     ctest --test-dir build-ci-asan --output-on-failure -j "${jobs}" \
         -L 'fuzz|golden'
+}
+
+run_batch() {
+    echo "=== CI job: batch kernels vs scalar reference ==="
+    cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-ci-release -j "${jobs}" \
+        --target test_batch bench_codec_throughput
+    # Differential coverage first (golden corpus through the batch
+    # kernels, split-invariance, the short fuzz campaign), then the
+    # throughput smoke: the batch path must beat the scalar loop by the
+    # gate factor at batch >= 512 on at least one spec, and the sweep
+    # itself asserts BusStats field-identity at every batch size.
+    ctest --test-dir build-ci-release --output-on-failure -j "${jobs}" \
+        -L batch
+    ./build-ci-release/bench/bench_codec_throughput --sweep-only \
+        --batch-min-speedup "${BXT_BATCH_MIN_SPEEDUP:-1.5}" \
+        --json build-ci-release/BENCH_codec_throughput.json
 }
 
 run_metrics() {
@@ -182,9 +206,10 @@ case "${mode}" in
   release) run_release ;;
   asan)    run_asan ;;
   fuzz)    run_fuzz ;;
+  batch)   run_batch ;;
   metrics) run_metrics ;;
   serve)   run_serve ;;
-  all)     run_release; run_asan; run_metrics; run_serve ;;
-  *) echo "usage: $0 [release|asan|fuzz|metrics|serve|all]" >&2; exit 2 ;;
+  all)     run_release; run_asan; run_batch; run_metrics; run_serve ;;
+  *) echo "usage: $0 [release|asan|fuzz|batch|metrics|serve|all]" >&2; exit 2 ;;
 esac
 echo "CI ${mode}: OK"

@@ -76,27 +76,19 @@ Bus::resetWires()
     idle_accum_ = 0.0;
 }
 
-BusStats
-Bus::transmit(const Encoded &enc)
+void
+Bus::driveTransaction(const std::uint8_t *payload, const std::uint8_t *meta,
+                      std::size_t beats, BusStats &delta)
 {
     const std::size_t bus_bytes = data_wires_ / 8;
-    const std::size_t size = enc.payload.size();
-    BXT_ASSERT(size % bus_bytes == 0);
-    BXT_ASSERT(enc.metaWiresPerBeat == meta_wires_);
-
-    const std::size_t beats = size / bus_bytes;
-    BXT_ASSERT(enc.meta.size() == beats * meta_wires_);
-
-    BusStats delta;
-    delta.transactions = 1;
-    delta.beats = beats;
+    delta.transactions += 1;
+    delta.beats += beats;
 
     // Ones and toggles are counted word-at-a-time: each beat is loaded as
     // 64/32-bit words, XORed against the previously driven beat, and
     // reduced with one popcount per word instead of one per byte lane.
     // Popcount distributes over byte boundaries, so the counts are
     // bit-identical to the per-lane formulation.
-    const std::uint8_t *payload = enc.payload.data();
     std::uint8_t *last = last_data_.data();
     for (std::size_t beat = 0; beat < beats; ++beat) {
         const std::uint8_t *beat_ptr = payload + beat * bus_bytes;
@@ -129,20 +121,66 @@ Bus::transmit(const Encoded &enc)
             last[lane] = value;
         }
         for (unsigned w = 0; w < meta_wires_; ++w) {
-            const std::uint8_t bit = enc.meta[beat * meta_wires_ + w];
+            const std::uint8_t bit = meta[beat * meta_wires_ + w];
             delta.metaOnes += bit;
             delta.metaToggles += (bit != last_meta_[w]) ? 1u : 0u;
             last_meta_[w] = bit;
         }
     }
-    delta.dataBits = beats * data_wires_;
-    delta.metaBits = beats * meta_wires_;
+    delta.dataBits += beats * data_wires_;
+    delta.metaBits += beats * meta_wires_;
 
     // Idle gap after this burst (deterministic accumulator).
     idle_accum_ += idle_fraction_;
     if (idle_accum_ >= 1.0) {
         idle_accum_ -= 1.0;
         parkWires(delta);
+    }
+}
+
+BusStats
+Bus::transmit(const Encoded &enc)
+{
+    const std::size_t bus_bytes = data_wires_ / 8;
+    const std::size_t size = enc.payload.size();
+    BXT_ASSERT(size % bus_bytes == 0);
+    BXT_ASSERT(enc.metaWiresPerBeat == meta_wires_);
+
+    const std::size_t beats = size / bus_bytes;
+    BXT_ASSERT(enc.meta.size() == beats * meta_wires_);
+
+    BusStats delta;
+    driveTransaction(enc.payload.data(), enc.meta.data(), beats, delta);
+
+    stats_ += delta;
+    if (telemetry::metricsEnabled())
+        recordBusDelta(delta);
+    return delta;
+}
+
+BusStats
+Bus::transmitBatch(const EncodedBatch &batch)
+{
+    const std::size_t bus_bytes = data_wires_ / 8;
+    const std::size_t tx_bytes = batch.txBytes();
+    BXT_ASSERT(tx_bytes % bus_bytes == 0);
+    BXT_ASSERT(batch.metaWiresPerBeat() == meta_wires_);
+
+    const std::size_t beats = tx_bytes / bus_bytes;
+    BXT_ASSERT(batch.metaBitsPerTx() == beats * meta_wires_);
+
+    // One aggregated delta; the telemetry counters are additive, so a
+    // single batched record leaves them exactly where a per-transaction
+    // loop would.
+    BusStats delta;
+    const std::uint8_t *payload = batch.payloadData();
+    const std::uint8_t *meta = batch.metaData();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        driveTransaction(payload + i * tx_bytes,
+                         meta == nullptr
+                             ? nullptr
+                             : meta + i * batch.metaBitsPerTx(),
+                         beats, delta);
     }
 
     stats_ += delta;

@@ -73,6 +73,17 @@ class Bus
      */
     BusStats transmit(const Encoded &enc);
 
+    /**
+     * Transmit every transaction of an encoded batch back to back and
+     * return the summed counter deltas. Field-identical to calling
+     * transmit() once per transaction in batch order: the last-driven
+     * wire values carry across transaction boundaries inside the batch
+     * (and into the next call), and the deterministic idle accumulator
+     * advances once per transaction, so splitting a stream into batches
+     * of any size changes no counter.
+     */
+    BusStats transmitBatch(const EncodedBatch &batch);
+
     /** Counters accumulated since construction or the last resetStats(). */
     const BusStats &stats() const { return stats_; }
 
@@ -91,6 +102,15 @@ class Bus
   private:
     /** Park all wires at idle (0) and charge the resulting transitions. */
     void parkWires(BusStats &delta);
+
+    /**
+     * Drive one transaction's beats onto the wires, accumulating into
+     * @p delta; shared by transmit() and transmitBatch(). @p meta may be
+     * null when the bus has no metadata wires.
+     */
+    void driveTransaction(const std::uint8_t *payload,
+                          const std::uint8_t *meta, std::size_t beats,
+                          BusStats &delta);
 
     unsigned data_wires_;
     unsigned meta_wires_;

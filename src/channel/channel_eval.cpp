@@ -1,5 +1,7 @@
 #include "channel/channel_eval.h"
 
+#include <algorithm>
+
 #include "common/bitops.h"
 #include "common/error.h"
 #include "telemetry/metrics.h"
@@ -49,17 +51,13 @@ ChannelEvalResult::onesPerTransaction() const
            static_cast<double>(stats.transactions);
 }
 
-ChannelEvalResult
-evalCodecOnStream(Codec &codec, const std::vector<Transaction> &stream,
-                  unsigned data_wires, double idle_fraction)
-{
-    codec.reset();
-    Bus bus(data_wires, codec.metaWiresPerBeat(), idle_fraction);
+namespace {
 
-    telemetry::ScopedSpan span("eval " + codec.name(), "channel");
-    ChannelEvalResult result;
-    result.codec = codec.name();
-    std::size_t stream_bytes = 0;
+/** Scalar reference loop: one transaction at a time. */
+void
+evalScalar(Codec &codec, const std::vector<Transaction> &stream, Bus &bus,
+           ChannelEvalResult &result, std::size_t &stream_bytes)
+{
     // One scratch Encoded/Transaction reused across the stream keeps the
     // inner loop allocation-free (the metadata vector retains capacity).
     Encoded enc;
@@ -76,6 +74,70 @@ evalCodecOnStream(Codec &codec, const std::vector<Transaction> &stream,
             panic("codec " + codec.name() + " failed to round-trip " +
                   tx.toHex());
     }
+}
+
+/**
+ * Batch hot path: the stream is chunked into TxBatches of at most
+ * @p batch_tx transactions. A chunk also ends where the transaction size
+ * changes, so mixed-size streams stay legal (TxBatch geometry is uniform).
+ */
+void
+evalBatched(Codec &codec, const std::vector<Transaction> &stream, Bus &bus,
+            std::size_t batch_tx, ChannelEvalResult &result,
+            std::size_t &stream_bytes)
+{
+    TxBatch batch;
+    EncodedBatch enc;
+    TxBatch back;
+    std::size_t i = 0;
+    while (i < stream.size()) {
+        const std::size_t tx_bytes = stream[i].size();
+        batch.reset(tx_bytes);
+        batch.reserve(std::min(batch_tx, stream.size() - i));
+        while (i < stream.size() && batch.size() < batch_tx &&
+               stream[i].size() == tx_bytes) {
+            result.rawOnes += stream[i].ones();
+            stream_bytes += tx_bytes;
+            batch.push(stream[i]);
+            ++i;
+        }
+        codec.encodeBatch(batch, enc);
+        bus.transmitBatch(enc);
+        codec.decodeBatch(enc, back);
+        if (!(back == batch)) {
+            for (std::size_t j = 0; j < batch.size(); ++j) {
+                if (!bytesEqual(back.tx(j).data(), batch.tx(j).data(),
+                                tx_bytes)) {
+                    panic("codec " + codec.name() +
+                          " failed to round-trip " +
+                          batch.transaction(j).toHex() + " (batch index " +
+                          std::to_string(j) + ")");
+                }
+            }
+            panic("codec " + codec.name() +
+                  " corrupted the batch geometry on round-trip");
+        }
+    }
+}
+
+} // namespace
+
+ChannelEvalResult
+evalCodecOnStream(Codec &codec, const std::vector<Transaction> &stream,
+                  unsigned data_wires, double idle_fraction,
+                  std::size_t batch_tx)
+{
+    codec.reset();
+    Bus bus(data_wires, codec.metaWiresPerBeat(), idle_fraction);
+
+    telemetry::ScopedSpan span("eval " + codec.name(), "channel");
+    ChannelEvalResult result;
+    result.codec = codec.name();
+    std::size_t stream_bytes = 0;
+    if (batch_tx == 0)
+        evalScalar(codec, stream, bus, result, stream_bytes);
+    else
+        evalBatched(codec, stream, bus, batch_tx, result, stream_bytes);
     result.stats = bus.stats();
     if (telemetry::metricsEnabled())
         recordEvalStream(result, stream_bytes);

@@ -7,9 +7,27 @@
 #ifndef BXT_COMMON_ERROR_H
 #define BXT_COMMON_ERROR_H
 
+#include <stdexcept>
 #include <string>
 
 namespace bxt {
+
+/**
+ * Typed failure for mismatched transaction / encoding geometry: a codec
+ * fed a transaction size its configuration cannot handle, an Encoded
+ * whose metadata does not match its payload geometry, or a batch push
+ * of a differently sized transaction. Recoverable — the bxtd service
+ * maps it to a Malformed error frame instead of dying — unlike
+ * BXT_ASSERT, which is reserved for internal invariant violations.
+ */
+class CodecSizeError : public std::runtime_error
+{
+  public:
+    explicit CodecSizeError(const std::string &message)
+        : std::runtime_error(message)
+    {
+    }
+};
 
 /**
  * Terminate the program with an error message. Use for conditions caused by

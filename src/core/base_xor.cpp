@@ -1,10 +1,58 @@
 #include "core/base_xor.h"
 
+#include <cstring>
+
 #include "common/bitops.h"
 #include "common/error.h"
 #include "core/zdr.h"
 
 namespace bxt {
+
+namespace {
+
+/** ZDR constant C as a little-endian word: zdrConstantByte in byte n-1. */
+constexpr std::uint32_t zdrConst32 = 0x40000000u;
+constexpr std::uint64_t zdrConst64 = 0x4000000000000000ull;
+
+/** Word-wide ZDR encode of one 4-byte lane. */
+inline std::uint32_t
+zdrEncode32(std::uint32_t in, std::uint32_t base)
+{
+    const std::uint32_t x = in ^ base;
+    if (in == 0)
+        return zdrConst32;
+    return x == zdrConst32 ? base : x;
+}
+
+/** Word-wide ZDR decode of one 4-byte lane. */
+inline std::uint32_t
+zdrDecode32(std::uint32_t enc, std::uint32_t base)
+{
+    if (enc == zdrConst32)
+        return 0;
+    return enc == base ? (base ^ zdrConst32) : (enc ^ base);
+}
+
+/** Word-wide ZDR encode of one 8-byte lane. */
+inline std::uint64_t
+zdrEncode64(std::uint64_t in, std::uint64_t base)
+{
+    const std::uint64_t x = in ^ base;
+    if (in == 0)
+        return zdrConst64;
+    return x == zdrConst64 ? base : x;
+}
+
+/** Word-wide ZDR decode of one 8-byte lane. */
+inline std::uint64_t
+zdrDecode64(std::uint64_t enc, std::uint64_t base)
+{
+    if (enc == zdrConst64)
+        return 0;
+    return enc == base ? (base ^ zdrConst64) : (enc ^ base);
+}
+
+} // namespace
 
 BaseXorCodec::BaseXorCodec(std::size_t base_size, bool zdr,
                            bool adjacent_base)
@@ -23,6 +71,17 @@ BaseXorCodec::name() const
     if (!adjacent_base_)
         n += "(fixed)";
     return n;
+}
+
+void
+BaseXorCodec::requireTxSize(std::size_t tx_bytes) const
+{
+    if (tx_bytes % base_size_ != 0 || tx_bytes <= base_size_) {
+        throw CodecSizeError(
+            name() + ": " + std::to_string(tx_bytes) +
+            "-byte transaction does not split into more than one " +
+            std::to_string(base_size_) + "-byte element");
+    }
 }
 
 Encoded
@@ -44,7 +103,7 @@ BaseXorCodec::decode(const Encoded &enc)
 void
 BaseXorCodec::encodeInto(const Transaction &tx, Encoded &enc)
 {
-    BXT_ASSERT(tx.size() % base_size_ == 0 && tx.size() > base_size_);
+    requireTxSize(tx.size());
     enc.payload = Transaction(tx.size());
     enc.meta.clear();
     enc.metaWiresPerBeat = 0;
@@ -72,7 +131,7 @@ void
 BaseXorCodec::decodeInto(const Encoded &enc, Transaction &tx)
 {
     const Transaction &payload = enc.payload;
-    BXT_ASSERT(payload.size() % base_size_ == 0);
+    requireTxSize(payload.size());
     tx = Transaction(payload.size());
 
     const std::uint8_t *in = payload.data();
@@ -92,6 +151,88 @@ BaseXorCodec::decodeInto(const Encoded &enc, Transaction &tx)
             zdrLaneDecode(dst, encoded, base, base_size_);
         else
             xorLaneEncode(dst, encoded, base, base_size_);
+    }
+}
+
+void
+BaseXorCodec::encodeBatchKernel(const TxBatch &in, EncodedBatch &out)
+{
+    requireTxSize(in.txBytes());
+    out.configure(in.txBytes(), 0, 0);
+    out.resize(in.size());
+    if (in.empty())
+        return;
+
+    // One plane copy seeds every base element (and, for the plain-XOR
+    // form, the element values XORed in place below); elements 1.. are
+    // then rewritten per transaction, reading only the input plane.
+    const std::size_t tx_bytes = in.txBytes();
+    const std::size_t elements = tx_bytes / base_size_;
+    std::memcpy(out.payloadData(), in.data(), in.planeBytes());
+
+    const std::uint8_t *src = in.data();
+    std::uint8_t *dst = out.payloadData();
+    for (std::size_t i = 0; i < in.size();
+         ++i, src += tx_bytes, dst += tx_bytes) {
+        for (std::size_t e = 1; e < elements; ++e) {
+            const std::size_t off = e * base_size_;
+            const std::size_t base_off =
+                adjacent_base_ ? off - base_size_ : 0;
+            if (!zdr_) {
+                xorBytes(dst + off, src + base_off, base_size_);
+            } else if (base_size_ == 4) {
+                storeWord32(dst + off,
+                            zdrEncode32(loadWord32(src + off),
+                                        loadWord32(src + base_off)));
+            } else if (base_size_ == 8) {
+                storeWord64(dst + off,
+                            zdrEncode64(loadWord64(src + off),
+                                        loadWord64(src + base_off)));
+            } else {
+                zdrLaneEncode(dst + off, src + off, src + base_off,
+                              base_size_);
+            }
+        }
+    }
+}
+
+void
+BaseXorCodec::decodeBatchKernel(const EncodedBatch &in, TxBatch &out)
+{
+    requireTxSize(in.txBytes());
+    out.reset(in.txBytes());
+    out.resize(in.size());
+    if (in.size() == 0)
+        return;
+
+    const std::size_t tx_bytes = in.txBytes();
+    const std::size_t elements = tx_bytes / base_size_;
+    std::memcpy(out.data(), in.payloadData(), in.payloadBytes());
+
+    const std::uint8_t *src = in.payloadData();
+    std::uint8_t *dst = out.data();
+    for (std::size_t i = 0; i < in.size();
+         ++i, src += tx_bytes, dst += tx_bytes) {
+        // Left to right: bases come from the already-decoded output.
+        for (std::size_t e = 1; e < elements; ++e) {
+            const std::size_t off = e * base_size_;
+            const std::size_t base_off =
+                adjacent_base_ ? off - base_size_ : 0;
+            if (!zdr_) {
+                xorBytes(dst + off, dst + base_off, base_size_);
+            } else if (base_size_ == 4) {
+                storeWord32(dst + off,
+                            zdrDecode32(loadWord32(src + off),
+                                        loadWord32(dst + base_off)));
+            } else if (base_size_ == 8) {
+                storeWord64(dst + off,
+                            zdrDecode64(loadWord64(src + off),
+                                        loadWord64(dst + base_off)));
+            } else {
+                zdrLaneDecode(dst + off, src + off, dst + base_off,
+                              base_size_);
+            }
+        }
     }
 }
 

@@ -50,7 +50,14 @@ class BaseXorCodec : public Codec
     /** Whether Zero Data Remapping is applied. */
     bool zdrEnabled() const { return zdr_; }
 
+  protected:
+    void encodeBatchKernel(const TxBatch &in, EncodedBatch &out) override;
+    void decodeBatchKernel(const EncodedBatch &in, TxBatch &out) override;
+
   private:
+    /** Throw CodecSizeError unless @p tx_bytes fits this configuration. */
+    void requireTxSize(std::size_t tx_bytes) const;
+
     std::size_t base_size_;
     bool zdr_;
     bool adjacent_base_;

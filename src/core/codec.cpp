@@ -1,8 +1,24 @@
 #include "core/codec.h"
 
-#include <numeric>
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+#include "telemetry/metrics.h"
 
 namespace bxt {
+
+namespace {
+
+/** memcpy that tolerates empty ranges (vector data() may be null). */
+void
+copyBytes(std::uint8_t *dst, const std::uint8_t *src, std::size_t n)
+{
+    if (n != 0)
+        std::memcpy(dst, src, n);
+}
+
+} // namespace
 
 std::size_t
 Encoded::ones() const
@@ -31,6 +47,94 @@ Codec::decodeInto(const Encoded &enc, Transaction &out)
     out = decode(enc);
 }
 
+void
+Codec::encodeBatch(const TxBatch &in, EncodedBatch &out)
+{
+    if (in.txBytes() == 0)
+        throw CodecSizeError("encodeBatch: batch has no geometry");
+    encodeBatchKernel(in, out);
+    BXT_ASSERT(out.size() == in.size() && out.txBytes() == in.txBytes());
+    if (telemetry::metricsEnabled()) {
+        telemetry::histogram("bxt.codec." +
+                                 telemetry::sanitizeMetricName(name()) +
+                                 ".batch_size",
+                             0.0, 4096.0, 64)
+            .add(static_cast<double>(in.size()));
+    }
+}
+
+void
+Codec::decodeBatch(const EncodedBatch &in, TxBatch &out)
+{
+    if (in.txBytes() == 0)
+        throw CodecSizeError("decodeBatch: batch has no geometry");
+    if (in.metaWiresPerBeat() != metaWiresPerBeat()) {
+        throw CodecSizeError(
+            "decodeBatch: batch carries " +
+            std::to_string(in.metaWiresPerBeat()) +
+            " metadata wires/beat but codec " + name() + " expects " +
+            std::to_string(metaWiresPerBeat()));
+    }
+    decodeBatchKernel(in, out);
+    BXT_ASSERT(out.size() == in.size() && out.txBytes() == in.txBytes());
+}
+
+void
+Codec::encodeBatchKernel(const TxBatch &in, EncodedBatch &out)
+{
+    // Correct-by-construction shim: loop the scalar hot path, learning
+    // the metadata geometry from the first encoding (stateful and
+    // third-party codecs need no batch-specific code to stay correct).
+    const std::size_t tx_bytes = in.txBytes();
+    if (in.empty()) {
+        out.configure(tx_bytes, metaWiresPerBeat(), 0);
+        out.resize(0);
+        return;
+    }
+    Encoded scratch;
+    Transaction tx(tx_bytes);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        std::memcpy(tx.data(), in.tx(i).data(), tx_bytes);
+        encodeInto(tx, scratch);
+        if (i == 0) {
+            out.configure(tx_bytes, scratch.metaWiresPerBeat,
+                          scratch.meta.size());
+            out.resize(in.size());
+        }
+        if (scratch.payload.size() != tx_bytes ||
+            scratch.meta.size() != out.metaBitsPerTx() ||
+            scratch.metaWiresPerBeat != out.metaWiresPerBeat()) {
+            throw CodecSizeError("encodeBatch: codec " + name() +
+                                 " produced inconsistent encoding "
+                                 "geometry within one batch");
+        }
+        copyBytes(out.payload(i).data(), scratch.payload.data(), tx_bytes);
+        std::copy(scratch.meta.begin(), scratch.meta.end(),
+                  out.meta(i).begin());
+    }
+}
+
+void
+Codec::decodeBatchKernel(const EncodedBatch &in, TxBatch &out)
+{
+    const std::size_t tx_bytes = in.txBytes();
+    out.reset(tx_bytes);
+    out.resize(in.size());
+    Encoded scratch;
+    scratch.metaWiresPerBeat = in.metaWiresPerBeat();
+    Transaction back(tx_bytes);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        scratch.payload = Transaction(in.payload(i));
+        scratch.meta.assign(in.meta(i).begin(), in.meta(i).end());
+        decodeInto(scratch, back);
+        if (back.size() != tx_bytes) {
+            throw CodecSizeError("decodeBatch: codec " + name() +
+                                 " changed the transaction size");
+        }
+        std::memcpy(out.tx(i).data(), back.data(), tx_bytes);
+    }
+}
+
 Encoded
 IdentityCodec::encode(const Transaction &tx)
 {
@@ -57,6 +161,23 @@ void
 IdentityCodec::decodeInto(const Encoded &enc, Transaction &out)
 {
     out = enc.payload;
+}
+
+void
+IdentityCodec::encodeBatchKernel(const TxBatch &in, EncodedBatch &out)
+{
+    // The whole batch is one plane copy.
+    out.configure(in.txBytes(), 0, 0);
+    out.resize(in.size());
+    copyBytes(out.payloadData(), in.data(), in.planeBytes());
+}
+
+void
+IdentityCodec::decodeBatchKernel(const EncodedBatch &in, TxBatch &out)
+{
+    out.reset(in.txBytes());
+    out.resize(in.size());
+    copyBytes(out.data(), in.payloadData(), in.payloadBytes());
 }
 
 } // namespace bxt

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/batch.h"
 #include "core/transaction.h"
 
 namespace bxt {
@@ -28,8 +29,14 @@ namespace bxt {
  */
 struct Encoded
 {
-    /** Encoded payload; always the same size as the input transaction. */
-    Transaction payload{32};
+    /**
+     * Encoded payload; always the same size as the input transaction.
+     * Defaults to the minimum transaction size so a default-constructed
+     * Encoded can never masquerade as a valid 32-byte GPU encoding —
+     * codecs reject mismatched geometry with CodecSizeError instead of
+     * silently resizing scratch buffers to whatever they expect.
+     */
+    Transaction payload{Transaction::minBytes};
 
     /** Metadata bit values (0/1), beat-major; empty for metadata-free codecs. */
     std::vector<std::uint8_t> meta;
@@ -84,6 +91,29 @@ class Codec
     virtual void decodeInto(const Encoded &enc, Transaction &out);
 
     /**
+     * Batch encode: encode every transaction of @p in into @p out, which
+     * is (re)configured to the batch's geometry. This is the hot path:
+     * the non-virtual entry point validates the batch geometry (throwing
+     * CodecSizeError on a mismatch), records the
+     * `bxt.codec.<spec>.batch_size` histogram, and dispatches to
+     * encodeBatchKernel(). The result is bit-identical to looping
+     * encodeInto per transaction — the default kernel is exactly that
+     * shim, and the hand-written kernels are differentially verified
+     * against it (src/verify/batch_check.h).
+     *
+     * Stateful codecs advance their channel state per transaction in
+     * batch order, exactly as a scalar loop would.
+     */
+    void encodeBatch(const TxBatch &in, EncodedBatch &out);
+
+    /**
+     * Batch decode: recover every original transaction of @p in into
+     * @p out. Inverse of encodeBatch; same validation, dispatch, and
+     * bit-identity contract as encodeBatch.
+     */
+    void decodeBatch(const EncodedBatch &in, TxBatch &out);
+
+    /**
      * Number of dedicated metadata wires this codec drives per beat. This
      * is a static property of the codec's configuration (its group size and
      * the bus width it was configured for), so channel models can size the
@@ -101,6 +131,19 @@ class Codec
      * (BD-Encoding) cannot, because decode depends on transfer history.
      */
     virtual bool stateless() const { return true; }
+
+  protected:
+    /**
+     * Batch-encode kernel. The default implementation is the correct
+     * shim: it loops encodeInto over the batch, discovering the metadata
+     * geometry from the first encoding. Word-wide overrides exist for
+     * Identity, BaseXor(+ZDR), Universal(+ZDR), DBI-DC, and Pipeline;
+     * every override must be bit-identical to the shim.
+     */
+    virtual void encodeBatchKernel(const TxBatch &in, EncodedBatch &out);
+
+    /** Batch-decode kernel; default shim loops decodeInto. */
+    virtual void decodeBatchKernel(const EncodedBatch &in, TxBatch &out);
 };
 
 /** Owning codec handle. */
@@ -118,6 +161,10 @@ class IdentityCodec : public Codec
     Transaction decode(const Encoded &enc) override;
     void encodeInto(const Transaction &tx, Encoded &out) override;
     void decodeInto(const Encoded &enc, Transaction &out) override;
+
+  protected:
+    void encodeBatchKernel(const TxBatch &in, EncodedBatch &out) override;
+    void decodeBatchKernel(const EncodedBatch &in, TxBatch &out) override;
 };
 
 } // namespace bxt

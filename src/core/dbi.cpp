@@ -28,6 +28,17 @@ DbiCodec::metaWiresPerBeat() const
     return static_cast<unsigned>(bus_bytes_ / group_bytes_);
 }
 
+void
+DbiCodec::requireTxSize(std::size_t tx_bytes) const
+{
+    if (tx_bytes == 0 || tx_bytes % bus_bytes_ != 0) {
+        throw CodecSizeError(
+            name() + ": " + std::to_string(tx_bytes) +
+            "-byte transaction is not a whole number of " +
+            std::to_string(bus_bytes_) + "-byte beats");
+    }
+}
+
 Encoded
 DbiCodec::encode(const Transaction &tx)
 {
@@ -47,7 +58,7 @@ DbiCodec::decode(const Encoded &enc)
 void
 DbiCodec::encodeInto(const Transaction &tx, Encoded &enc)
 {
-    BXT_ASSERT(tx.size() % bus_bytes_ == 0);
+    requireTxSize(tx.size());
     enc.payload = tx;
     enc.metaWiresPerBeat =
         static_cast<unsigned>(bus_bytes_ / group_bytes_);
@@ -77,10 +88,15 @@ void
 DbiCodec::decodeInto(const Encoded &enc, Transaction &tx)
 {
     tx = enc.payload;
-    BXT_ASSERT(tx.size() % bus_bytes_ == 0);
+    requireTxSize(tx.size());
     const std::size_t beats = tx.size() / bus_bytes_;
     const std::size_t groups_per_beat = bus_bytes_ / group_bytes_;
-    BXT_ASSERT(enc.meta.size() == beats * groups_per_beat);
+    if (enc.meta.size() != beats * groups_per_beat) {
+        throw CodecSizeError(name() + ": encoding carries " +
+                             std::to_string(enc.meta.size()) +
+                             " metadata bits, expected " +
+                             std::to_string(beats * groups_per_beat));
+    }
 
     std::uint8_t *data = tx.data();
     std::size_t meta_index = 0;
@@ -90,6 +106,79 @@ DbiCodec::decodeInto(const Encoded &enc, Transaction &tx)
                 std::uint8_t *group = data + beat * bus_bytes_ + g;
                 for (std::size_t i = 0; i < group_bytes_; ++i)
                     group[i] = static_cast<std::uint8_t>(~group[i]);
+            }
+        }
+    }
+}
+
+void
+DbiCodec::encodeBatchKernel(const TxBatch &in, EncodedBatch &out)
+{
+    requireTxSize(in.txBytes());
+    const std::size_t tx_bytes = in.txBytes();
+    const std::size_t beats = tx_bytes / bus_bytes_;
+    const unsigned wires = metaWiresPerBeat();
+    out.configure(tx_bytes, wires, beats * wires);
+    out.resize(in.size());
+    if (in.empty())
+        return;
+
+    // Payload plane starts as a copy; inverted groups are flipped in
+    // place and their polarity bits written straight into the meta plane.
+    std::memcpy(out.payloadData(), in.data(), in.planeBytes());
+    const std::size_t half_bits = group_bytes_ * 8 / 2;
+    std::uint8_t *data = out.payloadData();
+    std::uint8_t *meta = out.metaData();
+    for (std::size_t i = 0; i < in.size();
+         ++i, data += tx_bytes, meta += out.metaBitsPerTx()) {
+        std::size_t meta_index = 0;
+        for (std::size_t beat = 0; beat < beats; ++beat) {
+            for (std::size_t g = 0; g < bus_bytes_; g += group_bytes_) {
+                std::uint8_t *group = data + beat * bus_bytes_ + g;
+                const std::size_t ones =
+                    popcountBytes({group, group_bytes_});
+                const bool invert = ones > half_bits;
+                if (invert) {
+                    for (std::size_t b = 0; b < group_bytes_; ++b)
+                        group[b] = static_cast<std::uint8_t>(~group[b]);
+                }
+                meta[meta_index++] = invert ? 1 : 0;
+            }
+        }
+    }
+}
+
+void
+DbiCodec::decodeBatchKernel(const EncodedBatch &in, TxBatch &out)
+{
+    requireTxSize(in.txBytes());
+    const std::size_t tx_bytes = in.txBytes();
+    const std::size_t beats = tx_bytes / bus_bytes_;
+    const std::size_t groups_per_beat = bus_bytes_ / group_bytes_;
+    if (in.metaBitsPerTx() != beats * groups_per_beat) {
+        throw CodecSizeError(name() + ": batch carries " +
+                             std::to_string(in.metaBitsPerTx()) +
+                             " metadata bits per transaction, expected " +
+                             std::to_string(beats * groups_per_beat));
+    }
+    out.reset(tx_bytes);
+    out.resize(in.size());
+    if (in.size() == 0)
+        return;
+
+    std::memcpy(out.data(), in.payloadData(), in.payloadBytes());
+    std::uint8_t *data = out.data();
+    const std::uint8_t *meta = in.metaData();
+    for (std::size_t i = 0; i < in.size();
+         ++i, data += tx_bytes, meta += in.metaBitsPerTx()) {
+        std::size_t meta_index = 0;
+        for (std::size_t beat = 0; beat < beats; ++beat) {
+            for (std::size_t g = 0; g < bus_bytes_; g += group_bytes_) {
+                if (meta[meta_index++]) {
+                    std::uint8_t *group = data + beat * bus_bytes_ + g;
+                    for (std::size_t b = 0; b < group_bytes_; ++b)
+                        group[b] = static_cast<std::uint8_t>(~group[b]);
+                }
             }
         }
     }
@@ -118,7 +207,12 @@ DbiAcCodec::metaWiresPerBeat() const
 Encoded
 DbiAcCodec::encode(const Transaction &tx)
 {
-    BXT_ASSERT(tx.size() % bus_bytes_ == 0);
+    if (tx.size() % bus_bytes_ != 0) {
+        throw CodecSizeError(
+            name() + ": " + std::to_string(tx.size()) +
+            "-byte transaction is not a whole number of " +
+            std::to_string(bus_bytes_) + "-byte beats");
+    }
     Encoded enc;
     enc.payload = tx;
     enc.metaWiresPerBeat = metaWiresPerBeat();
@@ -156,10 +250,20 @@ Transaction
 DbiAcCodec::decode(const Encoded &enc)
 {
     Transaction tx = enc.payload;
-    BXT_ASSERT(tx.size() % bus_bytes_ == 0);
+    if (tx.size() % bus_bytes_ != 0) {
+        throw CodecSizeError(
+            name() + ": " + std::to_string(tx.size()) +
+            "-byte payload is not a whole number of " +
+            std::to_string(bus_bytes_) + "-byte beats");
+    }
     const std::size_t beats = tx.size() / bus_bytes_;
     const std::size_t groups_per_beat = bus_bytes_ / group_bytes_;
-    BXT_ASSERT(enc.meta.size() == beats * groups_per_beat);
+    if (enc.meta.size() != beats * groups_per_beat) {
+        throw CodecSizeError(name() + ": encoding carries " +
+                             std::to_string(enc.meta.size()) +
+                             " metadata bits, expected " +
+                             std::to_string(beats * groups_per_beat));
+    }
 
     std::uint8_t *data = tx.data();
     std::size_t meta_index = 0;

@@ -45,7 +45,14 @@ class DbiCodec : public Codec
     /** Inversion group size in bytes. */
     std::size_t groupBytes() const { return group_bytes_; }
 
+  protected:
+    void encodeBatchKernel(const TxBatch &in, EncodedBatch &out) override;
+    void decodeBatchKernel(const EncodedBatch &in, TxBatch &out) override;
+
   private:
+    /** Throw CodecSizeError unless @p tx_bytes is a whole number of beats. */
+    void requireTxSize(std::size_t tx_bytes) const;
+
     std::size_t group_bytes_;
     std::size_t bus_bytes_;
 };

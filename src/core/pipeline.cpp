@@ -1,5 +1,7 @@
 #include "core/pipeline.h"
 
+#include <cstring>
+
 #include "common/error.h"
 #include "telemetry/metrics.h"
 
@@ -105,24 +107,29 @@ PipelineCodec::encodeInto(const Transaction &tx, Encoded &result)
 }
 
 void
+PipelineCodec::bindStageCounters()
+{
+    if (!stage_counters_.empty())
+        return;
+    const std::string pipeline = telemetry::sanitizeMetricName(name());
+    stage_counters_.reserve(stages_.size());
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+        const std::string prefix =
+            "bxt.codec." + pipeline + ".stage" + std::to_string(s) + "." +
+            telemetry::sanitizeMetricName(stages_[s]->name()) + ".";
+        StageCounters c;
+        c.onesIn = &telemetry::counter(prefix + "ones_in");
+        c.onesOut = &telemetry::counter(prefix + "ones_out");
+        c.metaOnes = &telemetry::counter(prefix + "meta_ones");
+        c.bytes = &telemetry::counter(prefix + "bytes");
+        stage_counters_.push_back(c);
+    }
+}
+
+void
 PipelineCodec::recordStageMetrics(const Transaction &tx)
 {
-    if (stage_counters_.empty()) {
-        const std::string pipeline = telemetry::sanitizeMetricName(name());
-        stage_counters_.reserve(stages_.size());
-        for (std::size_t s = 0; s < stages_.size(); ++s) {
-            const std::string prefix =
-                "bxt.codec." + pipeline + ".stage" + std::to_string(s) +
-                "." + telemetry::sanitizeMetricName(stages_[s]->name()) +
-                ".";
-            StageCounters c;
-            c.onesIn = &telemetry::counter(prefix + "ones_in");
-            c.onesOut = &telemetry::counter(prefix + "ones_out");
-            c.metaOnes = &telemetry::counter(prefix + "meta_ones");
-            c.bytes = &telemetry::counter(prefix + "bytes");
-            stage_counters_.push_back(c);
-        }
-    }
+    bindStageCounters();
 
     std::size_t ones_in = tx.ones();
     for (std::size_t s = 0; s < stages_.size(); ++s) {
@@ -149,7 +156,13 @@ PipelineCodec::decodeInto(const Encoded &enc, Transaction &out)
         scratch_[s].meta.clear();
         total += scratch_[s].metaWiresPerBeat;
     }
-    BXT_ASSERT(total == enc.metaWiresPerBeat);
+    if (total != enc.metaWiresPerBeat) {
+        throw CodecSizeError(
+            name() + ": encoding carries " +
+            std::to_string(enc.metaWiresPerBeat) +
+            " metadata wires/beat but the pipeline stages expect " +
+            std::to_string(total));
+    }
 
     const std::size_t beats =
         total == 0 ? 0 : enc.meta.size() / total;
@@ -173,6 +186,135 @@ PipelineCodec::decodeInto(const Encoded &enc, Transaction &out)
         scratch_[s].payload = out;
         stages_[s]->decodeInto(scratch_[s], tmp);
         out = tmp;
+    }
+}
+
+void
+PipelineCodec::recordStageMetricsBatch(const TxBatch &in)
+{
+    bindStageCounters();
+
+    std::size_t ones_in = in.ones();
+    const std::size_t bytes = in.planeBytes();
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+        const std::size_t payload_ones = batch_scratch_[s].payloadOnes();
+        const std::size_t meta_ones = batch_scratch_[s].metaOnes();
+        const StageCounters &c = stage_counters_[s];
+        c.onesIn->add(ones_in);
+        c.onesOut->add(payload_ones + meta_ones);
+        c.metaOnes->add(meta_ones);
+        c.bytes->add(bytes);
+        ones_in = payload_ones;
+    }
+}
+
+void
+PipelineCodec::encodeBatchKernel(const TxBatch &in, EncodedBatch &out)
+{
+    const std::size_t tx_bytes = in.txBytes();
+    if (in.empty()) {
+        out.configure(tx_bytes, metaWiresPerBeat(), 0);
+        out.resize(0);
+        return;
+    }
+
+    // Stage 0 encodes the input plane; every later stage encodes the
+    // previous stage's payload plane via the ping-pong input batch.
+    batch_scratch_.resize(stages_.size());
+    stages_[0]->encodeBatch(in, batch_scratch_[0]);
+    for (std::size_t s = 1; s < stages_.size(); ++s) {
+        batch_stage_in_.reset(tx_bytes);
+        batch_stage_in_.resize(in.size());
+        std::memcpy(batch_stage_in_.data(),
+                    batch_scratch_[s - 1].payloadData(),
+                    batch_scratch_[s - 1].payloadBytes());
+        stages_[s]->encodeBatch(batch_stage_in_, batch_scratch_[s]);
+    }
+
+    if (telemetry::metricsEnabled())
+        recordStageMetricsBatch(in);
+
+    // All stages see the same beat count (payload size is preserved).
+    unsigned total_wires = 0;
+    std::size_t beats = 0;
+    for (const EncodedBatch &eb : batch_scratch_) {
+        total_wires += eb.metaWiresPerBeat();
+        if (eb.metaWiresPerBeat() > 0) {
+            const std::size_t stage_beats =
+                eb.metaBitsPerTx() / eb.metaWiresPerBeat();
+            BXT_ASSERT(beats == 0 || beats == stage_beats);
+            beats = stage_beats;
+        }
+    }
+
+    out.configure(tx_bytes, total_wires, beats * total_wires);
+    out.resize(in.size());
+    std::memcpy(out.payloadData(), batch_scratch_.back().payloadData(),
+                out.payloadBytes());
+    if (total_wires == 0)
+        return;
+
+    // Interleave stage metadata per beat in stage order, exactly as the
+    // scalar encodeInto concatenates per-beat blocks.
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        std::uint8_t *dst = out.metaData() + i * out.metaBitsPerTx();
+        for (std::size_t beat = 0; beat < beats; ++beat) {
+            for (const EncodedBatch &eb : batch_scratch_) {
+                const unsigned wires = eb.metaWiresPerBeat();
+                if (wires == 0)
+                    continue;
+                std::memcpy(dst,
+                            eb.metaData() + i * eb.metaBitsPerTx() +
+                                beat * wires,
+                            wires);
+                dst += wires;
+            }
+        }
+    }
+}
+
+void
+PipelineCodec::decodeBatchKernel(const EncodedBatch &in, TxBatch &out)
+{
+    const std::size_t tx_bytes = in.txBytes();
+    out.reset(tx_bytes);
+    out.resize(in.size());
+    if (in.size() == 0)
+        return;
+
+    // decodeBatch() already verified the total wire count matches.
+    const unsigned total = in.metaWiresPerBeat();
+    const std::size_t beats =
+        total == 0 ? 0 : in.metaBitsPerTx() / total;
+
+    // Decode stages in reverse, splitting each stage's metadata wires
+    // back out of the interleaved beat blocks.
+    batch_scratch_.resize(stages_.size());
+    const std::uint8_t *payload = in.payloadData();
+    std::size_t payload_bytes = in.payloadBytes();
+    unsigned stage_offset = total;
+    for (std::size_t s = stages_.size(); s-- > 0;) {
+        EncodedBatch &eb = batch_scratch_[s];
+        const unsigned wires = stages_[s]->metaWiresPerBeat();
+        stage_offset -= wires;
+        eb.configure(tx_bytes, wires, beats * wires);
+        eb.resize(in.size());
+        std::memcpy(eb.payloadData(), payload, payload_bytes);
+        if (wires > 0) {
+            for (std::size_t i = 0; i < in.size(); ++i) {
+                const std::uint8_t *src =
+                    in.metaData() + i * in.metaBitsPerTx() + stage_offset;
+                std::uint8_t *dst = eb.metaData() + i * eb.metaBitsPerTx();
+                for (std::size_t beat = 0; beat < beats; ++beat)
+                    std::memcpy(dst + beat * wires, src + beat * total,
+                                wires);
+            }
+        }
+        stages_[s]->decodeBatch(eb, s == 0 ? out : batch_stage_in_);
+        if (s != 0) {
+            payload = batch_stage_in_.data();
+            payload_bytes = batch_stage_in_.planeBytes();
+        }
     }
 }
 

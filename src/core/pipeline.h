@@ -42,6 +42,10 @@ class PipelineCodec : public Codec
     void reset() override;
     bool stateless() const override;
 
+  protected:
+    void encodeBatchKernel(const TxBatch &in, EncodedBatch &out) override;
+    void decodeBatchKernel(const EncodedBatch &in, TxBatch &out) override;
+
   private:
     /**
      * Cached per-stage telemetry counters (DESIGN.md §9): for stage s of
@@ -61,14 +65,30 @@ class PipelineCodec : public Codec
         telemetry::Counter *bytes = nullptr;
     };
 
+    /** Bind (once) the counter set above; no-op when already bound. */
+    void bindStageCounters();
+
     /** Record per-stage attribution for one encoded transaction. */
     void recordStageMetrics(const Transaction &tx);
+
+    /**
+     * Record per-stage attribution for a whole encoded batch. Counters are
+     * additive, so adding the batch aggregates (summed input ones, summed
+     * stage output ones, total bytes) leaves every counter with exactly the
+     * value a scalar encode loop would have produced — the telescoping
+     * invariant checked by test_telemetry holds on either path.
+     */
+    void recordStageMetricsBatch(const TxBatch &in);
 
     std::vector<CodecPtr> stages_;
     /** Per-stage scratch encodings reused across encodeInto/decodeInto
      *  calls (one slot per stage; capacities persist). Makes the codec
      *  non-reentrant, like any stateful codec — workers own their codec. */
     std::vector<Encoded> scratch_;
+    /** Batch counterpart of scratch_: stage output batches plus the
+     *  ping-pong input batch that feeds each stage after the first. */
+    std::vector<EncodedBatch> batch_scratch_;
+    TxBatch batch_stage_in_;
     /** Lazily bound counter set; empty until first enabled encode. */
     std::vector<StageCounters> stage_counters_;
 };

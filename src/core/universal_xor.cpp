@@ -113,4 +113,34 @@ UniversalXorCodec::decodeInto(const Encoded &enc, Transaction &tx)
     unfoldInPlace(tx.data(), tx.size());
 }
 
+void
+UniversalXorCodec::encodeBatchKernel(const TxBatch &in, EncodedBatch &out)
+{
+    // The fold cascade runs in place, so the batch is one plane copy
+    // followed by per-slice folds — no per-transaction scratch Encoded.
+    out.configure(in.txBytes(), 0, 0);
+    out.resize(in.size());
+    if (in.empty())
+        return;
+    std::memcpy(out.payloadData(), in.data(), in.planeBytes());
+    const std::size_t tx_bytes = in.txBytes();
+    std::uint8_t *slice = out.payloadData();
+    for (std::size_t i = 0; i < in.size(); ++i, slice += tx_bytes)
+        foldInPlace(slice, tx_bytes);
+}
+
+void
+UniversalXorCodec::decodeBatchKernel(const EncodedBatch &in, TxBatch &out)
+{
+    out.reset(in.txBytes());
+    out.resize(in.size());
+    if (in.size() == 0)
+        return;
+    std::memcpy(out.data(), in.payloadData(), in.payloadBytes());
+    const std::size_t tx_bytes = in.txBytes();
+    std::uint8_t *slice = out.data();
+    for (std::size_t i = 0; i < in.size(); ++i, slice += tx_bytes)
+        unfoldInPlace(slice, tx_bytes);
+}
+
 } // namespace bxt

@@ -57,6 +57,10 @@ class UniversalXorCodec : public Codec
     /** Effective base size for a transaction of @p tx_bytes bytes. */
     std::size_t effectiveBaseBytes(std::size_t tx_bytes) const;
 
+  protected:
+    void encodeBatchKernel(const TxBatch &in, EncodedBatch &out) override;
+    void decodeBatchKernel(const EncodedBatch &in, TxBatch &out) override;
+
   private:
     /** Stage count clamped so the base never folds below 2 bytes. */
     unsigned clampedStages(std::size_t tx_bytes) const;

@@ -1,8 +1,10 @@
 #include "server/service.h"
 
+#include <cstring>
 #include <exception>
 #include <span>
 
+#include "common/error.h"
 #include "core/codec_factory.h"
 #include "telemetry/metrics.h"
 #include "telemetry/snapshot.h"
@@ -47,7 +49,7 @@ metaBitsPerTx(std::uint32_t tx_bytes, std::uint32_t bus_bits,
 
 /** Pack beat-major 0/1 metadata values LSB-first into @p writer. */
 void
-packMeta(wire::BodyWriter &writer, const std::vector<std::uint8_t> &meta,
+packMeta(wire::BodyWriter &writer, std::span<const std::uint8_t> meta,
          std::size_t packed_bytes)
 {
     std::vector<std::uint8_t> packed(packed_bytes, 0);
@@ -60,11 +62,9 @@ packMeta(wire::BodyWriter &writer, const std::vector<std::uint8_t> &meta,
 
 /** Unpack LSB-first packed metadata into @p bits 0/1 values. */
 void
-unpackMeta(const std::uint8_t *packed, std::size_t bit_count,
-           std::vector<std::uint8_t> &bits)
+unpackMeta(const std::uint8_t *packed, std::span<std::uint8_t> bits)
 {
-    bits.resize(bit_count);
-    for (std::size_t j = 0; j < bit_count; ++j)
+    for (std::size_t j = 0; j < bits.size(); ++j)
         bits[j] = (packed[j / 8] >> (j % 8)) & 1u;
 }
 
@@ -112,7 +112,6 @@ Service::entryFor(const std::string &spec, std::uint32_t tx_bytes,
         return nullptr;
     Entry entry;
     entry.codec = std::move(codec);
-    entry.scratchTx = Transaction(tx_bytes);
     return &codecs_.emplace(key, std::move(entry)).first->second;
 }
 
@@ -162,30 +161,36 @@ Service::handleEncode(const wire::Frame &request)
     writer.u32(static_cast<std::uint32_t>(meta_bytes));
     writer.u64(count);
 
+    // The whole request body becomes one TxBatch (a single plane copy)
+    // and one encodeBatch call — the codec's batch kernel does the rest.
+    const std::uint8_t *raw = nullptr;
+    reader.view(raw, count * tx_bytes); // Size pre-validated above.
+    TxBatch &batch = entry->scratchIn;
+    batch.reset(tx_bytes);
+    batch.append(raw, count);
+    EncodedBatch &enc = entry->scratchEnc;
+    entry->codec->encodeBatch(batch, enc);
+    if (count != 0 && enc.metaBitsPerTx() != meta_bits) {
+        return errorResponse(
+            wire::ErrorCode::Internal,
+            "encode: codec produced " +
+                std::to_string(enc.metaBitsPerTx()) +
+                " metadata bits/tx, geometry expects " +
+                std::to_string(meta_bits));
+    }
+
     // The ones tallies travel in the response so clients can print
     // ones-on-bus deltas without re-popcounting payloads.
-    std::uint64_t input_ones = 0;
-    std::uint64_t payload_ones = 0;
-    std::uint64_t meta_ones = 0;
-    std::vector<std::uint8_t> payloads;
-    payloads.reserve(count * tx_bytes);
-    wire::BodyWriter meta_writer;
-    for (std::uint64_t i = 0; i < count; ++i) {
-        const std::uint8_t *raw = nullptr;
-        reader.view(raw, tx_bytes); // Size pre-validated above.
-        const Transaction tx(std::span<const std::uint8_t>(raw, tx_bytes));
-        entry->codec->encodeInto(tx, entry->scratch);
-        input_ones += tx.ones();
-        payload_ones += entry->scratch.payload.ones();
-        meta_ones += entry->scratch.metaOnes();
-        const auto bytes = entry->scratch.payload.bytes();
-        payloads.insert(payloads.end(), bytes.begin(), bytes.end());
-        packMeta(meta_writer, entry->scratch.meta, meta_bytes);
-    }
+    const std::uint64_t input_ones = batch.ones();
+    const std::uint64_t payload_ones = enc.payloadOnes();
+    const std::uint64_t meta_ones = enc.metaOnes();
     writer.u64(input_ones);
     writer.u64(payload_ones);
     writer.u64(meta_ones);
-    writer.bytes(payloads.data(), payloads.size());
+    writer.bytes(enc.payloadData(), enc.payloadBytes());
+    wire::BodyWriter meta_writer;
+    for (std::uint64_t i = 0; i < count; ++i)
+        packMeta(meta_writer, enc.meta(i), meta_bytes);
     const std::vector<std::uint8_t> meta_packed = meta_writer.take();
     writer.bytes(meta_packed.data(), meta_packed.size());
     response.body = writer.take();
@@ -266,18 +271,18 @@ Service::handleDecode(const wire::Frame &request)
     reader.view(payloads, count * tx_bytes); // Sizes pre-validated above.
     reader.view(metas, count * meta_bytes);
 
-    Encoded enc;
-    enc.metaWiresPerBeat = codec_meta_wires;
-    for (std::uint64_t i = 0; i < count; ++i) {
-        const std::uint8_t *payload = payloads + i * tx_bytes;
-        const std::uint8_t *packed = metas + i * meta_bytes;
-        enc.payload =
-            Transaction(std::span<const std::uint8_t>(payload, tx_bytes));
-        unpackMeta(packed, meta_bits, enc.meta);
-        entry->codec->decodeInto(enc, entry->scratchTx);
-        const auto bytes = entry->scratchTx.bytes();
-        writer.bytes(bytes.data(), bytes.size());
-    }
+    // Rebuild the encoded batch (payload plane copy + per-transaction
+    // metadata unpack) and decode it with one decodeBatch call.
+    EncodedBatch &enc = entry->scratchEnc;
+    enc.configure(tx_bytes, codec_meta_wires, meta_bits);
+    enc.resize(count);
+    if (count != 0)
+        std::memcpy(enc.payloadData(), payloads, count * tx_bytes);
+    for (std::uint64_t i = 0; i < count; ++i)
+        unpackMeta(metas + i * meta_bytes, enc.meta(i));
+    TxBatch &decoded = entry->scratchOut;
+    entry->codec->decodeBatch(enc, decoded);
+    writer.bytes(decoded.data(), decoded.planeBytes());
     response.body = writer.take();
 
     if (telemetry::metricsEnabled())
@@ -329,6 +334,10 @@ Service::handle(const wire::Frame &request)
                     std::to_string(static_cast<unsigned>(request.opcode)));
             break;
         }
+    } catch (const CodecSizeError &e) {
+        // Geometry the codec rejects (e.g. xor8 on an 8-byte transaction)
+        // is a client mistake, not a server fault.
+        response = errorResponse(wire::ErrorCode::Malformed, e.what());
     } catch (const std::exception &e) {
         response = errorResponse(wire::ErrorCode::Internal, e.what());
     } catch (...) {

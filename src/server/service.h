@@ -5,12 +5,14 @@
  * fuzzer can drive the full dispatch path in-process.
  *
  * A Service instance is per-connection state: it caches one codec (plus
- * allocation-free scratch buffers) per (spec, txBytes, busBits) it has
+ * allocation-free scratch batches) per (spec, txBytes, busBits) it has
  * seen, so a connection streaming one spec pays codec construction once
- * and every transaction runs through encodeInto/decodeInto. Stateful
- * codecs (bd) therefore behave like one side of a channel per connection:
- * requests on the same connection share repository history, exactly like
- * transactions sharing a link.
+ * and every request body runs through the batch hot path — the frame's
+ * transactions become one TxBatch and one encodeBatch/decodeBatch call.
+ * Stateful codecs (bd) therefore behave like one side of a channel per
+ * connection: requests on the same connection share repository history,
+ * exactly like transactions sharing a link (batch kernels advance state
+ * in batch order, identical to the scalar loop).
  */
 
 #ifndef BXT_SERVER_SERVICE_H
@@ -46,9 +48,10 @@ class Service
     struct Entry
     {
         CodecPtr codec;
-        Encoded scratch;             ///< encodeInto target, reused.
-        Transaction scratchTx{32};   ///< decodeInto target, reused.
-        std::uint64_t onesIn = 0;    ///< Per-connection running tallies.
+        TxBatch scratchIn;       ///< Request-body plane, reused.
+        EncodedBatch scratchEnc; ///< encodeBatch target / decode input.
+        TxBatch scratchOut;      ///< decodeBatch target, reused.
+        std::uint64_t onesIn = 0; ///< Per-connection running tallies.
         std::uint64_t onesOut = 0;
     };
 

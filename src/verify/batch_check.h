@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Batch-vs-scalar differential verification: the batch kernels
+ * (Codec::encodeBatch / decodeBatch, Bus::transmitBatch) claim bit-identity
+ * with the scalar reference path (encodeInto / decodeInto / transmit).
+ * This module checks that claim the same way differential.h checks the
+ * core codecs against the naive reference models — structured generator
+ * streams, every canonical spec, and a campaign driver shared by
+ * `bxt_fuzz --batch`, CI's batch mode, and tests/test_batch.cpp.
+ */
+
+#ifndef BXT_VERIFY_BATCH_CHECK_H
+#define BXT_VERIFY_BATCH_CHECK_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/transaction.h"
+#include "verify/invariants.h"
+
+namespace bxt::verify {
+
+/**
+ * Run @p stream through two fresh instances of @p spec — one down the
+ * scalar reference path, one chunked into TxBatches of at most
+ * @p batch_tx transactions — and compare bit-for-bit:
+ *
+ *  - every encoded payload slice against the scalar Encoded payload;
+ *  - every metadata slice and the metadata wire count;
+ *  - decodeBatch's output against the original transactions;
+ *  - the cumulative BusStats of transmit() vs transmitBatch(), wire
+ *    state and idle accumulator carried across batch boundaries alike.
+ *
+ * @p batch_tx == 0 means one batch spanning the whole stream. Returns
+ * nullopt when every comparison holds.
+ */
+std::optional<Violation>
+checkBatchAgainstScalar(const std::string &spec,
+                        const std::vector<Transaction> &stream,
+                        unsigned data_wires = 32, std::size_t batch_tx = 0,
+                        double idle_fraction = 0.3);
+
+/** Batch campaign parameters (see FuzzOptions for the scalar analogue). */
+struct BatchFuzzOptions
+{
+    /** Specs to sweep; empty selects canonicalSpecs(). */
+    std::vector<std::string> specs;
+
+    /** Channel widths to run each spec on (transaction = wires bytes). */
+    std::vector<unsigned> dataWires = {32, 64};
+
+    /** Generator streams per (spec, wires, batch size) unit. */
+    std::uint64_t streamsPerSpec = 12;
+
+    /** Transactions per generated stream. */
+    std::size_t txPerStream = 96;
+
+    /** Batch sizes to sweep; 1 pins the degenerate chunking, the larger
+     *  sizes cross chunk boundaries mid-stream. */
+    std::vector<std::size_t> batchSizes = {1, 7, 64, 512};
+
+    /** Campaign seed; every (spec, wires, batch) unit derives a stream. */
+    std::uint64_t seed = 0xba7c4f22ull;
+
+    /** Bus idle-gap fraction (0.3 = the paper's 70 % utilization). */
+    double idleFraction = 0.3;
+
+    /** Optional progress sink (one line per unit). */
+    std::function<void(const std::string &)> progress;
+};
+
+/** One batch-vs-scalar mismatch found by the campaign. */
+struct BatchFuzzFailure
+{
+    std::string spec;
+    unsigned dataWires = 32;
+    std::size_t batchTx = 0;
+    std::uint64_t seed = 0;
+    Violation violation;
+};
+
+/** Campaign outcome. */
+struct BatchFuzzReport
+{
+    std::uint64_t transactionsChecked = 0;
+    std::vector<BatchFuzzFailure> failures;
+    bool ok() const { return failures.empty(); }
+};
+
+/** Sweep the canonical specs' batch kernels against the scalar path. */
+BatchFuzzReport runBatchDifferentialFuzz(const BatchFuzzOptions &options);
+
+} // namespace bxt::verify
+
+#endif // BXT_VERIFY_BATCH_CHECK_H

@@ -60,11 +60,29 @@ GoldenFile generateGolden(const std::string &spec, unsigned data_wires,
 bool writeGoldenFile(const GoldenFile &golden, const std::string &path);
 
 /**
+ * Parse @p path into @p out. Returns one human-readable line per parse
+ * problem (empty == clean); on any diagnostic @p out is unusable.
+ */
+std::vector<std::string> loadGoldenFile(const std::string &path,
+                                        GoldenFile &out);
+
+/**
  * Parse @p path and re-run the current core implementation over its
  * inputs. Returns one human-readable line per mismatch (empty == clean);
  * parse problems are reported the same way rather than aborting.
  */
 std::vector<std::string> checkGoldenFile(const std::string &path);
+
+/**
+ * Like checkGoldenFile, but through the batch hot path: the file's inputs
+ * become one TxBatch encoded with a single encodeBatch call (stateful
+ * codecs advance in vector order either way), each vector's pinned
+ * payload/metadata are compared against its batch slice, the pinned bus
+ * counters against a fresh single-transaction transmitBatch, and the
+ * whole batch must decodeBatch back to the inputs. Any diff line means a
+ * batch kernel has drifted from the scalar reference the files pin.
+ */
+std::vector<std::string> checkGoldenFileBatch(const std::string &path);
 
 /** One pinned aggregate endpoint, e.g. fig11's mean normalized ones. */
 struct Endpoint

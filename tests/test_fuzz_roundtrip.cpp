@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.h"
 #include "common/rng.h"
 #include "core/codec_factory.h"
 
@@ -265,11 +266,13 @@ TEST(FuzzRoundTrip, FromHexRejectsBadLengthsWithFatalError)
 }
 
 /** A base as large as the whole transaction leaves nothing to XOR. */
-TEST(FuzzRoundTrip, BaseSizeEqualToTransactionAsserts)
+TEST(FuzzRoundTrip, BaseSizeEqualToTransactionThrows)
 {
+    // Regression: geometry mismatches are recoverable typed errors, not
+    // process-killing asserts (bxtd turns them into Malformed responses).
     CodecPtr codec = makeCodec("xor8");
     Transaction tx(8);
-    EXPECT_DEATH(codec->encode(tx), "assertion failed");
+    EXPECT_THROW(codec->encode(tx), CodecSizeError);
 }
 
 } // namespace

@@ -7,6 +7,7 @@
  * Usage:
  *   bxt_fuzz [--iters N] [--seconds S] [--seed HEX] [--spec SPEC ...]
  *            [--wires W ...] [--corpus DIR] [--idle F] [--no-shrink]
+ *            [--batch [--batch-streams N] [--batch-tx N]] [--frames N]
  */
 
 #include <cstdio>
@@ -16,6 +17,7 @@
 
 #include "common/cli.h"
 #include "server/wire.h"
+#include "verify/batch_check.h"
 #include "verify/differential.h"
 
 int
@@ -67,6 +69,23 @@ main(int argc, char **argv)
             [&](const std::string &v) {
                 frame_iters = std::strtoull(v.c_str(), nullptr, 0);
             });
+    bool batch_mode = false;
+    BatchFuzzOptions batch_options;
+    cli.addFlag("--batch",
+                "also fuzz the batch kernels against the scalar path",
+                [&] { batch_mode = true; });
+    cli.add("--batch-streams", "N",
+            "generator streams per (spec, wires, batch) unit (default 12)",
+            [&](const std::string &v) {
+                batch_options.streamsPerSpec =
+                    std::strtoull(v.c_str(), nullptr, 0);
+            });
+    cli.add("--batch-tx", "N",
+            "transactions per batch-mode stream (default 96)",
+            [&](const std::string &v) {
+                batch_options.txPerStream =
+                    std::strtoull(v.c_str(), nullptr, 0);
+            });
     if (!cli.parse(argc, argv))
         return cli.exitCode();
 
@@ -90,6 +109,31 @@ main(int argc, char **argv)
         std::printf("  %s\n", line.c_str());
     };
 
+    bool batch_ok = true;
+    if (batch_mode) {
+        batch_options.specs = options.specs;
+        batch_options.seed = options.seed;
+        batch_options.idleFraction = options.idleFraction;
+        if (!wires.empty())
+            batch_options.dataWires = wires;
+        batch_options.progress = options.progress;
+        const BatchFuzzReport batch = runBatchDifferentialFuzz(batch_options);
+        std::printf("batch kernels: %llu transactions checked against the "
+                    "scalar path, %zu failure(s)\n",
+                    static_cast<unsigned long long>(
+                        batch.transactionsChecked),
+                    batch.failures.size());
+        for (const BatchFuzzFailure &failure : batch.failures)
+            std::printf("BATCH FAIL %s wires=%u batch=%zu seed=0x%llx\n"
+                        "  invariant: %s\n  detail: %s\n",
+                        failure.spec.c_str(), failure.dataWires,
+                        failure.batchTx,
+                        static_cast<unsigned long long>(failure.seed),
+                        failure.violation.invariant.c_str(),
+                        failure.violation.detail.c_str());
+        batch_ok = batch.ok();
+    }
+
     const FuzzReport report = runDifferentialFuzz(options);
     std::printf("%llu transactions checked, %zu failure(s)\n",
                 static_cast<unsigned long long>(report.transactionsChecked),
@@ -107,5 +151,5 @@ main(int argc, char **argv)
         if (!failure.reproPath.empty())
             std::printf("  repro: %s\n", failure.reproPath.c_str());
     }
-    return (report.ok() && frames_ok) ? 0 : 1;
+    return (report.ok() && frames_ok && batch_ok) ? 0 : 1;
 }
