@@ -17,6 +17,12 @@
  *     two paths produce field-identical BusStats through the full eval
  *     pipeline. `--batch-min-speedup F` turns the best batch>=512
  *     speedup into a CI gate.
+ *  4. A SIMD dispatch-level sweep: per spec and batch size, encode-only
+ *     and decode-only throughput at every available kernel level (word
+ *     and up; a forced BXT_SIMD pins the sweep to that single level).
+ *     `--simd-min-speedup F` gates the xor4+zdr encode batch-512 speedup
+ *     of the best SIMD level over the word baseline, and skips with a
+ *     note on hosts with no vector level.
  *
  * Not a paper artifact — it documents that the library is fast enough to
  * sit in a simulator's memory-controller path.
@@ -35,6 +41,7 @@
 #include "common/parallel.h"
 #include "core/batch.h"
 #include "core/codec_factory.h"
+#include "core/simd/simd.h"
 #include "suite_eval.h"
 #include "workloads/apps.h"
 #include "workloads/patterns.h"
@@ -206,10 +213,14 @@ timeBatchRoundTrips(const std::string &spec,
         std::memcpy(plane.data() + i * tx_bytes, stream[i].data(),
                     tx_bytes);
 
+    // Mirror evalBatched's cache blocking: chunks are capped at one
+    // L1/L2-resident tile so large nominal batches do not thrash the
+    // encode plane + encoded copy through L2.
+    const std::size_t tile_tx = std::min(batch_tx, batchTileTx(tx_bytes));
     double best = 1.0e30;
     for (int rep = 0; rep < 3; ++rep) {
         CodecPtr codec = makeCodec(spec);
-        TxBatch batch(tx_bytes, batch_tx);
+        TxBatch batch(tx_bytes, tile_tx);
         EncodedBatch enc;
         TxBatch decoded;
         const auto start = std::chrono::steady_clock::now();
@@ -217,7 +228,7 @@ timeBatchRoundTrips(const std::string &spec,
         while (i < stream.size()) {
             batch.clear();
             const std::size_t chunk =
-                std::min(batch_tx, stream.size() - i);
+                std::min(tile_tx, stream.size() - i);
             batch.append(plane.data() + i * tx_bytes, chunk);
             codec->encodeBatch(batch, enc);
             codec->decodeBatch(enc, decoded);
@@ -227,6 +238,125 @@ timeBatchRoundTrips(const std::string &spec,
         const auto stop = std::chrono::steady_clock::now();
         best = std::min(best,
                         std::chrono::duration<double>(stop - start).count());
+    }
+    return best;
+}
+
+/** Flatten @p stream into one contiguous plane of @p tx_bytes rows. */
+std::vector<std::uint8_t>
+flattenStream(const std::vector<Transaction> &stream, std::size_t tx_bytes)
+{
+    std::vector<std::uint8_t> plane(stream.size() * tx_bytes);
+    for (std::size_t i = 0; i < stream.size(); ++i)
+        std::memcpy(plane.data() + i * tx_bytes, stream[i].data(),
+                    tx_bytes);
+    return plane;
+}
+
+/** Timed passes over the stream per rep in the encode/decode-only
+ *  timers: one pass at vector speeds is tens of microseconds, too close
+ *  to timer granularity for a stable CI gate. */
+constexpr int simdTimerPasses = 16;
+
+/** Reps per cell in the SIMD sweep (best-of; the gate needs low noise). */
+constexpr int simdTimerReps = 5;
+
+/**
+ * Transactions per SIMD-sweep run: 4096 x 32 B keeps the source plane
+ * L2-resident, so the per-level numbers measure the dispatched kernels
+ * in the cache-blocked regime the tile geometry is designed for rather
+ * than L3/DRAM streaming bandwidth (the round-trip sweep above keeps
+ * the larger stream for that).
+ */
+constexpr std::size_t simdSweepTx = 4096;
+
+/** Split @p stream into ready-to-encode TxBatch tiles of @p tile_tx. */
+std::vector<TxBatch>
+buildTiles(const std::vector<Transaction> &stream, std::size_t tile_tx)
+{
+    const std::size_t tx_bytes = stream[0].size();
+    const std::vector<std::uint8_t> plane = flattenStream(stream, tx_bytes);
+    std::vector<TxBatch> tiles;
+    std::size_t i = 0;
+    while (i < stream.size()) {
+        const std::size_t chunk = std::min(tile_tx, stream.size() - i);
+        tiles.emplace_back(tx_bytes, chunk);
+        tiles.back().append(plane.data() + i * tx_bytes, chunk);
+        i += chunk;
+    }
+    return tiles;
+}
+
+/**
+ * Encode-only wall clock (best of 3) at the active dispatch level. The
+ * tiles are pre-filled outside the timed region (symmetric with
+ * timeBatchDecode) so the measurement isolates encodeBatch itself.
+ */
+double
+timeBatchEncode(const std::string &spec,
+                const std::vector<Transaction> &stream,
+                std::size_t batch_tx)
+{
+    const std::size_t tx_bytes = stream[0].size();
+    const std::size_t tile_tx = std::min(batch_tx, batchTileTx(tx_bytes));
+    const std::vector<TxBatch> tiles = buildTiles(stream, tile_tx);
+
+    double best = 1.0e30;
+    for (int rep = 0; rep < simdTimerReps; ++rep) {
+        CodecPtr codec = makeCodec(spec);
+        EncodedBatch enc;
+        const auto start = std::chrono::steady_clock::now();
+        for (int pass = 0; pass < simdTimerPasses; ++pass) {
+            for (const TxBatch &batch : tiles) {
+                codec->encodeBatch(batch, enc);
+                benchmark::DoNotOptimize(enc.payloadData());
+            }
+        }
+        const auto stop = std::chrono::steady_clock::now();
+        best = std::min(best,
+                        std::chrono::duration<double>(stop - start).count() /
+                            simdTimerPasses);
+    }
+    return best;
+}
+
+/**
+ * Decode-only wall clock (best of 3): the tiles are pre-encoded outside
+ * the timed region, so the measurement isolates decodeBatch.
+ */
+double
+timeBatchDecode(const std::string &spec,
+                const std::vector<Transaction> &stream,
+                std::size_t batch_tx)
+{
+    const std::size_t tx_bytes = stream[0].size();
+    const std::size_t tile_tx = std::min(batch_tx, batchTileTx(tx_bytes));
+    const std::vector<TxBatch> raw_tiles = buildTiles(stream, tile_tx);
+
+    std::vector<EncodedBatch> tiles;
+    {
+        CodecPtr codec = makeCodec(spec);
+        for (const TxBatch &batch : raw_tiles) {
+            tiles.emplace_back();
+            codec->encodeBatch(batch, tiles.back());
+        }
+    }
+
+    double best = 1.0e30;
+    for (int rep = 0; rep < simdTimerReps; ++rep) {
+        CodecPtr codec = makeCodec(spec);
+        TxBatch decoded;
+        const auto start = std::chrono::steady_clock::now();
+        for (int pass = 0; pass < simdTimerPasses; ++pass) {
+            for (const EncodedBatch &enc : tiles) {
+                codec->decodeBatch(enc, decoded);
+                benchmark::DoNotOptimize(decoded.data());
+            }
+        }
+        const auto stop = std::chrono::steady_clock::now();
+        best = std::min(best,
+                        std::chrono::duration<double>(stop - start).count() /
+                            simdTimerPasses);
     }
     return best;
 }
@@ -294,8 +424,116 @@ runBatchSweep(double *best_out)
     return rows;
 }
 
+struct SimdRow
+{
+    std::string spec;
+    simd::Level level = simd::Level::Word;
+    std::size_t batchTx = 0;
+    double encodeTxPerSecond = 0.0;
+    double decodeTxPerSecond = 0.0;
+    double encodeSpeedupVsWord = 1.0;
+    double decodeSpeedupVsWord = 1.0;
+};
+
+/**
+ * Dispatch levels the SIMD sweep visits. A forced BXT_SIMD pins the
+ * sweep to the single level it resolved to; otherwise every supported
+ * level from word upward (scalar is a correctness reference, not a
+ * throughput contender).
+ */
+std::vector<simd::Level>
+simdSweepLevels()
+{
+    if (simd::envForcedLevel().has_value())
+        return {simd::activeLevel()};
+    std::vector<simd::Level> levels;
+    for (simd::Level level : simd::supportedLevels())
+        if (level != simd::Level::Scalar)
+            levels.push_back(level);
+    return levels;
+}
+
+/**
+ * The per-level sweep: encode-only and decode-only throughput for every
+ * spec x dispatch level x batch size. Word rows come first per spec and
+ * anchor the speedup columns. @p gate_out receives the xor4+zdr encode
+ * batch-512 speedup of the best SIMD level over word, or -1 when the
+ * host has no vector level to compare (the gate then skips).
+ */
+std::vector<SimdRow>
+runSimdSweep(double *gate_out)
+{
+    const simd::Level saved = simd::activeLevel();
+    const std::vector<simd::Level> levels = simdSweepLevels();
+    const std::vector<Transaction> stream = makeInput(false, simdSweepTx);
+    std::vector<SimdRow> rows;
+    double gate = -1.0;
+
+    std::printf("\n--- SIMD dispatch levels: ");
+    for (std::size_t i = 0; i < levels.size(); ++i)
+        std::printf("%s%s", i == 0 ? "" : ", ",
+                    simd::levelName(levels[i]));
+    std::printf(" (%zu tx/run) ---\n", simdSweepTx);
+
+    for (const std::string &spec : batchSweepSpecs) {
+        // word-baseline seconds per batch size, for the speedup columns.
+        std::vector<double> word_enc(batchSweepSizes.size(), 0.0);
+        std::vector<double> word_dec(batchSweepSizes.size(), 0.0);
+        for (simd::Level level : levels) {
+            simd::setActiveLevel(level);
+            for (std::size_t s = 0; s < batchSweepSizes.size(); ++s) {
+                const std::size_t batch_tx = batchSweepSizes[s];
+                SimdRow row;
+                row.spec = spec;
+                row.level = level;
+                row.batchTx = batch_tx;
+                const double enc_s =
+                    timeBatchEncode(spec, stream, batch_tx);
+                const double dec_s =
+                    timeBatchDecode(spec, stream, batch_tx);
+                row.encodeTxPerSecond =
+                    static_cast<double>(stream.size()) / enc_s;
+                row.decodeTxPerSecond =
+                    static_cast<double>(stream.size()) / dec_s;
+                if (level == simd::Level::Word) {
+                    word_enc[s] = enc_s;
+                    word_dec[s] = dec_s;
+                }
+                if (word_enc[s] > 0.0)
+                    row.encodeSpeedupVsWord = word_enc[s] / enc_s;
+                if (word_dec[s] > 0.0)
+                    row.decodeSpeedupVsWord = word_dec[s] / dec_s;
+                if (spec == "xor4+zdr" && batch_tx == 512 &&
+                    level != simd::Level::Word && word_enc[s] > 0.0)
+                    gate = std::max(gate, row.encodeSpeedupVsWord);
+                std::printf("%-22s %-7s batch %-5zu enc %9.0f ktx/s "
+                            "%5.2fx  dec %9.0f ktx/s %5.2fx\n",
+                            spec.c_str(), simd::levelName(level),
+                            batch_tx, row.encodeTxPerSecond / 1.0e3,
+                            row.encodeSpeedupVsWord,
+                            row.decodeTxPerSecond / 1.0e3,
+                            row.decodeSpeedupVsWord);
+                rows.push_back(row);
+            }
+        }
+    }
+    simd::setActiveLevel(saved);
+
+    if (gate >= 0.0)
+        std::printf("xor4+zdr encode batch-512 SIMD-over-word speedup: "
+                    "%.2fx\n",
+                    gate);
+    else
+        std::printf("no vector dispatch level available; SIMD speedup "
+                    "gate not applicable on this host\n");
+    if (gate_out != nullptr)
+        *gate_out = gate;
+    return rows;
+}
+
 int
-runSuiteSweep(const std::string &json_path, double batch_min_speedup)
+runSuiteSweep(const std::string &json_path, double batch_min_speedup,
+              double simd_min_speedup)
 {
     const std::vector<std::string> specs = paperSchemeSpecs();
     const unsigned parallel_threads = defaultThreadCount();
@@ -325,6 +563,10 @@ runSuiteSweep(const std::string &json_path, double batch_min_speedup)
     double best_batch_speedup = 0.0;
     const std::vector<BatchRow> batch_rows =
         runBatchSweep(&best_batch_speedup);
+
+    double simd_gate = -1.0;
+    const std::vector<SimdRow> simd_rows = runSimdSweep(&simd_gate);
+    const std::vector<simd::Level> simd_levels = simdSweepLevels();
 
     const bool ok = writeBenchJson(
         json_path, "codec_throughput", [&](JsonWriter &w) {
@@ -359,6 +601,33 @@ runSuiteSweep(const std::string &json_path, double batch_min_speedup)
                 w.kv("stats_identical", true);
                 w.endObject();
             }
+            {
+                std::string levels;
+                for (simd::Level level : simd_levels) {
+                    if (!levels.empty())
+                        levels += ",";
+                    levels += simd::levelName(level);
+                }
+                w.beginObject();
+                w.kv("mode", "simd_info");
+                w.kv("simd_levels", levels);
+                w.kv("best_level",
+                     simd::levelName(simd::bestLevel()));
+                w.kv("forced", simd::envForcedLevel().has_value());
+                w.endObject();
+            }
+            for (const SimdRow &row : simd_rows) {
+                w.beginObject();
+                w.kv("mode", "simd_codec");
+                w.kv("spec", row.spec);
+                w.kv("simd_level", simd::levelName(row.level));
+                w.kv("batch_tx", static_cast<std::uint64_t>(row.batchTx));
+                w.kv("encode_tx_per_s", row.encodeTxPerSecond);
+                w.kv("decode_tx_per_s", row.decodeTxPerSecond);
+                w.kv("encode_speedup_vs_word", row.encodeSpeedupVsWord);
+                w.kv("decode_speedup_vs_word", row.decodeSpeedupVsWord);
+                w.endObject();
+            }
         });
     if (!ok)
         return 1;
@@ -370,6 +639,19 @@ runSuiteSweep(const std::string &json_path, double batch_min_speedup)
                      "--batch-min-speedup gate %.2fx\n",
                      best_batch_speedup, batch_min_speedup);
         return 1;
+    }
+    if (simd_min_speedup > 0.0) {
+        if (simd_gate < 0.0) {
+            std::printf("--simd-min-speedup skipped: no vector dispatch "
+                        "level on this host\n");
+        } else if (simd_gate < simd_min_speedup) {
+            std::fprintf(stderr,
+                         "FAIL: xor4+zdr encode batch-512 SIMD speedup "
+                         "%.2fx is below the --simd-min-speedup gate "
+                         "%.2fx\n",
+                         simd_gate, simd_min_speedup);
+            return 1;
+        }
     }
     return 0;
 }
@@ -403,10 +685,14 @@ main(int argc, char **argv)
     // `ci.sh metrics` only needs the sweep); --json redirects the sweep
     // document (default BENCH_codec_throughput.json, unified schema);
     // --batch-min-speedup F fails the run when the best batch>=512
-    // codec speedup over scalar falls below F (the `ci.sh batch` gate).
+    // codec speedup over scalar falls below F (the `ci.sh batch` gate);
+    // --simd-min-speedup F fails the run when the best SIMD level's
+    // xor4+zdr encode batch-512 speedup over word falls below F (skips
+    // with a note on hosts without a vector level).
     bool sweep_only = false;
     std::string json_path = "BENCH_codec_throughput.json";
     double batch_min_speedup = 0.0;
+    double simd_min_speedup = 0.0;
     std::vector<char *> passthrough = {argv[0]};
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--sweep-only") == 0) {
@@ -416,6 +702,9 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--batch-min-speedup") == 0 &&
                    i + 1 < argc) {
             batch_min_speedup = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--simd-min-speedup") == 0 &&
+                   i + 1 < argc) {
+            simd_min_speedup = std::strtod(argv[++i], nullptr);
         } else {
             passthrough.push_back(argv[i]);
         }
@@ -429,5 +718,5 @@ main(int argc, char **argv)
     if (!sweep_only)
         benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    return runSuiteSweep(json_path, batch_min_speedup);
+    return runSuiteSweep(json_path, batch_min_speedup, simd_min_speedup);
 }

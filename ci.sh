@@ -10,10 +10,16 @@
 #   fuzz     ASan/UBSan build + bxt_fuzz campaign + fuzz/golden-labeled
 #            ctest; BXT_FUZZ_SECONDS scales the budget (default 60) and
 #            BXT_FUZZ_FRAMES the wire-frame parser pass (default 100000)
-#   batch    Release build + batch-labeled ctest (batch kernels vs the
-#            scalar reference) + the bench_codec_throughput batch sweep
-#            with its speedup gate (BXT_BATCH_MIN_SPEEDUP, default 1.5,
-#            over scalar at batch >= 512 on the best spec)
+#   batch    Release build + batch/simd-labeled ctest (batch kernels vs
+#            the scalar reference, SIMD tables vs the scalar table) + an
+#            ASan/UBSan pass of the same tests forced through every
+#            dispatch level (BXT_SIMD=scalar/word/avx2/avx512) + the
+#            bench_codec_throughput sweep with its speedup gates
+#            (BXT_BATCH_MIN_SPEEDUP, default 1.5, over scalar at
+#            batch >= 512; BXT_SIMD_MIN_SPEEDUP, default 2.0, best SIMD
+#            level over word for xor4+zdr encode at batch 512, enforced
+#            only on AVX2-capable runners) + per-level bench JSONs for
+#            bxt_report --diff
 #   metrics  Release build + telemetry-enabled run: validates the metrics
 #            snapshot and trace with bxt_report, then asserts the
 #            compiled-in-but-disabled telemetry costs under
@@ -79,17 +85,46 @@ run_batch() {
     echo "=== CI job: batch kernels vs scalar reference ==="
     cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
     cmake --build build-ci-release -j "${jobs}" \
-        --target test_batch bench_codec_throughput
+        --target test_batch test_simd bench_codec_throughput
+    # SIMD intrinsics under ASan/UBSan: force each dispatch level in
+    # turn so every kernel tier's loads/stores and tail masks run
+    # sanitized, not just the level CPUID would pick. Unsupported levels
+    # clamp down (with a warning) rather than fail, so the loop is safe
+    # on any host.
+    configure_asan
+    cmake --build build-ci-asan -j "${jobs}" --target test_batch test_simd
+    local level
+    for level in scalar word avx2 avx512; do
+        echo "--- batch/simd ctest (ASan, BXT_SIMD=${level}) ---"
+        BXT_SIMD="${level}" ctest --test-dir build-ci-asan \
+            --output-on-failure -j "${jobs}" -L 'batch|simd'
+    done
     # Differential coverage first (golden corpus through the batch
     # kernels, split-invariance, the short fuzz campaign), then the
     # throughput smoke: the batch path must beat the scalar loop by the
     # gate factor at batch >= 512 on at least one spec, and the sweep
     # itself asserts BusStats field-identity at every batch size.
     ctest --test-dir build-ci-release --output-on-failure -j "${jobs}" \
-        -L batch
+        -L 'batch|simd'
+    # The SIMD floor only binds on hosts whose CPU can beat the word
+    # baseline; elsewhere the bench skips the gate with a note.
+    local simd_gate=()
+    if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+        simd_gate=(--simd-min-speedup "${BXT_SIMD_MIN_SPEEDUP:-2.0}")
+    else
+        echo "no AVX2 on this runner; skipping the SIMD speedup floor"
+    fi
     ./build-ci-release/bench/bench_codec_throughput --sweep-only \
         --batch-min-speedup "${BXT_BATCH_MIN_SPEEDUP:-1.5}" \
+        "${simd_gate[@]}" \
         --json build-ci-release/BENCH_codec_throughput.json
+    # Per-level bench JSONs (uploaded as CI artifacts; bxt_report --diff
+    # renders the cross-level speedup tables from any pair of them).
+    for level in word avx2 avx512; do
+        BXT_SIMD="${level}" \
+            ./build-ci-release/bench/bench_codec_throughput --sweep-only \
+            --json "build-ci-release/BENCH_codec_throughput.${level}.json"
+    done
 }
 
 run_metrics() {

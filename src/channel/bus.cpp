@@ -1,7 +1,10 @@
 #include "channel/bus.h"
 
+#include <cstring>
+
 #include "common/bitops.h"
 #include "common/error.h"
+#include "core/simd/simd.h"
 #include "telemetry/metrics.h"
 
 namespace bxt {
@@ -59,12 +62,16 @@ Bus::Bus(unsigned data_wires, unsigned meta_wires, double idle_fraction)
 void
 Bus::parkWires(BusStats &delta)
 {
-    delta.dataToggles += popcountBytes({last_data_.data(),
-                                        last_data_.size()});
+    const simd::KernelTable &ops = simd::ops();
+    delta.dataToggles += ops.popcountRange(last_data_.data(),
+                                           last_data_.size());
     std::fill(last_data_.begin(), last_data_.end(), 0);
-    for (std::uint8_t &bit : last_meta_) {
-        delta.metaToggles += bit;
-        bit = 0;
+    if (!last_meta_.empty()) {
+        // Meta wires store one 0/1 byte each, so popcount equals the sum
+        // of set wires.
+        delta.metaToggles += ops.popcountRange(last_meta_.data(),
+                                               last_meta_.size());
+        std::fill(last_meta_.begin(), last_meta_.end(), 0);
     }
 }
 
@@ -84,48 +91,34 @@ Bus::driveTransaction(const std::uint8_t *payload, const std::uint8_t *meta,
     delta.transactions += 1;
     delta.beats += beats;
 
-    // Ones and toggles are counted word-at-a-time: each beat is loaded as
-    // 64/32-bit words, XORed against the previously driven beat, and
-    // reduced with one popcount per word instead of one per byte lane.
+    // Ones and toggles are counted plane-at-a-time through the dispatched
+    // SIMD table. The per-beat loop "ones += popcount(beat); toggles +=
+    // popcount(beat ^ previous beat)" is algebraically one popcount over
+    // the whole payload plus two XOR-popcount ranges: the first beat
+    // toggles against the parked wire state, and every later beat toggles
+    // against the beat bus_bytes before it in the same contiguous buffer.
     // Popcount distributes over byte boundaries, so the counts are
     // bit-identical to the per-lane formulation.
+    const simd::KernelTable &ops = simd::ops();
     std::uint8_t *last = last_data_.data();
-    for (std::size_t beat = 0; beat < beats; ++beat) {
-        const std::uint8_t *beat_ptr = payload + beat * bus_bytes;
-        std::size_t lane = 0;
-        for (; lane + 8 <= bus_bytes; lane += 8) {
-            const std::uint64_t value = loadWord64(beat_ptr + lane);
-            const std::uint64_t prev = loadWord64(last + lane);
-            delta.dataOnes +=
-                static_cast<std::uint64_t>(popcount64(value));
-            delta.dataToggles +=
-                static_cast<std::uint64_t>(popcount64(value ^ prev));
-            storeWord64(last + lane, value);
-        }
-        for (; lane + 4 <= bus_bytes; lane += 4) {
-            const std::uint32_t value = loadWord32(beat_ptr + lane);
-            const std::uint32_t prev = loadWord32(last + lane);
-            delta.dataOnes +=
-                static_cast<std::uint64_t>(popcount64(value));
-            delta.dataToggles +=
-                static_cast<std::uint64_t>(popcount64(value ^ prev));
-            storeWord32(last + lane, value);
-        }
-        for (; lane < bus_bytes; ++lane) {
-            const std::uint8_t value = beat_ptr[lane];
-            delta.dataOnes += static_cast<std::uint64_t>(
-                popcount64(value));
-            delta.dataToggles += static_cast<std::uint64_t>(
-                popcount64(static_cast<std::uint8_t>(value ^
-                                                     last[lane])));
-            last[lane] = value;
-        }
-        for (unsigned w = 0; w < meta_wires_; ++w) {
-            const std::uint8_t bit = meta[beat * meta_wires_ + w];
-            delta.metaOnes += bit;
-            delta.metaToggles += (bit != last_meta_[w]) ? 1u : 0u;
-            last_meta_[w] = bit;
-        }
+    delta.dataOnes += ops.popcountRange(payload, beats * bus_bytes);
+    delta.dataToggles += ops.popcountXorRange(payload, last, bus_bytes);
+    if (beats > 1)
+        delta.dataToggles += ops.popcountXorRange(
+            payload + bus_bytes, payload, (beats - 1) * bus_bytes);
+    std::memcpy(last, payload + (beats - 1) * bus_bytes, bus_bytes);
+
+    if (meta_wires_ != 0) {
+        // Meta is one 0/1 byte per wire per beat, so popcount doubles as
+        // the byte sum and byte XOR matches bitwise wire toggling.
+        delta.metaOnes += ops.popcountRange(meta, beats * meta_wires_);
+        delta.metaToggles += ops.popcountXorRange(meta, last_meta_.data(),
+                                                  meta_wires_);
+        if (beats > 1)
+            delta.metaToggles += ops.popcountXorRange(
+                meta + meta_wires_, meta, (beats - 1) * meta_wires_);
+        std::memcpy(last_meta_.data(), meta + (beats - 1) * meta_wires_,
+                    meta_wires_);
     }
     delta.dataBits += beats * data_wires_;
     delta.metaBits += beats * meta_wires_;

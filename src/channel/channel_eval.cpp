@@ -80,6 +80,10 @@ evalScalar(Codec &codec, const std::vector<Transaction> &stream, Bus &bus,
  * Batch hot path: the stream is chunked into TxBatches of at most
  * @p batch_tx transactions. A chunk also ends where the transaction size
  * changes, so mixed-size streams stay legal (TxBatch geometry is uniform).
+ * Chunks are additionally capped at batchTileTx(tx_bytes) so the encode
+ * plane, its encoded copy, and the bus accounting sweep all stay within
+ * one L1/L2-resident tile; BusStats is batch-split invariant, so tiling
+ * does not change any count.
  */
 void
 evalBatched(Codec &codec, const std::vector<Transaction> &stream, Bus &bus,
@@ -92,9 +96,11 @@ evalBatched(Codec &codec, const std::vector<Transaction> &stream, Bus &bus,
     std::size_t i = 0;
     while (i < stream.size()) {
         const std::size_t tx_bytes = stream[i].size();
+        const std::size_t tile_tx =
+            std::min(batch_tx, batchTileTx(tx_bytes));
         batch.reset(tx_bytes);
-        batch.reserve(std::min(batch_tx, stream.size() - i));
-        while (i < stream.size() && batch.size() < batch_tx &&
+        batch.reserve(std::min(tile_tx, stream.size() - i));
+        while (i < stream.size() && batch.size() < tile_tx &&
                stream[i].size() == tx_bytes) {
             result.rawOnes += stream[i].ones();
             stream_bytes += tx_bytes;

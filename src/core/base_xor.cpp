@@ -4,6 +4,7 @@
 
 #include "common/bitops.h"
 #include "common/error.h"
+#include "core/simd/simd.h"
 #include "core/zdr.h"
 
 namespace bxt {
@@ -159,19 +160,59 @@ BaseXorCodec::encodeBatchKernel(const TxBatch &in, EncodedBatch &out)
 {
     requireTxSize(in.txBytes());
     out.configure(in.txBytes(), 0, 0);
-    out.resize(in.size());
+    out.resizeForOverwrite(in.size());
     if (in.empty())
         return;
 
-    // One plane copy seeds every base element (and, for the plain-XOR
-    // form, the element values XORed in place below); elements 1.. are
-    // then rewritten per transaction, reading only the input plane.
     const std::size_t tx_bytes = in.txBytes();
     const std::size_t elements = tx_bytes / base_size_;
-    std::memcpy(out.payloadData(), in.data(), in.planeBytes());
-
     const std::uint8_t *src = in.data();
     std::uint8_t *dst = out.payloadData();
+    const simd::KernelTable &ops = simd::ops();
+
+    // Adjacent-base encode is elementwise out[e] = f(in[e], in[e-1]), so
+    // the entire plane vectorizes as one shifted range op: the output at
+    // byte offset base_size onward is f(input there, input one element
+    // earlier). Lanes whose "previous element" crosses a transaction
+    // boundary compute garbage and are fixed up below by the per-
+    // transaction base-element passthrough copy, which together with the
+    // range op covers every output byte (no seeding plane memcpy).
+    if (adjacent_base_ && (!zdr_ || base_size_ <= 8)) {
+        const std::size_t shifted = in.planeBytes() - base_size_;
+        if (!zdr_)
+            ops.xorRange(dst + base_size_, src + base_size_, src, shifted);
+        else if (base_size_ == 2)
+            ops.zdrEncode16(dst + base_size_, src + base_size_, src,
+                            shifted);
+        else if (base_size_ == 4)
+            ops.zdrEncode32(dst + base_size_, src + base_size_, src,
+                            shifted);
+        else
+            ops.zdrEncode64(dst + base_size_, src + base_size_, src,
+                            shifted);
+        // Fixed-width word copies: base_size_ is 2/4/8 here, and a
+        // variable-length memcpy per transaction would cost a libc call
+        // for every 32-byte row.
+        if (base_size_ == 2) {
+            for (std::size_t i = 0; i < in.size(); ++i)
+                std::memcpy(dst + i * tx_bytes, src + i * tx_bytes, 2);
+        } else if (base_size_ == 4) {
+            for (std::size_t i = 0; i < in.size(); ++i)
+                std::memcpy(dst + i * tx_bytes, src + i * tx_bytes, 4);
+        } else if (base_size_ == 8) {
+            for (std::size_t i = 0; i < in.size(); ++i)
+                std::memcpy(dst + i * tx_bytes, src + i * tx_bytes, 8);
+        } else {
+            for (std::size_t i = 0; i < in.size(); ++i)
+                std::memcpy(dst + i * tx_bytes, src + i * tx_bytes, 16);
+        }
+        return;
+    }
+
+    // Fixed-base (and 16-byte-lane ZDR) forms keep the word path: the
+    // base repeats per transaction, which the flat range primitives do
+    // not express.
+    std::memcpy(dst, src, in.planeBytes());
     for (std::size_t i = 0; i < in.size();
          ++i, src += tx_bytes, dst += tx_bytes) {
         for (std::size_t e = 1; e < elements; ++e) {
@@ -201,7 +242,7 @@ BaseXorCodec::decodeBatchKernel(const EncodedBatch &in, TxBatch &out)
 {
     requireTxSize(in.txBytes());
     out.reset(in.txBytes());
-    out.resize(in.size());
+    out.resizeForOverwrite(in.size());
     if (in.size() == 0)
         return;
 
@@ -214,6 +255,8 @@ BaseXorCodec::decodeBatchKernel(const EncodedBatch &in, TxBatch &out)
     for (std::size_t i = 0; i < in.size();
          ++i, src += tx_bytes, dst += tx_bytes) {
         // Left to right: bases come from the already-decoded output.
+        // This serial dependency (element e needs the decoded e-1) is
+        // why decode stays on the word path at every dispatch level.
         for (std::size_t e = 1; e < elements; ++e) {
             const std::size_t off = e * base_size_;
             const std::size_t base_off =

@@ -45,6 +45,14 @@ TxBatch::resize(std::size_t count)
 }
 
 void
+TxBatch::resizeForOverwrite(std::size_t count)
+{
+    requireValidTxBytes(tx_bytes_);
+    count_ = count;
+    plane_.resizeForOverwrite(count * tx_bytes_);
+}
+
+void
 TxBatch::push(const Transaction &tx)
 {
     if (tx.size() != tx_bytes_) {
@@ -53,7 +61,7 @@ TxBatch::push(const Transaction &tx)
             "-byte transaction into a " + std::to_string(tx_bytes_) +
             "-byte batch");
     }
-    plane_.insert(plane_.end(), tx.data(), tx.data() + tx_bytes_);
+    plane_.append(tx.data(), tx_bytes_);
     ++count_;
 }
 
@@ -61,7 +69,7 @@ void
 TxBatch::append(const std::uint8_t *data, std::size_t count)
 {
     requireValidTxBytes(tx_bytes_);
-    plane_.insert(plane_.end(), data, data + count * tx_bytes_);
+    plane_.append(data, count * tx_bytes_);
     count_ += count;
 }
 
@@ -97,6 +105,15 @@ EncodedBatch::resize(std::size_t count)
     meta_.resize(count * meta_bits_per_tx_);
 }
 
+void
+EncodedBatch::resizeForOverwrite(std::size_t count)
+{
+    requireValidTxBytes(tx_bytes_);
+    count_ = count;
+    payload_.resizeForOverwrite(count * tx_bytes_);
+    meta_.resizeForOverwrite(count * meta_bits_per_tx_);
+}
+
 std::uint64_t
 EncodedBatch::payloadOnes() const
 {
@@ -106,10 +123,8 @@ EncodedBatch::payloadOnes() const
 std::uint64_t
 EncodedBatch::metaOnes() const
 {
-    std::uint64_t count = 0;
-    for (std::uint8_t bit : meta_)
-        count += bit;
-    return count;
+    // Metadata bytes are 0/1, so the popcount is the sum.
+    return popcountBytes({meta_.data(), meta_.size()});
 }
 
 } // namespace bxt

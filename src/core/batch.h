@@ -17,11 +17,32 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
-#include <vector>
 
+#include "common/byte_buffer.h"
 #include "core/transaction.h"
 
 namespace bxt {
+
+/**
+ * Cache-block tile size for plane sweeps: encode + transmit + decode of
+ * one tile (input plane, payload plane, and metadata all together) stays
+ * resident in L1/L2 instead of streaming three full batch-sized planes
+ * through the cache between stages. evalBatched and the bench round-trip
+ * loops cap their chunks at batchTileTx(); BusStats accumulation is
+ * batch-split invariant (tests/test_batch.cpp), so tiling never changes
+ * a counter.
+ */
+constexpr std::size_t kBatchTileBytes = 16 * 1024;
+
+/** Transactions per cache tile for @p tx_bytes (at least 1). */
+constexpr std::size_t
+batchTileTx(std::size_t tx_bytes)
+{
+    if (tx_bytes == 0)
+        return 1;
+    const std::size_t tiles = kBatchTileBytes / tx_bytes;
+    return tiles == 0 ? 1 : tiles;
+}
 
 /**
  * One contiguous plane of N transactions, all of the same byte size.
@@ -53,6 +74,15 @@ class TxBatch
 
     /** Grow/shrink to exactly @p count transactions (new ones zeroed). */
     void resize(std::size_t count);
+
+    /**
+     * Grow/shrink to exactly @p count transactions without zeroing new
+     * plane bytes — for kernels that overwrite the whole plane before
+     * reading it (every batch kernel's first act is a plane memcpy or a
+     * full rewrite). resize()'s zero-fill made the cheap codecs slower
+     * per transaction at batch 4096 than at 64.
+     */
+    void resizeForOverwrite(std::size_t count);
 
     /** Append one transaction; throws CodecSizeError on a size mismatch. */
     void push(const Transaction &tx);
@@ -103,7 +133,7 @@ class TxBatch
   private:
     std::size_t tx_bytes_ = 0;
     std::size_t count_ = 0;
-    std::vector<std::uint8_t> plane_;
+    ByteBuffer plane_;
 };
 
 /**
@@ -128,6 +158,9 @@ class EncodedBatch
 
     /** Grow/shrink to exactly @p count transactions (new bytes zeroed). */
     void resize(std::size_t count);
+
+    /** resize() without zeroing new bytes (see TxBatch equivalent). */
+    void resizeForOverwrite(std::size_t count);
 
     /** Transactions in the batch. */
     std::size_t size() const { return count_; }
@@ -190,8 +223,8 @@ class EncodedBatch
     std::size_t count_ = 0;
     std::size_t meta_bits_per_tx_ = 0;
     unsigned meta_wires_per_beat_ = 0;
-    std::vector<std::uint8_t> payload_;
-    std::vector<std::uint8_t> meta_;
+    ByteBuffer payload_;
+    ByteBuffer meta_;
 };
 
 } // namespace bxt

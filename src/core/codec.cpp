@@ -99,7 +99,7 @@ Codec::encodeBatchKernel(const TxBatch &in, EncodedBatch &out)
         if (i == 0) {
             out.configure(tx_bytes, scratch.metaWiresPerBeat,
                           scratch.meta.size());
-            out.resize(in.size());
+            out.resizeForOverwrite(in.size());
         }
         if (scratch.payload.size() != tx_bytes ||
             scratch.meta.size() != out.metaBitsPerTx() ||
@@ -119,7 +119,7 @@ Codec::decodeBatchKernel(const EncodedBatch &in, TxBatch &out)
 {
     const std::size_t tx_bytes = in.txBytes();
     out.reset(tx_bytes);
-    out.resize(in.size());
+    out.resizeForOverwrite(in.size());
     Encoded scratch;
     scratch.metaWiresPerBeat = in.metaWiresPerBeat();
     Transaction back(tx_bytes);
@@ -166,9 +166,10 @@ IdentityCodec::decodeInto(const Encoded &enc, Transaction &out)
 void
 IdentityCodec::encodeBatchKernel(const TxBatch &in, EncodedBatch &out)
 {
-    // The whole batch is one plane copy.
+    // The whole batch is one plane copy (resizeForOverwrite: the copy
+    // covers the plane, so no zero-fill pass precedes it).
     out.configure(in.txBytes(), 0, 0);
-    out.resize(in.size());
+    out.resizeForOverwrite(in.size());
     copyBytes(out.payloadData(), in.data(), in.planeBytes());
 }
 
@@ -176,7 +177,7 @@ void
 IdentityCodec::decodeBatchKernel(const EncodedBatch &in, TxBatch &out)
 {
     out.reset(in.txBytes());
-    out.resize(in.size());
+    out.resizeForOverwrite(in.size());
     copyBytes(out.data(), in.payloadData(), in.payloadBytes());
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/bitops.h"
 #include "common/error.h"
+#include "core/simd/simd.h"
 
 namespace bxt {
 
@@ -119,33 +120,20 @@ DbiCodec::encodeBatchKernel(const TxBatch &in, EncodedBatch &out)
     const std::size_t beats = tx_bytes / bus_bytes_;
     const unsigned wires = metaWiresPerBeat();
     out.configure(tx_bytes, wires, beats * wires);
-    out.resize(in.size());
+    out.resizeForOverwrite(in.size());
     if (in.empty())
         return;
 
-    // Payload plane starts as a copy; inverted groups are flipped in
-    // place and their polarity bits written straight into the meta plane.
+    // Payload plane starts as a copy; the group tiling is contiguous
+    // across beats and transactions (tx_bytes is a whole number of
+    // beats, beats a whole number of groups) and the meta plane lays its
+    // polarity bytes out in exactly that group order, so the entire
+    // batch is one dispatched plane call.
     std::memcpy(out.payloadData(), in.data(), in.planeBytes());
-    const std::size_t half_bits = group_bytes_ * 8 / 2;
-    std::uint8_t *data = out.payloadData();
-    std::uint8_t *meta = out.metaData();
-    for (std::size_t i = 0; i < in.size();
-         ++i, data += tx_bytes, meta += out.metaBitsPerTx()) {
-        std::size_t meta_index = 0;
-        for (std::size_t beat = 0; beat < beats; ++beat) {
-            for (std::size_t g = 0; g < bus_bytes_; g += group_bytes_) {
-                std::uint8_t *group = data + beat * bus_bytes_ + g;
-                const std::size_t ones =
-                    popcountBytes({group, group_bytes_});
-                const bool invert = ones > half_bits;
-                if (invert) {
-                    for (std::size_t b = 0; b < group_bytes_; ++b)
-                        group[b] = static_cast<std::uint8_t>(~group[b]);
-                }
-                meta[meta_index++] = invert ? 1 : 0;
-            }
-        }
-    }
+    const std::size_t total_groups =
+        in.planeBytes() / group_bytes_;
+    simd::ops().dbiEncodePlane(out.payloadData(), out.metaData(),
+                               total_groups, group_bytes_);
 }
 
 void
@@ -162,26 +150,14 @@ DbiCodec::decodeBatchKernel(const EncodedBatch &in, TxBatch &out)
                              std::to_string(beats * groups_per_beat));
     }
     out.reset(tx_bytes);
-    out.resize(in.size());
+    out.resizeForOverwrite(in.size());
     if (in.size() == 0)
         return;
 
     std::memcpy(out.data(), in.payloadData(), in.payloadBytes());
-    std::uint8_t *data = out.data();
-    const std::uint8_t *meta = in.metaData();
-    for (std::size_t i = 0; i < in.size();
-         ++i, data += tx_bytes, meta += in.metaBitsPerTx()) {
-        std::size_t meta_index = 0;
-        for (std::size_t beat = 0; beat < beats; ++beat) {
-            for (std::size_t g = 0; g < bus_bytes_; g += group_bytes_) {
-                if (meta[meta_index++]) {
-                    std::uint8_t *group = data + beat * bus_bytes_ + g;
-                    for (std::size_t b = 0; b < group_bytes_; ++b)
-                        group[b] = static_cast<std::uint8_t>(~group[b]);
-                }
-            }
-        }
-    }
+    const std::size_t total_groups = in.payloadBytes() / group_bytes_;
+    simd::ops().dbiDecodePlane(out.data(), in.metaData(), total_groups,
+                               group_bytes_);
 }
 
 DbiAcCodec::DbiAcCodec(std::size_t group_bytes, std::size_t bus_bytes)

@@ -224,7 +224,7 @@ PipelineCodec::encodeBatchKernel(const TxBatch &in, EncodedBatch &out)
     stages_[0]->encodeBatch(in, batch_scratch_[0]);
     for (std::size_t s = 1; s < stages_.size(); ++s) {
         batch_stage_in_.reset(tx_bytes);
-        batch_stage_in_.resize(in.size());
+        batch_stage_in_.resizeForOverwrite(in.size());
         std::memcpy(batch_stage_in_.data(),
                     batch_scratch_[s - 1].payloadData(),
                     batch_scratch_[s - 1].payloadBytes());
@@ -248,7 +248,7 @@ PipelineCodec::encodeBatchKernel(const TxBatch &in, EncodedBatch &out)
     }
 
     out.configure(tx_bytes, total_wires, beats * total_wires);
-    out.resize(in.size());
+    out.resizeForOverwrite(in.size());
     std::memcpy(out.payloadData(), batch_scratch_.back().payloadData(),
                 out.payloadBytes());
     if (total_wires == 0)
@@ -298,7 +298,7 @@ PipelineCodec::decodeBatchKernel(const EncodedBatch &in, TxBatch &out)
         const unsigned wires = stages_[s]->metaWiresPerBeat();
         stage_offset -= wires;
         eb.configure(tx_bytes, wires, beats * wires);
-        eb.resize(in.size());
+        eb.resizeForOverwrite(in.size());
         std::memcpy(eb.payloadData(), payload, payload_bytes);
         if (wires > 0) {
             for (std::size_t i = 0; i < in.size(); ++i) {

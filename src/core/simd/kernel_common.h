@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Shared scalar/word building blocks for the SIMD kernel tiers.
+ *
+ * Every vector translation unit falls back to these for range tails
+ * (the final bytes that do not fill a vector register), and the Word
+ * tier's table is built entirely from them. They are the single source
+ * of truth for the ZDR lane algebra at word width — the vector code
+ * must match them bit for bit.
+ */
+
+#ifndef BXT_CORE_SIMD_KERNEL_COMMON_H
+#define BXT_CORE_SIMD_KERNEL_COMMON_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bitops.h"
+
+namespace bxt::simd::detail {
+
+/** ZDR constant C as a little-endian lane word (core/zdr.h: the single
+ *  zdrConstantByte = 0x40 sits in the lane's most-significant byte). */
+constexpr std::uint16_t zdrConst16 = 0x4000u;
+constexpr std::uint32_t zdrConst32 = 0x40000000u;
+constexpr std::uint64_t zdrConst64 = 0x4000000000000000ull;
+
+inline std::uint16_t
+loadWord16(const std::uint8_t *src)
+{
+    std::uint16_t word;
+    std::memcpy(&word, src, 2);
+    return word;
+}
+
+inline void
+storeWord16(std::uint8_t *dst, std::uint16_t word)
+{
+    std::memcpy(dst, &word, 2);
+}
+
+/** Word-wide ZDR encode of one lane: 0 → C, base⊕C → base, else ⊕base. */
+template <typename Word>
+inline Word
+zdrEncodeWord(Word in, Word base, Word constant)
+{
+    const Word x = static_cast<Word>(in ^ base);
+    if (in == 0)
+        return constant;
+    return x == constant ? base : x;
+}
+
+/** Word-wide ZDR decode of one lane (inverse of zdrEncodeWord). */
+template <typename Word>
+inline Word
+zdrDecodeWord(Word enc, Word base, Word constant)
+{
+    if (enc == constant)
+        return 0;
+    return enc == base ? static_cast<Word>(base ^ constant)
+                       : static_cast<Word>(enc ^ base);
+}
+
+inline void
+xorWordRange(std::uint8_t *out, const std::uint8_t *in,
+             const std::uint8_t *base, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        storeWord64(out + i, loadWord64(in + i) ^ loadWord64(base + i));
+    for (; i < n; ++i)
+        out[i] = static_cast<std::uint8_t>(in[i] ^ base[i]);
+}
+
+inline void
+zdrEncode16WordRange(std::uint8_t *out, const std::uint8_t *in,
+                     const std::uint8_t *base, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i += 2)
+        storeWord16(out + i, zdrEncodeWord(loadWord16(in + i),
+                                           loadWord16(base + i),
+                                           zdrConst16));
+}
+
+inline void
+zdrEncode32WordRange(std::uint8_t *out, const std::uint8_t *in,
+                     const std::uint8_t *base, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i += 4)
+        storeWord32(out + i, zdrEncodeWord(loadWord32(in + i),
+                                           loadWord32(base + i),
+                                           zdrConst32));
+}
+
+inline void
+zdrEncode64WordRange(std::uint8_t *out, const std::uint8_t *in,
+                     const std::uint8_t *base, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i += 8)
+        storeWord64(out + i, zdrEncodeWord(loadWord64(in + i),
+                                           loadWord64(base + i),
+                                           zdrConst64));
+}
+
+inline void
+zdrDecode16WordRange(std::uint8_t *out, const std::uint8_t *in,
+                     const std::uint8_t *base, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i += 2)
+        storeWord16(out + i, zdrDecodeWord(loadWord16(in + i),
+                                           loadWord16(base + i),
+                                           zdrConst16));
+}
+
+inline void
+zdrDecode32WordRange(std::uint8_t *out, const std::uint8_t *in,
+                     const std::uint8_t *base, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i += 4)
+        storeWord32(out + i, zdrDecodeWord(loadWord32(in + i),
+                                           loadWord32(base + i),
+                                           zdrConst32));
+}
+
+inline void
+zdrDecode64WordRange(std::uint8_t *out, const std::uint8_t *in,
+                     const std::uint8_t *base, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i += 8)
+        storeWord64(out + i, zdrDecodeWord(loadWord64(in + i),
+                                           loadWord64(base + i),
+                                           zdrConst64));
+}
+
+/** DBI-DC encode one group (invert iff popcount > group_bits / 2). */
+inline void
+dbiEncodeGroupWord(std::uint8_t *group, std::uint8_t *meta_out,
+                   std::size_t group_bytes)
+{
+    const std::size_t ones = popcountBytes({group, group_bytes});
+    const bool invert = ones > group_bytes * 4;
+    if (invert) {
+        for (std::size_t i = 0; i < group_bytes; ++i)
+            group[i] = static_cast<std::uint8_t>(~group[i]);
+    }
+    *meta_out = invert ? 1 : 0;
+}
+
+inline void
+dbiDecodeGroupWord(std::uint8_t *group, std::uint8_t meta,
+                   std::size_t group_bytes)
+{
+    if (meta == 0)
+        return;
+    for (std::size_t i = 0; i < group_bytes; ++i)
+        group[i] = static_cast<std::uint8_t>(~group[i]);
+}
+
+inline void
+dbiEncodePlaneWord(std::uint8_t *data, std::uint8_t *meta,
+                   std::size_t groups, std::size_t group_bytes)
+{
+    for (std::size_t g = 0; g < groups; ++g)
+        dbiEncodeGroupWord(data + g * group_bytes, meta + g, group_bytes);
+}
+
+inline void
+dbiDecodePlaneWord(std::uint8_t *data, const std::uint8_t *meta,
+                   std::size_t groups, std::size_t group_bytes)
+{
+    for (std::size_t g = 0; g < groups; ++g)
+        dbiDecodeGroupWord(data + g * group_bytes, meta[g], group_bytes);
+}
+
+inline std::uint64_t
+popcountWordRange(const std::uint8_t *src, std::size_t n)
+{
+    std::uint64_t count = 0;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        count += static_cast<std::uint64_t>(popcount64(loadWord64(src + i)));
+    for (; i < n; ++i)
+        count += static_cast<std::uint64_t>(
+            popcount64(static_cast<std::uint64_t>(src[i])));
+    return count;
+}
+
+inline std::uint64_t
+popcountXorWordRange(const std::uint8_t *a, const std::uint8_t *b,
+                     std::size_t n)
+{
+    std::uint64_t count = 0;
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        count += static_cast<std::uint64_t>(
+            popcount64(loadWord64(a + i) ^ loadWord64(b + i)));
+    for (; i < n; ++i)
+        count += static_cast<std::uint64_t>(
+            popcount64(static_cast<std::uint64_t>(a[i] ^ b[i])));
+    return count;
+}
+
+} // namespace bxt::simd::detail
+
+#endif // BXT_CORE_SIMD_KERNEL_COMMON_H

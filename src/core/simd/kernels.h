@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Internal: per-tier kernel table accessors for the dispatcher.
+ *
+ * The vector translation units are always part of the build; when the
+ * toolchain or target architecture cannot produce a tier (no -mavx2
+ * support, non-x86 target), the TU compiles to a stub whose accessor
+ * returns nullptr. The dispatcher combines these link-time nulls with
+ * runtime CPUID checks to decide what is actually installable.
+ */
+
+#ifndef BXT_CORE_SIMD_KERNELS_H
+#define BXT_CORE_SIMD_KERNELS_H
+
+#include "core/simd/simd.h"
+
+namespace bxt::simd::detail {
+
+/** Always available. */
+const KernelTable &scalarTable();
+const KernelTable &wordTable();
+
+/** Null when the binary was built without the tier's instructions. */
+const KernelTable *avx2TableOrNull();
+const KernelTable *avx512TableOrNull();
+const KernelTable *neonTableOrNull();
+
+/** Runtime CPU support for the x86 tiers (always false off-x86). */
+bool cpuHasAvx2();
+bool cpuHasAvx512();
+
+} // namespace bxt::simd::detail
+
+#endif // BXT_CORE_SIMD_KERNELS_H

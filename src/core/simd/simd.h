@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernel layer for the batch codec core.
+ *
+ * The batch kernels (Base+XOR cascade, ZDR word remap, Universal fold,
+ * DBI popcount-and-invert) and the bus ones/toggle accounting all reduce
+ * to a small set of plane-level primitives. This module provides those
+ * primitives behind a function-pointer table selected once at runtime:
+ *
+ *   Level::Scalar  byte-at-a-time loops (the differential reference)
+ *   Level::Word    64-bit word loops (the PR 5 hand-written kernels)
+ *   Level::Neon    128-bit NEON (aarch64 builds only)
+ *   Level::Avx2    256-bit AVX2 (x86-64, detected via CPUID + XGETBV)
+ *   Level::Avx512  512-bit AVX-512 F+BW+VL+VPOPCNTDQ
+ *
+ * One binary carries every level its compiler could build (the vector
+ * translation units get per-file -m flags; see src/core/CMakeLists.txt)
+ * and picks the best one the running CPU supports. The `BXT_SIMD`
+ * environment variable forces a level by name ("scalar", "word", "neon",
+ * "avx2", "avx512"); an unsupported request clamps down to the best
+ * supported level at or below it, and an unrecognized value falls back
+ * to Scalar — both with a one-line warning on stderr, never an abort.
+ *
+ * Every level is bit-identical to Scalar by contract; tests/test_simd.cpp
+ * checks the primitives directly and replays the golden corpus plus the
+ * batch differential fuzzer at every supported level.
+ */
+
+#ifndef BXT_CORE_SIMD_SIMD_H
+#define BXT_CORE_SIMD_SIMD_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bxt::simd {
+
+/** Kernel implementation tiers, in dispatch-preference order. */
+enum class Level : int
+{
+    Scalar = 0, ///< Byte loops; always available, the reference tier.
+    Word = 1,   ///< 64-bit word loops; always available.
+    Neon = 2,   ///< 128-bit NEON (aarch64 builds).
+    Avx2 = 3,   ///< 256-bit AVX2.
+    Avx512 = 4, ///< 512-bit AVX-512 (F+BW+VL+VPOPCNTDQ).
+};
+
+/**
+ * The primitive set every level implements. All ranges are byte counts;
+ * `out` may alias `in` (in-place), but `base` must not overlap `out`.
+ * The zdr* entries require `n` to be a multiple of the lane size
+ * (2/4/8 bytes); lanes are little-endian words exactly as in core/zdr.h.
+ */
+struct KernelTable
+{
+    Level level = Level::Scalar;
+
+    /** out[i] = in[i] ^ base[i]. */
+    void (*xorRange)(std::uint8_t *out, const std::uint8_t *in,
+                     const std::uint8_t *base, std::size_t n);
+
+    /** ZDR-encode each lane of @p in against the matching lane of
+     *  @p base (input == 0 -> C, input == base^C -> base, else XOR). */
+    void (*zdrEncode16)(std::uint8_t *out, const std::uint8_t *in,
+                        const std::uint8_t *base, std::size_t n);
+    void (*zdrEncode32)(std::uint8_t *out, const std::uint8_t *in,
+                        const std::uint8_t *base, std::size_t n);
+    void (*zdrEncode64)(std::uint8_t *out, const std::uint8_t *in,
+                        const std::uint8_t *base, std::size_t n);
+
+    /** Inverse of the matching zdrEncode given the same @p base. */
+    void (*zdrDecode16)(std::uint8_t *out, const std::uint8_t *in,
+                        const std::uint8_t *base, std::size_t n);
+    void (*zdrDecode32)(std::uint8_t *out, const std::uint8_t *in,
+                        const std::uint8_t *base, std::size_t n);
+    void (*zdrDecode64)(std::uint8_t *out, const std::uint8_t *in,
+                        const std::uint8_t *base, std::size_t n);
+
+    /**
+     * DBI-DC over a contiguous plane of @p groups groups of
+     * @p group_bytes (1/2/4/8) bytes each: invert a group in place when
+     * its popcount exceeds group_bytes*4, writing one 0/1 polarity byte
+     * per group into @p meta.
+     */
+    void (*dbiEncodePlane)(std::uint8_t *data, std::uint8_t *meta,
+                           std::size_t groups, std::size_t group_bytes);
+
+    /** Inverse: re-invert every group whose @p meta byte is nonzero. */
+    void (*dbiDecodePlane)(std::uint8_t *data, const std::uint8_t *meta,
+                           std::size_t groups, std::size_t group_bytes);
+
+    /** Total `1` bits in @p src. */
+    std::uint64_t (*popcountRange)(const std::uint8_t *src, std::size_t n);
+
+    /** Total `1` bits in a[i] ^ b[i] (the toggle count of two beats). */
+    std::uint64_t (*popcountXorRange)(const std::uint8_t *a,
+                                      const std::uint8_t *b, std::size_t n);
+};
+
+/**
+ * The active kernel table. First use resolves the level: `BXT_SIMD` if
+ * set (see resolveRequestedLevel), otherwise the best the CPU supports.
+ * The resolved level is exported as the `bxt.simd.level` telemetry gauge
+ * (numeric Level value) so snapshots and bxtd Stats report it.
+ */
+const KernelTable &ops();
+
+/** The level ops() currently dispatches to. */
+Level activeLevel();
+
+/**
+ * Force the active level (tests and the bench level sweep). Unsupported
+ * levels clamp to the best supported level ranked at or below the
+ * request. Returns the level actually installed.
+ */
+Level setActiveLevel(Level level);
+
+/** Best level supported by this binary on this CPU. */
+Level bestLevel();
+
+/** True when this binary can run @p level on this CPU. */
+bool levelSupported(Level level);
+
+/** Every supported level, Scalar first. */
+std::vector<Level> supportedLevels();
+
+/** Lower-case level name ("scalar", "word", "neon", "avx2", "avx512"). */
+const char *levelName(Level level);
+
+/** Parse a level name (case-insensitive); nullopt when unrecognized. */
+std::optional<Level> parseLevel(std::string_view name);
+
+/**
+ * Resolve a `BXT_SIMD` request to an installable level: nullptr/empty
+ * means bestLevel(); an unsupported-but-valid name clamps down; an
+ * unrecognized value yields Level::Scalar. When the request could not be
+ * honored exactly, @p warning (if non-null) receives a one-line
+ * explanation, otherwise it is left empty.
+ */
+Level resolveRequestedLevel(const char *value, std::string *warning);
+
+/** The level forced via BXT_SIMD, if that variable is set and valid. */
+std::optional<Level> envForcedLevel();
+
+} // namespace bxt::simd
+
+#endif // BXT_CORE_SIMD_SIMD_H

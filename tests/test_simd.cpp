@@ -1,0 +1,326 @@
+/**
+ * @file
+ * SIMD dispatch-layer suite: level parsing and BXT_SIMD resolution
+ * semantics (invalid names fall back to scalar with a warning, never an
+ * abort), per-primitive differential checks of every available kernel
+ * table against the strict byte-loop scalar reference, and the golden
+ * corpus plus the batch differential fuzzer replayed at every dispatch
+ * level the host supports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/simd/kernels.h"
+#include "core/simd/simd.h"
+#include "verify/batch_check.h"
+#include "verify/golden.h"
+
+namespace bxt {
+namespace {
+
+using simd::Level;
+
+/** Restores the entry dispatch level when a test scope ends. */
+class ScopedLevel
+{
+  public:
+    ScopedLevel() : saved_(simd::activeLevel()) {}
+    ~ScopedLevel() { simd::setActiveLevel(saved_); }
+
+  private:
+    Level saved_;
+};
+
+TEST(SimdDispatch, ParseLevelRecognizesEveryNameCaseInsensitively)
+{
+    for (Level level : {Level::Scalar, Level::Word, Level::Neon,
+                        Level::Avx2, Level::Avx512}) {
+        const std::string name = simd::levelName(level);
+        EXPECT_EQ(simd::parseLevel(name), level);
+        std::string upper = name;
+        for (char &ch : upper)
+            if (ch >= 'a' && ch <= 'z')
+                ch = static_cast<char>(ch - 'a' + 'A');
+        EXPECT_EQ(simd::parseLevel(upper), level) << upper;
+    }
+    EXPECT_FALSE(simd::parseLevel("").has_value());
+    EXPECT_FALSE(simd::parseLevel("avx1024").has_value());
+    EXPECT_FALSE(simd::parseLevel("sse").has_value());
+}
+
+TEST(SimdDispatch, UnrecognizedEnvValueFallsBackToScalarWithWarning)
+{
+    // The BXT_SIMD contract: garbage must not abort the process — it
+    // resolves to the scalar reference and says so on stderr.
+    ASSERT_EQ(setenv("BXT_SIMD", "definitely-not-a-level", 1), 0);
+    std::string warning;
+    const Level level = simd::resolveRequestedLevel(
+        std::getenv("BXT_SIMD"), &warning);
+    EXPECT_EQ(level, Level::Scalar);
+    EXPECT_FALSE(warning.empty());
+    EXPECT_NE(warning.find("definitely-not-a-level"), std::string::npos);
+    // And it is not treated as a forced level elsewhere (the bench sweep
+    // keys off envForcedLevel to pin its level list).
+    EXPECT_FALSE(simd::envForcedLevel().has_value());
+    ASSERT_EQ(unsetenv("BXT_SIMD"), 0);
+}
+
+TEST(SimdDispatch, EmptyEnvPicksBestLevelWithoutWarning)
+{
+    std::string warning;
+    EXPECT_EQ(simd::resolveRequestedLevel(nullptr, &warning),
+              simd::bestLevel());
+    EXPECT_TRUE(warning.empty());
+    EXPECT_EQ(simd::resolveRequestedLevel("", &warning),
+              simd::bestLevel());
+    EXPECT_TRUE(warning.empty());
+}
+
+TEST(SimdDispatch, UnsupportedRequestClampsDownWithWarning)
+{
+    // Scalar and word are always installable, so a supported request
+    // resolves verbatim and silently.
+    std::string warning;
+    EXPECT_EQ(simd::resolveRequestedLevel("scalar", &warning),
+              Level::Scalar);
+    EXPECT_TRUE(warning.empty());
+    EXPECT_EQ(simd::resolveRequestedLevel("word", &warning), Level::Word);
+    EXPECT_TRUE(warning.empty());
+
+    // A valid name the host cannot run clamps to the best level at or
+    // below it and warns. On hosts that support everything there is
+    // nothing to clamp; the contract still holds vacuously.
+    for (Level level : {Level::Neon, Level::Avx2, Level::Avx512}) {
+        if (simd::levelSupported(level))
+            continue;
+        const Level got = simd::resolveRequestedLevel(
+            simd::levelName(level), &warning);
+        EXPECT_TRUE(simd::levelSupported(got));
+        EXPECT_LT(static_cast<int>(got), static_cast<int>(level));
+        EXPECT_FALSE(warning.empty());
+    }
+}
+
+TEST(SimdDispatch, SetActiveLevelInstallsEverySupportedLevel)
+{
+    ScopedLevel guard;
+    for (Level level : simd::supportedLevels()) {
+        EXPECT_EQ(simd::setActiveLevel(level), level);
+        EXPECT_EQ(simd::activeLevel(), level);
+    }
+    EXPECT_TRUE(simd::levelSupported(Level::Scalar));
+    EXPECT_TRUE(simd::levelSupported(Level::Word));
+}
+
+/**
+ * Byte plane whose lanes hit every ZDR case: zero lanes (encode's
+ * highest-precedence rule), lanes equal to base^C and to base (the
+ * decode collision corners), plus dense random filler.
+ */
+std::vector<std::uint8_t>
+makeZdrPlane(std::size_t bytes, std::size_t lane,
+             const std::vector<std::uint8_t> &base, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> plane(bytes);
+    for (std::size_t off = 0; off < bytes; off += lane) {
+        const std::uint64_t pick = rng.nextBounded(5);
+        for (std::size_t b = 0; b < lane; ++b) {
+            const std::uint8_t base_byte = base[off + b];
+            // C has 0x40 in the lane's most-significant byte only.
+            const std::uint8_t c_byte = b + 1 == lane ? 0x40 : 0x00;
+            switch (pick) {
+            case 0: plane[off + b] = 0; break;
+            case 1: plane[off + b] = base_byte ^ c_byte; break;
+            case 2: plane[off + b] = base_byte; break;
+            case 3: plane[off + b] = c_byte; break;
+            default:
+                plane[off + b] = static_cast<std::uint8_t>(rng.next64());
+            }
+        }
+    }
+    return plane;
+}
+
+std::vector<std::uint8_t>
+randomBytes(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint8_t> out(n);
+    for (std::uint8_t &byte : out)
+        byte = static_cast<std::uint8_t>(rng.next64());
+    return out;
+}
+
+/** Sizes the range primitives are diffed at: vector-width multiples,
+ *  sub-vector runs, and ragged tails for every register width. */
+const std::vector<std::size_t> rangeSizes = {8,   16,  24,  32,  40,
+                                             64,  72,  96,  128, 136,
+                                             192, 256, 264, 512, 1024};
+
+TEST(SimdKernels, RangePrimitivesMatchScalarAtEveryLevel)
+{
+    const simd::KernelTable &ref = simd::detail::scalarTable();
+    for (Level level : simd::supportedLevels()) {
+        SCOPED_TRACE(simd::levelName(level));
+        ASSERT_EQ(simd::setActiveLevel(level), level);
+        const simd::KernelTable &ops = simd::ops();
+        EXPECT_EQ(ops.level, level);
+
+        std::uint64_t seed = 0x51D0 + static_cast<std::uint64_t>(level);
+        for (std::size_t n : rangeSizes) {
+            const std::vector<std::uint8_t> base = randomBytes(n, seed++);
+            const std::vector<std::uint8_t> in = randomBytes(n, seed++);
+
+            std::vector<std::uint8_t> got(n), want(n);
+            ops.xorRange(got.data(), in.data(), base.data(), n);
+            ref.xorRange(want.data(), in.data(), base.data(), n);
+            EXPECT_EQ(got, want) << "xorRange n=" << n;
+
+            EXPECT_EQ(ops.popcountRange(in.data(), n),
+                      ref.popcountRange(in.data(), n))
+                << "popcountRange n=" << n;
+            EXPECT_EQ(ops.popcountXorRange(in.data(), base.data(), n),
+                      ref.popcountXorRange(in.data(), base.data(), n))
+                << "popcountXorRange n=" << n;
+
+            struct ZdrCase
+            {
+                std::size_t lane;
+                void (*enc)(std::uint8_t *, const std::uint8_t *,
+                            const std::uint8_t *, std::size_t);
+                void (*dec)(std::uint8_t *, const std::uint8_t *,
+                            const std::uint8_t *, std::size_t);
+                void (*ref_enc)(std::uint8_t *, const std::uint8_t *,
+                                const std::uint8_t *, std::size_t);
+                void (*ref_dec)(std::uint8_t *, const std::uint8_t *,
+                                const std::uint8_t *, std::size_t);
+            };
+            const ZdrCase cases[] = {
+                {2, ops.zdrEncode16, ops.zdrDecode16, ref.zdrEncode16,
+                 ref.zdrDecode16},
+                {4, ops.zdrEncode32, ops.zdrDecode32, ref.zdrEncode32,
+                 ref.zdrDecode32},
+                {8, ops.zdrEncode64, ops.zdrDecode64, ref.zdrEncode64,
+                 ref.zdrDecode64},
+            };
+            for (const ZdrCase &zc : cases) {
+                if (n % zc.lane != 0)
+                    continue;
+                const std::vector<std::uint8_t> lanes =
+                    makeZdrPlane(n, zc.lane, base, seed++);
+                zc.enc(got.data(), lanes.data(), base.data(), n);
+                zc.ref_enc(want.data(), lanes.data(), base.data(), n);
+                EXPECT_EQ(got, want)
+                    << "zdrEncode lane=" << zc.lane << " n=" << n;
+
+                std::vector<std::uint8_t> back(n), ref_back(n);
+                zc.dec(back.data(), got.data(), base.data(), n);
+                zc.ref_dec(ref_back.data(), want.data(), base.data(), n);
+                EXPECT_EQ(back, ref_back)
+                    << "zdrDecode lane=" << zc.lane << " n=" << n;
+                EXPECT_EQ(back, lanes)
+                    << "zdr round-trip lane=" << zc.lane << " n=" << n;
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, DbiPlanePrimitivesMatchScalarAtEveryLevel)
+{
+    const simd::KernelTable &ref = simd::detail::scalarTable();
+    for (Level level : simd::supportedLevels()) {
+        SCOPED_TRACE(simd::levelName(level));
+        ASSERT_EQ(simd::setActiveLevel(level), level);
+        const simd::KernelTable &ops = simd::ops();
+
+        std::uint64_t seed = 0xDB1 + static_cast<std::uint64_t>(level);
+        for (std::size_t group_bytes : {std::size_t{1}, std::size_t{2},
+                                        std::size_t{4}, std::size_t{8}}) {
+            for (std::size_t groups :
+                 {std::size_t{1}, std::size_t{3}, std::size_t{8},
+                  std::size_t{31}, std::size_t{64}, std::size_t{129},
+                  std::size_t{512}}) {
+                const std::size_t n = groups * group_bytes;
+                const std::vector<std::uint8_t> plane =
+                    randomBytes(n, seed++);
+
+                std::vector<std::uint8_t> got = plane, want = plane;
+                std::vector<std::uint8_t> got_meta(groups, 0xcc);
+                std::vector<std::uint8_t> want_meta(groups, 0xcc);
+                ops.dbiEncodePlane(got.data(), got_meta.data(), groups,
+                                   group_bytes);
+                ref.dbiEncodePlane(want.data(), want_meta.data(), groups,
+                                   group_bytes);
+                EXPECT_EQ(got, want) << "dbiEncodePlane gb=" << group_bytes
+                                     << " groups=" << groups;
+                EXPECT_EQ(got_meta, want_meta)
+                    << "dbi meta gb=" << group_bytes
+                    << " groups=" << groups;
+
+                ops.dbiDecodePlane(got.data(), got_meta.data(), groups,
+                                   group_bytes);
+                EXPECT_EQ(got, plane)
+                    << "dbi round-trip gb=" << group_bytes
+                    << " groups=" << groups;
+            }
+        }
+    }
+}
+
+TEST(SimdGolden, CorpusIsBitIdenticalAtEveryLevel)
+{
+    ScopedLevel guard;
+    for (Level level : simd::supportedLevels()) {
+        SCOPED_TRACE(simd::levelName(level));
+        ASSERT_EQ(simd::setActiveLevel(level), level);
+        for (unsigned wires : {32u, 64u}) {
+            for (const std::string &spec : verify::goldenSpecs(wires)) {
+                const std::string path =
+                    std::string(BXT_GOLDEN_DIR) + "/" +
+                    verify::goldenFileName(spec, wires);
+                for (const std::string &diff :
+                     verify::checkGoldenFileBatch(path))
+                    ADD_FAILURE() << simd::levelName(level) << ": "
+                                  << diff;
+            }
+        }
+    }
+}
+
+TEST(SimdFuzz, BatchDifferentialHoldsAtEveryLevel)
+{
+    ScopedLevel guard;
+    for (Level level : simd::supportedLevels()) {
+        SCOPED_TRACE(simd::levelName(level));
+        ASSERT_EQ(simd::setActiveLevel(level), level);
+
+        // Smaller per-level budget than test_batch's campaign: the sweep
+        // multiplies by the level count, and the per-primitive diffs
+        // above already cover the lane algebra densely.
+        verify::BatchFuzzOptions options;
+        options.streamsPerSpec = 4;
+        options.txPerStream = 64;
+        options.batchSizes = {1, 7, 64};
+        options.seed = 0x51D0F00D + static_cast<std::uint64_t>(level);
+
+        const verify::BatchFuzzReport report =
+            verify::runBatchDifferentialFuzz(options);
+        EXPECT_GT(report.transactionsChecked, 0u);
+        for (const verify::BatchFuzzFailure &failure : report.failures)
+            ADD_FAILURE() << simd::levelName(level) << ": "
+                          << failure.spec << " wires="
+                          << failure.dataWires << " batch="
+                          << failure.batchTx << " seed=" << failure.seed << ": "
+                          << failure.violation.invariant << " "
+                          << failure.violation.detail;
+    }
+}
+
+} // namespace
+} // namespace bxt

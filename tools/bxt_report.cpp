@@ -6,7 +6,12 @@
  *   bxt_report --validate FILE...       schema-check snapshots (exit 1 on
  *                                        the first invalid document)
  *   bxt_report --validate-trace FILE    check a Chrome trace-event file
- *   bxt_report --diff A B               per-instrument numeric diff
+ *   bxt_report --diff A B               per-instrument numeric diff of
+ *                                        two snapshots, or per-spec
+ *                                        speedup tables when both files
+ *                                        are codec-throughput bench
+ *                                        documents (e.g. the per-SIMD-
+ *                                        level JSONs from `ci.sh batch`)
  *   bxt_report --assert-overhead PCT OFF.json ON.json
  *                                        compare two codec-throughput
  *                                        bench documents and fail when the
@@ -266,6 +271,205 @@ diffSnapshots(const std::string &path_a, const std::string &path_b)
     return 0;
 }
 
+/** One (spec, batch_tx) row merged from two bench documents. */
+struct BenchDiffRow {
+    bool inA = false;
+    bool inB = false;
+    std::string levelA;
+    std::string levelB;
+    double encodeA = 0.0;
+    double encodeB = 0.0;
+    double decodeA = 0.0;
+    double decodeB = 0.0;
+};
+
+using BenchDiffKey = std::pair<std::string, double>;
+
+/**
+ * Fold one document's codec rows into @p merged. simd_codec rows carry
+ * separate encode/decode rates; batch_codec / scalar_codec rows carry a
+ * single round-trip rate, stored in the encode slot.
+ */
+void
+collectBenchRows(const JsonValue &doc, bool is_b,
+                 std::map<BenchDiffKey, BenchDiffRow> &simd_rows,
+                 std::map<BenchDiffKey, BenchDiffRow> &batch_rows)
+{
+    for (const JsonValue &row : doc.find("results")->array) {
+        const JsonValue *mode = row.find("mode");
+        const JsonValue *spec = row.find("spec");
+        const JsonValue *batch = row.find("batch_tx");
+        if (mode == nullptr || spec == nullptr || batch == nullptr)
+            continue;
+        const BenchDiffKey key{spec->string, batch->number};
+        if (mode->string == "simd_codec") {
+            BenchDiffRow &out = simd_rows[key];
+            const JsonValue *level = row.find("simd_level");
+            const JsonValue *enc = row.find("encode_tx_per_s");
+            const JsonValue *dec = row.find("decode_tx_per_s");
+            std::string &slot_level = is_b ? out.levelB : out.levelA;
+            double &slot_enc = is_b ? out.encodeB : out.encodeA;
+            double &slot_dec = is_b ? out.decodeB : out.decodeA;
+            // Keep the fastest encode row per (spec, batch): an unforced
+            // sweep emits one row per dispatch level.
+            if (enc != nullptr &&
+                (!(is_b ? out.inB : out.inA) || enc->number > slot_enc)) {
+                slot_enc = enc->number;
+                slot_dec = dec != nullptr ? dec->number : 0.0;
+                slot_level = level != nullptr ? level->string : "?";
+                (is_b ? out.inB : out.inA) = true;
+            }
+        } else if (mode->string == "batch_codec" ||
+                   mode->string == "scalar_codec") {
+            BenchDiffRow &out = batch_rows[key];
+            const JsonValue *rate = row.find("tx_per_s");
+            if (rate != nullptr) {
+                (is_b ? out.encodeB : out.encodeA) = rate->number;
+                (is_b ? out.inB : out.inA) = true;
+            }
+        }
+    }
+}
+
+std::string
+benchLevelSummary(const JsonValue &doc)
+{
+    for (const JsonValue &row : doc.find("results")->array) {
+        const JsonValue *mode = row.find("mode");
+        if (mode == nullptr || mode->string != "simd_info")
+            continue;
+        const JsonValue *best = row.find("best_level");
+        const JsonValue *forced = row.find("forced");
+        std::string summary =
+            best != nullptr ? best->string : std::string("?");
+        if (forced != nullptr && forced->boolean)
+            summary += " (forced)";
+        return summary;
+    }
+    return "?";
+}
+
+/**
+ * Per-spec speedup tables between two codec-throughput bench documents —
+ * typically the per-SIMD-level JSONs uploaded by `ci.sh batch`
+ * (BENCH_codec_throughput.word.json vs .avx512.json).
+ */
+int
+diffBenchDocs(const std::string &path_a, const JsonValue &doc_a,
+              const std::string &path_b, const JsonValue &doc_b)
+{
+    std::map<BenchDiffKey, BenchDiffRow> simd_rows;
+    std::map<BenchDiffKey, BenchDiffRow> batch_rows;
+    collectBenchRows(doc_a, false, simd_rows, batch_rows);
+    collectBenchRows(doc_b, true, simd_rows, batch_rows);
+
+    std::printf("a: %s (best level %s)\n", path_a.c_str(),
+                benchLevelSummary(doc_a).c_str());
+    std::printf("b: %s (best level %s)\n\n", path_b.c_str(),
+                benchLevelSummary(doc_b).c_str());
+
+    std::size_t unmatched = 0;
+    if (!simd_rows.empty()) {
+        Table table({"spec", "batch", "levels", "enc a Mtx/s",
+                     "enc b Mtx/s", "enc b/a", "dec a Mtx/s",
+                     "dec b Mtx/s", "dec b/a"});
+        for (const auto &[key, row] : simd_rows) {
+            if (!row.inA || !row.inB) {
+                ++unmatched;
+                continue;
+            }
+            table.addRow(
+                {key.first, Table::cell(key.second, 0),
+                 row.levelA + "->" + row.levelB,
+                 Table::cell(row.encodeA / 1e6, 1),
+                 Table::cell(row.encodeB / 1e6, 1),
+                 Table::cell(row.encodeA > 0.0
+                                 ? row.encodeB / row.encodeA
+                                 : 0.0,
+                             2),
+                 Table::cell(row.decodeA / 1e6, 1),
+                 Table::cell(row.decodeB / 1e6, 1),
+                 Table::cell(row.decodeA > 0.0
+                                 ? row.decodeB / row.decodeA
+                                 : 0.0,
+                             2)});
+        }
+        if (table.rows() > 0)
+            std::printf("%s\n", table.render().c_str());
+    }
+    if (!batch_rows.empty()) {
+        Table table({"spec", "batch", "rt a Mtx/s", "rt b Mtx/s",
+                     "rt b/a"});
+        for (const auto &[key, row] : batch_rows) {
+            if (!row.inA || !row.inB) {
+                ++unmatched;
+                continue;
+            }
+            table.addRow(
+                {key.first, Table::cell(key.second, 0),
+                 Table::cell(row.encodeA / 1e6, 1),
+                 Table::cell(row.encodeB / 1e6, 1),
+                 Table::cell(row.encodeA > 0.0
+                                 ? row.encodeB / row.encodeA
+                                 : 0.0,
+                             2)});
+        }
+        if (table.rows() > 0)
+            std::printf("%s\n", table.render().c_str());
+    }
+    if (unmatched > 0)
+        std::printf("(%zu rows present in only one file were skipped)\n",
+                    unmatched);
+    return 0;
+}
+
+/**
+ * --diff entry point: two codec-throughput bench documents (detected by
+ * their "results" array) get per-spec speedup tables; anything else falls
+ * back to the metrics-snapshot diff.
+ */
+int
+diffFiles(const std::string &path_a, const std::string &path_b)
+{
+    std::string text_a;
+    std::string text_b;
+    if (!readFile(path_a, text_a) || !readFile(path_b, text_b))
+        return 1;
+    JsonValue doc_a;
+    JsonValue doc_b;
+    std::string error;
+    if (!bxt::parseJson(text_a, doc_a, &error)) {
+        std::fprintf(stderr, "bxt_report: %s: %s\n", path_a.c_str(),
+                     error.c_str());
+        return 1;
+    }
+    if (!bxt::parseJson(text_b, doc_b, &error)) {
+        std::fprintf(stderr, "bxt_report: %s: %s\n", path_b.c_str(),
+                     error.c_str());
+        return 1;
+    }
+    // Only documents that actually carry per-spec codec rows take the
+    // bench path; other unified bench JSONs (e.g. fig15) keep the
+    // snapshot diff of their embedded "metrics" member.
+    const auto has_codec_rows = [](const JsonValue &doc) {
+        const JsonValue *results = doc.find("results");
+        if (results == nullptr || !results->isArray())
+            return false;
+        for (const JsonValue &row : results->array) {
+            const JsonValue *mode = row.find("mode");
+            if (mode != nullptr &&
+                (mode->string == "simd_codec" ||
+                 mode->string == "batch_codec" ||
+                 mode->string == "scalar_codec"))
+                return true;
+        }
+        return false;
+    };
+    if (has_codec_rows(doc_a) && has_codec_rows(doc_b))
+        return diffBenchDocs(path_a, doc_a, path_b, doc_b);
+    return diffSnapshots(path_a, path_b);
+}
+
 /** Serial sweep seconds from a codec-throughput bench document. */
 bool
 serialSeconds(const std::string &path, double &seconds)
@@ -345,7 +549,9 @@ main(int argc, char **argv)
     cli.addFlag("--validate-trace",
                 "check the given Chrome trace-event files",
                 [&] { validate_trace = true; });
-    cli.addFlag("--diff", "diff two snapshots (two files expected)",
+    cli.addFlag("--diff",
+                "diff two snapshots, or two bench JSONs as per-spec "
+                "speedup tables (two files expected)",
                 [&] { diff = true; });
     cli.add("--assert-overhead", "PCT",
             "fail when ON.json's serial sweep is more than PCT percent "
@@ -379,7 +585,7 @@ main(int argc, char **argv)
                          "bxt_report: --diff needs exactly two files\n");
             return 2;
         }
-        return diffSnapshots(files[0], files[1]);
+        return diffFiles(files[0], files[1]);
     }
     if (validate_trace) {
         for (const std::string &file : files) {
