@@ -4,7 +4,8 @@
 # on every PR, plus a fuzz job that runs the differential verifier
 # (tools/bxt_fuzz) under the sanitizers on a wall-clock budget.
 #
-# Usage: ./ci.sh [release|asan|fuzz|batch|metrics|serve|all]   (default: all)
+# Usage: ./ci.sh [release|asan|fuzz|batch|metrics|serve|scenario|all]
+# (default: all)
 #   release  Release build + `ctest -L tier1`
 #   asan     ASan/UBSan build + `ctest -L tier1` (oversubscribed pool)
 #   fuzz     ASan/UBSan build + bxt_fuzz campaign + fuzz/golden-labeled
@@ -31,6 +32,12 @@
 #            burst (asserting >= BXT_SERVE_MIN_TX_RATE encoded tx/s,
 #            default 100000, into BENCH_server_loadgen.json), then SIGTERM
 #            it and assert a clean drain (exit 0)
+#   scenario Release build + scenario-labeled ctest + multi-tenant traffic
+#            smoke: boot a metrics-enabled bxtd, replay the zipf-0.99 and
+#            hot-flood presets unpaced over 4 connections (asserting
+#            >= BXT_SCENARIO_MIN_TX_RATE encoded tx/s each, default
+#            50000), and upload BENCH_server_scenarios.json plus the
+#            hot-flood variant (the baseline the sharding work must beat)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -237,6 +244,62 @@ run_serve() {
     echo "serve: clean drain, BENCH_server_loadgen.json written"
 }
 
+run_scenario() {
+    echo "=== CI job: multi-tenant scenario traffic + per-tenant gates ==="
+    cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-ci-release -j "${jobs}" \
+        --target bxtd bxt_loadgen bxt_report test_scenario test_server
+    ctest --test-dir build-ci-release --output-on-failure -j "${jobs}" \
+        -L scenario
+
+    local out=build-ci-release/scenario
+    mkdir -p "${out}"
+    local sock="${out}/bxtd.sock"
+    rm -f "${sock}"
+
+    # Metrics on, so the per-tenant stream counters are live and land in
+    # the bench documents' embedded snapshots.
+    BXT_METRICS=1 ./build-ci-release/tools/bxtd --unix "${sock}" \
+        --threads 4 > "${out}/bxtd.log" 2>&1 &
+    local bxtd_pid=$!
+    local i
+    for i in $(seq 1 100); do
+        [ -S "${sock}" ] && break
+        sleep 0.1
+    done
+    if ! [ -S "${sock}" ]; then
+        echo "bxtd never created ${sock}" >&2
+        cat "${out}/bxtd.log" >&2
+        kill "${bxtd_pid}" 2>/dev/null || true
+        return 1
+    fi
+
+    # Unpaced replays so the floor measures server capacity, not the
+    # scenario's arrival schedule. Fixed seed: the request stream (and
+    # therefore the JSON's per-tenant rows) is reproducible.
+    local floor="${BXT_SCENARIO_MIN_TX_RATE:-50000}"
+    ./build-ci-release/tools/bxt_loadgen --unix "${sock}" \
+        --scenario zipf-0.99 --no-pace --connections 4 --seed 1 \
+        --json BENCH_server_scenarios.json \
+        --assert-min-tx-rate "${floor}"
+    ./build-ci-release/tools/bxt_loadgen --unix "${sock}" \
+        --scenario hot-flood --no-pace --connections 4 --seed 1 \
+        --json BENCH_server_scenarios.hot-flood.json \
+        --assert-min-tx-rate "${floor}"
+    ./build-ci-release/tools/bxt_report --scenario \
+        BENCH_server_scenarios.json BENCH_server_scenarios.hot-flood.json
+
+    kill -TERM "${bxtd_pid}"
+    local status=0
+    wait "${bxtd_pid}" || status=$?
+    if [ "${status}" -ne 0 ]; then
+        echo "bxtd did not drain cleanly (exit ${status})" >&2
+        cat "${out}/bxtd.log" >&2
+        return 1
+    fi
+    echo "scenario: BENCH_server_scenarios.json + hot-flood variant written"
+}
+
 case "${mode}" in
   release) run_release ;;
   asan)    run_asan ;;
@@ -244,7 +307,8 @@ case "${mode}" in
   batch)   run_batch ;;
   metrics) run_metrics ;;
   serve)   run_serve ;;
-  all)     run_release; run_asan; run_batch; run_metrics; run_serve ;;
-  *) echo "usage: $0 [release|asan|fuzz|batch|metrics|serve|all]" >&2; exit 2 ;;
+  scenario) run_scenario ;;
+  all)     run_release; run_asan; run_batch; run_metrics; run_serve; run_scenario ;;
+  *) echo "usage: $0 [release|asan|fuzz|batch|metrics|serve|scenario|all]" >&2; exit 2 ;;
 esac
 echo "CI ${mode}: OK"

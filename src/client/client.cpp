@@ -19,7 +19,7 @@ Client::connectUnix(const std::string &path, std::string &err)
 }
 
 bool
-Client::roundTrip(const wire::Frame &request, wire::Frame &response,
+Client::roundTrip(wire::Frame &request, wire::Frame &response,
                   std::string &err)
 {
     last_error_ = wire::ErrorCode::None;
@@ -27,6 +27,7 @@ Client::roundTrip(const wire::Frame &request, wire::Frame &response,
         err = "not connected";
         return false;
     }
+    request.streamId = stream_id_;
     const std::vector<std::uint8_t> bytes = wire::serializeFrame(request);
     if (!net::writeAll(fd_.get(), bytes.data(), bytes.size(), err))
         return false;

@@ -70,6 +70,16 @@ class Client
 
     bool connected() const { return fd_.valid(); }
 
+    /**
+     * Tag every subsequent request with @p stream_id (a tenant/stream
+     * identity; 0 reverts to untagged). The server echoes the tag and
+     * keys its per-tenant telemetry (`bxt.server.stream.<id>.*`) by it.
+     */
+    void setStreamId(std::uint16_t stream_id) { stream_id_ = stream_id; }
+
+    /** The stream tag applied to outgoing requests (0 = untagged). */
+    std::uint16_t streamId() const { return stream_id_; }
+
     /** Liveness probe. */
     bool ping(std::string &err);
 
@@ -101,16 +111,18 @@ class Client
 
   private:
     /**
-     * Send @p request and block for one response frame. Error frames are
-     * surfaced as failures (false, err = "<code-name>: <message>",
-     * lastErrorCode() set); @p response is only filled on success.
+     * Tag @p request with the stream id, send it, and block for one
+     * response frame. Error frames are surfaced as failures (false,
+     * err = "<code-name>: <message>", lastErrorCode() set); @p response
+     * is only filled on success.
      */
-    bool roundTrip(const wire::Frame &request, wire::Frame &response,
+    bool roundTrip(wire::Frame &request, wire::Frame &response,
                    std::string &err);
 
     net::UniqueFd fd_;
     wire::FrameParser parser_;
     wire::ErrorCode last_error_ = wire::ErrorCode::None;
+    std::uint16_t stream_id_ = 0;
 };
 
 } // namespace bxt::client

@@ -2,6 +2,8 @@
 
 #include <cstring>
 #include <exception>
+#include <map>
+#include <mutex>
 #include <span>
 
 #include "common/error.h"
@@ -36,6 +38,42 @@ serviceMetrics()
 {
     static ServiceMetrics *metrics = new ServiceMetrics();
     return *metrics;
+}
+
+/**
+ * Per-stream (tenant) instruments, keyed by the frame's streamId. The
+ * references are process-lifetime registry entries; the cache avoids
+ * re-building four metric names per tagged request. Stream 0 means
+ * untagged and never reaches here.
+ */
+struct StreamCounters
+{
+    telemetry::Counter &requests;
+    telemetry::Counter &txEncoded;
+    telemetry::Counter &onesIn;
+    telemetry::Counter &onesOut;
+};
+
+StreamCounters &
+streamCounters(std::uint16_t stream_id)
+{
+    static std::mutex mutex;
+    static std::map<std::uint16_t, StreamCounters *> cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(stream_id);
+    if (it == cache.end()) {
+        const std::string base =
+            "bxt.server.stream." + std::to_string(stream_id);
+        it = cache
+                 .emplace(stream_id,
+                          new StreamCounters{
+                              telemetry::counter(base + ".requests"),
+                              telemetry::counter(base + ".tx_encoded"),
+                              telemetry::counter(base + ".ones_in"),
+                              telemetry::counter(base + ".ones_out")})
+                 .first;
+    }
+    return *it->second;
 }
 
 /** Bits of metadata one transaction carries for this geometry. */
@@ -205,6 +243,15 @@ Service::handleEncode(const wire::Frame &request)
         const std::uint64_t out = payload_ones + meta_ones;
         telemetry::counter(base + ".ones_removed")
             .add(input_ones > out ? input_ones - out : 0);
+        // Per-tenant accounting: stream-tagged encodes telescope to the
+        // aggregate counters (sum over streams == bxt.server.tx_encoded
+        // when every request carries a tag).
+        if (request.streamId != 0) {
+            StreamCounters &stream = streamCounters(request.streamId);
+            stream.txEncoded.add(count);
+            stream.onesIn.add(input_ones);
+            stream.onesOut.add(payload_ones + meta_ones);
+        }
     }
     entry->onesIn += input_ones;
     entry->onesOut += payload_ones + meta_ones;
@@ -306,6 +353,8 @@ Service::handle(const wire::Frame &request)
     ServiceMetrics &metrics = serviceMetrics();
     metrics.requests.add(1);
     const bool metrics_on = telemetry::metricsEnabled();
+    if (metrics_on && request.streamId != 0)
+        streamCounters(request.streamId).requests.add(1);
     const std::uint64_t start = metrics_on ? telemetry::nowMicros() : 0;
 
     wire::Frame response;
@@ -349,6 +398,8 @@ Service::handle(const wire::Frame &request)
         metrics.requestUs.add(
             static_cast<double>(telemetry::nowMicros() - start));
     }
+    // Echo the stream tag so pipelining clients can demux responses.
+    response.streamId = request.streamId;
     return response;
 }
 

@@ -53,8 +53,8 @@ serializeFrame(const Frame &frame)
     storeWord32(out.data(), frameMagic);
     out[4] = wireVersion;
     out[5] = static_cast<std::uint8_t>(frame.opcode);
-    out[6] = 0;
-    out[7] = 0;
+    out[6] = static_cast<std::uint8_t>(frame.streamId & 0xff);
+    out[7] = static_cast<std::uint8_t>(frame.streamId >> 8);
     storeWord32(out.data() + 8, static_cast<std::uint32_t>(spec_len));
     storeWord32(out.data() + 12, static_cast<std::uint32_t>(body_len));
     if (spec_len > 0)
@@ -142,9 +142,6 @@ FrameParser::next(Frame &out, WireError &err)
         return fail(ErrorCode::UnknownOpcode,
                     "unknown opcode " + std::to_string(base[5]), err);
     }
-    if (base[6] != 0 || base[7] != 0) {
-        return fail(ErrorCode::Malformed, "reserved header bits set", err);
-    }
     const std::uint32_t spec_len = loadWord32(base + 8);
     const std::uint32_t body_len = loadWord32(base + 12);
     if (spec_len > maxSpecLen) {
@@ -170,6 +167,8 @@ FrameParser::next(Frame &out, WireError &err)
         return fail(ErrorCode::BadCrc, "frame CRC32 mismatch", err);
 
     out.opcode = static_cast<Opcode>(base[5]);
+    out.streamId = static_cast<std::uint16_t>(
+        base[6] | (static_cast<std::uint16_t>(base[7]) << 8));
     out.spec.assign(reinterpret_cast<const char *>(base + headerBytes),
                     spec_len);
     out.body.assign(base + headerBytes + spec_len,
@@ -262,6 +261,7 @@ randomFrame(Rng &rng)
                                      Opcode::Error};
     Frame frame;
     frame.opcode = opcodes[rng.nextBounded(5)];
+    frame.streamId = static_cast<std::uint16_t>(rng.nextBounded(0x10000));
     const std::size_t spec_len = rng.nextBounded(13);
     static const char charset[] =
         "abcdefghijklmnopqrstuvwxyz0123456789+|";

@@ -8,7 +8,7 @@
  *        0     4  magic "BXTP"
  *        4     1  version (wireVersion)
  *        5     1  opcode
- *        6     2  reserved, must be 0
+ *        6     2  streamId  (little-endian; 0 = untagged)
  *        8     4  specLen   (little-endian, <= maxSpecLen)
  *       12     4  bodyLen   (little-endian, <= maxBodyLen)
  *       16  specLen  codec-spec string (UTF-8, no terminator)
@@ -39,6 +39,13 @@
  *
  * Metadata bits are packed LSB-first: metadata bit j of a transaction
  * (beat-major, as in Encoded::meta) lives in packed byte j/8, bit j%8.
+ *
+ * Stream ids: a client may tag each request with a 16-bit stream
+ * (tenant) id; the server echoes it on the response and keys its
+ * per-tenant request/ones telemetry (`bxt.server.stream.<id>.*`) by
+ * it. Id 0 means untagged and carries no per-stream accounting —
+ * which is also what every pre-streamId client sends, since the field
+ * occupies the formerly-reserved-zero header bytes.
  */
 
 #ifndef BXT_SERVER_WIRE_H
@@ -106,6 +113,7 @@ std::string errorCodeName(ErrorCode code);
 struct Frame
 {
     Opcode opcode = Opcode::Ping;
+    std::uint16_t streamId = 0;     ///< Tenant/stream tag (0 = none).
     std::string spec;               ///< Codec spec ("" when unused).
     std::vector<std::uint8_t> body; ///< Opcode-specific body bytes.
 

@@ -18,14 +18,18 @@
 #include <thread>
 #include <vector>
 
+#include <map>
+
 #include "client/client.h"
 #include "common/bitops.h"
+#include "common/json.h"
 #include "core/codec_factory.h"
 #include "server/server.h"
 #include "server/service.h"
 #include "server/wire.h"
 #include "telemetry/metrics.h"
 #include "verify/golden.h"
+#include "workloads/scenario.h"
 
 namespace bxt {
 namespace {
@@ -147,11 +151,29 @@ TEST(FrameParser, UnknownOpcodeIsTyped)
     EXPECT_EQ(parseExpectingError(bytes), wire::ErrorCode::UnknownOpcode);
 }
 
-TEST(FrameParser, ReservedBitsAreTyped)
+TEST(FrameParser, StreamIdRoundTrips)
 {
-    std::vector<std::uint8_t> bytes = wire::serializeFrame(pingFrame());
-    bytes[6] = 1;
-    EXPECT_EQ(parseExpectingError(bytes), wire::ErrorCode::Malformed);
+    // The formerly-reserved header bytes now carry the stream tag; a
+    // tagged frame must round-trip it and an untagged frame stays 0.
+    wire::Frame frame = encodeFrameWithSpec("xor4+zdr");
+    frame.streamId = 0xbeef;
+    const std::vector<std::uint8_t> bytes = wire::serializeFrame(frame);
+    EXPECT_EQ(bytes[6], 0xef);
+    EXPECT_EQ(bytes[7], 0xbe);
+
+    wire::FrameParser parser;
+    parser.feed(bytes.data(), bytes.size());
+    wire::Frame out;
+    wire::WireError err;
+    ASSERT_EQ(parser.next(out, err), wire::FrameParser::Status::Ready);
+    EXPECT_EQ(out.streamId, 0xbeef);
+    EXPECT_EQ(out, frame);
+
+    const std::vector<std::uint8_t> untagged =
+        wire::serializeFrame(pingFrame());
+    parser.feed(untagged.data(), untagged.size());
+    ASSERT_EQ(parser.next(out, err), wire::FrameParser::Status::Ready);
+    EXPECT_EQ(out.streamId, 0u);
 }
 
 TEST(FrameParser, OversizedSpecIsTyped)
@@ -659,6 +681,203 @@ TEST(Loopback, FullAcceptQueueAnswersBusy)
     ASSERT_TRUE(client.connected()) << err;
     EXPECT_FALSE(client.ping(err));
     EXPECT_EQ(client.lastErrorCode(), wire::ErrorCode::Busy);
+}
+
+// ---------------------------------------------------------------------
+// Scenario traffic end-to-end
+
+/** Fetch the server's counters as a name -> value map. */
+std::map<std::string, std::uint64_t>
+fetchCounters(client::Client &client)
+{
+    std::map<std::string, std::uint64_t> counters;
+    std::string json, err;
+    EXPECT_TRUE(client.stats(json, err)) << err;
+    JsonValue doc;
+    EXPECT_TRUE(parseJson(json, doc, &err)) << err;
+    const JsonValue *object = doc.find("counters");
+    if (object == nullptr || !object->isObject())
+        return counters;
+    for (const auto &[name, value] : object->object)
+        counters[name] = static_cast<std::uint64_t>(value.number);
+    return counters;
+}
+
+/** Local per-tenant accumulation to check the server's books against. */
+struct TenantLedger
+{
+    std::uint64_t requests = 0;
+    std::uint64_t txs = 0;
+    std::uint64_t onesIn = 0;
+    std::uint64_t onesOut = 0;
+};
+
+std::string
+streamCounterName(std::uint32_t tenant, const char *leaf)
+{
+    return "bxt.server.stream." + std::to_string(tenant + 1) + "." + leaf;
+}
+
+/**
+ * Replay @p requests of a scenario preset through @p client, tagging
+ * each request with its tenant's stream id, and return the per-tenant
+ * ledger. Fails the test on any protocol error.
+ */
+std::vector<TenantLedger>
+replayScenario(const std::string &name, std::uint32_t requests,
+               client::Client &client)
+{
+    scenario::Config config;
+    std::string err;
+    EXPECT_TRUE(scenario::load(name, config, err)) << err;
+    config.requests = requests;
+    scenario::Engine engine(config, /*seed=*/0x5ce0);
+
+    std::vector<TenantLedger> ledger(config.tenants);
+    scenario::Request request;
+    while (engine.next(request)) {
+        client.setStreamId(static_cast<std::uint16_t>(request.tenant + 1));
+        client::EncodeResult enc;
+        EXPECT_TRUE(client.encode(request.spec, request.txBytes,
+                                  request.busBits, request.payload, enc,
+                                  err))
+            << name << " request " << request.index << ": " << err;
+        TenantLedger &slot = ledger[request.tenant];
+        slot.requests += 1;
+        slot.txs += enc.count;
+        slot.onesIn += enc.inputOnes;
+        slot.onesOut += enc.payloadOnes + enc.metaOnes;
+    }
+    client.setStreamId(0);
+    return ledger;
+}
+
+TEST(Loopback, ScenarioPerStreamStatsTelescopeToAggregate)
+{
+    telemetry::resetForTest();
+    telemetry::setMetricsEnabled(true);
+    LiveServer live(ephemeralTcpOptions());
+    ASSERT_TRUE(live.started());
+
+    std::string err;
+    client::Client client =
+        client::Client::connectTcp("127.0.0.1", live.tcpPort(), err);
+    ASSERT_TRUE(client.connected()) << err;
+
+    const std::vector<TenantLedger> ledger =
+        replayScenario("zipf-0.99", /*requests=*/96, client);
+    const std::map<std::string, std::uint64_t> counters =
+        fetchCounters(client);
+    telemetry::setMetricsEnabled(false);
+
+    // Every tenant's server-side stream counters must match the client's
+    // own ledger exactly…
+    std::uint64_t stream_req = 0, stream_tx = 0, stream_in = 0,
+                  stream_out = 0;
+    for (std::uint32_t t = 0; t < ledger.size(); ++t) {
+        const TenantLedger &want = ledger[t];
+        const auto counter = [&](const char *leaf) {
+            const auto it = counters.find(streamCounterName(t, leaf));
+            return it == counters.end() ? std::uint64_t{0} : it->second;
+        };
+        EXPECT_EQ(counter("requests"), want.requests) << "tenant " << t;
+        EXPECT_EQ(counter("tx_encoded"), want.txs) << "tenant " << t;
+        EXPECT_EQ(counter("ones_in"), want.onesIn) << "tenant " << t;
+        EXPECT_EQ(counter("ones_out"), want.onesOut) << "tenant " << t;
+        stream_req += counter("requests");
+        stream_tx += counter("tx_encoded");
+        stream_in += counter("ones_in");
+        stream_out += counter("ones_out");
+    }
+
+    // …and telescope to the untagged aggregates (the Stats fetch itself
+    // was untagged, so it appears only in the aggregate request count).
+    ASSERT_NE(counters.find("bxt.server.tx_encoded"), counters.end());
+    EXPECT_EQ(stream_tx, counters.at("bxt.server.tx_encoded"));
+    EXPECT_EQ(stream_req + 1, counters.at("bxt.server.requests"));
+    std::uint64_t spec_in = 0, spec_out = 0;
+    for (const auto &[name, value] : counters) {
+        // Per-spec server counters only — not the per-stream copies and
+        // not the bxt.codec.* per-stage flow counters.
+        if (name.rfind("bxt.server.", 0) != 0 ||
+            name.find(".stream.") != std::string::npos)
+            continue;
+        if (name.size() > 8 &&
+            name.compare(name.size() - 8, 8, ".ones_in") == 0)
+            spec_in += value;
+        if (name.size() > 9 &&
+            name.compare(name.size() - 9, 9, ".ones_out") == 0)
+            spec_out += value;
+    }
+    EXPECT_EQ(stream_in, spec_in);
+    EXPECT_EQ(stream_out, spec_out);
+    EXPECT_EQ(counters.at("bxt.server.errors"), 0u);
+}
+
+TEST(Loopback, ScenarioHotFloodBackpressureStaysClean)
+{
+    telemetry::resetForTest();
+    telemetry::setMetricsEnabled(true);
+    LiveServer live(ephemeralTcpOptions());
+    ASSERT_TRUE(live.started());
+
+    // Three connections replay hot-flood shares concurrently against the
+    // 2-thread server, so requests queue behind the worker pool; every
+    // frame must still complete without a protocol error.
+    constexpr std::uint32_t kRequests = 32;
+    constexpr std::size_t kConns = 3;
+    std::vector<std::vector<TenantLedger>> ledgers(kConns);
+    std::vector<std::thread> threads;
+    for (std::size_t c = 0; c < kConns; ++c) {
+        threads.emplace_back([&, c] {
+            std::string err;
+            client::Client client = client::Client::connectTcp(
+                "127.0.0.1", live.tcpPort(), err);
+            ASSERT_TRUE(client.connected()) << err;
+            ledgers[c] = replayScenario("hot-flood", kRequests, client);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    std::string err;
+    client::Client client =
+        client::Client::connectTcp("127.0.0.1", live.tcpPort(), err);
+    ASSERT_TRUE(client.connected()) << err;
+    const std::map<std::string, std::uint64_t> counters =
+        fetchCounters(client);
+    telemetry::setMetricsEnabled(false);
+
+    std::uint64_t want_req = 0, want_tx = 0, hot_req = 0;
+    for (const std::vector<TenantLedger> &ledger : ledgers) {
+        ASSERT_FALSE(ledger.empty());
+        hot_req += ledger[0].requests;
+        for (const TenantLedger &slot : ledger) {
+            want_req += slot.requests;
+            want_tx += slot.txs;
+        }
+    }
+    EXPECT_EQ(want_req, kRequests * kConns);
+
+    std::uint64_t stream_req = 0, stream_tx = 0;
+    for (const auto &[name, value] : counters) {
+        if (name.find(".stream.") == std::string::npos)
+            continue;
+        if (name.size() > 9 &&
+            name.compare(name.size() - 9, 9, ".requests") == 0)
+            stream_req += value;
+        if (name.size() > 11 &&
+            name.compare(name.size() - 11, 11, ".tx_encoded") == 0)
+            stream_tx += value;
+    }
+    EXPECT_EQ(stream_req, want_req);
+    EXPECT_EQ(stream_tx, want_tx);
+    EXPECT_EQ(counters.at("bxt.server.errors"), 0u);
+
+    // The flood really is a flood: tenant 0 (stream 1) dominates.
+    EXPECT_GT(static_cast<double>(hot_req),
+              0.8 * static_cast<double>(want_req));
+    EXPECT_EQ(counters.at(streamCounterName(0, "requests")), hot_req);
 }
 
 TEST(Loopback, GracefulDrainClosesIdleConnections)

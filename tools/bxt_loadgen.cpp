@@ -3,29 +3,46 @@
  * bxt_loadgen: drive a running bxtd with encode traffic and report
  * latency percentiles and throughput.
  *
- * Two modes:
- *  - closed-loop (default): one request in flight; each request waits
- *    for its response, so the latency distribution is pure service +
- *    round-trip time.
+ * Three modes:
+ *  - closed-loop (default): --connections independent connections, each
+ *    with one request in flight; each request waits for its response, so
+ *    the latency distribution is pure service + round-trip time. The
+ *    first --warmup samples per connection are excluded from the latency
+ *    quantiles (they are dominated by codec construction and cold
+ *    caches), but still count toward throughput.
  *  - open-loop: keep up to --depth request frames in flight on one
  *    connection (pipelined); latencies then include queueing delay.
+ *  - scenario (--scenario): replay a seeded multi-tenant traffic
+ *    scenario (workloads/scenario.h) across --connections connections,
+ *    tagging each request with its tenant's stream id so the server's
+ *    per-tenant telemetry lights up. Reports per-tenant and aggregate
+ *    latency quantiles plus ones-on-bus deltas. By default arrivals are
+ *    paced to the scenario's open-loop schedule; --no-pace sends
+ *    back-to-back (the CI throughput-floor configuration).
  *
- * Every request frame carries --batch transactions, so the transaction
- * rate is the request rate times the batch size. Results go to stdout
- * and, with --json, into the unified bench JSON schema
- * (BENCH_server_loadgen.json in CI).
+ * Every request frame carries --batch transactions (closed/open loop)
+ * or the scenario's per-request count, so the transaction rate is the
+ * request rate times the batch size. Results go to stdout and, with
+ * --json, into the unified bench JSON schema (BENCH_server_loadgen.json
+ * / BENCH_server_scenarios.json in CI).
  *
  * Usage:
  *   bxt_loadgen (--tcp HOST:PORT | --unix PATH) [--spec S] [--wires W]
  *               [--tx-bytes B] [--batch N] [--requests N] [--depth D]
- *               [--open-loop | --closed-loop] [--seed X] [--json PATH]
+ *               [--open-loop | --closed-loop] [--connections M]
+ *               [--warmup K] [--scenario NAME|PATH] [--alpha A]
+ *               [--no-pace] [--seed X] [--json PATH]
  *               [--assert-min-tx-rate R]
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
+#include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "client/client.h"
@@ -34,6 +51,7 @@
 #include "common/stats.h"
 #include "suite_eval.h"
 #include "telemetry/trace.h"
+#include "workloads/scenario.h"
 
 namespace {
 
@@ -46,18 +64,53 @@ struct Args
     std::uint32_t txBytes = 32;
     std::size_t batch = 64;
     std::size_t requests = 2000;
+    bool requestsSet = false;
     std::size_t depth = 16;
     bool openLoop = false;
+    std::size_t connections = 0; ///< 0 = auto (1; 4 for scenarios).
+    std::size_t warmup = 32;
+    std::string scenarioName;
+    double alphaOverride = -1.0; ///< < 0 = keep the scenario's alpha.
+    bool noPace = false;
     std::uint64_t seed = 1;
     std::string jsonPath;
     double assertMinTxRate = 0.0;
 };
 
-struct RunResult
+/** Per-connection closed-loop result. */
+struct ConnResult
 {
-    double seconds = 0.0;
     std::vector<double> latenciesUs; ///< One sample per request frame.
+    bool ok = true;
+    std::string err;
 };
+
+/** Per-tenant scenario accumulation (mergeable across workers). */
+struct TenantStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t txs = 0;
+    std::uint64_t onesIn = 0;
+    std::uint64_t onesOut = 0; ///< Encoded payload + metadata ones.
+    std::vector<double> latenciesUs;
+};
+
+bxt::client::Client
+connectClient(const Args &args, std::string &err)
+{
+    if (!args.unixPath.empty())
+        return bxt::client::Client::connectUnix(args.unixPath, err);
+    const std::size_t colon = args.tcp.rfind(':');
+    if (colon == std::string::npos) {
+        err = "bad --tcp '" + args.tcp + "'";
+        return {};
+    }
+    return bxt::client::Client::connectTcp(
+        args.tcp.substr(0, colon),
+        static_cast<int>(
+            std::strtol(args.tcp.c_str() + colon + 1, nullptr, 10)),
+        err);
+}
 
 std::vector<std::uint8_t>
 randomPayload(const Args &args, bxt::Rng &rng)
@@ -68,27 +121,33 @@ randomPayload(const Args &args, bxt::Rng &rng)
     return raw;
 }
 
-/** Closed loop through the client library: one request in flight. */
-bool
-runClosedLoop(const Args &args, bxt::client::Client &client,
-              RunResult &out, std::string &err)
+/** One closed-loop connection: one request in flight at a time. */
+void
+runClosedLoopConn(const Args &args, std::size_t conn, std::size_t requests,
+                  ConnResult &out)
 {
-    bxt::Rng rng(args.seed);
+    std::string err;
+    bxt::client::Client client = connectClient(args, err);
+    if (!client.connected()) {
+        out.ok = false;
+        out.err = err;
+        return;
+    }
+    bxt::Rng rng(args.seed + conn);
     const std::vector<std::uint8_t> raw = randomPayload(args, rng);
-    out.latenciesUs.reserve(args.requests);
-    const std::uint64_t start = bxt::telemetry::nowMicros();
-    for (std::size_t i = 0; i < args.requests; ++i) {
+    out.latenciesUs.reserve(requests);
+    for (std::size_t i = 0; i < requests; ++i) {
         bxt::client::EncodeResult enc;
         const std::uint64_t t0 = bxt::telemetry::nowMicros();
         if (!client.encode(args.spec, args.txBytes, args.wires, raw, enc,
-                           err))
-            return false;
+                           err)) {
+            out.ok = false;
+            out.err = err;
+            return;
+        }
         out.latenciesUs.push_back(
             static_cast<double>(bxt::telemetry::nowMicros() - t0));
     }
-    out.seconds =
-        static_cast<double>(bxt::telemetry::nowMicros() - start) / 1.0e6;
-    return true;
 }
 
 /**
@@ -96,7 +155,7 @@ runClosedLoop(const Args &args, bxt::client::Client &client,
  * frames in flight, reading responses as they arrive.
  */
 bool
-runOpenLoop(const Args &args, int fd, RunResult &out, std::string &err)
+runOpenLoop(const Args &args, int fd, ConnResult &out, std::string &err)
 {
     bxt::Rng rng(args.seed);
     const std::vector<std::uint8_t> raw = randomPayload(args, rng);
@@ -120,7 +179,6 @@ runOpenLoop(const Args &args, int fd, RunResult &out, std::string &err)
     std::size_t received = 0;
     out.latenciesUs.reserve(args.requests);
 
-    const std::uint64_t start = bxt::telemetry::nowMicros();
     while (received < args.requests) {
         while (sent < args.requests && send_times.size() < args.depth) {
             if (!bxt::net::writeAll(fd, frame_bytes.data(),
@@ -161,9 +219,275 @@ runOpenLoop(const Args &args, int fd, RunResult &out, std::string &err)
         send_times.pop_front();
         ++received;
     }
-    out.seconds =
-        static_cast<double>(bxt::telemetry::nowMicros() - start) / 1.0e6;
     return true;
+}
+
+/**
+ * Post-warm-up latency samples of one connection: the first
+ * min(--warmup, n-1) samples are excluded so codec-construction and
+ * cold-cache spikes do not blend into steady-state p99.
+ */
+std::vector<double>
+steadySamples(const std::vector<double> &samples, std::size_t warmup)
+{
+    const std::size_t drop =
+        samples.empty() ? 0 : std::min(warmup, samples.size() - 1);
+    return {samples.begin() + static_cast<std::ptrdiff_t>(drop),
+            samples.end()};
+}
+
+/** One scenario worker: replays its round-robin share of the stream. */
+struct ScenarioWorker
+{
+    std::vector<TenantStats> tenants;
+    bool ok = true;
+    std::string err;
+};
+
+void
+runScenarioConn(const Args &args,
+                const std::vector<bxt::scenario::Request> &stream,
+                std::size_t conn, std::size_t stride,
+                std::uint64_t start_us, bool pace, ScenarioWorker &out)
+{
+    std::string err;
+    bxt::client::Client client = connectClient(args, err);
+    if (!client.connected()) {
+        out.ok = false;
+        out.err = err;
+        return;
+    }
+    for (std::size_t i = conn; i < stream.size(); i += stride) {
+        const bxt::scenario::Request &req = stream[i];
+        if (pace) {
+            const double target =
+                static_cast<double>(start_us) + req.arrivalUs;
+            const double now =
+                static_cast<double>(bxt::telemetry::nowMicros());
+            if (target > now) {
+                std::this_thread::sleep_for(std::chrono::microseconds(
+                    static_cast<std::int64_t>(target - now)));
+            }
+        }
+        client.setStreamId(
+            static_cast<std::uint16_t>((req.tenant % 0xffffu) + 1));
+        bxt::client::EncodeResult enc;
+        const std::uint64_t t0 = bxt::telemetry::nowMicros();
+        if (!client.encode(req.spec, req.txBytes, req.busBits, req.payload,
+                           enc, err)) {
+            out.ok = false;
+            out.err = "request " + std::to_string(req.index) + " (tenant " +
+                      std::to_string(req.tenant) + ", " + req.spec +
+                      "): " + err;
+            return;
+        }
+        const double lat_us =
+            static_cast<double>(bxt::telemetry::nowMicros() - t0);
+        TenantStats &slot = out.tenants[req.tenant];
+        slot.requests += 1;
+        slot.txs += enc.count;
+        slot.onesIn += enc.inputOnes;
+        slot.onesOut += enc.payloadOnes + enc.metaOnes;
+        slot.latenciesUs.push_back(lat_us);
+    }
+}
+
+double
+removedPct(std::uint64_t ones_in, std::uint64_t ones_out)
+{
+    if (ones_in == 0)
+        return 0.0;
+    return 100.0 *
+           (1.0 - static_cast<double>(ones_out) /
+                      static_cast<double>(ones_in));
+}
+
+int
+runScenario(const Args &args)
+{
+    std::string err;
+    bxt::scenario::Config config;
+    if (!bxt::scenario::load(args.scenarioName, config, err)) {
+        std::fprintf(stderr, "bxt_loadgen: %s\n", err.c_str());
+        return 2;
+    }
+    if (args.alphaOverride >= 0.0)
+        config.alpha = args.alphaOverride;
+    if (args.requestsSet)
+        config.requests = static_cast<std::uint32_t>(args.requests);
+
+    bxt::scenario::Engine engine(config, args.seed);
+    std::vector<bxt::scenario::Request> stream;
+    stream.reserve(config.requests);
+    bxt::scenario::Request req;
+    while (engine.next(req))
+        stream.push_back(std::move(req));
+
+    const std::size_t conns =
+        args.connections > 0 ? args.connections : 4;
+    const bool pace = !args.noPace && config.ratePerSec > 0.0;
+
+    std::vector<ScenarioWorker> workers(conns);
+    for (ScenarioWorker &w : workers)
+        w.tenants.resize(config.tenants);
+
+    const std::uint64_t start_us = bxt::telemetry::nowMicros();
+    std::vector<std::thread> threads;
+    threads.reserve(conns);
+    for (std::size_t c = 0; c < conns; ++c) {
+        threads.emplace_back(runScenarioConn, std::cref(args),
+                             std::cref(stream), c, conns, start_us, pace,
+                             std::ref(workers[c]));
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const double seconds =
+        static_cast<double>(bxt::telemetry::nowMicros() - start_us) /
+        1.0e6;
+
+    for (const ScenarioWorker &w : workers) {
+        if (!w.ok) {
+            std::fprintf(stderr, "bxt_loadgen: %s\n", w.err.c_str());
+            return 1;
+        }
+    }
+
+    // Merge the per-worker accumulations into one per-tenant table.
+    std::vector<TenantStats> tenants(config.tenants);
+    std::vector<double> all_lat;
+    for (const ScenarioWorker &w : workers) {
+        for (std::uint32_t t = 0; t < config.tenants; ++t) {
+            const TenantStats &src = w.tenants[t];
+            TenantStats &dst = tenants[t];
+            dst.requests += src.requests;
+            dst.txs += src.txs;
+            dst.onesIn += src.onesIn;
+            dst.onesOut += src.onesOut;
+            dst.latenciesUs.insert(dst.latenciesUs.end(),
+                                   src.latenciesUs.begin(),
+                                   src.latenciesUs.end());
+        }
+    }
+    std::uint64_t total_req = 0, total_tx = 0, total_in = 0, total_out = 0;
+    for (const TenantStats &t : tenants) {
+        total_req += t.requests;
+        total_tx += t.txs;
+        total_in += t.onesIn;
+        total_out += t.onesOut;
+        all_lat.insert(all_lat.end(), t.latenciesUs.begin(),
+                       t.latenciesUs.end());
+    }
+
+    const double req_rate =
+        seconds > 0.0 ? static_cast<double>(total_req) / seconds : 0.0;
+    const double tx_rate =
+        seconds > 0.0 ? static_cast<double>(total_tx) / seconds : 0.0;
+    const double p50 = bxt::percentile(all_lat, 50.0);
+    const double p95 = bxt::percentile(all_lat, 95.0);
+    const double p99 = bxt::percentile(all_lat, 99.0);
+
+    std::printf("scenario: %s  seed: %llu  tenants: %u  alpha: %.2f  "
+                "connections: %zu  paced: %s\n",
+                config.name.c_str(),
+                static_cast<unsigned long long>(args.seed), config.tenants,
+                config.alpha, conns, pace ? "yes" : "no");
+    std::printf("requests: %llu  elapsed: %.3f s  throughput: %.0f req/s  "
+                "%.0f tx/s\n",
+                static_cast<unsigned long long>(total_req), seconds,
+                req_rate, tx_rate);
+    std::printf("latency us: p50 %.1f  p95 %.1f  p99 %.1f\n", p50, p95,
+                p99);
+    std::printf("ones on bus: in %llu  out %llu  removed %.2f%%\n",
+                static_cast<unsigned long long>(total_in),
+                static_cast<unsigned long long>(total_out),
+                removedPct(total_in, total_out));
+
+    // Per-tenant table, busiest first.
+    std::vector<std::uint32_t> order(config.tenants);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  if (tenants[a].requests != tenants[b].requests)
+                      return tenants[a].requests > tenants[b].requests;
+                  return a < b;
+              });
+    const std::size_t shown = std::min<std::size_t>(order.size(), 10);
+    std::printf("%-7s %-22s %5s %7s %8s %8s %8s %8s %8s\n", "tenant",
+                "spec", "txB", "reqs", "txs", "p50us", "p95us", "p99us",
+                "rm%");
+    for (std::size_t i = 0; i < shown; ++i) {
+        const std::uint32_t t = order[i];
+        const TenantStats &s = tenants[t];
+        std::printf("%-7u %-22s %5u %7llu %8llu %8.1f %8.1f %8.1f %8.2f\n",
+                    t, engine.tenantSpec(t).c_str(),
+                    engine.tenantTxBytes(t),
+                    static_cast<unsigned long long>(s.requests),
+                    static_cast<unsigned long long>(s.txs),
+                    bxt::percentile(s.latenciesUs, 50.0),
+                    bxt::percentile(s.latenciesUs, 95.0),
+                    bxt::percentile(s.latenciesUs, 99.0),
+                    removedPct(s.onesIn, s.onesOut));
+    }
+    if (shown < order.size())
+        std::printf("(%zu of %zu tenants shown)\n", shown, order.size());
+
+    if (!args.jsonPath.empty() &&
+        !bxt::writeBenchJson(
+            args.jsonPath, "server_scenarios",
+            [&](bxt::JsonWriter &w) {
+                w.beginObject();
+                w.kv("scope", "aggregate");
+                w.kv("scenario", config.name);
+                w.kv("seed", static_cast<std::uint64_t>(args.seed));
+                w.kv("tenants",
+                     static_cast<std::uint64_t>(config.tenants));
+                w.kv("alpha", config.alpha);
+                w.kv("connections", static_cast<std::uint64_t>(conns));
+                w.kv("paced", pace);
+                w.kv("requests", total_req);
+                w.kv("txs", total_tx);
+                w.kv("seconds", seconds);
+                w.kv("req_per_s", req_rate);
+                w.kv("tx_per_s", tx_rate);
+                w.kv("p50_us", p50);
+                w.kv("p95_us", p95);
+                w.kv("p99_us", p99);
+                w.kv("ones_in", total_in);
+                w.kv("ones_out", total_out);
+                w.kv("ones_removed_pct", removedPct(total_in, total_out));
+                w.endObject();
+                for (std::uint32_t t = 0; t < config.tenants; ++t) {
+                    const TenantStats &s = tenants[t];
+                    w.beginObject();
+                    w.kv("scope", "tenant");
+                    w.kv("tenant", static_cast<std::uint64_t>(t));
+                    w.kv("stream_id", static_cast<std::uint64_t>(
+                                          (t % 0xffffu) + 1));
+                    w.kv("spec", engine.tenantSpec(t));
+                    w.kv("tx_bytes", static_cast<std::uint64_t>(
+                                         engine.tenantTxBytes(t)));
+                    w.kv("weight", engine.tenantWeight(t));
+                    w.kv("requests", s.requests);
+                    w.kv("txs", s.txs);
+                    w.kv("p50_us", bxt::percentile(s.latenciesUs, 50.0));
+                    w.kv("p95_us", bxt::percentile(s.latenciesUs, 95.0));
+                    w.kv("p99_us", bxt::percentile(s.latenciesUs, 99.0));
+                    w.kv("ones_in", s.onesIn);
+                    w.kv("ones_out", s.onesOut);
+                    w.kv("ones_removed_pct",
+                         removedPct(s.onesIn, s.onesOut));
+                    w.endObject();
+                }
+            }))
+        return 1;
+
+    if (args.assertMinTxRate > 0.0 && tx_rate < args.assertMinTxRate) {
+        std::fprintf(stderr,
+                     "bxt_loadgen: tx rate %.0f/s below required %.0f/s\n",
+                     tx_rate, args.assertMinTxRate);
+        return 1;
+    }
+    return 0;
 }
 
 } // namespace
@@ -195,9 +519,11 @@ main(int argc, char **argv)
             [&](const std::string &v) {
                 args.batch = std::strtoul(v.c_str(), nullptr, 0);
             });
-    cli.add("--requests", "N", "request frames to send (default 2000)",
+    cli.add("--requests", "N",
+            "request frames to send (default 2000, or the scenario's)",
             [&](const std::string &v) {
                 args.requests = std::strtoul(v.c_str(), nullptr, 0);
+                args.requestsSet = true;
             });
     cli.add("--depth", "D", "open-loop frames in flight (default 16)",
             [&](const std::string &v) {
@@ -207,7 +533,28 @@ main(int argc, char **argv)
                 [&] { args.openLoop = true; });
     cli.addFlag("--closed-loop", "one request in flight (default)",
                 [&] { args.openLoop = false; });
-    cli.add("--seed", "X", "payload RNG seed (default 1)",
+    cli.add("--connections", "M",
+            "parallel connections (default 1; 4 for --scenario)",
+            [&](const std::string &v) {
+                args.connections = std::strtoul(v.c_str(), nullptr, 0);
+            });
+    cli.add("--warmup", "K",
+            "per-connection samples excluded from latency quantiles "
+            "(default 32)",
+            [&](const std::string &v) {
+                args.warmup = std::strtoul(v.c_str(), nullptr, 0);
+            });
+    cli.add("--scenario", "NAME|PATH",
+            "replay a multi-tenant scenario preset or spec file",
+            [&](const std::string &v) { args.scenarioName = v; });
+    cli.add("--alpha", "A", "override the scenario's Zipf exponent",
+            [&](const std::string &v) {
+                args.alphaOverride = std::strtod(v.c_str(), nullptr);
+            });
+    cli.addFlag("--no-pace",
+                "send scenario requests back-to-back (ignore arrivals)",
+                [&] { args.noPace = true; });
+    cli.add("--seed", "X", "payload/scenario RNG seed (default 1)",
             [&](const std::string &v) {
                 args.seed = std::strtoull(v.c_str(), nullptr, 0);
             });
@@ -227,88 +574,146 @@ main(int argc, char **argv)
     }
     if (args.batch == 0 || args.batch > bxt::wire::maxTxPerRequest ||
         args.requests == 0 || args.depth == 0) {
-        std::fprintf(stderr, "bxt_loadgen: bad --batch/--requests/--depth\n");
+        std::fprintf(stderr,
+                     "bxt_loadgen: bad --batch/--requests/--depth\n");
         return 2;
     }
 
-    std::string err;
-    bxt::client::Client client;
-    if (!args.unixPath.empty()) {
-        client = bxt::client::Client::connectUnix(args.unixPath, err);
-    } else {
-        const std::size_t colon = args.tcp.rfind(':');
-        if (colon == std::string::npos) {
-            std::fprintf(stderr, "bxt_loadgen: bad --tcp '%s'\n",
-                         args.tcp.c_str());
-            return 2;
-        }
-        client = bxt::client::Client::connectTcp(
-            args.tcp.substr(0, colon),
-            static_cast<int>(
-                std::strtol(args.tcp.c_str() + colon + 1, nullptr, 10)),
-            err);
-    }
-    if (!client.connected()) {
-        std::fprintf(stderr, "bxt_loadgen: %s\n", err.c_str());
-        return 1;
+    if (!args.scenarioName.empty())
+        return runScenario(args);
+
+    const std::size_t conns =
+        args.connections > 0 ? args.connections : 1;
+    if (args.openLoop && conns != 1) {
+        std::fprintf(stderr,
+                     "bxt_loadgen: --open-loop uses one connection\n");
+        return 2;
     }
 
-    RunResult result;
-    bool ok;
+    std::vector<ConnResult> results(conns);
+    double seconds = 0.0;
+    std::string err;
     if (args.openLoop) {
         // The open loop speaks the raw wire to pipeline frames, which
         // the strictly request-response client API cannot express.
-        ok = runOpenLoop(args, client.rawFd(), result, err);
+        bxt::client::Client client = connectClient(args, err);
+        if (!client.connected()) {
+            std::fprintf(stderr, "bxt_loadgen: %s\n", err.c_str());
+            return 1;
+        }
+        const std::uint64_t start = bxt::telemetry::nowMicros();
+        if (!runOpenLoop(args, client.rawFd(), results[0], err)) {
+            std::fprintf(stderr, "bxt_loadgen: %s\n", err.c_str());
+            return 1;
+        }
+        seconds =
+            static_cast<double>(bxt::telemetry::nowMicros() - start) /
+            1.0e6;
     } else {
-        ok = runClosedLoop(args, client, result, err);
+        // Closed loop: split --requests across the connections; each
+        // connection measures its own samples so one connection's
+        // warm-up cannot pollute another's quantiles.
+        const std::uint64_t start = bxt::telemetry::nowMicros();
+        std::vector<std::thread> threads;
+        threads.reserve(conns);
+        for (std::size_t c = 0; c < conns; ++c) {
+            const std::size_t share =
+                args.requests / conns +
+                (c < args.requests % conns ? 1 : 0);
+            threads.emplace_back(runClosedLoopConn, std::cref(args), c,
+                                 share, std::ref(results[c]));
+        }
+        for (std::thread &t : threads)
+            t.join();
+        seconds =
+            static_cast<double>(bxt::telemetry::nowMicros() - start) /
+            1.0e6;
+        for (const ConnResult &r : results) {
+            if (!r.ok) {
+                std::fprintf(stderr, "bxt_loadgen: %s\n", r.err.c_str());
+                return 1;
+            }
+        }
     }
-    if (!ok) {
-        std::fprintf(stderr, "bxt_loadgen: %s\n", err.c_str());
-        return 1;
+
+    std::size_t total_requests = 0;
+    std::vector<double> steady;
+    for (const ConnResult &r : results) {
+        total_requests += r.latenciesUs.size();
+        const std::vector<double> post =
+            steadySamples(r.latenciesUs, args.warmup);
+        steady.insert(steady.end(), post.begin(), post.end());
     }
 
     const double req_rate =
-        result.seconds > 0.0
-            ? static_cast<double>(args.requests) / result.seconds
-            : 0.0;
+        seconds > 0.0 ? static_cast<double>(total_requests) / seconds
+                      : 0.0;
     const double tx_rate = req_rate * static_cast<double>(args.batch);
-    const double p50 = bxt::percentile(result.latenciesUs, 50.0);
-    const double p95 = bxt::percentile(result.latenciesUs, 95.0);
-    const double p99 = bxt::percentile(result.latenciesUs, 99.0);
+    const double p50 = bxt::percentile(steady, 50.0);
+    const double p95 = bxt::percentile(steady, 95.0);
+    const double p99 = bxt::percentile(steady, 99.0);
 
-    std::printf("mode: %s  spec: %s  tx: %u B  batch: %zu  requests: %zu\n",
+    std::printf("mode: %s  spec: %s  tx: %u B  batch: %zu  requests: %zu"
+                "  connections: %zu\n",
                 args.openLoop ? "open-loop" : "closed-loop",
                 args.spec.c_str(), args.txBytes, args.batch,
-                args.requests);
+                total_requests, conns);
     std::printf("elapsed: %.3f s  throughput: %.0f req/s  %.0f tx/s\n",
-                result.seconds, req_rate, tx_rate);
-    std::printf("latency us: p50 %.1f  p95 %.1f  p99 %.1f\n", p50, p95,
-                p99);
+                seconds, req_rate, tx_rate);
+    std::printf("latency us (post-warmup): p50 %.1f  p95 %.1f  p99 %.1f\n",
+                p50, p95, p99);
+    if (conns > 1) {
+        for (std::size_t c = 0; c < conns; ++c) {
+            const std::vector<double> post =
+                steadySamples(results[c].latenciesUs, args.warmup);
+            std::printf("  conn %zu: p50 %.1f  p95 %.1f  p99 %.1f\n", c,
+                        bxt::percentile(post, 50.0),
+                        bxt::percentile(post, 95.0),
+                        bxt::percentile(post, 99.0));
+        }
+    }
 
     if (!args.jsonPath.empty() &&
-        !bxt::writeBenchJson(args.jsonPath, "server_loadgen",
-                             [&](bxt::JsonWriter &w) {
-                                 w.beginObject();
-                                 w.kv("mode", args.openLoop
-                                                  ? "open-loop"
-                                                  : "closed-loop");
-                                 w.kv("spec", args.spec);
-                                 w.kv("tx_bytes",
-                                      static_cast<std::uint64_t>(
-                                          args.txBytes));
-                                 w.kv("batch", static_cast<std::uint64_t>(
-                                                   args.batch));
-                                 w.kv("requests",
-                                      static_cast<std::uint64_t>(
-                                          args.requests));
-                                 w.kv("seconds", result.seconds);
-                                 w.kv("req_per_s", req_rate);
-                                 w.kv("tx_per_s", tx_rate);
-                                 w.kv("p50_us", p50);
-                                 w.kv("p95_us", p95);
-                                 w.kv("p99_us", p99);
-                                 w.endObject();
-                             }))
+        !bxt::writeBenchJson(
+            args.jsonPath, "server_loadgen",
+            [&](bxt::JsonWriter &w) {
+                w.beginObject();
+                w.kv("scope", "aggregate");
+                w.kv("mode",
+                     args.openLoop ? "open-loop" : "closed-loop");
+                w.kv("spec", args.spec);
+                w.kv("tx_bytes",
+                     static_cast<std::uint64_t>(args.txBytes));
+                w.kv("batch", static_cast<std::uint64_t>(args.batch));
+                w.kv("requests",
+                     static_cast<std::uint64_t>(total_requests));
+                w.kv("connections", static_cast<std::uint64_t>(conns));
+                w.kv("warmup", static_cast<std::uint64_t>(args.warmup));
+                w.kv("seconds", seconds);
+                w.kv("req_per_s", req_rate);
+                w.kv("tx_per_s", tx_rate);
+                w.kv("p50_us", p50);
+                w.kv("p95_us", p95);
+                w.kv("p99_us", p99);
+                w.endObject();
+                if (conns > 1) {
+                    for (std::size_t c = 0; c < conns; ++c) {
+                        const std::vector<double> post = steadySamples(
+                            results[c].latenciesUs, args.warmup);
+                        w.beginObject();
+                        w.kv("scope", "connection");
+                        w.kv("connection",
+                             static_cast<std::uint64_t>(c));
+                        w.kv("requests",
+                             static_cast<std::uint64_t>(
+                                 results[c].latenciesUs.size()));
+                        w.kv("p50_us", bxt::percentile(post, 50.0));
+                        w.kv("p95_us", bxt::percentile(post, 95.0));
+                        w.kv("p99_us", bxt::percentile(post, 99.0));
+                        w.endObject();
+                    }
+                }
+            }))
         return 1;
 
     if (args.assertMinTxRate > 0.0 && tx_rate < args.assertMinTxRate) {

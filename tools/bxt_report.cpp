@@ -18,11 +18,16 @@
  *                                        serial sweep regressed by more
  *                                        than PCT percent (the `ci.sh
  *                                        metrics` overhead gate)
+ *   bxt_report --scenario FILE...        aggregate summary + per-tenant
+ *                                        table from a server_scenarios
+ *                                        bench document (`bxt_loadgen
+ *                                        --scenario --json`)
  *
  * Every mode accepts either a bare snapshot document or a unified bench
  * JSON document (the snapshot is read from its "metrics" member).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -470,6 +475,99 @@ diffFiles(const std::string &path_a, const std::string &path_b)
     return diffSnapshots(path_a, path_b);
 }
 
+/**
+ * --scenario: render a server_scenarios bench document (bxt_loadgen
+ * --scenario --json) as the aggregate summary plus a per-tenant table,
+ * busiest tenants first.
+ */
+int
+reportScenario(const std::string &path)
+{
+    std::string text;
+    if (!readFile(path, text))
+        return 1;
+    std::string error;
+    JsonValue doc;
+    if (!bxt::parseJson(text, doc, &error)) {
+        std::fprintf(stderr, "bxt_report: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return 1;
+    }
+    const JsonValue *results = doc.find("results");
+    if (results == nullptr || !results->isArray()) {
+        std::fprintf(stderr, "bxt_report: %s: no results array\n",
+                     path.c_str());
+        return 1;
+    }
+
+    const auto number = [](const JsonValue &row, const char *key) {
+        const JsonValue *member = row.find(key);
+        return member != nullptr && member->isNumber() ? member->number
+                                                       : 0.0;
+    };
+    const auto string_of = [](const JsonValue &row, const char *key) {
+        const JsonValue *member = row.find(key);
+        return member != nullptr && member->isString() ? member->string
+                                                       : std::string("?");
+    };
+
+    std::vector<const JsonValue *> tenants;
+    const JsonValue *aggregate = nullptr;
+    for (const JsonValue &row : results->array) {
+        const std::string scope = string_of(row, "scope");
+        if (scope == "aggregate" && row.find("scenario") != nullptr)
+            aggregate = &row;
+        else if (scope == "tenant")
+            tenants.push_back(&row);
+    }
+    if (aggregate == nullptr || tenants.empty()) {
+        std::fprintf(stderr, "bxt_report: %s: not a server_scenarios "
+                             "document\n",
+                     path.c_str());
+        return 1;
+    }
+
+    std::printf("scenario %s: %g tenants, alpha %g, %g connections, "
+                "paced %s\n",
+                string_of(*aggregate, "scenario").c_str(),
+                number(*aggregate, "tenants"), number(*aggregate, "alpha"),
+                number(*aggregate, "connections"),
+                aggregate->find("paced") != nullptr &&
+                        aggregate->find("paced")->boolean
+                    ? "yes"
+                    : "no");
+    std::printf("%.0f requests in %.3f s: %.0f req/s, %.0f tx/s; "
+                "p50/p95/p99 %.1f/%.1f/%.1f us; ones removed %.2f %%\n\n",
+                number(*aggregate, "requests"),
+                number(*aggregate, "seconds"),
+                number(*aggregate, "req_per_s"),
+                number(*aggregate, "tx_per_s"),
+                number(*aggregate, "p50_us"), number(*aggregate, "p95_us"),
+                number(*aggregate, "p99_us"),
+                number(*aggregate, "ones_removed_pct"));
+
+    std::sort(tenants.begin(), tenants.end(),
+              [&](const JsonValue *a, const JsonValue *b) {
+                  return number(*a, "requests") > number(*b, "requests");
+              });
+    Table table({"tenant", "spec", "txB", "weight", "reqs", "txs",
+                 "p50 us", "p95 us", "p99 us", "ones rm%"});
+    for (const JsonValue *row : tenants) {
+        table.addRow({Table::cell(number(*row, "tenant"), 0),
+                      string_of(*row, "spec"),
+                      Table::cell(number(*row, "tx_bytes"), 0),
+                      Table::cell(number(*row, "weight"), 3),
+                      Table::cell(number(*row, "requests"), 0),
+                      Table::cell(number(*row, "txs"), 0),
+                      Table::cell(number(*row, "p50_us"), 1),
+                      Table::cell(number(*row, "p95_us"), 1),
+                      Table::cell(number(*row, "p99_us"), 1),
+                      Table::cell(number(*row, "ones_removed_pct"), 2)});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
 /** Serial sweep seconds from a codec-throughput bench document. */
 bool
 serialSeconds(const std::string &path, double &seconds)
@@ -538,6 +636,7 @@ main(int argc, char **argv)
     bool validate = false;
     bool validate_trace = false;
     bool diff = false;
+    bool scenario = false;
     bool overhead = false;
     double overhead_limit = 0.0;
     std::vector<std::string> files;
@@ -553,6 +652,9 @@ main(int argc, char **argv)
                 "diff two snapshots, or two bench JSONs as per-spec "
                 "speedup tables (two files expected)",
                 [&] { diff = true; });
+    cli.addFlag("--scenario",
+                "per-tenant table from a server_scenarios bench JSON",
+                [&] { scenario = true; });
     cli.add("--assert-overhead", "PCT",
             "fail when ON.json's serial sweep is more than PCT percent "
             "slower than OFF.json's (two bench files expected)",
@@ -578,6 +680,13 @@ main(int argc, char **argv)
             return 2;
         }
         return assertOverhead(overhead_limit, files[0], files[1]);
+    }
+    if (scenario) {
+        for (const std::string &file : files) {
+            if (const int status = reportScenario(file))
+                return status;
+        }
+        return 0;
     }
     if (diff) {
         if (files.size() != 2) {
