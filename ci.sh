@@ -4,10 +4,13 @@
 # on every PR, plus a fuzz job that runs the differential verifier
 # (tools/bxt_fuzz) under the sanitizers on a wall-clock budget.
 #
-# Usage: ./ci.sh [release|asan|fuzz|batch|metrics|serve|scenario|all]
+# Usage: ./ci.sh [release|asan|tsan|fuzz|batch|metrics|serve|scenario|all]
 # (default: all)
 #   release  Release build + `ctest -L tier1`
 #   asan     ASan/UBSan build + `ctest -L tier1` (oversubscribed pool)
+#   tsan     ThreadSanitizer build + telemetry/server-labeled ctest: the
+#            lock-free instrument paths, span rings, and the threaded
+#            server under the race detector
 #   fuzz     ASan/UBSan build + bxt_fuzz campaign + fuzz/golden-labeled
 #            ctest; BXT_FUZZ_SECONDS scales the budget (default 60) and
 #            BXT_FUZZ_FRAMES the wire-frame parser pass (default 100000)
@@ -30,8 +33,12 @@
 #            a 4-thread bxtd on a Unix socket, ping it, round-trip a
 #            captured trace through it, drive a closed-loop bxt_loadgen
 #            burst (asserting >= BXT_SERVE_MIN_TX_RATE encoded tx/s,
-#            default 100000, into BENCH_server_loadgen.json), then SIGTERM
-#            it and assert a clean drain (exit 0)
+#            default 100000, into BENCH_server_loadgen.json), re-run the
+#            burst with --trace-sample 0.01 and assert the traced tx rate
+#            stays within BXT_TRACE_OVERHEAD_PCT (default 2) percent of
+#            the untraced one, upload the merged Chrome span trace
+#            (bxtd --trace-spans) and a schema-2 Snapshot-opcode
+#            document, then SIGTERM it and assert a clean drain (exit 0)
 #   scenario Release build + scenario-labeled ctest + multi-tenant traffic
 #            smoke: boot a metrics-enabled bxtd, replay the zipf-0.99 and
 #            hot-flood presets unpaced over 4 connections (asserting
@@ -66,6 +73,19 @@ run_asan() {
     # oversubscribed pool to shake out data races on a small host.
     BXT_THREADS=8 ctest --test-dir build-ci-asan --output-on-failure \
         -j "${jobs}" -L tier1
+}
+
+run_tsan() {
+    echo "=== CI job: TSan build + telemetry/server ctest ==="
+    cmake -B build-ci-tsan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
+    cmake --build build-ci-tsan -j "${jobs}" \
+        --target test_telemetry test_server
+    # The span rings, HDR histograms, and snapshot exporter are
+    # lock-free; the server tests drive them from real worker threads.
+    ctest --test-dir build-ci-tsan --output-on-failure -j "${jobs}" \
+        -L 'telemetry|server'
 }
 
 run_fuzz() {
@@ -190,7 +210,8 @@ run_serve() {
     echo "=== CI job: bxtd loopback smoke + loadgen burst ==="
     cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
     cmake --build build-ci-release -j "${jobs}" \
-        --target bxtd bxt_client bxt_loadgen trace_tool test_server
+        --target bxtd bxt_client bxt_loadgen bxt_report trace_tool \
+        test_server
     ctest --test-dir build-ci-release --output-on-failure -j "${jobs}" \
         -L server
 
@@ -200,8 +221,10 @@ run_serve() {
     rm -f "${sock}"
 
     # Plain background command (no subshell) so $! is bxtd itself and the
-    # SIGTERM below reaches the daemon, not a wrapper.
+    # SIGTERM below reaches the daemon, not a wrapper. --trace-spans
+    # makes the drain write the merged Chrome span trace artifact.
     ./build-ci-release/tools/bxtd --unix "${sock}" --threads 4 \
+        --trace-spans "${out}/server_spans.json" \
         > "${out}/bxtd.log" 2>&1 &
     local bxtd_pid=$!
     local i
@@ -231,6 +254,43 @@ run_serve() {
         --requests 4000 --json BENCH_server_loadgen.json \
         --assert-min-tx-rate "${BXT_SERVE_MIN_TX_RATE:-100000}"
 
+    # Trace-overhead gate: the same burst with 1 % span sampling must
+    # stay within BXT_TRACE_OVERHEAD_PCT percent of the untraced rate.
+    # Both runs are warm by now; still, give CI timing noise a couple of
+    # retries (re-measuring BOTH sides each attempt) before failing.
+    local trace_limit="${BXT_TRACE_OVERHEAD_PCT:-2}"
+    local attempt gate_ok=""
+    for attempt in 1 2 3; do
+        ./build-ci-release/tools/bxt_loadgen --unix "${sock}" \
+            --closed-loop --spec baseline --tx-bytes 32 --batch 64 \
+            --requests 4000 --json "${out}/loadgen_untraced.json" \
+            > /dev/null
+        ./build-ci-release/tools/bxt_loadgen --unix "${sock}" \
+            --closed-loop --spec baseline --tx-bytes 32 --batch 64 \
+            --requests 4000 --trace-sample 0.01 \
+            --json "${out}/loadgen_traced.json" > /dev/null
+        if ./build-ci-release/tools/bxt_report \
+            --assert-tx-overhead "${trace_limit}" \
+            "${out}/loadgen_untraced.json" "${out}/loadgen_traced.json"
+        then
+            gate_ok=1
+            break
+        fi
+        echo "trace overhead gate attempt ${attempt} failed; retrying"
+    done
+    if [ -z "${gate_ok}" ]; then
+        echo "trace overhead gate failed after 3 attempts" >&2
+        kill "${bxtd_pid}" 2>/dev/null || true
+        return 1
+    fi
+
+    # Live-introspection artifact: the Snapshot opcode's schema-2
+    # document (what bxt_top polls), validated like any other snapshot.
+    ./build-ci-release/tools/bxt_client --unix "${sock}" \
+        --mode snapshot > "${out}/server_snapshot.json"
+    ./build-ci-release/tools/bxt_report --validate \
+        "${out}/server_snapshot.json"
+
     # Graceful drain: SIGTERM must produce a clean exit 0, not 143.
     kill -TERM "${bxtd_pid}"
     local status=0
@@ -241,7 +301,12 @@ run_serve() {
         return 1
     fi
     grep -q "drained, exiting" "${out}/bxtd.log"
-    echo "serve: clean drain, BENCH_server_loadgen.json written"
+    # The drain wrote the merged span trace (the traced burst sampled
+    # ~1 % of 4000 requests, so it cannot be empty).
+    ./build-ci-release/tools/bxt_report --validate-trace \
+        "${out}/server_spans.json"
+    echo "serve: clean drain; BENCH_server_loadgen.json, trace-overhead" \
+        "gate, server_spans.json + server_snapshot.json written"
 }
 
 run_scenario() {
@@ -303,12 +368,13 @@ run_scenario() {
 case "${mode}" in
   release) run_release ;;
   asan)    run_asan ;;
+  tsan)    run_tsan ;;
   fuzz)    run_fuzz ;;
   batch)   run_batch ;;
   metrics) run_metrics ;;
   serve)   run_serve ;;
   scenario) run_scenario ;;
-  all)     run_release; run_asan; run_batch; run_metrics; run_serve; run_scenario ;;
-  *) echo "usage: $0 [release|asan|fuzz|batch|metrics|serve|scenario|all]" >&2; exit 2 ;;
+  all)     run_release; run_asan; run_tsan; run_batch; run_metrics; run_serve; run_scenario ;;
+  *) echo "usage: $0 [release|asan|tsan|fuzz|batch|metrics|serve|scenario|all]" >&2; exit 2 ;;
 esac
 echo "CI ${mode}: OK"

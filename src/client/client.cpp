@@ -28,6 +28,9 @@ Client::roundTrip(wire::Frame &request, wire::Frame &response,
         return false;
     }
     request.streamId = stream_id_;
+    request.traceId = trace_id_;
+    request.spanId = span_id_;
+    request.traceSampled = trace_id_ != 0 && trace_sampled_;
     const std::vector<std::uint8_t> bytes = wire::serializeFrame(request);
     if (!net::writeAll(fd_.get(), bytes.data(), bytes.size(), err))
         return false;
@@ -178,6 +181,18 @@ Client::stats(std::string &json, std::string &err)
 {
     wire::Frame request;
     request.opcode = wire::Opcode::Stats;
+    wire::Frame response;
+    if (!roundTrip(request, response, err))
+        return false;
+    json.assign(response.body.begin(), response.body.end());
+    return true;
+}
+
+bool
+Client::snapshot(std::string &json, std::string &err)
+{
+    wire::Frame request;
+    request.opcode = wire::Opcode::Snapshot;
     wire::Frame response;
     if (!roundTrip(request, response, err))
         return false;

@@ -80,6 +80,24 @@ class Client
     /** The stream tag applied to outgoing requests (0 = untagged). */
     std::uint16_t streamId() const { return stream_id_; }
 
+    /**
+     * Attach a trace context to every subsequent request: the frame goes
+     * out as wire version 2 with @p trace_id / @p span_id and, when
+     * @p sampled, the sampled flag that asks the server to record its
+     * per-phase lifecycle spans. trace_id 0 reverts to untraced v1
+     * frames. The server echoes the context on the response.
+     */
+    void setTrace(std::uint64_t trace_id, std::uint64_t span_id,
+                  bool sampled)
+    {
+        trace_id_ = trace_id;
+        span_id_ = span_id;
+        trace_sampled_ = sampled;
+    }
+
+    /** Drop the trace context (subsequent requests are untraced v1). */
+    void clearTrace() { setTrace(0, 0, false); }
+
     /** Liveness probe. */
     bool ping(std::string &err);
 
@@ -97,6 +115,13 @@ class Client
 
     /** Fetch the server's telemetry snapshot JSON. */
     bool stats(std::string &json, std::string &err);
+
+    /**
+     * Fetch the live-introspection document (Snapshot opcode):
+     * `{"uptime_us":…,"metrics":<schema-2 snapshot>}`. The server clock
+     * lets pollers (bxt_top) turn counter deltas into rates.
+     */
+    bool snapshot(std::string &json, std::string &err);
 
     /** Typed code from the last Error frame (None when the last call
      *  succeeded or failed below the protocol layer). */
@@ -123,6 +148,9 @@ class Client
     wire::FrameParser parser_;
     wire::ErrorCode last_error_ = wire::ErrorCode::None;
     std::uint16_t stream_id_ = 0;
+    std::uint64_t trace_id_ = 0;
+    std::uint64_t span_id_ = 0;
+    bool trace_sampled_ = false;
 };
 
 } // namespace bxt::client

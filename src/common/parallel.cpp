@@ -26,12 +26,11 @@ struct PoolMetrics
     telemetry::Gauge &threads = telemetry::gauge("bxt.pool.threads");
     telemetry::Gauge &queueDepth =
         telemetry::gauge("bxt.pool.queue_depth");
-    /** Per-chunk body latency, 0..5 ms in 100 us buckets (clamped). */
+    /** Per-chunk body latency, microseconds. */
     telemetry::Histo &taskUs =
-        telemetry::histogram("bxt.pool.task_us", 0.0, 5000.0, 50);
-    /** Whole-dispatch latency, 0..5 s in 100 ms buckets (clamped). */
-    telemetry::Histo &jobUs =
-        telemetry::histogram("bxt.pool.job_us", 0.0, 5.0e6, 50);
+        telemetry::histogram("bxt.pool.task_us");
+    /** Whole-dispatch latency, microseconds. */
+    telemetry::Histo &jobUs = telemetry::histogram("bxt.pool.job_us");
 };
 
 PoolMetrics &

@@ -56,10 +56,9 @@ Codec::encodeBatch(const TxBatch &in, EncodedBatch &out)
     BXT_ASSERT(out.size() == in.size() && out.txBytes() == in.txBytes());
     if (telemetry::metricsEnabled()) {
         telemetry::histogram("bxt.codec." +
-                                 telemetry::sanitizeMetricName(name()) +
-                                 ".batch_size",
-                             0.0, 4096.0, 64)
-            .add(static_cast<double>(in.size()));
+                             telemetry::sanitizeMetricName(name()) +
+                             ".batch_size")
+            .record(in.size());
     }
 }
 

@@ -9,6 +9,8 @@
 #include "server/service.h"
 #include "server/wire.h"
 #include "telemetry/metrics.h"
+#include "telemetry/spanring.h"
+#include "telemetry/trace.h"
 
 namespace bxt::server {
 namespace {
@@ -22,9 +24,19 @@ struct ServerMetrics
         telemetry::counter("bxt.server.rejected_busy");
     telemetry::Gauge &queueDepth =
         telemetry::gauge("bxt.server.queue_depth");
-    /** Frames coalesced per read pass, 0..64 in unit buckets. */
+    telemetry::Gauge &threads = telemetry::gauge("bxt.server.threads");
+    /** Frames coalesced per read pass. */
     telemetry::Histo &batchSize =
-        telemetry::histogram("bxt.server.batch_size", 0.0, 64.0, 64);
+        telemetry::histogram("bxt.server.batch_size");
+    /**
+     * Whole request lifecycle, microseconds: last socket feed that
+     * completed the frame to response bytes written. Recorded here in
+     * the connection layer — not the Service — so parse-error replies
+     * and busy rejections are measured too, and so the value telescopes
+     * exactly to the per-phase spans (DESIGN.md §9).
+     */
+    telemetry::Histo &requestUs =
+        telemetry::histogram("bxt.server.request_us");
 };
 
 ServerMetrics &
@@ -125,11 +137,21 @@ Server::acceptLoop(int listen_fd)
             serverMetrics().connections.add(1);
             queue_cv_.notify_one();
         } else {
+            const bool metrics_on = telemetry::metricsEnabled();
+            const std::uint64_t t_reject =
+                metrics_on ? telemetry::nowMicros() : 0;
             serverMetrics().rejectedBusy.add(1);
             sendFrameBestEffort(
                 conn.get(),
                 wire::makeErrorFrame(wire::ErrorCode::Busy,
                                      "accept queue full; retry later"));
+            // Busy rejections are requests too: charge the reply write
+            // to request_us so overload latency is visible, even though
+            // no frame (hence no trace context) ever existed.
+            if (metrics_on) {
+                serverMetrics().requestUs.record(telemetry::nowMicros() -
+                                                 t_reject);
+            }
         }
     }
     // Wake every worker so shutdown never races a missed notify (the
@@ -161,14 +183,43 @@ Server::serveConnection(net::UniqueFd fd)
     std::vector<std::uint8_t> read_buf(64 * 1024);
     ServerMetrics &metrics = serverMetrics();
 
+    /**
+     * Per-frame phase timestamps held until the batch write lands, so
+     * every phase span — and the request_us total they telescope to —
+     * ends at the same write-completion instant (DESIGN.md §9):
+     *   queue_wait = tParseStart − tFeed   (buffered, awaiting worker)
+     *   parse      = tParseEnd − tParseStart
+     *   codec      = tHandleEnd − tParseEnd (service dispatch)
+     *   reply      = tWriteEnd − tHandleEnd (serialize + write)
+     *   request    = tWriteEnd − tFeed     (exact sum of the above)
+     */
+    struct PendingSpan
+    {
+        std::uint64_t traceId = 0;
+        std::uint64_t spanId = 0;
+        std::uint64_t tParseStart = 0;
+        std::uint64_t tParseEnd = 0;
+        std::uint64_t tHandleEnd = 0;
+        std::uint8_t opcode = 0;
+        std::uint16_t streamId = 0;
+        std::uint32_t txCount = 0;
+        bool sampled = false;
+    };
+    std::vector<PendingSpan> batch_spans;
+    std::uint64_t t_feed = telemetry::nowMicros();
+
     bool draining = false;
     for (;;) {
         // Serve everything already buffered, coalescing up to maxBatch
         // frames into one response write.
+        const bool metrics_on = telemetry::metricsEnabled();
         std::vector<std::uint8_t> out;
         std::size_t batch = 0;
         bool close_after_flush = false;
+        batch_spans.clear();
         while (batch < options_.maxBatch) {
+            const std::uint64_t t_parse_start =
+                metrics_on ? telemetry::nowMicros() : 0;
             wire::Frame request;
             wire::WireError parse_err;
             const wire::FrameParser::Status st =
@@ -178,24 +229,87 @@ Server::serveConnection(net::UniqueFd fd)
             if (st == wire::FrameParser::Status::Bad) {
                 // Framing is untrustworthy after a structural error:
                 // answer with the typed error, then drop the stream.
+                // The reply still charges request_us (an unparseable
+                // frame has no trace context, so no phase spans).
                 const std::vector<std::uint8_t> reply =
                     wire::serializeFrame(wire::makeErrorFrame(
                         parse_err.code, parse_err.detail));
                 out.insert(out.end(), reply.begin(), reply.end());
                 close_after_flush = true;
+                if (metrics_on) {
+                    PendingSpan pending;
+                    pending.tParseStart = t_parse_start;
+                    pending.tParseEnd = pending.tHandleEnd =
+                        telemetry::nowMicros();
+                    batch_spans.push_back(pending);
+                }
                 break;
             }
+            const std::uint64_t t_parse_end =
+                metrics_on ? telemetry::nowMicros() : 0;
+            const wire::Frame response = service.handle(request);
+            const std::uint64_t t_handle_end =
+                metrics_on ? telemetry::nowMicros() : 0;
             const std::vector<std::uint8_t> reply =
-                wire::serializeFrame(service.handle(request));
+                wire::serializeFrame(response);
             out.insert(out.end(), reply.begin(), reply.end());
             ++batch;
+            if (metrics_on) {
+                PendingSpan pending;
+                pending.traceId = request.traceId;
+                pending.spanId = request.spanId;
+                pending.tParseStart = t_parse_start;
+                pending.tParseEnd = t_parse_end;
+                pending.tHandleEnd = t_handle_end;
+                pending.opcode =
+                    static_cast<std::uint8_t>(request.opcode);
+                pending.streamId = request.streamId;
+                pending.txCount = requestTxCount(request);
+                pending.sampled = request.traceSampled;
+                batch_spans.push_back(pending);
+            }
         }
         if (batch > 0)
-            metrics.batchSize.add(static_cast<double>(batch));
+            metrics.batchSize.record(batch);
         if (!out.empty()) {
             std::string err;
             if (!net::writeAll(fd.get(), out.data(), out.size(), err))
                 return; // Peer vanished mid-response.
+        }
+        if (metrics_on && !batch_spans.empty()) {
+            const std::uint64_t t_write_end = telemetry::nowMicros();
+            const std::uint32_t tid = telemetry::currentThreadId();
+            for (const PendingSpan &pending : batch_spans) {
+                metrics.requestUs.record(t_write_end - t_feed);
+                if (!pending.sampled || pending.traceId == 0)
+                    continue;
+                telemetry::ServerSpan span;
+                span.traceId = pending.traceId;
+                span.spanId = pending.spanId;
+                span.phase = telemetry::ServerPhase::Request;
+                span.opcode = pending.opcode;
+                span.streamId = pending.streamId;
+                span.tid = tid;
+                span.txCount = pending.txCount;
+                const auto emit = [&span](telemetry::ServerPhase phase,
+                                          std::uint64_t start,
+                                          std::uint64_t end) {
+                    span.phase = phase;
+                    span.startUs = start;
+                    span.durUs = end - start;
+                    telemetry::recordServerSpan(span);
+                };
+                emit(telemetry::ServerPhase::Request, t_feed,
+                     t_write_end);
+                emit(telemetry::ServerPhase::QueueWait, t_feed,
+                     pending.tParseStart);
+                emit(telemetry::ServerPhase::Parse, pending.tParseStart,
+                     pending.tParseEnd);
+                emit(telemetry::ServerPhase::Codec, pending.tParseEnd,
+                     pending.tHandleEnd);
+                emit(telemetry::ServerPhase::Reply, pending.tHandleEnd,
+                     t_write_end);
+            }
         }
         if (close_after_flush)
             return;
@@ -222,6 +336,7 @@ Server::serveConnection(net::UniqueFd fd)
         if (n <= 0)
             return; // EOF or socket error.
         parser.feed(read_buf.data(), static_cast<std::size_t>(n));
+        t_feed = telemetry::nowMicros(); // Request clock starts here.
     }
 }
 
@@ -262,6 +377,7 @@ Server::serve()
 
     const unsigned threads =
         options_.threads == 0 ? defaultThreadCount() : options_.threads;
+    serverMetrics().threads.set(static_cast<double>(threads));
     ThreadPool pool(threads);
     // Each index is one worker loop that blocks until shutdown; with
     // count == thread count the pool degrades into a plain worker pool

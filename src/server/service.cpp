@@ -1,5 +1,8 @@
 #include "server/service.h"
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <cstring>
 #include <exception>
 #include <map>
@@ -7,6 +10,7 @@
 #include <span>
 
 #include "common/error.h"
+#include "common/json.h"
 #include "core/codec_factory.h"
 #include "telemetry/metrics.h"
 #include "telemetry/snapshot.h"
@@ -28,9 +32,9 @@ struct ServiceMetrics
         telemetry::counter("bxt.server.tx_encoded");
     telemetry::Counter &txDecoded =
         telemetry::counter("bxt.server.tx_decoded");
-    /** Per-request service latency, 0..5 ms in 100 us buckets. */
-    telemetry::Histo &requestUs =
-        telemetry::histogram("bxt.server.request_us", 0.0, 5000.0, 50);
+    // Note: bxt.server.request_us lives in the connection layer
+    // (server.cpp) so its samples cover the whole lifecycle — feed to
+    // reply write — and include busy/parse-error responses.
 };
 
 ServiceMetrics &
@@ -43,15 +47,63 @@ serviceMetrics()
 /**
  * Per-stream (tenant) instruments, keyed by the frame's streamId. The
  * references are process-lifetime registry entries; the cache avoids
- * re-building four metric names per tagged request. Stream 0 means
+ * re-building the metric names per tagged request. Stream 0 means
  * untagged and never reaches here.
+ *
+ * Beyond the telescoping counters, each stream keeps a sliding window
+ * of per-request value statistics — the zero-word fraction of the raw
+ * input plane and the adjacent-transaction XOR toggle weight — exported
+ * as gauges. These are the sensors the planned online adaptive codec
+ * selection reads: a high zero fraction favours zdr-style codecs, a low
+ * toggle weight favours xor-base codecs (similarity within a
+ * transaction stream, the effect the paper exploits).
  */
 struct StreamCounters
 {
+    /** Per-request samples retained in the sliding window. */
+    static constexpr std::size_t windowSize = 64;
+
     telemetry::Counter &requests;
     telemetry::Counter &txEncoded;
     telemetry::Counter &onesIn;
     telemetry::Counter &onesOut;
+    telemetry::Gauge &windowZeroFrac;
+    telemetry::Gauge &windowXorWeight;
+
+    explicit StreamCounters(const std::string &base)
+        : requests(telemetry::counter(base + ".requests")),
+          txEncoded(telemetry::counter(base + ".tx_encoded")),
+          onesIn(telemetry::counter(base + ".ones_in")),
+          onesOut(telemetry::counter(base + ".ones_out")),
+          windowZeroFrac(telemetry::gauge(base + ".window_zero_frac")),
+          windowXorWeight(telemetry::gauge(base + ".window_xor_weight"))
+    {
+    }
+
+    std::mutex windowMutex;
+    std::array<double, windowSize> zeroFrac{};
+    std::array<double, windowSize> xorWeight{};
+    std::size_t windowNext = 0;
+    std::size_t windowCount = 0;
+
+    /** Push one request's samples and refresh the windowed gauges. */
+    void observe(double zero_frac, double xor_weight)
+    {
+        std::lock_guard<std::mutex> lock(windowMutex);
+        zeroFrac[windowNext] = zero_frac;
+        xorWeight[windowNext] = xor_weight;
+        windowNext = (windowNext + 1) % windowSize;
+        windowCount = std::min(windowCount + 1, windowSize);
+        double zero_sum = 0.0;
+        double xor_sum = 0.0;
+        for (std::size_t i = 0; i < windowCount; ++i) {
+            zero_sum += zeroFrac[i];
+            xor_sum += xorWeight[i];
+        }
+        const double n = static_cast<double>(windowCount);
+        windowZeroFrac.set(zero_sum / n);
+        windowXorWeight.set(xor_sum / n);
+    }
 };
 
 StreamCounters &
@@ -64,16 +116,56 @@ streamCounters(std::uint16_t stream_id)
     if (it == cache.end()) {
         const std::string base =
             "bxt.server.stream." + std::to_string(stream_id);
-        it = cache
-                 .emplace(stream_id,
-                          new StreamCounters{
-                              telemetry::counter(base + ".requests"),
-                              telemetry::counter(base + ".tx_encoded"),
-                              telemetry::counter(base + ".ones_in"),
-                              telemetry::counter(base + ".ones_out")})
-                 .first;
+        it = cache.emplace(stream_id, new StreamCounters(base)).first;
     }
     return *it->second;
+}
+
+/** Fraction of zero 32-bit words in @p data (1.0 for an empty plane). */
+double
+zeroWordFraction(const std::uint8_t *data, std::size_t bytes)
+{
+    const std::size_t words = bytes / 4;
+    if (words == 0)
+        return 1.0;
+    std::size_t zeros = 0;
+    for (std::size_t i = 0; i < words; ++i) {
+        std::uint32_t word;
+        std::memcpy(&word, data + i * 4, 4);
+        zeros += word == 0 ? 1 : 0;
+    }
+    return static_cast<double>(zeros) / static_cast<double>(words);
+}
+
+/**
+ * Mean fraction of bits toggling between adjacent transactions of the
+ * request (popcount(tx_i XOR tx_{i-1}) / bits). 0 when the request
+ * carries fewer than two transactions.
+ */
+double
+xorToggleWeight(const std::uint8_t *data, std::size_t count,
+                std::size_t tx_bytes)
+{
+    if (count < 2 || tx_bytes == 0)
+        return 0.0;
+    std::uint64_t toggled = 0;
+    for (std::size_t i = 1; i < count; ++i) {
+        const std::uint8_t *prev = data + (i - 1) * tx_bytes;
+        const std::uint8_t *cur = data + i * tx_bytes;
+        std::size_t at = 0;
+        for (; at + 8 <= tx_bytes; at += 8) {
+            std::uint64_t a, b;
+            std::memcpy(&a, prev + at, 8);
+            std::memcpy(&b, cur + at, 8);
+            toggled += static_cast<std::uint64_t>(std::popcount(a ^ b));
+        }
+        for (; at < tx_bytes; ++at) {
+            toggled += static_cast<std::uint64_t>(
+                std::popcount(static_cast<unsigned>(prev[at] ^ cur[at])));
+        }
+    }
+    return static_cast<double>(toggled) /
+           static_cast<double>((count - 1) * tx_bytes * 8);
 }
 
 /** Bits of metadata one transaction carries for this geometry. */
@@ -251,6 +343,11 @@ Service::handleEncode(const wire::Frame &request)
             stream.txEncoded.add(count);
             stream.onesIn.add(input_ones);
             stream.onesOut.add(payload_ones + meta_ones);
+            // Windowed value statistics over the raw input plane — the
+            // adaptive-codec sensor (see StreamCounters).
+            stream.observe(
+                zeroWordFraction(raw, count * tx_bytes),
+                xorToggleWeight(raw, count, tx_bytes));
         }
     }
     entry->onesIn += input_ones;
@@ -348,6 +445,24 @@ Service::handleStats()
 }
 
 wire::Frame
+Service::handleSnapshot()
+{
+    // The live-introspection op (bxt_top): the full schema-2 telemetry
+    // document plus the server clock, so pollers can compute rates from
+    // counter deltas without trusting their own timestamps.
+    wire::Frame response;
+    response.opcode = wire::Opcode::Snapshot;
+    JsonWriter w(false);
+    w.beginObject();
+    w.kv("uptime_us", telemetry::nowMicros());
+    w.kvRaw("metrics", telemetry::snapshotJson(false));
+    w.endObject();
+    const std::string body = w.str();
+    response.body.assign(body.begin(), body.end());
+    return response;
+}
+
+wire::Frame
 Service::handle(const wire::Frame &request)
 {
     ServiceMetrics &metrics = serviceMetrics();
@@ -355,7 +470,6 @@ Service::handle(const wire::Frame &request)
     const bool metrics_on = telemetry::metricsEnabled();
     if (metrics_on && request.streamId != 0)
         streamCounters(request.streamId).requests.add(1);
-    const std::uint64_t start = metrics_on ? telemetry::nowMicros() : 0;
 
     wire::Frame response;
     try {
@@ -371,6 +485,9 @@ Service::handle(const wire::Frame &request)
             break;
         case wire::Opcode::Stats:
             response = handleStats();
+            break;
+        case wire::Opcode::Snapshot:
+            response = handleSnapshot();
             break;
         case wire::Opcode::Error:
             response = errorResponse(wire::ErrorCode::Malformed,
@@ -394,13 +511,44 @@ Service::handle(const wire::Frame &request)
                                  "unknown exception");
     }
 
-    if (metrics_on) {
-        metrics.requestUs.add(
-            static_cast<double>(telemetry::nowMicros() - start));
-    }
-    // Echo the stream tag so pipelining clients can demux responses.
+    // Echo the stream tag so pipelining clients can demux responses,
+    // and the trace context so traced clients can stitch client-side
+    // spans onto the same trace.
     response.streamId = request.streamId;
+    response.traceId = request.traceId;
+    response.spanId = request.spanId;
+    response.traceSampled = request.traceSampled;
     return response;
+}
+
+std::uint32_t
+requestTxCount(const wire::Frame &request)
+{
+    // Encode bodies lead with u32 txBytes, u32 busBits; Decode bodies
+    // add u32 metaWires, u32 metaBytes. Both are followed by the u64
+    // count this reads (wire.h body tables).
+    std::size_t lead_u32s = 0;
+    switch (request.opcode) {
+    case wire::Opcode::Encode:
+        lead_u32s = 2;
+        break;
+    case wire::Opcode::Decode:
+        lead_u32s = 4;
+        break;
+    default:
+        return 0;
+    }
+    wire::BodyReader reader(request.body);
+    std::uint32_t skipped = 0;
+    for (std::size_t i = 0; i < lead_u32s; ++i) {
+        if (!reader.u32(skipped))
+            return 0;
+    }
+    std::uint64_t count = 0;
+    if (!reader.u64(count))
+        return 0;
+    return static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(count, wire::maxTxPerRequest));
 }
 
 } // namespace bxt::server

@@ -60,6 +60,7 @@ class Service
     wire::Frame handleEncode(const wire::Frame &request);
     wire::Frame handleDecode(const wire::Frame &request);
     wire::Frame handleStats();
+    wire::Frame handleSnapshot();
 
     /**
      * Look up / build the codec for (spec, txBytes, busBits). Returns
@@ -78,6 +79,14 @@ class Service
  * client library's preflight checks.
  */
 std::string validateGeometry(std::uint32_t tx_bytes, std::uint32_t bus_bits);
+
+/**
+ * Transactions claimed by an Encode/Decode request body (the count
+ * header field, clamped to maxTxPerRequest); 0 for other opcodes or a
+ * truncated body. Used by the connection layer to annotate spans
+ * without re-parsing the body.
+ */
+std::uint32_t requestTxCount(const wire::Frame &request);
 
 } // namespace bxt::server
 

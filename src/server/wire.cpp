@@ -16,6 +16,7 @@ opcodeKnown(std::uint8_t op)
     case Opcode::Encode:
     case Opcode::Decode:
     case Opcode::Stats:
+    case Opcode::Snapshot:
     case Opcode::Error:
         return true;
     }
@@ -47,23 +48,34 @@ serializeFrame(const Frame &frame)
 {
     const std::size_t spec_len = frame.spec.size();
     const std::size_t body_len = frame.body.size();
-    std::vector<std::uint8_t> out(headerBytes + spec_len + body_len +
-                                  crcBytes);
+    // Untraced frames stay byte-identical version-1 frames, so a client
+    // that never sets a trace context interoperates with pre-trace
+    // servers (and vice versa).
+    const std::size_t trace_len = frame.traced() ? traceBlockBytes : 0;
+    std::vector<std::uint8_t> out(headerBytes + trace_len + spec_len +
+                                  body_len + crcBytes);
 
     storeWord32(out.data(), frameMagic);
-    out[4] = wireVersion;
+    out[4] = frame.traced() ? wireVersionTraced : wireVersion;
     out[5] = static_cast<std::uint8_t>(frame.opcode);
     out[6] = static_cast<std::uint8_t>(frame.streamId & 0xff);
     out[7] = static_cast<std::uint8_t>(frame.streamId >> 8);
     storeWord32(out.data() + 8, static_cast<std::uint32_t>(spec_len));
     storeWord32(out.data() + 12, static_cast<std::uint32_t>(body_len));
+    if (frame.traced()) {
+        storeWord64(out.data() + 16, frame.traceId);
+        storeWord64(out.data() + 24, frame.spanId);
+        storeWord32(out.data() + 32,
+                    frame.traceSampled ? traceFlagSampled : 0u);
+    }
+    const std::size_t payload_off = headerBytes + trace_len;
     if (spec_len > 0)
-        std::memcpy(out.data() + headerBytes, frame.spec.data(), spec_len);
+        std::memcpy(out.data() + payload_off, frame.spec.data(), spec_len);
     if (body_len > 0) {
-        std::memcpy(out.data() + headerBytes + spec_len, frame.body.data(),
+        std::memcpy(out.data() + payload_off + spec_len, frame.body.data(),
                     body_len);
     }
-    const std::size_t crc_off = headerBytes + spec_len + body_len;
+    const std::size_t crc_off = payload_off + spec_len + body_len;
     storeWord32(out.data() + crc_off,
                 crc32({out.data(), crc_off}));
     return out;
@@ -133,11 +145,13 @@ FrameParser::next(Frame &out, WireError &err)
 
     if (loadWord32(base) != frameMagic)
         return fail(ErrorCode::BadMagic, "frame magic is not 'BXTP'", err);
-    if (base[4] != wireVersion) {
+    if (base[4] != wireVersion && base[4] != wireVersionTraced) {
         return fail(ErrorCode::BadVersion,
                     "unsupported wire version " + std::to_string(base[4]),
                     err);
     }
+    const std::size_t trace_len =
+        base[4] == wireVersionTraced ? traceBlockBytes : 0;
     if (!opcodeKnown(base[5])) {
         return fail(ErrorCode::UnknownOpcode,
                     "unknown opcode " + std::to_string(base[5]), err);
@@ -157,7 +171,8 @@ FrameParser::next(Frame &out, WireError &err)
                     err);
     }
 
-    const std::size_t total = headerBytes + spec_len + body_len + crcBytes;
+    const std::size_t total =
+        headerBytes + trace_len + spec_len + body_len + crcBytes;
     if (avail < total)
         return Status::NeedMore;
 
@@ -166,13 +181,31 @@ FrameParser::next(Frame &out, WireError &err)
     if (stored_crc != computed_crc)
         return fail(ErrorCode::BadCrc, "frame CRC32 mismatch", err);
 
+    out.traceId = 0;
+    out.spanId = 0;
+    out.traceSampled = false;
+    if (trace_len > 0) {
+        const std::uint32_t flags = loadWord32(base + 32);
+        if ((flags & ~traceFlagSampled) != 0) {
+            return fail(ErrorCode::Malformed,
+                        "reserved trace-flag bits set: " +
+                            std::to_string(flags),
+                        err);
+        }
+        out.traceId = loadWord64(base + 16);
+        // traceId 0 means "no trace context"; canonicalize the whole
+        // block away so re-serializing yields a version-1 frame.
+        if (out.traceId != 0) {
+            out.spanId = loadWord64(base + 24);
+            out.traceSampled = (flags & traceFlagSampled) != 0;
+        }
+    }
     out.opcode = static_cast<Opcode>(base[5]);
     out.streamId = static_cast<std::uint16_t>(
         base[6] | (static_cast<std::uint16_t>(base[7]) << 8));
-    out.spec.assign(reinterpret_cast<const char *>(base + headerBytes),
-                    spec_len);
-    out.body.assign(base + headerBytes + spec_len,
-                    base + headerBytes + spec_len + body_len);
+    const std::uint8_t *payload = base + headerBytes + trace_len;
+    out.spec.assign(reinterpret_cast<const char *>(payload), spec_len);
+    out.body.assign(payload + spec_len, payload + spec_len + body_len);
     consumed_ += total;
     return Status::Ready;
 }
@@ -258,10 +291,17 @@ randomFrame(Rng &rng)
 {
     static const Opcode opcodes[] = {Opcode::Ping, Opcode::Encode,
                                      Opcode::Decode, Opcode::Stats,
-                                     Opcode::Error};
+                                     Opcode::Snapshot, Opcode::Error};
     Frame frame;
-    frame.opcode = opcodes[rng.nextBounded(5)];
+    frame.opcode = opcodes[rng.nextBounded(6)];
     frame.streamId = static_cast<std::uint16_t>(rng.nextBounded(0x10000));
+    if (rng.nextBounded(2) == 1) {
+        // Traced (version-2) frame: traceId must be nonzero to carry a
+        // trace block at all.
+        frame.traceId = rng.next64() | 1;
+        frame.spanId = rng.next64();
+        frame.traceSampled = rng.nextBounded(2) == 1;
+    }
     const std::size_t spec_len = rng.nextBounded(13);
     static const char charset[] =
         "abcdefghijklmnopqrstuvwxyz0123456789+|";

@@ -6,12 +6,16 @@
  *
  *   offset  size  field
  *        0     4  magic "BXTP"
- *        4     1  version (wireVersion)
+ *        4     1  version (wireVersion or wireVersionTraced)
  *        5     1  opcode
  *        6     2  streamId  (little-endian; 0 = untagged)
  *        8     4  specLen   (little-endian, <= maxSpecLen)
  *       12     4  bodyLen   (little-endian, <= maxBodyLen)
- *       16  specLen  codec-spec string (UTF-8, no terminator)
+ *     [ 16     8  traceId   — version 2 frames only            ]
+ *     [ 24     8  spanId    — version 2 frames only            ]
+ *     [ 32     4  traceFlags — version 2 only; bit0 = sampled,  ]
+ *     [                        all other bits must be zero      ]
+ *        +  specLen  codec-spec string (UTF-8, no terminator)
  *        +  bodyLen  opcode-specific body
  *        +     4  CRC32 over everything above (header + spec + body)
  *
@@ -19,6 +23,14 @@
  * maps to a typed ErrorCode; the server answers with an Error frame and
  * closes the connection (framing cannot be trusted after a corrupt
  * header). Error frames carry `u32 code | message bytes` as their body.
+ *
+ * Trace context: a version-2 frame inserts a 20-byte trace block between
+ * the fixed header and the spec, carrying a 64-bit traceId, a 64-bit
+ * spanId, and a flags word whose bit 0 marks the request as sampled for
+ * server-side span recording. Version-1 frames carry no block and parse
+ * exactly as before, so pre-trace clients and servers interoperate
+ * unchanged; a server echoes the request's trace context on its reply.
+ * A version-2 frame with any reserved flag bit set is Malformed.
  *
  * Request bodies (u32/u64 little-endian, payloads byte-exact):
  *   Ping    —
@@ -35,7 +47,8 @@
  *           u64 payloadOnes | u64 metaOnes |
  *           count·txBytes payload | count·metaBytesPerTx packed meta
  *   Decode  u32 txBytes | u64 count | count·txBytes raw
- *   Stats   telemetry snapshot JSON (schema 1) as bytes
+ *   Stats   telemetry snapshot JSON (schema 2) as bytes
+ *   Snapshot `{"uptime_us":…,"metrics":<schema-2 snapshot>}` as bytes
  *
  * Metadata bits are packed LSB-first: metadata bit j of a transaction
  * (beat-major, as in Encoded::meta) lives in packed byte j/8, bit j%8.
@@ -61,11 +74,20 @@ namespace bxt::wire {
 /** Frame magic, little-endian "BXTP". */
 constexpr std::uint32_t frameMagic = 0x50545842u;
 
-/** Protocol version carried in every frame. */
+/** Protocol version of an untraced frame. */
 constexpr std::uint8_t wireVersion = 1;
 
-/** Fixed frame-header size (before spec/body/CRC). */
+/** Protocol version of a frame carrying a trace block. */
+constexpr std::uint8_t wireVersionTraced = 2;
+
+/** Fixed frame-header size (before trace block/spec/body/CRC). */
 constexpr std::size_t headerBytes = 16;
+
+/** Size of the version-2 trace block (traceId + spanId + flags). */
+constexpr std::size_t traceBlockBytes = 20;
+
+/** Trace-flags bit 0: record server-side spans for this request. */
+constexpr std::uint32_t traceFlagSampled = 1u;
 
 /** Trailing CRC32 size. */
 constexpr std::size_t crcBytes = 4;
@@ -85,6 +107,7 @@ enum class Opcode : std::uint8_t {
     Encode = 2, ///< Encode raw transactions under the frame's spec.
     Decode = 3, ///< Decode payload+metadata back to raw transactions.
     Stats = 4,  ///< Fetch the server's telemetry snapshot JSON.
+    Snapshot = 5, ///< Fetch uptime + full live telemetry (bxt_top feed).
     Error = 0x7f, ///< Response-only: u32 ErrorCode + message bytes.
 };
 
@@ -114,8 +137,14 @@ struct Frame
 {
     Opcode opcode = Opcode::Ping;
     std::uint16_t streamId = 0;     ///< Tenant/stream tag (0 = none).
+    std::uint64_t traceId = 0;      ///< Trace context id (0 = untraced).
+    std::uint64_t spanId = 0;       ///< Caller's span id within traceId.
+    bool traceSampled = false;      ///< Record server spans when set.
     std::string spec;               ///< Codec spec ("" when unused).
     std::vector<std::uint8_t> body; ///< Opcode-specific body bytes.
+
+    /** True when the frame serializes with a version-2 trace block. */
+    bool traced() const { return traceId != 0; }
 
     bool operator==(const Frame &other) const = default;
 };

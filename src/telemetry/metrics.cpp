@@ -1,9 +1,11 @@
 #include "telemetry/metrics.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <map>
 #include <mutex>
 
+#include "telemetry/spanring.h"
 #include "telemetry/trace.h"
 
 namespace bxt::telemetry {
@@ -57,11 +59,43 @@ setMetricsEnabled(bool on)
     detail::metricsOn.store(on, std::memory_order_relaxed);
 }
 
-Histo::Histo(std::string name, double lo, double hi, std::size_t buckets)
-    : name_(std::move(name)), edges_(lo, hi, buckets), counts_(buckets)
+Histo::Histo(std::string name)
+    : name_(std::move(name)), counts_(numBuckets)
 {
     for (auto &count : counts_)
         count.store(0, std::memory_order_relaxed);
+}
+
+double
+Histo::quantile(double q) const
+{
+    const std::uint64_t n = total();
+    if (n == 0)
+        return 0.0;
+    double target = q * static_cast<double>(n);
+    if (target < 1.0)
+        target = 1.0;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < numBuckets; ++i) {
+        const std::uint64_t c = bucketCount(i);
+        if (c > 0 && static_cast<double>(cum + c) >= target) {
+            const double lo =
+                static_cast<double>(bucketLowerBound(i));
+            const double width = static_cast<double>(bucketWidth(i));
+            // target lands on the k-th sample of this bucket (1-based);
+            // interpolate from the bucket's lower edge so an exact hit
+            // on a single-sample bucket returns that sample's value.
+            const double frac =
+                (target - static_cast<double>(cum) - 1.0) /
+                static_cast<double>(c);
+            double value = lo + width * frac;
+            value = std::min(value, static_cast<double>(max()));
+            value = std::max(value, static_cast<double>(min()));
+            return value;
+        }
+        cum += c;
+    }
+    return static_cast<double>(max());
 }
 
 void
@@ -70,7 +104,9 @@ Histo::reset()
     for (auto &count : counts_)
         count.store(0, std::memory_order_relaxed);
     total_.store(0, std::memory_order_relaxed);
-    sum_micro_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
 }
 
 std::string
@@ -117,14 +153,13 @@ gauge(const std::string &name)
 }
 
 Histo &
-histogram(const std::string &name, double lo, double hi,
-          std::size_t buckets)
+histogram(const std::string &name)
 {
     Registry &reg = registry();
     std::lock_guard<std::mutex> lock(reg.mutex);
     auto &slot = reg.histos[name];
     if (slot == nullptr)
-        slot = std::make_unique<Histo>(name, lo, hi, buckets);
+        slot = std::make_unique<Histo>(name);
     return *slot;
 }
 
@@ -169,6 +204,7 @@ resetForTest()
             instrument->reset();
     }
     clearTraceBuffer();
+    clearServerSpans();
 }
 
 } // namespace bxt::telemetry

@@ -1,8 +1,8 @@
 /**
  * @file
  * Process-wide, thread-safe metrics registry: monotonic counters, gauges,
- * and fixed-bucket histograms, addressed by hierarchical names following
- * the `bxt.<layer>.<name>` convention (DESIGN.md §9).
+ * and log-bucketed HDR-style histograms, addressed by hierarchical names
+ * following the `bxt.<layer>.<name>` convention (DESIGN.md §9).
  *
  * Zero-cost-when-off contract: instrumentation is compiled in
  * unconditionally but gated behind `metricsEnabled()` — a single relaxed
@@ -16,13 +16,12 @@
 #define BXT_TELEMETRY_METRICS_H
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
-
-#include "common/histogram.h"
 
 namespace bxt::telemetry {
 
@@ -111,35 +110,91 @@ class Gauge
 };
 
 /**
- * Fixed-range, uniformly bucketed histogram with atomic per-bucket
- * counts. Bucket-edge and clamp math is delegated to the existing
- * `common/histogram` (Histogram::bucketIndex), so the telemetry view and
- * the figure-plot histograms agree on semantics.
+ * Log-bucketed HDR-style histogram with atomic per-bucket counts, for
+ * non-negative integer-valued samples (durations in µs, batch sizes).
+ * Values below 32 land in exact unit-width buckets; above that, each
+ * power-of-two octave is split into 32 sub-buckets, bounding the
+ * relative quantization error at 1/32 (~3%) across the whole range.
+ * With 1024 fixed buckets the histogram tracks values up to 2^36-1
+ * (larger samples clamp into the top bucket) — no registration-time
+ * range choice, so one shape fits every instrument and quantile
+ * estimation (p50/p95/p99/p999) needs no a-priori bounds.
  */
 class Histo
 {
   public:
-    Histo(std::string name, double lo, double hi, std::size_t buckets);
+    /** log2 of sub-buckets per octave; bounds relative error at 2^-5. */
+    static constexpr std::size_t subBucketBits = 5;
+    static constexpr std::size_t subBuckets = std::size_t{1}
+                                              << subBucketBits;
+    /** Fixed bucket count: 32 exact + 31 octaves x 32 sub-buckets. */
+    static constexpr std::size_t numBuckets = 1024;
 
+    explicit Histo(std::string name);
+
+    /** Bucket index holding @p v (clamped into the top bucket). */
+    static std::size_t bucketIndexOf(std::uint64_t v)
+    {
+        if (v < subBuckets)
+            return static_cast<std::size_t>(v);
+        const std::size_t octave =
+            static_cast<std::size_t>(std::bit_width(v)) - 1 -
+            subBucketBits;
+        const std::size_t sub =
+            static_cast<std::size_t>(v >> octave) & (subBuckets - 1);
+        const std::size_t index =
+            subBuckets + octave * subBuckets + sub;
+        return index < numBuckets ? index : numBuckets - 1;
+    }
+
+    /** Smallest value mapping to bucket @p index. */
+    static std::uint64_t bucketLowerBound(std::size_t index)
+    {
+        if (index < subBuckets)
+            return index;
+        const std::size_t octave = (index - subBuckets) / subBuckets;
+        const std::size_t sub = (index - subBuckets) % subBuckets;
+        return static_cast<std::uint64_t>(subBuckets + sub) << octave;
+    }
+
+    /** Number of distinct values mapping to bucket @p index. */
+    static std::uint64_t bucketWidth(std::size_t index)
+    {
+        if (index < subBuckets)
+            return 1;
+        return std::uint64_t{1} << ((index - subBuckets) / subBuckets);
+    }
+
+    /** Record one integer sample. */
+    void record(std::uint64_t v)
+    {
+        if (!metricsEnabled())
+            return;
+        counts_[bucketIndexOf(v)].fetch_add(1,
+                                            std::memory_order_relaxed);
+        total_.fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(v, std::memory_order_relaxed);
+        std::uint64_t cur = min_.load(std::memory_order_relaxed);
+        while (v < cur && !min_.compare_exchange_weak(
+                              cur, v, std::memory_order_relaxed)) {
+        }
+        cur = max_.load(std::memory_order_relaxed);
+        while (v > cur && !max_.compare_exchange_weak(
+                              cur, v, std::memory_order_relaxed)) {
+        }
+    }
+
+    /** Record a double sample, rounded (negatives clamp to 0). */
     void add(double sample)
     {
         if (!metricsEnabled())
             return;
-        counts_[edges_.bucketIndex(sample)].fetch_add(
-            1, std::memory_order_relaxed);
-        total_.fetch_add(1, std::memory_order_relaxed);
-        // Sum tracked in fixed-point microunits to stay lock-free
-        // without atomic<double> RMW loops.
-        sum_micro_.fetch_add(static_cast<std::int64_t>(sample * 1.0e6),
-                             std::memory_order_relaxed);
+        record(sample <= 0.0 ? 0
+                             : static_cast<std::uint64_t>(sample + 0.5));
     }
 
     const std::string &name() const { return name_; }
-    double lo() const { return edges_.bucketLo(0); }
-    double hi() const { return edges_.bucketHi(edges_.buckets() - 1); }
-    std::size_t buckets() const { return counts_.size(); }
-    double bucketLo(std::size_t i) const { return edges_.bucketLo(i); }
-    double bucketHi(std::size_t i) const { return edges_.bucketHi(i); }
+    std::size_t buckets() const { return numBuckets; }
 
     std::uint64_t bucketCount(std::size_t i) const
     {
@@ -151,12 +206,11 @@ class Histo
         return total_.load(std::memory_order_relaxed);
     }
 
-    /** Sum of all samples (microunit-resolution). */
+    /** Sum of all (rounded) samples. */
     double sum() const
     {
         return static_cast<double>(
-                   sum_micro_.load(std::memory_order_relaxed)) /
-               1.0e6;
+            sum_.load(std::memory_order_relaxed));
     }
 
     /** Mean sample, 0 when empty. */
@@ -166,25 +220,41 @@ class Histo
         return n == 0 ? 0.0 : sum() / static_cast<double>(n);
     }
 
+    /** Smallest / largest recorded sample (0 when empty). */
+    std::uint64_t min() const
+    {
+        const std::uint64_t v = min_.load(std::memory_order_relaxed);
+        return v == ~std::uint64_t{0} ? 0 : v;
+    }
+    std::uint64_t max() const
+    {
+        return max_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Estimated q-quantile (q in [0,1]), linearly interpolated within
+     * the holding bucket and clamped to [min, max]. 0 when empty.
+     */
+    double quantile(double q) const;
+
     void reset();
 
   private:
     std::string name_;
-    Histogram edges_; ///< Edge/clamp math only; its counts stay empty.
     std::vector<std::atomic<std::uint64_t>> counts_;
     std::atomic<std::uint64_t> total_{0};
-    std::atomic<std::int64_t> sum_micro_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> max_{0};
 };
 
 /**
  * Look up or create an instrument by name. References stay valid for the
- * process lifetime; hot paths call once and cache. Re-registering a
- * histogram name with different bounds keeps the original bounds.
+ * process lifetime; hot paths call once and cache.
  */
 Counter &counter(const std::string &name);
 Gauge &gauge(const std::string &name);
-Histo &histogram(const std::string &name, double lo, double hi,
-                 std::size_t buckets);
+Histo &histogram(const std::string &name);
 
 /** Visit every registered instrument in name order (snapshot export). */
 void forEachCounter(const std::function<void(const Counter &)> &fn);

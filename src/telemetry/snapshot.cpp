@@ -1,5 +1,6 @@
 #include "telemetry/snapshot.h"
 
+#include <cstdio>
 #include <fstream>
 
 #include "common/json.h"
@@ -26,14 +27,28 @@ snapshotJson(bool pretty)
     w.beginObject("histograms");
     forEachHisto([&](const Histo &h) {
         w.beginObject(h.name());
-        w.kv("lo", h.lo());
-        w.kv("hi", h.hi());
+        w.kv("kind", "hdr");
+        w.kv("sub_bucket_bits",
+             static_cast<std::uint64_t>(Histo::subBucketBits));
         w.kv("total", h.total());
         w.kv("sum", h.sum());
         w.kv("mean", h.mean());
-        w.beginArray("counts");
-        for (std::size_t i = 0; i < h.buckets(); ++i)
-            w.value(h.bucketCount(i));
+        w.kv("min", h.min());
+        w.kv("max", h.max());
+        w.kv("p50", h.quantile(0.50));
+        w.kv("p95", h.quantile(0.95));
+        w.kv("p99", h.quantile(0.99));
+        w.kv("p999", h.quantile(0.999));
+        w.beginArray("buckets");
+        for (std::size_t i = 0; i < h.buckets(); ++i) {
+            const std::uint64_t count = h.bucketCount(i);
+            if (count == 0)
+                continue;
+            w.beginArray();
+            w.value(static_cast<std::uint64_t>(i));
+            w.value(count);
+            w.endArray();
+        }
         w.endArray();
         w.endObject();
     });
@@ -48,11 +63,22 @@ writeSnapshot(const std::string &path)
 {
     if (!metricsEnabled())
         return false;
-    std::ofstream out(path, std::ios::trunc);
-    if (!out)
+    // Write-then-rename so a SIGTERM mid-dump (the bxtd drain path)
+    // cannot leave a truncated document at the published path.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            return false;
+        out << snapshotJson() << '\n';
+        if (!out.good())
+            return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
         return false;
-    out << snapshotJson() << '\n';
-    return out.good();
+    }
+    return true;
 }
 
 } // namespace bxt::telemetry

@@ -1,17 +1,27 @@
 /**
  * @file
  * JSON metrics-snapshot exporter. The snapshot is a stable, versioned
- * document (schema 1):
+ * document (schema 2):
  *
  *   {
- *     "schema": 1,
+ *     "schema": 2,
  *     "enabled": true,
  *     "counters":   {"bxt.bus.data_ones": 123, ...},
  *     "gauges":     {"bxt.pool.threads": 8, ...},
  *     "histograms": {"bxt.pool.task_us":
- *                      {"lo": 0, "hi": 5000, "total": 42, "sum": 99.5,
- *                       "mean": 2.37, "counts": [ ... ]}, ...}
+ *                      {"kind": "hdr", "sub_bucket_bits": 5,
+ *                       "total": 42, "sum": 99, "mean": 2.37,
+ *                       "min": 1, "max": 17,
+ *                       "p50": 2.1, "p95": 9.8, "p99": 15.0,
+ *                       "p999": 16.9,
+ *                       "buckets": [[2, 31], [9, 11]]}, ...}
  *   }
+ *
+ * Histograms are the log-bucketed HDR instruments of telemetry/metrics;
+ * "buckets" lists only non-empty [index, count] pairs — the index maps
+ * back to a value range via Histo::bucketLowerBound/bucketWidth with the
+ * advertised sub_bucket_bits, which is how bxt_top reconstructs windowed
+ * quantiles from bucket deltas between polls.
  *
  * Instruments appear in name order, so two snapshots of the same run are
  * byte-identical and snapshots of different runs diff cleanly
@@ -27,7 +37,7 @@
 namespace bxt::telemetry {
 
 /** Snapshot document version ("schema" field). */
-constexpr int snapshotSchema = 1;
+constexpr int snapshotSchema = 2;
 
 /**
  * Render the registry as a snapshot JSON object. Always returns a valid
@@ -37,9 +47,12 @@ constexpr int snapshotSchema = 1;
 std::string snapshotJson(bool pretty = true);
 
 /**
- * Write the snapshot to @p path. A disabled registry is not exported:
- * returns false without creating the file (the exporter no-op guarantee
- * tested by tests/test_telemetry.cpp). Also false on I/O failure.
+ * Write the snapshot to @p path, atomically: the document lands in
+ * `path + ".tmp"` first and is renamed into place, so a signal or crash
+ * mid-dump can never leave a truncated snapshot at @p path. A disabled
+ * registry is not exported: returns false without creating the file
+ * (the exporter no-op guarantee tested by tests/test_telemetry.cpp).
+ * Also false on I/O failure.
  */
 bool writeSnapshot(const std::string &path);
 

@@ -11,9 +11,11 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,12 +24,15 @@
 
 #include "client/client.h"
 #include "common/bitops.h"
+#include "common/checksum.h"
 #include "common/json.h"
 #include "core/codec_factory.h"
 #include "server/server.h"
 #include "server/service.h"
 #include "server/wire.h"
 #include "telemetry/metrics.h"
+#include "telemetry/snapshot.h"
+#include "telemetry/spanring.h"
 #include "verify/golden.h"
 #include "workloads/scenario.h"
 
@@ -139,9 +144,103 @@ TEST(FrameParser, BadMagicIsTyped)
 
 TEST(FrameParser, BadVersionIsTyped)
 {
+    // Version 2 is the traced-frame variant, so the first undefined
+    // version is wireVersionTraced + 1.
     std::vector<std::uint8_t> bytes = wire::serializeFrame(pingFrame());
-    bytes[4] = wire::wireVersion + 1;
+    bytes[4] = wire::wireVersionTraced + 1;
     EXPECT_EQ(parseExpectingError(bytes), wire::ErrorCode::BadVersion);
+}
+
+TEST(FrameParser, TraceContextRoundTrips)
+{
+    wire::Frame frame = encodeFrameWithSpec("xor4+zdr");
+    frame.streamId = 7;
+    frame.traceId = 0x1122334455667788ull;
+    frame.spanId = 0x99aabbccddeeff00ull;
+    frame.traceSampled = true;
+    ASSERT_TRUE(frame.traced());
+
+    // Traced frames serialize as version 2 with the 20-byte trace block
+    // between the fixed header and the spec.
+    const std::vector<std::uint8_t> bytes = wire::serializeFrame(frame);
+    EXPECT_EQ(bytes[4], wire::wireVersionTraced);
+    EXPECT_EQ(bytes[16], 0x88); // traceId low byte, little-endian.
+    EXPECT_EQ(bytes[24], 0x00); // spanId low byte.
+    EXPECT_EQ(bytes[32], 0x01); // flags: sampled bit.
+    const std::vector<std::uint8_t> untraced =
+        wire::serializeFrame(encodeFrameWithSpec("xor4+zdr"));
+    EXPECT_EQ(bytes.size(), untraced.size() + wire::traceBlockBytes);
+
+    wire::FrameParser parser;
+    parser.feed(bytes.data(), bytes.size());
+    wire::Frame out;
+    wire::WireError err;
+    ASSERT_EQ(parser.next(out, err), wire::FrameParser::Status::Ready);
+    EXPECT_EQ(out, frame);
+    EXPECT_EQ(out.traceId, frame.traceId);
+    EXPECT_EQ(out.spanId, frame.spanId);
+    EXPECT_TRUE(out.traceSampled);
+
+    // An unsampled trace context round-trips with the flag clear.
+    frame.traceSampled = false;
+    const std::vector<std::uint8_t> unsampled =
+        wire::serializeFrame(frame);
+    parser.feed(unsampled.data(), unsampled.size());
+    ASSERT_EQ(parser.next(out, err), wire::FrameParser::Status::Ready);
+    EXPECT_EQ(out, frame);
+    EXPECT_FALSE(out.traceSampled);
+}
+
+TEST(FrameParser, UntracedFramesStayVersionOne)
+{
+    // Pre-trace clients must see byte-identical framing: an untraced
+    // frame serializes as version 1 with no trace block.
+    const std::vector<std::uint8_t> bytes =
+        wire::serializeFrame(pingFrame());
+    EXPECT_EQ(bytes[4], wire::wireVersion);
+    EXPECT_EQ(bytes.size(),
+              wire::headerBytes + sizeof(std::uint32_t)); // header + CRC
+}
+
+TEST(FrameParser, ReservedTraceFlagsAreMalformed)
+{
+    wire::Frame frame = pingFrame();
+    frame.traceId = 42;
+    frame.traceSampled = true;
+    std::vector<std::uint8_t> bytes = wire::serializeFrame(frame);
+    bytes[33] = 0x01; // Reserved flag bit 8.
+    // Re-seal the CRC so the flags check (not BadCrc) fires.
+    const std::uint32_t crc =
+        crc32({bytes.data(), bytes.size() - sizeof(std::uint32_t)});
+    storeWord32(bytes.data() + bytes.size() - sizeof(std::uint32_t), crc);
+    EXPECT_EQ(parseExpectingError(bytes), wire::ErrorCode::Malformed);
+}
+
+TEST(FrameParser, ZeroTraceIdParsesAsUntraced)
+{
+    // traceId 0 means "no trace": the parser canonicalizes such a v2
+    // frame so it re-serializes byte-identically as v1 (round-trip
+    // idempotence for the fuzzer and for proxies).
+    wire::Frame frame = pingFrame();
+    frame.traceId = 1; // Force a v2 serialization...
+    frame.traceSampled = true;
+    std::vector<std::uint8_t> bytes = wire::serializeFrame(frame);
+    for (std::size_t i = 0; i < 8; ++i)
+        bytes[16 + i] = 0; // ...then zero the traceId on the wire.
+    const std::uint32_t crc =
+        crc32({bytes.data(), bytes.size() - sizeof(std::uint32_t)});
+    storeWord32(bytes.data() + bytes.size() - sizeof(std::uint32_t), crc);
+
+    wire::FrameParser parser;
+    parser.feed(bytes.data(), bytes.size());
+    wire::Frame out;
+    wire::WireError err;
+    ASSERT_EQ(parser.next(out, err), wire::FrameParser::Status::Ready);
+    EXPECT_FALSE(out.traced());
+    EXPECT_EQ(out.spanId, 0u);
+    EXPECT_FALSE(out.traceSampled);
+    EXPECT_EQ(wire::serializeFrame(out),
+              wire::serializeFrame(pingFrame()));
 }
 
 TEST(FrameParser, UnknownOpcodeIsTyped)
@@ -412,6 +511,79 @@ TEST(Service, StatsReturnsSnapshotJson)
     EXPECT_NE(json.find("\"schema\""), std::string::npos);
 }
 
+TEST(Service, TraceContextIsEchoedOnReplies)
+{
+    server::Service service;
+    wire::Frame request = pingFrame();
+    request.streamId = 7;
+    request.traceId = 0x1234;
+    request.spanId = 0x5678;
+    request.traceSampled = true;
+    const wire::Frame reply = service.handle(request);
+    EXPECT_EQ(reply.opcode, wire::Opcode::Ping);
+    EXPECT_EQ(reply.streamId, 7u);
+    EXPECT_EQ(reply.traceId, 0x1234u);
+    EXPECT_EQ(reply.spanId, 0x5678u);
+    EXPECT_TRUE(reply.traceSampled);
+
+    // Error replies carry the context too, so a traced client can stitch
+    // failures onto the same trace.
+    wire::Frame bad = makeEncodeRequest("no-such-codec", 32, 32,
+                                        std::vector<std::uint8_t>(32, 0));
+    bad.traceId = 0x1234;
+    bad.spanId = 0x9999;
+    bad.traceSampled = true;
+    const wire::Frame error = service.handle(bad);
+    EXPECT_EQ(errorCodeOf(error), wire::ErrorCode::BadSpec);
+    EXPECT_EQ(error.traceId, 0x1234u);
+    EXPECT_EQ(error.spanId, 0x9999u);
+    EXPECT_TRUE(error.traceSampled);
+}
+
+TEST(Service, SnapshotReturnsUptimeAndMetrics)
+{
+    server::Service service;
+    wire::Frame request;
+    request.opcode = wire::Opcode::Snapshot;
+    const wire::Frame reply = service.handle(request);
+    ASSERT_EQ(reply.opcode, wire::Opcode::Snapshot);
+
+    const std::string json(reply.body.begin(), reply.body.end());
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(json, doc, &err)) << err;
+    const JsonValue *uptime = doc.find("uptime_us");
+    ASSERT_NE(uptime, nullptr);
+    EXPECT_GT(uptime->number, 0.0);
+    const JsonValue *metrics = doc.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    ASSERT_TRUE(metrics->isObject());
+    const JsonValue *schema = metrics->find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->number, telemetry::snapshotSchema);
+}
+
+TEST(Service, RequestTxCountReadsBodyHeaders)
+{
+    const std::vector<std::uint8_t> raw(3 * 32, 0);
+    EXPECT_EQ(server::requestTxCount(
+                  makeEncodeRequest("baseline", 32, 32, raw)),
+              3u);
+    EXPECT_EQ(server::requestTxCount(pingFrame()), 0u);
+
+    // An absurd count field is clamped (the span field is advisory; the
+    // real bounds check rejects the request later).
+    wire::Frame absurd;
+    absurd.opcode = wire::Opcode::Encode;
+    absurd.spec = "baseline";
+    wire::BodyWriter body;
+    body.u32(32);
+    body.u32(32);
+    body.u64(~std::uint64_t{0});
+    absurd.body = body.take();
+    EXPECT_EQ(server::requestTxCount(absurd), wire::maxTxPerRequest);
+}
+
 TEST(Service, ValidateGeometryAcceptsAndRejects)
 {
     EXPECT_TRUE(server::validateGeometry(32, 32).empty());
@@ -665,6 +837,130 @@ TEST(Loopback, StatsOpcodeServesLiveTelemetry)
     ASSERT_TRUE(client.stats(json, err)) << err;
     EXPECT_NE(json.find("bxt.server.requests"), std::string::npos);
     EXPECT_NE(json.find("bxt.server.xor4-zdr.ones_in"), std::string::npos);
+    telemetry::setMetricsEnabled(false);
+}
+
+TEST(Loopback, SnapshotOpcodeServesLiveTelemetryDocument)
+{
+    telemetry::setMetricsEnabled(true);
+    LiveServer live(ephemeralTcpOptions());
+    ASSERT_TRUE(live.started());
+
+    std::string err;
+    client::Client client =
+        client::Client::connectTcp("127.0.0.1", live.tcpPort(), err);
+    ASSERT_TRUE(client.connected()) << err;
+
+    client::EncodeResult enc;
+    const std::vector<std::uint8_t> raw(64, 0x0f);
+    ASSERT_TRUE(client.encode("baseline", 32, 32, raw, enc, err)) << err;
+
+    std::string json;
+    ASSERT_TRUE(client.snapshot(json, err)) << err;
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(json, doc, &err)) << err;
+    ASSERT_NE(doc.find("uptime_us"), nullptr);
+    const JsonValue *metrics = doc.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    ASSERT_TRUE(metrics->isObject());
+    const JsonValue *counters = metrics->find("counters");
+    ASSERT_NE(counters, nullptr);
+    ASSERT_NE(counters->find("bxt.server.requests"), nullptr);
+    telemetry::setMetricsEnabled(false);
+}
+
+TEST(Loopback, TracedRequestSpansTelescopeExactly)
+{
+    telemetry::resetForTest();
+    telemetry::setMetricsEnabled(true);
+    telemetry::clearServerSpans();
+    LiveServer live(ephemeralTcpOptions());
+    ASSERT_TRUE(live.started());
+
+    std::string err;
+    client::Client client =
+        client::Client::connectTcp("127.0.0.1", live.tcpPort(), err);
+    ASSERT_TRUE(client.connected()) << err;
+
+    // An untraced request records no spans…
+    client::EncodeResult enc;
+    const std::vector<std::uint8_t> raw(4 * 32, 0xa5);
+    ASSERT_TRUE(client.encode("xor4+zdr", 32, 32, raw, enc, err)) << err;
+    EXPECT_TRUE(telemetry::collectServerSpans().empty());
+
+    // …a traced one records all five lifecycle phases. The server stamps
+    // the spans just after the reply write, so poll briefly: the client
+    // can hold the response before the worker reaches the record loop.
+    const std::uint64_t trace_id = 0x0102030405060708ull;
+    client.setTrace(trace_id, /*span_id=*/77, /*sampled=*/true);
+    ASSERT_TRUE(client.encode("xor4+zdr", 32, 32, raw, enc, err)) << err;
+    client.clearTrace();
+
+    std::map<telemetry::ServerPhase, telemetry::ServerSpan> by_phase;
+    for (int attempt = 0; attempt < 500 && by_phase.size() < 5;
+         ++attempt) {
+        for (const telemetry::ServerSpan &span :
+             telemetry::collectServerSpans()) {
+            if (span.traceId != trace_id)
+                continue;
+            EXPECT_EQ(by_phase.count(span.phase), 0u)
+                << "duplicate phase "
+                << telemetry::serverPhaseName(span.phase);
+            by_phase[span.phase] = span;
+        }
+        if (by_phase.size() < 5)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_EQ(by_phase.size(), 5u)
+        << "expected request/parse/queue_wait/codec/reply spans";
+
+    const telemetry::ServerSpan &request =
+        by_phase.at(telemetry::ServerPhase::Request);
+    EXPECT_EQ(request.spanId, 77u);
+    EXPECT_EQ(request.opcode,
+              static_cast<std::uint8_t>(wire::Opcode::Encode));
+    EXPECT_EQ(request.txCount, 4u);
+
+    // The four phase spans nest inside the request span and their
+    // durations telescope to it exactly — same clock reads on both sides
+    // of every boundary, so the identity holds with zero tolerance.
+    std::uint64_t phase_sum = 0;
+    for (const auto &[phase, span] : by_phase) {
+        if (phase == telemetry::ServerPhase::Request)
+            continue;
+        EXPECT_GE(span.startUs, request.startUs);
+        EXPECT_LE(span.startUs + span.durUs,
+                  request.startUs + request.durUs);
+        phase_sum += span.durUs;
+    }
+    EXPECT_EQ(phase_sum, request.durUs);
+    EXPECT_GE(telemetry::serverSpansRecorded(), 5u);
+    EXPECT_EQ(telemetry::serverSpansDropped(), 0u);
+
+    // A second traced request feeds the merged Chrome-trace export.
+    // Wait for its five spans to be pushed (pushes are counted at
+    // record time, independent of collection).
+    client.setTrace(trace_id + 1, /*span_id=*/78, /*sampled=*/true);
+    ASSERT_TRUE(client.encode("xor4+zdr", 32, 32, raw, enc, err)) << err;
+    client.clearTrace();
+    for (int attempt = 0;
+         attempt < 500 && telemetry::serverSpansRecorded() < 10;
+         ++attempt)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("bxt_spans_" + std::to_string(::getpid()) + ".json"))
+            .string();
+    ASSERT_TRUE(telemetry::writeServerSpanTrace(path));
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string trace = buffer.str();
+    EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(trace.find("\"queue_wait\""), std::string::npos);
+    EXPECT_NE(trace.find("0102030405060709"), std::string::npos);
+    EXPECT_NE(trace.find("\"droppedSpans\""), std::string::npos);
+    std::filesystem::remove(path);
     telemetry::setMetricsEnabled(false);
 }
 

@@ -10,10 +10,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "channel/channel_eval.h"
@@ -23,6 +25,7 @@
 #include "core/codec_factory.h"
 #include "telemetry/metrics.h"
 #include "telemetry/snapshot.h"
+#include "telemetry/spanring.h"
 #include "telemetry/trace.h"
 #include "verify/reference_bus.h"
 #include "workloads/patterns.h"
@@ -87,20 +90,84 @@ TEST_F(TelemetryTest, CounterGaugeHistogramBasics)
     gauge.set(2.5);
     EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
 
-    tm::Histo &histo = tm::histogram("bxt.test.histo", 0.0, 10.0, 10);
-    histo.add(0.5);   // bucket 0
-    histo.add(9.5);   // bucket 9
-    histo.add(-3.0);  // clamped into bucket 0
-    histo.add(100.0); // clamped into bucket 9
+    tm::Histo &histo = tm::histogram("bxt.test.histo");
+    histo.add(0.5);   // rounds to 1 -> exact bucket 1
+    histo.add(9.4);   // rounds to 9 -> exact bucket 9
+    histo.add(-3.0);  // clamps to 0 -> exact bucket 0
+    histo.record(100);
     EXPECT_EQ(histo.total(), 4u);
-    EXPECT_EQ(histo.bucketCount(0), 2u);
-    EXPECT_EQ(histo.bucketCount(9), 2u);
-    EXPECT_NEAR(histo.sum(), 107.0, 1e-3);
-    EXPECT_NEAR(histo.mean(), 26.75, 1e-3);
+    EXPECT_EQ(histo.bucketCount(0), 1u);
+    EXPECT_EQ(histo.bucketCount(1), 1u);
+    EXPECT_EQ(histo.bucketCount(9), 1u);
+    EXPECT_EQ(histo.bucketCount(tm::Histo::bucketIndexOf(100)), 1u);
+    EXPECT_NEAR(histo.sum(), 110.0, 1e-9);
+    EXPECT_NEAR(histo.mean(), 27.5, 1e-9);
+    EXPECT_EQ(histo.min(), 0u);
+    EXPECT_EQ(histo.max(), 100u);
 
     // Re-registering under the same name returns the same instrument.
     EXPECT_EQ(&counter, &tm::counter("bxt.test.counter"));
-    EXPECT_EQ(&histo, &tm::histogram("bxt.test.histo", 0.0, 99.0, 3));
+    EXPECT_EQ(&histo, &tm::histogram("bxt.test.histo"));
+}
+
+TEST_F(TelemetryTest, HdrBucketGeometry)
+{
+    using H = tm::Histo;
+    // Values below one octave of sub-buckets are exact.
+    for (std::uint64_t v = 0; v < H::subBuckets; ++v) {
+        EXPECT_EQ(H::bucketIndexOf(v), v);
+        EXPECT_EQ(H::bucketLowerBound(v), v);
+        EXPECT_EQ(H::bucketWidth(v), 1u);
+    }
+    // Bucket bounds tile the value axis: every value lands in a bucket
+    // whose [lower, lower+width) range contains it, and consecutive
+    // bucket bounds are contiguous.
+    for (std::uint64_t v : {32ull, 33ull, 63ull, 64ull, 100ull, 1023ull,
+                            1024ull, 123456789ull, (1ull << 36) - 1}) {
+        const std::size_t index = H::bucketIndexOf(v);
+        EXPECT_GE(v, H::bucketLowerBound(index)) << v;
+        EXPECT_LT(v, H::bucketLowerBound(index) + H::bucketWidth(index))
+            << v;
+    }
+    for (std::size_t index = 0; index + 1 < H::numBuckets; ++index) {
+        EXPECT_EQ(H::bucketLowerBound(index) + H::bucketWidth(index),
+                  H::bucketLowerBound(index + 1))
+            << index;
+    }
+    // The relative quantization error is bounded by one sub-bucket.
+    for (std::uint64_t v : {100ull, 5000ull, 777777ull}) {
+        const std::size_t index = H::bucketIndexOf(v);
+        EXPECT_LE(static_cast<double>(H::bucketWidth(index)),
+                  static_cast<double>(v) /
+                      static_cast<double>(H::subBuckets) +
+                      1.0);
+    }
+    // Oversized samples clamp into the top bucket instead of indexing
+    // out of range.
+    EXPECT_EQ(H::bucketIndexOf(~std::uint64_t{0}), H::numBuckets - 1);
+}
+
+TEST_F(TelemetryTest, HdrQuantilesTrackUniformSamples)
+{
+    tm::Histo &histo = tm::histogram("bxt.test.quantiles");
+    for (std::uint64_t v = 1; v <= 10000; ++v)
+        histo.record(v);
+    // Log-bucketing bounds the relative error at 1/32 (~3%); allow 5%.
+    EXPECT_NEAR(histo.quantile(0.50), 5000.0, 0.05 * 5000.0);
+    EXPECT_NEAR(histo.quantile(0.95), 9500.0, 0.05 * 9500.0);
+    EXPECT_NEAR(histo.quantile(0.99), 9900.0, 0.05 * 9900.0);
+    EXPECT_NEAR(histo.quantile(0.999), 9990.0, 0.05 * 9990.0);
+    // Quantiles clamp to the observed extremes.
+    EXPECT_EQ(histo.quantile(0.0), 1.0);
+    EXPECT_EQ(histo.quantile(1.0), 10000.0);
+
+    tm::Histo &empty = tm::histogram("bxt.test.quantiles_empty");
+    EXPECT_EQ(empty.quantile(0.5), 0.0);
+
+    tm::Histo &single = tm::histogram("bxt.test.quantiles_single");
+    single.record(42);
+    EXPECT_EQ(single.quantile(0.5), 42.0);
+    EXPECT_EQ(single.quantile(0.999), 42.0);
 }
 
 TEST_F(TelemetryTest, SanitizeMetricName)
@@ -115,8 +182,7 @@ TEST_F(TelemetryTest, CountersExactUnderContention)
 {
     constexpr std::size_t iterations = 20000;
     tm::Counter &counter = tm::counter("bxt.test.contended");
-    tm::Histo &histo = tm::histogram("bxt.test.contended_histo", 0.0,
-                                     1.0e6, 4);
+    tm::Histo &histo = tm::histogram("bxt.test.contended_histo");
     ThreadPool pool(4);
     pool.run(iterations, [&](std::size_t i) {
         counter.add(1);
@@ -145,7 +211,7 @@ TEST_F(TelemetryTest, SnapshotRoundTripsThroughParser)
     // valid for the process lifetime), so this test uses its own names.
     tm::counter("bxt.test.roundtrip").add(7);
     tm::gauge("bxt.test.rt_gauge").set(1.5);
-    tm::histogram("bxt.test.rt_histo", 0.0, 4.0, 4).add(3.0);
+    tm::histogram("bxt.test.rt_histo").add(3.0);
 
     for (const bool pretty : {true, false}) {
         JsonValue doc;
@@ -162,8 +228,20 @@ TEST_F(TelemetryTest, SnapshotRoundTripsThroughParser)
                   1.5);
         const JsonValue &histo =
             member(member(doc, "histograms"), "bxt.test.rt_histo");
+        EXPECT_EQ(member(histo, "kind").string, "hdr");
+        EXPECT_EQ(member(histo, "sub_bucket_bits").number,
+                  static_cast<double>(tm::Histo::subBucketBits));
         EXPECT_EQ(member(histo, "total").number, 1.0);
-        EXPECT_EQ(member(histo, "counts").array.size(), 4u);
+        EXPECT_EQ(member(histo, "min").number, 3.0);
+        EXPECT_EQ(member(histo, "max").number, 3.0);
+        EXPECT_EQ(member(histo, "p50").number, 3.0);
+        EXPECT_EQ(member(histo, "p999").number, 3.0);
+        // Sparse bucket encoding: exactly the one non-zero bucket.
+        const JsonValue &buckets = member(histo, "buckets");
+        ASSERT_EQ(buckets.array.size(), 1u);
+        ASSERT_EQ(buckets.array[0].array.size(), 2u);
+        EXPECT_EQ(buckets.array[0].array[0].number, 3.0);
+        EXPECT_EQ(buckets.array[0].array[1].number, 1.0);
     }
 }
 
@@ -197,7 +275,7 @@ TEST_F(TelemetryTest, DisabledMetricsAreZeroCostNoops)
     tm::Gauge &gauge = tm::gauge("bxt.test.off_gauge");
     gauge.set(9.0);
     EXPECT_EQ(gauge.value(), 0.0);
-    tm::Histo &histo = tm::histogram("bxt.test.off_histo", 0.0, 1.0, 2);
+    tm::Histo &histo = tm::histogram("bxt.test.off_histo");
     histo.add(0.5);
     EXPECT_EQ(histo.total(), 0u);
 
@@ -270,6 +348,209 @@ TEST_F(TelemetryTest, DisabledSpansRecordNothing)
     EXPECT_FALSE(tm::writeTrace(
         (std::filesystem::temp_directory_path() / "bxt_trace_off.json")
             .string()));
+}
+
+tm::ServerSpan
+makeSpan(std::uint64_t i)
+{
+    tm::ServerSpan span;
+    span.traceId = i + 1;
+    span.spanId = 2 * i + 1;
+    span.startUs = 1000 + i;
+    span.durUs = i % 977;
+    span.phase = static_cast<tm::ServerPhase>(i % 5);
+    span.opcode = 2;
+    span.streamId = static_cast<std::uint16_t>(i % 5);
+    span.tid = 7;
+    span.txCount = static_cast<std::uint32_t>(i % 64);
+    return span;
+}
+
+TEST_F(TelemetryTest, SpanRingRoundTripsInPushOrder)
+{
+    auto ring = std::make_unique<tm::SpanRing>();
+    for (std::uint64_t i = 0; i < 100; ++i)
+        ring->push(makeSpan(i));
+    EXPECT_EQ(ring->pushed(), 100u);
+    EXPECT_EQ(ring->dropped(), 0u);
+
+    std::vector<tm::ServerSpan> collected;
+    EXPECT_EQ(ring->drainInto(collected), 100u);
+    ASSERT_EQ(collected.size(), 100u);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        EXPECT_EQ(collected[i], makeSpan(i)) << i;
+
+    // A second drain finds nothing new.
+    EXPECT_EQ(ring->drainInto(collected), 0u);
+}
+
+TEST_F(TelemetryTest, SpanRingWraparoundDropsOldestAndCounts)
+{
+    constexpr std::uint64_t extra = 100;
+    auto ring = std::make_unique<tm::SpanRing>();
+    for (std::uint64_t i = 0; i < tm::SpanRing::capacity + extra; ++i)
+        ring->push(makeSpan(i));
+    EXPECT_EQ(ring->pushed(), tm::SpanRing::capacity + extra);
+    EXPECT_EQ(ring->dropped(), extra);
+
+    // The survivors are exactly the newest `capacity` spans, in order.
+    std::vector<tm::ServerSpan> collected;
+    EXPECT_EQ(ring->drainInto(collected), tm::SpanRing::capacity);
+    ASSERT_EQ(collected.size(), tm::SpanRing::capacity);
+    EXPECT_EQ(collected.front(), makeSpan(extra));
+    EXPECT_EQ(collected.back(),
+              makeSpan(tm::SpanRing::capacity + extra - 1));
+}
+
+TEST_F(TelemetryTest, SpanRingConcurrentDrainLosesNothing)
+{
+    constexpr std::uint64_t total = 200000;
+    auto ring = std::make_unique<tm::SpanRing>();
+    std::atomic<bool> done{false};
+    std::vector<tm::ServerSpan> collected;
+
+    std::thread producer([&] {
+        for (std::uint64_t i = 0; i < total; ++i)
+            ring->push(makeSpan(i));
+        done.store(true, std::memory_order_release);
+    });
+    while (!done.load(std::memory_order_acquire))
+        ring->drainInto(collected);
+    ring->drainInto(collected);
+    producer.join();
+
+    // Accounting is exact even under wraparound: every span was either
+    // collected or counted as dropped, and collected trace ids ascend
+    // (drains preserve push order; torn slots are skipped, not mangled).
+    EXPECT_EQ(collected.size() + ring->dropped(), total);
+    std::uint64_t prev_id = 0;
+    for (const tm::ServerSpan &span : collected) {
+        EXPECT_GT(span.traceId, prev_id);
+        EXPECT_EQ(span, makeSpan(span.traceId - 1));
+        prev_id = span.traceId;
+    }
+}
+
+TEST_F(TelemetryTest, RecordServerSpanFeedsRegistryAndCounters)
+{
+    for (std::uint64_t i = 0; i < 10; ++i)
+        tm::recordServerSpan(makeSpan(i));
+    EXPECT_EQ(tm::counter("bxt.server.spans_recorded").value(), 10u);
+    EXPECT_EQ(tm::counter("bxt.server.spans_dropped").value(), 0u);
+    EXPECT_GE(tm::serverSpansRecorded(), 10u);
+
+    const std::vector<tm::ServerSpan> spans = tm::collectServerSpans();
+    ASSERT_EQ(spans.size(), 10u);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        EXPECT_EQ(spans[i], makeSpan(i));
+    // Exactly-once delivery across collects.
+    EXPECT_TRUE(tm::collectServerSpans().empty());
+}
+
+TEST_F(TelemetryTest, ServerSpanTraceExportsChromeJson)
+{
+    tm::recordServerSpan(makeSpan(3));
+    tm::recordServerSpan(makeSpan(4));
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "bxt_spans_test.json")
+            .string();
+    ASSERT_TRUE(tm::writeServerSpanTrace(path));
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(text, doc, &error)) << error;
+    const JsonValue &events = member(doc, "traceEvents");
+    ASSERT_EQ(events.array.size(), 2u);
+    EXPECT_EQ(member(events.array[0], "name").string, "codec");
+    EXPECT_EQ(member(events.array[1], "name").string, "reply");
+    for (const JsonValue &event : events.array) {
+        EXPECT_EQ(member(event, "ph").string, "X");
+        EXPECT_EQ(member(event, "cat").string, "bxt.server");
+        EXPECT_TRUE(member(event, "ts").isNumber());
+        EXPECT_TRUE(member(event, "dur").isNumber());
+        const JsonValue &args = member(event, "args");
+        EXPECT_EQ(member(args, "trace_id").string.size(), 16u);
+        EXPECT_TRUE(member(args, "span_id").isNumber());
+    }
+    EXPECT_EQ(member(member(doc, "otherData"), "droppedSpans").number,
+              0.0);
+    std::filesystem::remove(path);
+
+    // The export accumulates already-drained spans: a second write after
+    // new records contains all four.
+    tm::recordServerSpan(makeSpan(5));
+    tm::recordServerSpan(makeSpan(6));
+    ASSERT_TRUE(tm::writeServerSpanTrace(path));
+    std::ifstream again(path);
+    const std::string text2((std::istreambuf_iterator<char>(again)),
+                            std::istreambuf_iterator<char>());
+    ASSERT_TRUE(parseJson(text2, doc, &error)) << error;
+    EXPECT_EQ(member(doc, "traceEvents").array.size(), 4u);
+    std::filesystem::remove(path);
+}
+
+/**
+ * Concurrency acceptance (ISSUE 8 satellite): snapshotJson must stay
+ * parseable and self-consistent while writer threads hammer every
+ * instrument kind and the span rings. Run under ThreadSanitizer via
+ * `ci.sh tsan`.
+ */
+TEST_F(TelemetryTest, SnapshotWhileWritersActive)
+{
+    constexpr std::size_t writers = 4;
+    constexpr std::uint64_t perWriter = 20000;
+    // Register up front so the first snapshot below already sees the
+    // instruments (writer threads may not have started yet).
+    tm::counter("bxt.test.snap_counter");
+    tm::gauge("bxt.test.snap_gauge");
+    tm::histogram("bxt.test.snap_histo");
+    std::atomic<std::size_t> running{writers};
+    std::vector<std::thread> threads;
+    threads.reserve(writers);
+    for (std::size_t t = 0; t < writers; ++t) {
+        threads.emplace_back([t, &running] {
+            tm::Counter &counter = tm::counter("bxt.test.snap_counter");
+            tm::Gauge &gauge = tm::gauge("bxt.test.snap_gauge");
+            tm::Histo &histo = tm::histogram("bxt.test.snap_histo");
+            for (std::uint64_t i = 0; i < perWriter; ++i) {
+                counter.add(1);
+                gauge.set(static_cast<double>(i));
+                histo.record(i);
+                if (i % 64 == 0)
+                    tm::recordServerSpan(makeSpan(t * perWriter + i));
+            }
+            running.fetch_sub(1, std::memory_order_release);
+        });
+    }
+
+    std::size_t parses = 0;
+    while (running.load(std::memory_order_acquire) > 0) {
+        JsonValue doc;
+        std::string error;
+        ASSERT_TRUE(parseJson(tm::snapshotJson(false), doc, &error))
+            << error;
+        const JsonValue &histo =
+            member(member(doc, "histograms"), "bxt.test.snap_histo");
+        // total is read before the buckets, so the bucket sum can only
+        // run ahead of it, never behind.
+        double bucket_sum = 0.0;
+        for (const JsonValue &pair : member(histo, "buckets").array)
+            bucket_sum += pair.array[1].number;
+        EXPECT_GE(bucket_sum + 0.5, member(histo, "total").number);
+        ++parses;
+        (void)tm::collectServerSpans(); // Concurrent drain, too.
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_GT(parses, 0u);
+    EXPECT_EQ(tm::counter("bxt.test.snap_counter").value(),
+              writers * perWriter);
+    EXPECT_EQ(tm::histogram("bxt.test.snap_histo").total(),
+              writers * perWriter);
 }
 
 /**

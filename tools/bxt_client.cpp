@@ -7,7 +7,12 @@
  *
  * Usage:
  *   bxt_client (--tcp HOST:PORT | --unix PATH) [--spec S] [--wires W]
- *              [--batch N] [--mode ping|encode|roundtrip|stats] [TRACE]
+ *              [--batch N] [--mode ping|encode|roundtrip|stats|snapshot]
+ *              [TRACE]
+ *
+ * `snapshot` fetches the live `{"uptime_us", "metrics"}` document served
+ * by the Snapshot opcode (what bxt_top polls); `stats` fetches the bare
+ * metrics snapshot.
  */
 
 #include <cstdio>
@@ -163,7 +168,7 @@ main(int argc, char **argv)
             [&](const std::string &v) {
                 args.batch = std::strtoul(v.c_str(), nullptr, 0);
             });
-    cli.add("--mode", "M", "ping | encode | roundtrip | stats",
+    cli.add("--mode", "M", "ping | encode | roundtrip | stats | snapshot",
             [&](const std::string &v) { args.mode = v; });
     cli.addPositional("TRACE", ".bxtrace file (encode/roundtrip modes)",
                       [&](const std::string &v) { args.tracePath = v; });
@@ -191,12 +196,15 @@ main(int argc, char **argv)
         std::printf("pong\n");
         return 0;
     }
-    if (args.mode == "stats") {
+    if (args.mode == "stats" || args.mode == "snapshot") {
         bxt::client::Client client = connect(args, err);
         std::string json;
-        if (!client.connected() || !client.stats(json, err)) {
-            std::fprintf(stderr, "bxt_client: stats failed: %s\n",
-                         err.c_str());
+        const bool ok = client.connected() &&
+                        (args.mode == "stats" ? client.stats(json, err)
+                                              : client.snapshot(json, err));
+        if (!ok) {
+            std::fprintf(stderr, "bxt_client: %s failed: %s\n",
+                         args.mode.c_str(), err.c_str());
             return 1;
         }
         std::printf("%s\n", json.c_str());

@@ -32,7 +32,7 @@
  *               [--open-loop | --closed-loop] [--connections M]
  *               [--warmup K] [--scenario NAME|PATH] [--alpha A]
  *               [--no-pace] [--seed X] [--json PATH]
- *               [--assert-min-tx-rate R]
+ *               [--assert-min-tx-rate R] [--trace-sample P]
  */
 
 #include <algorithm>
@@ -75,7 +75,26 @@ struct Args
     std::uint64_t seed = 1;
     std::string jsonPath;
     double assertMinTxRate = 0.0;
+    /** Probability a request carries a sampled trace context (0 = off). */
+    double traceSample = 0.0;
 };
+
+/**
+ * Roll the per-request trace dice: with probability --trace-sample the
+ * next request goes out as a v2 frame with a fresh sampled trace
+ * context (the server records its lifecycle spans); otherwise untraced.
+ */
+void
+applyTraceSampling(bxt::client::Client &client, const Args &args,
+                   bxt::Rng &rng)
+{
+    if (args.traceSample <= 0.0)
+        return;
+    if (rng.nextDouble() < args.traceSample)
+        client.setTrace(rng.next64() | 1, rng.next64(), true);
+    else
+        client.clearTrace();
+}
 
 /** Per-connection closed-loop result. */
 struct ConnResult
@@ -137,6 +156,7 @@ runClosedLoopConn(const Args &args, std::size_t conn, std::size_t requests,
     const std::vector<std::uint8_t> raw = randomPayload(args, rng);
     out.latenciesUs.reserve(requests);
     for (std::size_t i = 0; i < requests; ++i) {
+        applyTraceSampling(client, args, rng);
         bxt::client::EncodeResult enc;
         const std::uint64_t t0 = bxt::telemetry::nowMicros();
         if (!client.encode(args.spec, args.txBytes, args.wires, raw, enc,
@@ -181,8 +201,21 @@ runOpenLoop(const Args &args, int fd, ConnResult &out, std::string &err)
 
     while (received < args.requests) {
         while (sent < args.requests && send_times.size() < args.depth) {
-            if (!bxt::net::writeAll(fd, frame_bytes.data(),
-                                    frame_bytes.size(), err))
+            const std::uint8_t *bytes = frame_bytes.data();
+            std::size_t size = frame_bytes.size();
+            std::vector<std::uint8_t> traced_bytes;
+            if (args.traceSample > 0.0 &&
+                rng.nextDouble() < args.traceSample) {
+                // Traced frames re-serialize (fresh ids per request);
+                // the untraced fast path reuses the canned frame.
+                request.traceId = rng.next64() | 1;
+                request.spanId = rng.next64();
+                request.traceSampled = true;
+                traced_bytes = bxt::wire::serializeFrame(request);
+                bytes = traced_bytes.data();
+                size = traced_bytes.size();
+            }
+            if (!bxt::net::writeAll(fd, bytes, size, err))
                 return false;
             send_times.push_back(bxt::telemetry::nowMicros());
             ++sent;
@@ -257,8 +290,10 @@ runScenarioConn(const Args &args,
         out.err = err;
         return;
     }
+    bxt::Rng rng(args.seed ^ (0x9e3779b97f4a7c15ull + conn));
     for (std::size_t i = conn; i < stream.size(); i += stride) {
         const bxt::scenario::Request &req = stream[i];
+        applyTraceSampling(client, args, rng);
         if (pace) {
             const double target =
                 static_cast<double>(start_us) + req.arrivalUs;
@@ -565,6 +600,12 @@ main(int argc, char **argv)
             [&](const std::string &v) {
                 args.assertMinTxRate = std::strtod(v.c_str(), nullptr);
             });
+    cli.add("--trace-sample", "P",
+            "probability in [0,1] that a request carries a sampled "
+            "trace context (default 0 = untraced)",
+            [&](const std::string &v) {
+                args.traceSample = std::strtod(v.c_str(), nullptr);
+            });
     if (!cli.parse(argc, argv))
         return cli.exitCode();
 
@@ -576,6 +617,11 @@ main(int argc, char **argv)
         args.requests == 0 || args.depth == 0) {
         std::fprintf(stderr,
                      "bxt_loadgen: bad --batch/--requests/--depth\n");
+        return 2;
+    }
+    if (args.traceSample < 0.0 || args.traceSample > 1.0) {
+        std::fprintf(stderr,
+                     "bxt_loadgen: --trace-sample wants [0,1]\n");
         return 2;
     }
 

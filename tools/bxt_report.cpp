@@ -18,6 +18,12 @@
  *                                        serial sweep regressed by more
  *                                        than PCT percent (the `ci.sh
  *                                        metrics` overhead gate)
+ *   bxt_report --assert-tx-overhead PCT UNTRACED.json TRACED.json
+ *                                        compare two loadgen documents'
+ *                                        aggregate tx rates and fail when
+ *                                        tracing cost more than PCT
+ *                                        percent (the `ci.sh serve`
+ *                                        trace-overhead gate)
  *   bxt_report --scenario FILE...        aggregate summary + per-tenant
  *                                        table from a server_scenarios
  *                                        bench document (`bxt_loadgen
@@ -94,7 +100,7 @@ checkMember(const std::string &path, const JsonValue &obj,
     return true;
 }
 
-/** Validate snapshot schema 1 (see src/telemetry/snapshot.h). */
+/** Validate snapshot schema 2 (see src/telemetry/snapshot.h). */
 bool
 validateSnapshot(const std::string &path, const JsonValue &snapshot)
 {
@@ -114,7 +120,7 @@ validateSnapshot(const std::string &path, const JsonValue &snapshot)
         !checkMember(path, snapshot, "histograms",
                      JsonValue::Kind::Object, "snapshot"))
         return false;
-    if (snapshot.find("schema")->number != 1.0) {
+    if (snapshot.find("schema")->number != 2.0) {
         std::fprintf(stderr, "bxt_report: %s: unsupported schema %g\n",
                      path.c_str(), snapshot.find("schema")->number);
         return false;
@@ -136,19 +142,42 @@ validateSnapshot(const std::string &path, const JsonValue &snapshot)
         }
     }
     for (const auto &[name, histo] : snapshot.find("histograms")->object) {
-        if (!histo.isObject() ||
-            !checkMember(path, histo, "lo", JsonValue::Kind::Number,
-                         "histogram") ||
-            !checkMember(path, histo, "hi", JsonValue::Kind::Number,
-                         "histogram") ||
-            !checkMember(path, histo, "total", JsonValue::Kind::Number,
-                         "histogram") ||
-            !checkMember(path, histo, "sum", JsonValue::Kind::Number,
-                         "histogram") ||
-            !checkMember(path, histo, "mean", JsonValue::Kind::Number,
-                         "histogram") ||
-            !checkMember(path, histo, "counts", JsonValue::Kind::Array,
-                         "histogram")) {
+        bool ok = histo.isObject() &&
+                  checkMember(path, histo, "kind",
+                              JsonValue::Kind::String, "histogram") &&
+                  checkMember(path, histo, "sub_bucket_bits",
+                              JsonValue::Kind::Number, "histogram") &&
+                  checkMember(path, histo, "buckets",
+                              JsonValue::Kind::Array, "histogram");
+        for (const char *key : {"total", "sum", "mean", "min", "max",
+                                "p50", "p95", "p99", "p999"}) {
+            ok = ok && checkMember(path, histo, key,
+                                   JsonValue::Kind::Number, "histogram");
+        }
+        if (ok && histo.find("kind")->string != "hdr") {
+            std::fprintf(stderr,
+                         "bxt_report: %s: histogram %s has unknown kind "
+                         "\"%s\"\n",
+                         path.c_str(), name.c_str(),
+                         histo.find("kind")->string.c_str());
+            ok = false;
+        }
+        // Sparse bucket list: [index, count] pairs of numbers.
+        if (ok) {
+            for (const JsonValue &pair : histo.find("buckets")->array) {
+                if (!pair.isArray() || pair.array.size() != 2 ||
+                    !pair.array[0].isNumber() ||
+                    !pair.array[1].isNumber()) {
+                    std::fprintf(stderr,
+                                 "bxt_report: %s: histogram %s has a "
+                                 "malformed bucket entry\n",
+                                 path.c_str(), name.c_str());
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if (!ok) {
             std::fprintf(stderr, "bxt_report: %s: bad histogram %s\n",
                          path.c_str(), name.c_str());
             return false;
@@ -218,12 +247,18 @@ printSnapshot(const std::string &path)
     }
     const JsonValue &histos = *snapshot.find("histograms");
     if (!histos.object.empty()) {
-        Table table({"histogram", "total", "mean", "sum"});
+        Table table({"histogram", "total", "mean", "min", "p50", "p95",
+                     "p99", "p999", "max"});
         for (const auto &[name, histo] : histos.object) {
             table.addRow({name,
                           Table::cell(histo.find("total")->number, 0),
                           Table::cell(histo.find("mean")->number, 2),
-                          Table::cell(histo.find("sum")->number, 1)});
+                          Table::cell(histo.find("min")->number, 0),
+                          Table::cell(histo.find("p50")->number, 1),
+                          Table::cell(histo.find("p95")->number, 1),
+                          Table::cell(histo.find("p99")->number, 1),
+                          Table::cell(histo.find("p999")->number, 1),
+                          Table::cell(histo.find("max")->number, 0)});
         }
         std::printf("\n%s", table.render().c_str());
     }
@@ -602,6 +637,72 @@ serialSeconds(const std::string &path, double &seconds)
     return false;
 }
 
+/** Aggregate tx_per_s from a bxt_loadgen --json document. */
+bool
+aggregateTxRate(const std::string &path, double &tx_per_s)
+{
+    std::string text;
+    if (!readFile(path, text))
+        return false;
+    std::string error;
+    JsonValue doc;
+    if (!bxt::parseJson(text, doc, &error)) {
+        std::fprintf(stderr, "bxt_report: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return false;
+    }
+    const JsonValue *results = doc.find("results");
+    if (results == nullptr || !results->isArray()) {
+        std::fprintf(stderr, "bxt_report: %s: no results array\n",
+                     path.c_str());
+        return false;
+    }
+    for (const JsonValue &row : results->array) {
+        const JsonValue *scope = row.find("scope");
+        const JsonValue *rate = row.find("tx_per_s");
+        if (scope != nullptr && scope->string == "aggregate" &&
+            rate != nullptr && rate->isNumber()) {
+            tx_per_s = rate->number;
+            return true;
+        }
+    }
+    std::fprintf(stderr, "bxt_report: %s: no aggregate tx_per_s row\n",
+                 path.c_str());
+    return false;
+}
+
+/**
+ * --assert-tx-overhead: fail when the traced loadgen run's aggregate
+ * transaction rate is more than @p limit_pct percent below the untraced
+ * baseline (the `ci.sh serve` trace-overhead gate).
+ */
+int
+assertTxOverhead(double limit_pct, const std::string &base_path,
+                 const std::string &traced_path)
+{
+    double base = 0.0;
+    double traced = 0.0;
+    if (!aggregateTxRate(base_path, base) ||
+        !aggregateTxRate(traced_path, traced))
+        return 1;
+    if (base <= 0.0) {
+        std::fprintf(stderr, "bxt_report: %s: non-positive tx rate\n",
+                     base_path.c_str());
+        return 1;
+    }
+    const double overhead_pct = (base - traced) / base * 100.0;
+    std::printf("aggregate tx rate: %.0f tx/s untraced, %.0f tx/s traced "
+                "-> %+.2f %% slower (limit %.2f %%)\n",
+                base, traced, overhead_pct, limit_pct);
+    if (overhead_pct > limit_pct) {
+        std::fprintf(stderr, "bxt_report: trace overhead %.2f %% exceeds "
+                             "limit %.2f %%\n",
+                     overhead_pct, limit_pct);
+        return 1;
+    }
+    return 0;
+}
+
 int
 assertOverhead(double limit_pct, const std::string &off_path,
                const std::string &on_path)
@@ -638,7 +739,9 @@ main(int argc, char **argv)
     bool diff = false;
     bool scenario = false;
     bool overhead = false;
+    bool tx_overhead = false;
     double overhead_limit = 0.0;
+    double tx_overhead_limit = 0.0;
     std::vector<std::string> files;
 
     bxt::Cli cli("bxt_report",
@@ -662,6 +765,13 @@ main(int argc, char **argv)
                 overhead = true;
                 overhead_limit = std::strtod(v.c_str(), nullptr);
             });
+    cli.add("--assert-tx-overhead", "PCT",
+            "fail when TRACED.json's aggregate tx rate is more than PCT "
+            "percent below UNTRACED.json's (two loadgen files expected)",
+            [&](const std::string &v) {
+                tx_overhead = true;
+                tx_overhead_limit = std::strtod(v.c_str(), nullptr);
+            });
     cli.addPositional("FILE", "snapshot / bench / trace JSON file(s)",
                       [&](const std::string &v) { files.push_back(v); });
     if (!cli.parse(argc, argv))
@@ -680,6 +790,14 @@ main(int argc, char **argv)
             return 2;
         }
         return assertOverhead(overhead_limit, files[0], files[1]);
+    }
+    if (tx_overhead) {
+        if (files.size() != 2) {
+            std::fprintf(stderr, "bxt_report: --assert-tx-overhead needs "
+                                 "UNTRACED.json and TRACED.json\n");
+            return 2;
+        }
+        return assertTxOverhead(tx_overhead_limit, files[0], files[1]);
     }
     if (scenario) {
         for (const std::string &file : files) {
@@ -710,7 +828,7 @@ main(int argc, char **argv)
             if (!loadSnapshot(file, doc, snapshot) ||
                 !validateSnapshot(file, snapshot))
                 return 1;
-            std::printf("%s: valid snapshot (schema 1)\n", file.c_str());
+            std::printf("%s: valid snapshot (schema 2)\n", file.c_str());
         }
         return 0;
     }
