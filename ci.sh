@@ -4,7 +4,8 @@
 # on every PR, plus a fuzz job that runs the differential verifier
 # (tools/bxt_fuzz) under the sanitizers on a wall-clock budget.
 #
-# Usage: ./ci.sh [release|asan|tsan|fuzz|batch|metrics|serve|scenario|all]
+# Usage: ./ci.sh [release|asan|tsan|fuzz|batch|metrics|serve|scenario|
+#                 adaptive|all]
 # (default: all)
 #   release  Release build + `ctest -L tier1`
 #   asan     ASan/UBSan build + `ctest -L tier1` (oversubscribed pool)
@@ -45,6 +46,16 @@
 #            >= BXT_SCENARIO_MIN_TX_RATE encoded tx/s each, default
 #            50000), and upload BENCH_server_scenarios.json plus the
 #            hot-flood variant (the baseline the sharding work must beat)
+#   adaptive Release build + adaptive-labeled ctest (grammar, controller
+#            cost model, differential byte-identity, loopback migration)
+#            + an ASan/UBSan pass of the same tests + the live win gate:
+#            boot a metrics-enabled bxtd, replay the zipf-0.99 and burst
+#            presets with --spec adaptive and --adaptive-compare over the
+#            fixed candidate set, write the spec-comparison rows into
+#            BENCH_server_scenarios.json / .burst.json, and fail via
+#            `bxt_report --scenario --assert-adaptive-wins` unless the
+#            adaptive controller's total ones-on-bus is strictly below
+#            every fixed spec's on both presets
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -81,11 +92,12 @@ run_tsan() {
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
     cmake --build build-ci-tsan -j "${jobs}" \
-        --target test_telemetry test_server
+        --target test_telemetry test_server test_adaptive
     # The span rings, HDR histograms, and snapshot exporter are
-    # lock-free; the server tests drive them from real worker threads.
+    # lock-free; the server tests drive them from real worker threads,
+    # and the adaptive loopback test runs per-stream controllers on them.
     ctest --test-dir build-ci-tsan --output-on-failure -j "${jobs}" \
-        -L 'telemetry|server'
+        -L 'telemetry|server|adaptive'
 }
 
 run_fuzz() {
@@ -365,6 +377,70 @@ run_scenario() {
     echo "scenario: BENCH_server_scenarios.json + hot-flood variant written"
 }
 
+run_adaptive() {
+    echo "=== CI job: adaptive codec selection + ones-on-bus win gate ==="
+    cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
+    cmake --build build-ci-release -j "${jobs}" \
+        --target bxtd bxt_loadgen bxt_report test_adaptive
+    ctest --test-dir build-ci-release --output-on-failure -j "${jobs}" \
+        -L adaptive
+    # The controller's measurement encodes and the switch path under the
+    # sanitizers, including the loopback migration test.
+    configure_asan
+    cmake --build build-ci-asan -j "${jobs}" --target test_adaptive
+    ctest --test-dir build-ci-asan --output-on-failure -j "${jobs}" \
+        -L adaptive
+
+    local out=build-ci-release/adaptive
+    mkdir -p "${out}"
+    local sock="${out}/bxtd.sock"
+    rm -f "${sock}"
+
+    BXT_METRICS=1 ./build-ci-release/tools/bxtd --unix "${sock}" \
+        --threads 4 > "${out}/bxtd.log" 2>&1 &
+    local bxtd_pid=$!
+    local i
+    for i in $(seq 1 100); do
+        [ -S "${sock}" ] && break
+        sleep 0.1
+    done
+    if ! [ -S "${sock}" ]; then
+        echo "bxtd never created ${sock}" >&2
+        cat "${out}/bxtd.log" >&2
+        kill "${bxtd_pid}" 2>/dev/null || true
+        return 1
+    fi
+
+    # The win gate: replay each preset once under --spec adaptive and
+    # once per fixed candidate over the identical request stream (fresh
+    # connections per pass, so per-stream controllers start cold), then
+    # require the adaptive pass to put strictly fewer ones on the bus
+    # than every fixed spec. The candidate list mirrors
+    # adaptive::defaultConfig().
+    local candidates="universal3+zdr,xor2+zdr,xor4+zdr,xor8+zdr,baseline"
+    local preset status=0
+    for preset in zipf-0.99 burst; do
+        local json="BENCH_server_scenarios.json"
+        [ "${preset}" = burst ] && json="BENCH_server_scenarios.burst.json"
+        ./build-ci-release/tools/bxt_loadgen --unix "${sock}" \
+            --scenario "${preset}" --no-pace --connections 4 --seed 1 \
+            --spec adaptive --adaptive-compare "${candidates}" \
+            --json "${json}"
+        ./build-ci-release/tools/bxt_report --scenario \
+            --assert-adaptive-wins "${json}"
+    done
+
+    kill -TERM "${bxtd_pid}"
+    wait "${bxtd_pid}" || status=$?
+    if [ "${status}" -ne 0 ]; then
+        echo "bxtd did not drain cleanly (exit ${status})" >&2
+        cat "${out}/bxtd.log" >&2
+        return 1
+    fi
+    echo "adaptive: win gate passed on zipf-0.99 + burst;" \
+        "BENCH_server_scenarios.json + burst variant written"
+}
+
 case "${mode}" in
   release) run_release ;;
   asan)    run_asan ;;
@@ -374,7 +450,8 @@ case "${mode}" in
   metrics) run_metrics ;;
   serve)   run_serve ;;
   scenario) run_scenario ;;
-  all)     run_release; run_asan; run_tsan; run_batch; run_metrics; run_serve; run_scenario ;;
-  *) echo "usage: $0 [release|asan|tsan|fuzz|batch|metrics|serve|scenario|all]" >&2; exit 2 ;;
+  adaptive) run_adaptive ;;
+  all)     run_release; run_asan; run_tsan; run_batch; run_metrics; run_serve; run_scenario; run_adaptive ;;
+  *) echo "usage: $0 [release|asan|tsan|fuzz|batch|metrics|serve|scenario|adaptive|all]" >&2; exit 2 ;;
 esac
 echo "CI ${mode}: OK"

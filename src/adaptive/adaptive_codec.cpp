@@ -1,0 +1,83 @@
+#include "adaptive/adaptive_codec.h"
+
+#include <utility>
+
+namespace bxt::adaptive {
+
+AdaptiveCodec::AdaptiveCodec(std::unique_ptr<Controller> controller,
+                             std::string name)
+    : controller_(std::move(controller)), name_(std::move(name))
+{
+    meta_wires_ = controller_->activeCodec().metaWiresPerBeat();
+}
+
+std::unique_ptr<AdaptiveCodec>
+AdaptiveCodec::make(const Config &config, std::string &err)
+{
+    std::unique_ptr<Controller> controller = Controller::make(config, err);
+    if (!controller)
+        return nullptr;
+    std::string name = canonicalSpec(controller->config());
+    return std::unique_ptr<AdaptiveCodec>(
+        new AdaptiveCodec(std::move(controller), std::move(name)));
+}
+
+Encoded
+AdaptiveCodec::encode(const Transaction &tx)
+{
+    Encoded out;
+    encodeInto(tx, out);
+    return out;
+}
+
+Transaction
+AdaptiveCodec::decode(const Encoded &enc)
+{
+    return controller_->activeCodec().decode(enc);
+}
+
+void
+AdaptiveCodec::encodeInto(const Transaction &tx, Encoded &out)
+{
+    // Each scalar transaction is its own batch boundary.
+    controller_->maybeEvaluate();
+    controller_->activeCodec().encodeInto(tx, out);
+    controller_->observe(tx.data(), tx.size());
+}
+
+void
+AdaptiveCodec::decodeInto(const Encoded &enc, Transaction &out)
+{
+    controller_->activeCodec().decodeInto(enc, out);
+}
+
+void
+AdaptiveCodec::encodeBatchKernel(const TxBatch &in, EncodedBatch &out)
+{
+    // Evaluate before encoding so a switch lands exactly on the batch
+    // boundary; observe after encoding so a batch can never influence
+    // the choice that encodes it. The delegate's own (non-virtual)
+    // encodeBatch runs, making the output byte-identical to the chosen
+    // concrete codec encoding this batch standalone.
+    controller_->maybeEvaluate();
+    controller_->activeCodec().encodeBatch(in, out);
+    controller_->observe(in);
+}
+
+void
+AdaptiveCodec::decodeBatchKernel(const EncodedBatch &in, TxBatch &out)
+{
+    controller_->activeCodec().decodeBatch(in, out);
+}
+
+CodecPtr
+tryMakeAdaptiveCodec(const std::string &spec, std::size_t bus_bytes,
+                     std::string &err)
+{
+    Config config;
+    if (!parseAdaptiveSpec(spec, bus_bytes, config, err))
+        return nullptr;
+    return AdaptiveCodec::make(config, err);
+}
+
+} // namespace bxt::adaptive

@@ -1,6 +1,31 @@
 #include "client/client.h"
 
+#include <cstdlib>
+
 namespace bxt::client {
+
+namespace {
+
+/**
+ * Split a reply's spec field into the announced concrete spec and the
+ * switch epoch. Concrete-spec replies echo the request spec with no
+ * ';' marker — announced = the whole field, epoch = 0.
+ */
+void
+parseAnnouncement(const std::string &reply_spec, std::string &announced,
+                  std::uint64_t &epoch)
+{
+    epoch = 0;
+    const std::size_t semi = reply_spec.find(';');
+    announced = reply_spec.substr(0, semi);
+    if (semi == std::string::npos)
+        return;
+    const std::string tail = reply_spec.substr(semi + 1);
+    if (tail.rfind("epoch=", 0) == 0)
+        epoch = std::strtoull(tail.c_str() + 6, nullptr, 10);
+}
+
+} // namespace
 
 Client
 Client::connectTcp(const std::string &host, int port, std::string &err)
@@ -137,6 +162,7 @@ Client::encode(const std::string &spec, std::uint32_t tx_bytes,
     out.meta.resize(meta_bytes);
     reader.bytes(out.payloads.data(), payload_bytes);
     reader.bytes(out.meta.data(), meta_bytes);
+    parseAnnouncement(response.spec, out.announcedSpec, out.switchEpoch);
     return true;
 }
 
@@ -173,6 +199,7 @@ Client::decode(const std::string &spec, const EncodeResult &enc,
     }
     out.raw.resize(count * out.txBytes);
     reader.bytes(out.raw.data(), out.raw.size());
+    parseAnnouncement(response.spec, out.announcedSpec, out.switchEpoch);
     return true;
 }
 

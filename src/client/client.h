@@ -40,6 +40,16 @@ struct EncodeResult
     std::vector<std::uint8_t> payloads; ///< count * txBytes bytes.
     std::vector<std::uint8_t> meta;     ///< count * metaBytesPerTx bytes.
 
+    /**
+     * The concrete spec the server announced on this reply. For a
+     * concrete request spec this is that spec echoed back; for an
+     * `adaptive[:...]` request it is the per-stream controller's current
+     * choice (the codec that actually produced the payloads — decode
+     * with this spec), with switchEpoch counting choice switches so far.
+     */
+    std::string announcedSpec;
+    std::uint64_t switchEpoch = 0;
+
     /** Ones saved versus sending the inputs unencoded (may be negative). */
     std::int64_t onesDelta() const
     {
@@ -53,6 +63,10 @@ struct DecodeResult
 {
     std::uint32_t txBytes = 0;
     std::vector<std::uint8_t> raw; ///< count * txBytes recovered bytes.
+
+    /** Announced concrete spec + epoch (see EncodeResult). */
+    std::string announcedSpec;
+    std::uint64_t switchEpoch = 0;
 };
 
 /** A blocking connection to a bxtd server. */

@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "adaptive/adaptive_codec.h"
 #include "common/error.h"
 #include "core/base_xor.h"
 #include "core/bd_encoding.h"
@@ -146,6 +147,11 @@ tryMakeCodec(const std::string &spec, std::size_t bus_bytes,
         err = "makeCodec: empty spec";
         return nullptr;
     }
+    // The adaptive meta-codec owns its own grammar (its candidate list
+    // may itself contain '|' pipelines), so intercept it before the
+    // pipeline split.
+    if (adaptive::isAdaptiveSpec(spec))
+        return adaptive::tryMakeAdaptiveCodec(spec, bus_bytes, err);
     std::vector<std::string> tokens = splitOn(spec, '|');
     if (tokens.size() == 1)
         return makeStage(tokens[0], bus_bytes, err);

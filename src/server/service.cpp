@@ -230,9 +230,14 @@ validateGeometry(std::uint32_t tx_bytes, std::uint32_t bus_bits)
 
 Service::Entry *
 Service::entryFor(const std::string &spec, std::uint32_t tx_bytes,
-                  std::uint32_t bus_bits, std::string &err)
+                  std::uint32_t bus_bits, std::uint16_t stream_id,
+                  std::string &err)
 {
-    const Key key{spec, tx_bytes, bus_bits};
+    // Concrete codecs are shared across streams; adaptive entries are
+    // keyed per stream so each stream runs its own controller.
+    const bool is_adaptive = adaptive::isAdaptiveSpec(spec);
+    const Key key{spec, tx_bytes, bus_bits,
+                  is_adaptive ? stream_id : std::uint16_t{0}};
     auto it = codecs_.find(key);
     if (it != codecs_.end())
         return &it->second;
@@ -242,7 +247,45 @@ Service::entryFor(const std::string &spec, std::uint32_t tx_bytes,
         return nullptr;
     Entry entry;
     entry.codec = std::move(codec);
+    if (is_adaptive)
+        entry.adaptive =
+            dynamic_cast<adaptive::AdaptiveCodec *>(entry.codec.get());
     return &codecs_.emplace(key, std::move(entry)).first->second;
+}
+
+void
+Service::announceAdaptive(Entry &entry, std::uint16_t stream_id,
+                          wire::Frame &response)
+{
+    const adaptive::Controller &controller = entry.adaptive->controller();
+    // The reply's spec field doubles as stream metadata: the concrete
+    // spec currently chosen plus the switch epoch, so clients can decode
+    // cross-epoch payloads with the right codec and watch the choice
+    // migrate. ';' cannot appear in the spec grammar, so old clients
+    // that echo the field verbatim stay unambiguous.
+    response.spec = controller.activeSpec() + ";epoch=" +
+                    std::to_string(controller.epoch());
+
+    if (!telemetry::metricsEnabled() || stream_id == 0)
+        return;
+    const std::string base = "bxt.server.stream." +
+                             std::to_string(stream_id) + ".adaptive";
+    telemetry::gauge(base + ".epoch")
+        .set(static_cast<double>(controller.epoch()));
+    if (controller.epoch() > entry.lastEpoch) {
+        telemetry::counter(base + ".switches")
+            .add(controller.epoch() - entry.lastEpoch);
+        entry.lastEpoch = controller.epoch();
+    }
+    const std::string choice =
+        base + ".choice." +
+        telemetry::sanitizeMetricName(controller.activeSpec());
+    if (choice != entry.lastChoiceMetric) {
+        if (!entry.lastChoiceMetric.empty())
+            telemetry::gauge(entry.lastChoiceMetric).set(0.0);
+        telemetry::gauge(choice).set(1.0);
+        entry.lastChoiceMetric = choice;
+    }
 }
 
 wire::Frame
@@ -272,7 +315,8 @@ Service::handleEncode(const wire::Frame &request)
     }
 
     std::string err;
-    Entry *entry = entryFor(request.spec, tx_bytes, bus_bits, err);
+    Entry *entry =
+        entryFor(request.spec, tx_bytes, bus_bits, request.streamId, err);
     if (entry == nullptr)
         return errorResponse(wire::ErrorCode::BadSpec, err);
 
@@ -352,6 +396,8 @@ Service::handleEncode(const wire::Frame &request)
     }
     entry->onesIn += input_ones;
     entry->onesOut += payload_ones + meta_ones;
+    if (entry->adaptive != nullptr)
+        announceAdaptive(*entry, request.streamId, response);
     return response;
 }
 
@@ -381,7 +427,8 @@ Service::handleDecode(const wire::Frame &request)
     }
 
     std::string err;
-    Entry *entry = entryFor(request.spec, tx_bytes, bus_bits, err);
+    Entry *entry =
+        entryFor(request.spec, tx_bytes, bus_bits, request.streamId, err);
     if (entry == nullptr)
         return errorResponse(wire::ErrorCode::BadSpec, err);
 
@@ -431,6 +478,8 @@ Service::handleDecode(const wire::Frame &request)
 
     if (telemetry::metricsEnabled())
         serviceMetrics().txDecoded.add(count);
+    if (entry->adaptive != nullptr)
+        announceAdaptive(*entry, request.streamId, response);
     return response;
 }
 

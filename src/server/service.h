@@ -24,6 +24,7 @@
 #include <string>
 #include <tuple>
 
+#include "adaptive/adaptive_codec.h"
 #include "core/codec.h"
 #include "server/wire.h"
 
@@ -48,14 +49,27 @@ class Service
     struct Entry
     {
         CodecPtr codec;
+        /** Non-null when codec is the adaptive meta-codec (the spec
+         *  named `adaptive[:...]`); the view used to announce the
+         *  active concrete choice + epoch and export choice telemetry. */
+        adaptive::AdaptiveCodec *adaptive = nullptr;
         TxBatch scratchIn;       ///< Request-body plane, reused.
         EncodedBatch scratchEnc; ///< encodeBatch target / decode input.
         TxBatch scratchOut;      ///< decodeBatch target, reused.
         std::uint64_t onesIn = 0; ///< Per-connection running tallies.
         std::uint64_t onesOut = 0;
+        std::uint64_t lastEpoch = 0; ///< Last exported switch count.
+        std::string lastChoiceMetric; ///< One-hot gauge currently at 1.
     };
 
-    using Key = std::tuple<std::string, std::uint32_t, std::uint32_t>;
+    /**
+     * Codec cache key. The trailing stream id is 0 for concrete specs
+     * (all streams on a connection share the codec instance) and the
+     * frame's streamId for adaptive specs, so every stream gets its own
+     * controller — per-stream selection is the whole point.
+     */
+    using Key = std::tuple<std::string, std::uint32_t, std::uint32_t,
+                           std::uint16_t>;
 
     wire::Frame handleEncode(const wire::Frame &request);
     wire::Frame handleDecode(const wire::Frame &request);
@@ -63,12 +77,19 @@ class Service
     wire::Frame handleSnapshot();
 
     /**
-     * Look up / build the codec for (spec, txBytes, busBits). Returns
-     * nullptr with @p err filled (BadSpec detail) when the spec or the
-     * geometry is invalid.
+     * Look up / build the codec for (spec, txBytes, busBits) — plus
+     * @p stream_id when the spec is adaptive. Returns nullptr with
+     * @p err filled (BadSpec detail) when the spec or the geometry is
+     * invalid.
      */
     Entry *entryFor(const std::string &spec, std::uint32_t tx_bytes,
-                    std::uint32_t bus_bits, std::string &err);
+                    std::uint32_t bus_bits, std::uint16_t stream_id,
+                    std::string &err);
+
+    /** Stamp the adaptive announcement (`spec;epoch=N`) on @p response
+     *  and refresh the per-stream choice/switch telemetry. */
+    void announceAdaptive(Entry &entry, std::uint16_t stream_id,
+                          wire::Frame &response);
 
     std::map<Key, Entry> codecs_;
 };

@@ -59,6 +59,18 @@
  * it. Id 0 means untagged and carries no per-stream accounting —
  * which is also what every pre-streamId client sends, since the field
  * occupies the formerly-reserved-zero header bytes.
+ *
+ * Adaptive spec announcement: for a concrete spec the server echoes the
+ * request's spec field verbatim on Encode/Decode replies. When the
+ * request names the adaptive meta-codec (`adaptive[:...]`), the reply's
+ * spec field instead carries stream metadata — the concrete spec the
+ * per-stream controller currently selects plus its switch epoch, as
+ * `<concrete-spec>;epoch=<N>` (';' cannot occur in the spec grammar).
+ * Clients decode cross-epoch payloads by sending a Decode under the
+ * announced concrete spec; within one epoch a Decode under the adaptive
+ * spec itself round-trips, since the choice only moves at encode-batch
+ * boundaries. Only clients that asked for `adaptive` ever see the
+ * announcement, so pre-adaptive clients are unaffected.
  */
 
 #ifndef BXT_SERVER_WIRE_H

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <set>
 #include <sstream>
 
 #include "common/json.h"
@@ -261,6 +262,7 @@ parse(const std::string &text, Config &out, std::string &err)
     std::stringstream stream(text);
     std::string line;
     std::size_t line_no = 0;
+    std::set<std::string> seen;
     while (std::getline(stream, line)) {
         ++line_no;
         line = trim(line);
@@ -273,6 +275,14 @@ parse(const std::string &text, Config &out, std::string &err)
         }
         const std::string key = trim(line.substr(0, eq));
         const std::string value = trim(line.substr(eq + 1));
+        // A key given twice is almost always a copy-paste mistake; the
+        // last-one-wins silent override it used to get hid real config
+        // errors.
+        if (!seen.insert(key).second) {
+            err = "line " + std::to_string(line_no) + ": duplicate key '" +
+                  key + "'";
+            return false;
+        }
         bool ok = true;
         if (key == "name") {
             config.name = value;

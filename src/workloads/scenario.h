@@ -126,7 +126,8 @@ bool preset(const std::string &name, Config &out, std::string &err);
 /**
  * Parse the `key = value` scenario text form ('#' comments, blank lines
  * ignored; list values comma-separated `item:weight` pairs). Unknown
- * keys and malformed values fail with a line-annotated @p err.
+ * keys, malformed values, and duplicate keys fail with a line-annotated
+ * @p err.
  */
 bool parse(const std::string &text, Config &out, std::string &err);
 

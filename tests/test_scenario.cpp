@@ -268,6 +268,17 @@ TEST(Parse, RejectsUnknownKeyWithLineNumber)
     EXPECT_NE(err.find("bogus"), std::string::npos) << err;
 }
 
+TEST(Parse, RejectsDuplicateKeyWithLineNumber)
+{
+    Config config;
+    std::string err;
+    EXPECT_FALSE(
+        parse("tenants = 4\nalpha = 0.5\ntenants = 8\n", config, err));
+    EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+    EXPECT_NE(err.find("duplicate key 'tenants'"), std::string::npos)
+        << err;
+}
+
 TEST(Parse, RejectsBadValues)
 {
     Config config;

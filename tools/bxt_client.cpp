@@ -96,6 +96,9 @@ runTrace(const Args &args, bool roundtrip)
     std::uint64_t input_ones = 0;
     std::uint64_t output_ones = 0;
     std::size_t mismatches = 0;
+    std::string announced;
+    std::uint64_t epoch = 0;
+    std::size_t switches = 0;
     const std::size_t chunk_bytes = args.batch * tx_bytes;
     for (std::size_t off = 0; off < raw.size(); off += chunk_bytes) {
         const std::size_t n = std::min(chunk_bytes, raw.size() - off);
@@ -110,10 +113,19 @@ runTrace(const Args &args, bool roundtrip)
         }
         input_ones += enc.inputOnes;
         output_ones += enc.payloadOnes + enc.metaOnes;
+        if (!announced.empty() && announced != enc.announcedSpec)
+            ++switches;
+        announced = enc.announcedSpec;
+        epoch = enc.switchEpoch;
 
         if (roundtrip) {
+            // Decode under the announced concrete spec: for adaptive
+            // requests that is the codec that actually produced the
+            // payloads (and stays correct across a switch epoch).
+            const std::string &decode_spec =
+                enc.announcedSpec.empty() ? args.spec : enc.announcedSpec;
             bxt::client::DecodeResult dec;
-            if (!client.decode(args.spec, enc, dec, err)) {
+            if (!client.decode(decode_spec, enc, dec, err)) {
                 std::fprintf(stderr, "bxt_client: decode failed: %s\n",
                              err.c_str());
                 return 1;
@@ -132,6 +144,10 @@ runTrace(const Args &args, bool roundtrip)
     std::printf("trace: %s (%zu tx of %u bytes)\n", trace.name.c_str(),
                 trace.txs.size(), tx_bytes);
     std::printf("spec: %s  wires: %u\n", args.spec.c_str(), args.wires);
+    if (!announced.empty() && announced != args.spec)
+        std::printf("active spec: %s (epoch %llu, %zu switches seen)\n",
+                    announced.c_str(),
+                    static_cast<unsigned long long>(epoch), switches);
     std::printf("ones on bus: %llu -> %llu (%+.2f%% removed)\n",
                 static_cast<unsigned long long>(input_ones),
                 static_cast<unsigned long long>(output_ones), removed_pct);

@@ -31,8 +31,16 @@
  *               [--tx-bytes B] [--batch N] [--requests N] [--depth D]
  *               [--open-loop | --closed-loop] [--connections M]
  *               [--warmup K] [--scenario NAME|PATH] [--alpha A]
- *               [--no-pace] [--seed X] [--json PATH]
- *               [--assert-min-tx-rate R] [--trace-sample P]
+ *               [--adaptive-compare S1,S2,...] [--no-pace] [--seed X]
+ *               [--json PATH] [--assert-min-tx-rate R]
+ *               [--trace-sample P]
+ *
+ * --adaptive-compare (scenario mode) grades the adaptive spec: the
+ * identical request stream is replayed once under --spec (normally
+ * `adaptive[:...]`) and once per listed fixed spec — fresh connections
+ * per pass, so per-stream controllers start cold — and each pass's
+ * total ones-on-bus is printed and written as a scope:"spec" JSON row
+ * for `bxt_report --scenario --assert-adaptive-wins`.
  */
 
 #include <algorithm>
@@ -70,6 +78,15 @@ struct Args
     std::size_t connections = 0; ///< 0 = auto (1; 4 for scenarios).
     std::size_t warmup = 32;
     std::string scenarioName;
+    /**
+     * Comma-separated fixed specs to race against --spec on the same
+     * scenario stream (scenario mode): the identical request stream is
+     * replayed once under --spec (normally `adaptive[:...]`) and once
+     * per listed spec, and every pass's total ones-on-bus lands in a
+     * scope:"spec" JSON row. Empty = plain single-pass scenario replay
+     * under each tenant's own spec.
+     */
+    std::string adaptiveCompare;
     double alphaOverride = -1.0; ///< < 0 = keep the scenario's alpha.
     bool noPace = false;
     std::uint64_t seed = 1;
@@ -280,8 +297,9 @@ struct ScenarioWorker
 void
 runScenarioConn(const Args &args,
                 const std::vector<bxt::scenario::Request> &stream,
-                std::size_t conn, std::size_t stride,
-                std::uint64_t start_us, bool pace, ScenarioWorker &out)
+                const std::string &spec_override, std::size_t conn,
+                std::size_t stride, std::uint64_t start_us, bool pace,
+                ScenarioWorker &out)
 {
     std::string err;
     bxt::client::Client client = connectClient(args, err);
@@ -293,6 +311,8 @@ runScenarioConn(const Args &args,
     bxt::Rng rng(args.seed ^ (0x9e3779b97f4a7c15ull + conn));
     for (std::size_t i = conn; i < stream.size(); i += stride) {
         const bxt::scenario::Request &req = stream[i];
+        const std::string &spec =
+            spec_override.empty() ? req.spec : spec_override;
         applyTraceSampling(client, args, rng);
         if (pace) {
             const double target =
@@ -308,11 +328,11 @@ runScenarioConn(const Args &args,
             static_cast<std::uint16_t>((req.tenant % 0xffffu) + 1));
         bxt::client::EncodeResult enc;
         const std::uint64_t t0 = bxt::telemetry::nowMicros();
-        if (!client.encode(req.spec, req.txBytes, req.busBits, req.payload,
+        if (!client.encode(spec, req.txBytes, req.busBits, req.payload,
                            enc, err)) {
             out.ok = false;
             out.err = "request " + std::to_string(req.index) + " (tenant " +
-                      std::to_string(req.tenant) + ", " + req.spec +
+                      std::to_string(req.tenant) + ", " + spec +
                       "): " + err;
             return;
         }
@@ -362,47 +382,65 @@ runScenario(const Args &args)
         args.connections > 0 ? args.connections : 4;
     const bool pace = !args.noPace && config.ratePerSec > 0.0;
 
-    std::vector<ScenarioWorker> workers(conns);
-    for (ScenarioWorker &w : workers)
-        w.tenants.resize(config.tenants);
-
-    const std::uint64_t start_us = bxt::telemetry::nowMicros();
-    std::vector<std::thread> threads;
-    threads.reserve(conns);
-    for (std::size_t c = 0; c < conns; ++c) {
-        threads.emplace_back(runScenarioConn, std::cref(args),
-                             std::cref(stream), c, conns, start_us, pace,
-                             std::ref(workers[c]));
-    }
-    for (std::thread &t : threads)
-        t.join();
-    const double seconds =
-        static_cast<double>(bxt::telemetry::nowMicros() - start_us) /
-        1.0e6;
-
-    for (const ScenarioWorker &w : workers) {
-        if (!w.ok) {
-            std::fprintf(stderr, "bxt_loadgen: %s\n", w.err.c_str());
-            return 1;
+    // One full replay of the stream (fresh connections, so adaptive
+    // controllers start cold) under an optional all-requests spec
+    // override; fills the per-tenant table and the wall-clock time.
+    const auto replay = [&](const std::string &spec_override,
+                            std::vector<TenantStats> &tenants,
+                            double &seconds, std::string &replay_err) {
+        std::vector<ScenarioWorker> workers(conns);
+        for (ScenarioWorker &w : workers)
+            w.tenants.resize(config.tenants);
+        const std::uint64_t start_us = bxt::telemetry::nowMicros();
+        std::vector<std::thread> threads;
+        threads.reserve(conns);
+        for (std::size_t c = 0; c < conns; ++c) {
+            threads.emplace_back(runScenarioConn, std::cref(args),
+                                 std::cref(stream),
+                                 std::cref(spec_override), c, conns,
+                                 start_us, pace, std::ref(workers[c]));
         }
+        for (std::thread &t : threads)
+            t.join();
+        seconds =
+            static_cast<double>(bxt::telemetry::nowMicros() - start_us) /
+            1.0e6;
+        for (const ScenarioWorker &w : workers) {
+            if (!w.ok) {
+                replay_err = w.err;
+                return false;
+            }
+        }
+        tenants.assign(config.tenants, TenantStats{});
+        for (const ScenarioWorker &w : workers) {
+            for (std::uint32_t t = 0; t < config.tenants; ++t) {
+                const TenantStats &src = w.tenants[t];
+                TenantStats &dst = tenants[t];
+                dst.requests += src.requests;
+                dst.txs += src.txs;
+                dst.onesIn += src.onesIn;
+                dst.onesOut += src.onesOut;
+                dst.latenciesUs.insert(dst.latenciesUs.end(),
+                                       src.latenciesUs.begin(),
+                                       src.latenciesUs.end());
+            }
+        }
+        return true;
+    };
+
+    const bool comparing = !args.adaptiveCompare.empty();
+    // The primary pass: each tenant's own spec, or — when racing specs
+    // with --adaptive-compare — everything under --spec (the adaptive
+    // spec whose choices we are grading).
+    const std::string primary_override = comparing ? args.spec : "";
+    std::vector<TenantStats> tenants;
+    double seconds = 0.0;
+    if (!replay(primary_override, tenants, seconds, err)) {
+        std::fprintf(stderr, "bxt_loadgen: %s\n", err.c_str());
+        return 1;
     }
 
-    // Merge the per-worker accumulations into one per-tenant table.
-    std::vector<TenantStats> tenants(config.tenants);
     std::vector<double> all_lat;
-    for (const ScenarioWorker &w : workers) {
-        for (std::uint32_t t = 0; t < config.tenants; ++t) {
-            const TenantStats &src = w.tenants[t];
-            TenantStats &dst = tenants[t];
-            dst.requests += src.requests;
-            dst.txs += src.txs;
-            dst.onesIn += src.onesIn;
-            dst.onesOut += src.onesOut;
-            dst.latenciesUs.insert(dst.latenciesUs.end(),
-                                   src.latenciesUs.begin(),
-                                   src.latenciesUs.end());
-        }
-    }
     std::uint64_t total_req = 0, total_tx = 0, total_in = 0, total_out = 0;
     for (const TenantStats &t : tenants) {
         total_req += t.requests;
@@ -411,6 +449,67 @@ runScenario(const Args &args)
         total_out += t.onesOut;
         all_lat.insert(all_lat.end(), t.latenciesUs.begin(),
                        t.latenciesUs.end());
+    }
+
+    /** One spec's totals over the identical stream (scope:"spec" row). */
+    struct SpecPass
+    {
+        std::string spec;
+        std::uint64_t onesIn = 0;
+        std::uint64_t onesOut = 0;
+        std::uint64_t txs = 0;
+        double seconds = 0.0;
+    };
+    std::vector<SpecPass> spec_passes;
+    if (comparing) {
+        spec_passes.push_back(
+            {args.spec, total_in, total_out, total_tx, seconds});
+        std::size_t start = 0;
+        const std::string &list = args.adaptiveCompare;
+        while (start <= list.size()) {
+            std::size_t end = list.find(',', start);
+            if (end == std::string::npos)
+                end = list.size();
+            const std::string fixed = list.substr(start, end - start);
+            start = end + 1;
+            if (fixed.empty()) {
+                if (end == list.size())
+                    break;
+                continue;
+            }
+            std::vector<TenantStats> pass_tenants;
+            double pass_seconds = 0.0;
+            if (!replay(fixed, pass_tenants, pass_seconds, err)) {
+                std::fprintf(stderr, "bxt_loadgen: spec '%s': %s\n",
+                             fixed.c_str(), err.c_str());
+                return 1;
+            }
+            SpecPass pass;
+            pass.spec = fixed;
+            pass.seconds = pass_seconds;
+            for (const TenantStats &t : pass_tenants) {
+                pass.onesIn += t.onesIn;
+                pass.onesOut += t.onesOut;
+                pass.txs += t.txs;
+            }
+            // Every pass replays the identical prebuilt payloads, so a
+            // differing ones_in means the comparison is not apples to
+            // apples — refuse to report it.
+            if (pass.onesIn != total_in || pass.txs != total_tx) {
+                std::fprintf(stderr,
+                             "bxt_loadgen: spec '%s' saw ones_in %llu / "
+                             "txs %llu, expected %llu / %llu\n",
+                             fixed.c_str(),
+                             static_cast<unsigned long long>(pass.onesIn),
+                             static_cast<unsigned long long>(pass.txs),
+                             static_cast<unsigned long long>(total_in),
+                             static_cast<unsigned long long>(total_tx));
+                return 1;
+            }
+            spec_passes.push_back(std::move(pass));
+            if (end == list.size())
+                break;
+        }
     }
 
     const double req_rate =
@@ -466,6 +565,19 @@ runScenario(const Args &args)
     if (shown < order.size())
         std::printf("(%zu of %zu tenants shown)\n", shown, order.size());
 
+    if (comparing) {
+        std::printf("\nspec comparison over the identical stream "
+                    "(%llu tx, ones_in %llu):\n",
+                    static_cast<unsigned long long>(total_tx),
+                    static_cast<unsigned long long>(total_in));
+        std::printf("%-44s %14s %8s\n", "spec", "ones_out", "rm%");
+        for (const SpecPass &pass : spec_passes) {
+            std::printf("%-44s %14llu %8.2f\n", pass.spec.c_str(),
+                        static_cast<unsigned long long>(pass.onesOut),
+                        removedPct(pass.onesIn, pass.onesOut));
+        }
+    }
+
     if (!args.jsonPath.empty() &&
         !bxt::writeBenchJson(
             args.jsonPath, "server_scenarios",
@@ -479,6 +591,8 @@ runScenario(const Args &args)
                 w.kv("alpha", config.alpha);
                 w.kv("connections", static_cast<std::uint64_t>(conns));
                 w.kv("paced", pace);
+                if (comparing)
+                    w.kv("spec_override", args.spec);
                 w.kv("requests", total_req);
                 w.kv("txs", total_tx);
                 w.kv("seconds", seconds);
@@ -511,6 +625,19 @@ runScenario(const Args &args)
                     w.kv("ones_out", s.onesOut);
                     w.kv("ones_removed_pct",
                          removedPct(s.onesIn, s.onesOut));
+                    w.endObject();
+                }
+                for (const SpecPass &pass : spec_passes) {
+                    w.beginObject();
+                    w.kv("scope", "spec");
+                    w.kv("scenario", config.name);
+                    w.kv("spec", pass.spec);
+                    w.kv("txs", pass.txs);
+                    w.kv("seconds", pass.seconds);
+                    w.kv("ones_in", pass.onesIn);
+                    w.kv("ones_out", pass.onesOut);
+                    w.kv("ones_removed_pct",
+                         removedPct(pass.onesIn, pass.onesOut));
                     w.endObject();
                 }
             }))
@@ -582,6 +709,11 @@ main(int argc, char **argv)
     cli.add("--scenario", "NAME|PATH",
             "replay a multi-tenant scenario preset or spec file",
             [&](const std::string &v) { args.scenarioName = v; });
+    cli.add("--adaptive-compare", "S1,S2,...",
+            "scenario mode: replay the identical stream under --spec and "
+            "each listed fixed spec, emitting scope:\"spec\" ones-on-bus "
+            "rows (the adaptive-vs-fixed CI gate)",
+            [&](const std::string &v) { args.adaptiveCompare = v; });
     cli.add("--alpha", "A", "override the scenario's Zipf exponent",
             [&](const std::string &v) {
                 args.alphaOverride = std::strtod(v.c_str(), nullptr);
@@ -625,6 +757,11 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (!args.adaptiveCompare.empty() && args.scenarioName.empty()) {
+        std::fprintf(stderr,
+                     "bxt_loadgen: --adaptive-compare needs --scenario\n");
+        return 2;
+    }
     if (!args.scenarioName.empty())
         return runScenario(args);
 

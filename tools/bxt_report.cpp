@@ -27,7 +27,17 @@
  *   bxt_report --scenario FILE...        aggregate summary + per-tenant
  *                                        table from a server_scenarios
  *                                        bench document (`bxt_loadgen
- *                                        --scenario --json`)
+ *                                        --scenario --json`); documents
+ *                                        with scope:"spec" rows (from
+ *                                        --adaptive-compare) additionally
+ *                                        get a spec-comparison table with
+ *                                        a delta-vs-adaptive column
+ *   bxt_report --scenario --assert-adaptive-wins FILE...
+ *                                        additionally fail unless the
+ *                                        adaptive spec row's total
+ *                                        ones-on-bus is strictly lower
+ *                                        than every fixed spec row's (the
+ *                                        `ci.sh adaptive` gate)
  *
  * Every mode accepts either a bare snapshot document or a unified bench
  * JSON document (the snapshot is read from its "metrics" member).
@@ -513,10 +523,14 @@ diffFiles(const std::string &path_a, const std::string &path_b)
 /**
  * --scenario: render a server_scenarios bench document (bxt_loadgen
  * --scenario --json) as the aggregate summary plus a per-tenant table,
- * busiest tenants first.
+ * busiest tenants first. Documents carrying scope:"spec" rows (written by
+ * `bxt_loadgen --adaptive-compare`) additionally get a spec-comparison
+ * table with each fixed spec's ones-on-bus delta versus the adaptive row;
+ * with @p assert_adaptive_wins the call fails unless the adaptive row
+ * strictly beats every fixed row on total ones-on-bus.
  */
 int
-reportScenario(const std::string &path)
+reportScenario(const std::string &path, bool assert_adaptive_wins)
 {
     std::string text;
     if (!readFile(path, text))
@@ -547,6 +561,7 @@ reportScenario(const std::string &path)
     };
 
     std::vector<const JsonValue *> tenants;
+    std::vector<const JsonValue *> specs;
     const JsonValue *aggregate = nullptr;
     for (const JsonValue &row : results->array) {
         const std::string scope = string_of(row, "scope");
@@ -554,6 +569,8 @@ reportScenario(const std::string &path)
             aggregate = &row;
         else if (scope == "tenant")
             tenants.push_back(&row);
+        else if (scope == "spec")
+            specs.push_back(&row);
     }
     if (aggregate == nullptr || tenants.empty()) {
         std::fprintf(stderr, "bxt_report: %s: not a server_scenarios "
@@ -600,6 +617,117 @@ reportScenario(const std::string &path)
                       Table::cell(number(*row, "ones_removed_pct"), 2)});
     }
     std::printf("%s", table.render().c_str());
+
+    if (specs.empty()) {
+        if (assert_adaptive_wins) {
+            std::fprintf(stderr,
+                         "bxt_report: %s: --assert-adaptive-wins needs "
+                         "scope:\"spec\" rows (run bxt_loadgen with "
+                         "--adaptive-compare)\n",
+                         path.c_str());
+            return 1;
+        }
+        return 0;
+    }
+
+    // Spec-comparison rows: each pass replayed the identical request
+    // stream, so total ones-on-bus is directly comparable. The adaptive
+    // row (spec starting with "adaptive") is the reference for the delta
+    // column.
+    const JsonValue *adaptive_row = nullptr;
+    for (const JsonValue *row : specs) {
+        if (string_of(*row, "spec").rfind("adaptive", 0) == 0) {
+            adaptive_row = row;
+            break;
+        }
+    }
+    const double adaptive_out =
+        adaptive_row != nullptr ? number(*adaptive_row, "ones_out") : 0.0;
+    const double adaptive_in =
+        adaptive_row != nullptr ? number(*adaptive_row, "ones_in") : 0.0;
+
+    Table spec_table({"spec", "ones in", "ones out", "rm%",
+                      "vs adaptive"});
+    bool adaptive_wins = adaptive_row != nullptr;
+    double best_fixed_out = 0.0;
+    std::string best_fixed_spec;
+    for (const JsonValue *row : specs) {
+        const std::string spec = string_of(*row, "spec");
+        const double out_ones = number(*row, "ones_out");
+        const bool is_adaptive = row == adaptive_row;
+        std::string delta = "-";
+        if (adaptive_row != nullptr && !is_adaptive) {
+            // Positive: the fixed spec put more ones on the bus than
+            // adaptive did (adaptive wins this row).
+            const double pct =
+                adaptive_out > 0.0
+                    ? (out_ones - adaptive_out) / adaptive_out * 100.0
+                    : 0.0;
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%+.2f%%", pct);
+            delta = buf;
+            if (out_ones <= adaptive_out)
+                adaptive_wins = false;
+            if (best_fixed_spec.empty() || out_ones < best_fixed_out) {
+                best_fixed_out = out_ones;
+                best_fixed_spec = spec;
+            }
+            // Every pass replays the identical stream; differing input
+            // ones means the document is inconsistent.
+            if (adaptive_in > 0.0 &&
+                number(*row, "ones_in") != adaptive_in) {
+                std::fprintf(stderr,
+                             "bxt_report: %s: spec row '%s' saw "
+                             "ones_in %.0f but the adaptive row saw "
+                             "%.0f (not the same stream)\n",
+                             path.c_str(), spec.c_str(),
+                             number(*row, "ones_in"), adaptive_in);
+                return 1;
+            }
+        }
+        spec_table.addRow({spec, Table::cell(number(*row, "ones_in"), 0),
+                           Table::cell(out_ones, 0),
+                           Table::cell(number(*row, "ones_removed_pct"),
+                                       2),
+                           delta});
+    }
+    std::printf("\n%s", spec_table.render().c_str());
+    if (adaptive_row != nullptr && !best_fixed_spec.empty())
+        std::printf("adaptive vs best fixed (%s): %+.0f ones "
+                    "(%+.2f %%)\n",
+                    best_fixed_spec.c_str(), adaptive_out - best_fixed_out,
+                    best_fixed_out > 0.0
+                        ? (adaptive_out - best_fixed_out) /
+                              best_fixed_out * 100.0
+                        : 0.0);
+
+    if (assert_adaptive_wins) {
+        if (adaptive_row == nullptr) {
+            std::fprintf(stderr,
+                         "bxt_report: %s: --assert-adaptive-wins: no "
+                         "adaptive spec row\n",
+                         path.c_str());
+            return 1;
+        }
+        if (specs.size() < 2) {
+            std::fprintf(stderr,
+                         "bxt_report: %s: --assert-adaptive-wins: no "
+                         "fixed spec rows to compare against\n",
+                         path.c_str());
+            return 1;
+        }
+        if (!adaptive_wins) {
+            std::fprintf(stderr,
+                         "bxt_report: %s: adaptive ones-on-bus %.0f does "
+                         "not strictly beat every fixed spec (best fixed "
+                         "'%s' at %.0f)\n",
+                         path.c_str(), adaptive_out,
+                         best_fixed_spec.c_str(), best_fixed_out);
+            return 1;
+        }
+        std::printf("adaptive wins: ones-on-bus strictly below every "
+                    "fixed spec\n");
+    }
     return 0;
 }
 
@@ -738,6 +866,7 @@ main(int argc, char **argv)
     bool validate_trace = false;
     bool diff = false;
     bool scenario = false;
+    bool assert_adaptive_wins = false;
     bool overhead = false;
     bool tx_overhead = false;
     double overhead_limit = 0.0;
@@ -758,6 +887,10 @@ main(int argc, char **argv)
     cli.addFlag("--scenario",
                 "per-tenant table from a server_scenarios bench JSON",
                 [&] { scenario = true; });
+    cli.addFlag("--assert-adaptive-wins",
+                "with --scenario: fail unless the adaptive spec row's "
+                "ones-on-bus strictly beats every fixed spec row's",
+                [&] { assert_adaptive_wins = true; });
     cli.add("--assert-overhead", "PCT",
             "fail when ON.json's serial sweep is more than PCT percent "
             "slower than OFF.json's (two bench files expected)",
@@ -801,10 +934,16 @@ main(int argc, char **argv)
     }
     if (scenario) {
         for (const std::string &file : files) {
-            if (const int status = reportScenario(file))
+            if (const int status =
+                    reportScenario(file, assert_adaptive_wins))
                 return status;
         }
         return 0;
+    }
+    if (assert_adaptive_wins) {
+        std::fprintf(stderr, "bxt_report: --assert-adaptive-wins needs "
+                             "--scenario\n");
+        return 2;
     }
     if (diff) {
         if (files.size() != 2) {

@@ -10,8 +10,10 @@
  *    the HDR histogram's sparse bucket deltas (the same log-bucket
  *    geometry as telemetry::Histo, so no raw samples cross the wire);
  *  - per-stream (tenant) request/transaction rates, ones-on-bus
- *    removal, and the windowed value statistics (zero-word fraction,
- *    XOR toggle weight) the adaptive-codec sensors export;
+ *    removal, the windowed value statistics (zero-word fraction,
+ *    XOR toggle weight) the adaptive-codec sensors export, and — for
+ *    streams running the `adaptive` spec — the concrete codec the
+ *    per-stream controller currently selects plus its switch count;
  *  - per-spec ones-on-bus deltas;
  *  - span-ring health (recorded/dropped) for the tracing pipeline.
  *
@@ -229,6 +231,25 @@ specOf(const std::string &name, std::string &spec)
     return !spec.empty() && spec.rfind("stream.", 0) != 0;
 }
 
+/**
+ * The concrete codec stream @p id's adaptive controller currently
+ * selects, read back from the one-hot choice gauges
+ * (`bxt.server.stream.<id>.adaptive.choice.<spec>`, the active one at
+ * 1). "-" when the stream does not run an adaptive spec.
+ */
+std::string
+adaptiveChoiceOf(const Sample &sample, const std::string &stream_base)
+{
+    const std::string prefix = stream_base + ".adaptive.choice.";
+    for (auto it = sample.gauges.lower_bound(prefix);
+         it != sample.gauges.end() && it->first.rfind(prefix, 0) == 0;
+         ++it) {
+        if (it->second != 0.0)
+            return it->first.substr(prefix.size());
+    }
+    return "-";
+}
+
 void
 render(const Args &args, const Sample &cur, const Sample &prev,
        bool clear)
@@ -295,9 +316,9 @@ render(const Args &args, const Sample &cur, const Sample &prev,
                 return a.first > b.first;
             return a.second < b.second;
         });
-        std::printf("\n%-7s %8s %9s %11s %6s %10s %8s\n", "stream",
-                    "req/s", "tx/s", "ones_in/s", "rm%", "zero_frac",
-                    "xor_w");
+        std::printf("\n%-7s %8s %9s %11s %6s %10s %8s %-20s %4s\n",
+                    "stream", "req/s", "tx/s", "ones_in/s", "rm%",
+                    "zero_frac", "xor_w", "choice", "sw");
         const std::size_t shown =
             std::min<std::size_t>(ranked.size(), 10);
         for (std::size_t i = 0; i < shown; ++i) {
@@ -307,12 +328,15 @@ render(const Args &args, const Sample &cur, const Sample &prev,
                                           dt_s);
             const double out_rate = rateOf(cur, prev, b + ".ones_out",
                                            dt_s);
-            std::printf("%-7ld %8.1f %9.1f %11.0f %6.2f %10.3f %8.3f\n",
+            std::printf("%-7ld %8.1f %9.1f %11.0f %6.2f %10.3f %8.3f "
+                        "%-20s %4.0f\n",
                         id, rateOf(cur, prev, b + ".requests", dt_s),
                         rateOf(cur, prev, b + ".tx_encoded", dt_s),
                         in_rate, removedPct(in_rate, out_rate),
                         gaugeOf(cur, b + ".window_zero_frac"),
-                        gaugeOf(cur, b + ".window_xor_weight"));
+                        gaugeOf(cur, b + ".window_xor_weight"),
+                        adaptiveChoiceOf(cur, b).c_str(),
+                        counterOf(cur, b + ".adaptive.switches"));
         }
         if (shown < ranked.size())
             std::printf("(%zu of %zu streams shown)\n", shown,
