@@ -45,7 +45,13 @@
 #            hot-flood presets unpaced over 4 connections (asserting
 #            >= BXT_SCENARIO_MIN_TX_RATE encoded tx/s each, default
 #            50000), and upload BENCH_server_scenarios.json plus the
-#            hot-flood variant (the baseline the sharding work must beat)
+#            hot-flood variant; then the shard-scaling gate: the same
+#            hot-flood replay against bxtd --shards 1 and --shards 4,
+#            failing via `bxt_report --assert-shard-scaling` unless the
+#            4-shard aggregate tx rate is >= BXT_SHARD_SCALING_MIN
+#            (default 2.5) times the single-shard one (skipped below 4
+#            cores), with both runs' merged per-shard snapshots
+#            (bxt.server.shard.<i>.*) uploaded as artifacts
 #   adaptive Release build + adaptive-labeled ctest (grammar, controller
 #            cost model, differential byte-identity, loopback migration)
 #            + an ASan/UBSan pass of the same tests + the live win gate:
@@ -374,7 +380,57 @@ run_scenario() {
         cat "${out}/bxtd.log" >&2
         return 1
     fi
-    echo "scenario: BENCH_server_scenarios.json + hot-flood variant written"
+
+    # Shard-scaling gate: the same unpaced hot-flood replay against a
+    # single-shard and a 4-shard bxtd. Shared-nothing sharding must buy
+    # real aggregate throughput; per-shard snapshots (the merged Stats
+    # document with the bxt.server.shard.<i>.* breakdown) are kept as
+    # artifacts so a failed gate can be diagnosed from the load balance.
+    local shards
+    for shards in 1 4; do
+        rm -f "${sock}"
+        BXT_METRICS=1 ./build-ci-release/tools/bxtd --unix "${sock}" \
+            --shards "${shards}" \
+            > "${out}/bxtd.shards${shards}.log" 2>&1 &
+        bxtd_pid=$!
+        for i in $(seq 1 100); do
+            [ -S "${sock}" ] && break
+            sleep 0.1
+        done
+        if ! [ -S "${sock}" ]; then
+            echo "bxtd --shards ${shards} never created ${sock}" >&2
+            cat "${out}/bxtd.shards${shards}.log" >&2
+            kill "${bxtd_pid}" 2>/dev/null || true
+            return 1
+        fi
+        ./build-ci-release/tools/bxt_loadgen --unix "${sock}" \
+            --scenario hot-flood --no-pace --connections 8 --seed 1 \
+            --json "${out}/hot-flood.shards${shards}.json"
+        ./build-ci-release/tools/bxt_client --unix "${sock}" \
+            --mode snapshot > "${out}/server_snapshot.shards${shards}.json"
+        ./build-ci-release/tools/bxt_report --validate \
+            "${out}/server_snapshot.shards${shards}.json"
+        kill -TERM "${bxtd_pid}"
+        status=0
+        wait "${bxtd_pid}" || status=$?
+        if [ "${status}" -ne 0 ]; then
+            echo "bxtd --shards ${shards} did not drain cleanly" \
+                "(exit ${status})" >&2
+            cat "${out}/bxtd.shards${shards}.log" >&2
+            return 1
+        fi
+    done
+    if [ "$(nproc)" -ge 4 ]; then
+        ./build-ci-release/tools/bxt_report --assert-shard-scaling \
+            "${BXT_SHARD_SCALING_MIN:-2.5}" \
+            "${out}/hot-flood.shards1.json" \
+            "${out}/hot-flood.shards4.json"
+    else
+        echo "scenario: <4 cores, shard-scaling gate skipped" \
+            "(artifacts still written)"
+    fi
+    echo "scenario: BENCH_server_scenarios.json + hot-flood variant," \
+        "shard-scaling artifacts + gate done"
 }
 
 run_adaptive() {

@@ -11,21 +11,26 @@ namespace bxt {
 
 namespace {
 
-/** Process-wide wire-activity counters (all Bus instances aggregate). */
+/**
+ * Process-wide wire-activity counters (all Bus instances aggregate).
+ * Pinned to the default registry: the statics bind on the first
+ * transmit, and a thread-scoped registry must not capture them.
+ */
 void
 recordBusDelta(const BusStats &delta)
 {
     static telemetry::Counter &transactions =
-        telemetry::counter("bxt.bus.transactions");
-    static telemetry::Counter &beats = telemetry::counter("bxt.bus.beats");
+        telemetry::defaultRegistry().counter("bxt.bus.transactions");
+    static telemetry::Counter &beats =
+        telemetry::defaultRegistry().counter("bxt.bus.beats");
     static telemetry::Counter &data_ones =
-        telemetry::counter("bxt.bus.data_ones");
+        telemetry::defaultRegistry().counter("bxt.bus.data_ones");
     static telemetry::Counter &data_toggles =
-        telemetry::counter("bxt.bus.data_toggles");
+        telemetry::defaultRegistry().counter("bxt.bus.data_toggles");
     static telemetry::Counter &meta_ones =
-        telemetry::counter("bxt.bus.meta_ones");
+        telemetry::defaultRegistry().counter("bxt.bus.meta_ones");
     static telemetry::Counter &meta_toggles =
-        telemetry::counter("bxt.bus.meta_toggles");
+        telemetry::defaultRegistry().counter("bxt.bus.meta_toggles");
     transactions.add(delta.transactions);
     beats.add(delta.beats);
     data_ones.add(delta.dataOnes);

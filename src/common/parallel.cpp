@@ -17,20 +17,24 @@ namespace {
  * dispatch; the references are cached for the process lifetime so the
  * hot path never takes the registry lock.
  */
+/**
+ * Process-wide pool instruments, pinned to the default registry: the
+ * lazy singleton binds on the first dispatch, which must not capture a
+ * caller's thread-scoped registry.
+ */
 struct PoolMetrics
 {
-    telemetry::Counter &jobs = telemetry::counter("bxt.pool.jobs");
-    telemetry::Counter &indices = telemetry::counter("bxt.pool.indices");
+    telemetry::Registry &reg = telemetry::defaultRegistry();
+    telemetry::Counter &jobs = reg.counter("bxt.pool.jobs");
+    telemetry::Counter &indices = reg.counter("bxt.pool.indices");
     telemetry::Counter &chunksClaimed =
-        telemetry::counter("bxt.pool.chunks_claimed");
-    telemetry::Gauge &threads = telemetry::gauge("bxt.pool.threads");
-    telemetry::Gauge &queueDepth =
-        telemetry::gauge("bxt.pool.queue_depth");
+        reg.counter("bxt.pool.chunks_claimed");
+    telemetry::Gauge &threads = reg.gauge("bxt.pool.threads");
+    telemetry::Gauge &queueDepth = reg.gauge("bxt.pool.queue_depth");
     /** Per-chunk body latency, microseconds. */
-    telemetry::Histo &taskUs =
-        telemetry::histogram("bxt.pool.task_us");
+    telemetry::Histo &taskUs = reg.histogram("bxt.pool.task_us");
     /** Whole-dispatch latency, microseconds. */
-    telemetry::Histo &jobUs = telemetry::histogram("bxt.pool.job_us");
+    telemetry::Histo &jobUs = reg.histogram("bxt.pool.job_us");
 };
 
 PoolMetrics &

@@ -1,6 +1,7 @@
 #include "server/net.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -31,7 +32,8 @@ UniqueFd::reset()
 }
 
 UniqueFd
-listenTcp(const std::string &host, int port, std::string &err)
+listenTcp(const std::string &host, int port, std::string &err,
+          bool reuse_port)
 {
     UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
     if (!fd.valid()) {
@@ -40,6 +42,12 @@ listenTcp(const std::string &host, int port, std::string &err)
     }
     const int one = 1;
     ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (reuse_port &&
+        ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one,
+                     sizeof(one)) != 0) {
+        err = errnoString("setsockopt SO_REUSEPORT");
+        return {};
+    }
 
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
@@ -175,6 +183,62 @@ readSome(int fd, void *data, std::size_t n, std::string &err)
         err = errnoString("read");
         return -1;
     }
+}
+
+bool
+setNonBlocking(int fd, std::string &err)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+        err = errnoString("fcntl O_NONBLOCK");
+        return false;
+    }
+    return true;
+}
+
+long
+tryRead(int fd, void *data, std::size_t n, bool &would_block,
+        std::string &err)
+{
+    would_block = false;
+    for (;;) {
+        const ssize_t r = ::read(fd, data, n);
+        if (r >= 0)
+            return static_cast<long>(r);
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            would_block = true;
+            return -1;
+        }
+        err = errnoString("read");
+        return -1;
+    }
+}
+
+long
+tryWrite(int fd, const void *data, std::size_t n, bool &would_block,
+         std::string &err)
+{
+    would_block = false;
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    std::size_t sent = 0;
+    while (sent < n) {
+        const ssize_t w =
+            ::send(fd, bytes + sent, n - sent, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                would_block = true;
+                break;
+            }
+            err = errnoString("write");
+            return -1;
+        }
+        sent += static_cast<std::size_t>(w);
+    }
+    return static_cast<long>(sent);
 }
 
 PollResult

@@ -53,9 +53,13 @@ class UniqueFd
 /**
  * Create a listening TCP socket bound to @p host (an IPv4 literal such as
  * "127.0.0.1" or "0.0.0.0") and @p port (0 picks an ephemeral port).
- * Returns an invalid fd and fills @p err on failure.
+ * With @p reuse_port the socket also sets SO_REUSEPORT, so N listeners
+ * (one per bxtd shard) can bind the same address and let the kernel
+ * load-balance accepts across them. Returns an invalid fd and fills
+ * @p err on failure.
  */
-UniqueFd listenTcp(const std::string &host, int port, std::string &err);
+UniqueFd listenTcp(const std::string &host, int port, std::string &err,
+                   bool reuse_port = false);
 
 /**
  * Create a listening Unix-domain socket at @p path. A stale socket file
@@ -85,6 +89,27 @@ bool writeAll(int fd, const void *data, std::size_t n, std::string &err);
  * orderly EOF, or -1 with @p err set on error. Retries EINTR.
  */
 long readSome(int fd, void *data, std::size_t n, std::string &err);
+
+/** Put @p fd into nonblocking mode (the shard event-loop sockets). */
+bool setNonBlocking(int fd, std::string &err);
+
+/**
+ * One nonblocking read. Returns the byte count, 0 on orderly EOF, or
+ * -1: with @p would_block set when the socket simply has no data
+ * (EAGAIN/EWOULDBLOCK), or with @p err set on a real error. Retries
+ * EINTR.
+ */
+long tryRead(int fd, void *data, std::size_t n, bool &would_block,
+             std::string &err);
+
+/**
+ * One nonblocking write pass: send as much of @p data as the socket
+ * accepts. Returns bytes written (possibly 0 when the send buffer is
+ * full — @p would_block set), or -1 with @p err on a real error.
+ * SIGPIPE is suppressed per-call (MSG_NOSIGNAL). Retries EINTR.
+ */
+long tryWrite(int fd, const void *data, std::size_t n, bool &would_block,
+              std::string &err);
 
 /** pollIn() outcomes. */
 enum class PollResult { Readable, Timeout, Aux, Error };

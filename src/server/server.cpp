@@ -4,47 +4,15 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstdio>
 
-#include "server/service.h"
+#include "common/parallel.h"
+#include "server/shard.h"
 #include "server/wire.h"
 #include "telemetry/metrics.h"
-#include "telemetry/spanring.h"
-#include "telemetry/trace.h"
+#include "telemetry/snapshot.h"
 
 namespace bxt::server {
 namespace {
-
-/** Listener/queue instruments (DESIGN.md §10). */
-struct ServerMetrics
-{
-    telemetry::Counter &connections =
-        telemetry::counter("bxt.server.connections");
-    telemetry::Counter &rejectedBusy =
-        telemetry::counter("bxt.server.rejected_busy");
-    telemetry::Gauge &queueDepth =
-        telemetry::gauge("bxt.server.queue_depth");
-    telemetry::Gauge &threads = telemetry::gauge("bxt.server.threads");
-    /** Frames coalesced per read pass. */
-    telemetry::Histo &batchSize =
-        telemetry::histogram("bxt.server.batch_size");
-    /**
-     * Whole request lifecycle, microseconds: last socket feed that
-     * completed the frame to response bytes written. Recorded here in
-     * the connection layer — not the Service — so parse-error replies
-     * and busy rejections are measured too, and so the value telescopes
-     * exactly to the per-phase spans (DESIGN.md §9).
-     */
-    telemetry::Histo &requestUs =
-        telemetry::histogram("bxt.server.request_us");
-};
-
-ServerMetrics &
-serverMetrics()
-{
-    static ServerMetrics *metrics = new ServerMetrics();
-    return *metrics;
-}
 
 /** Best-effort: send one frame and ignore failures (peer may be gone). */
 void
@@ -53,6 +21,37 @@ sendFrameBestEffort(int fd, const wire::Frame &frame)
     const std::vector<std::uint8_t> bytes = wire::serializeFrame(frame);
     std::string err;
     net::writeAll(fd, bytes.data(), bytes.size(), err);
+}
+
+/**
+ * Rename hook for the per-shard breakdown merge. Only the
+ * connection-layer instruments the shard event loop itself owns are
+ * broken out — the load-balance signals bxt_top's shard rows read.
+ * The per-stream and per-spec subtrees stay fleet-only: breaking them
+ * out would multiply the snapshot by the shard count, and consumers
+ * that telescope suffix sums (e.g. `*.ones_in` across specs) must not
+ * see a second copy of every leaf.
+ */
+std::string
+shardRename(std::size_t shard_index, const std::string &name)
+{
+    static constexpr const char *breakout[] = {
+        "bxt.server.requests",       "bxt.server.errors",
+        "bxt.server.tx_encoded",     "bxt.server.tx_decoded",
+        "bxt.server.connections",    "bxt.server.rejected_busy",
+        "bxt.server.active_connections", "bxt.server.queue_depth",
+        "bxt.server.threads",        "bxt.server.batch_size",
+        "bxt.server.request_us",
+    };
+    for (const char *keep : breakout) {
+        if (name == keep) {
+            constexpr std::size_t prefix_len =
+                sizeof("bxt.server.") - 1;
+            return "bxt.server.shard." + std::to_string(shard_index) +
+                   "." + name.substr(prefix_len);
+        }
+    }
+    return std::string(); // Skip.
 }
 
 } // namespace
@@ -80,18 +79,50 @@ Server::start(std::string &err)
     stop_read_ = net::UniqueFd(fds[0]);
     stop_write_ = net::UniqueFd(fds[1]);
 
-    if (options_.tcpPort >= 0) {
-        tcp_listener_ =
-            net::listenTcp(options_.tcpHost, options_.tcpPort, err);
-        if (!tcp_listener_.valid())
+    const unsigned shard_count =
+        options_.shards != 0
+            ? options_.shards
+            : (options_.threads != 0 ? options_.threads
+                                     : defaultThreadCount());
+    shards_.reserve(shard_count);
+    for (unsigned i = 0; i < shard_count; ++i)
+        shards_.push_back(std::make_unique<Shard>(i, options_));
+
+    // TCP: shard 0 binds first (resolving port 0 to a concrete
+    // ephemeral port), then every other shard binds the resolved port —
+    // SO_REUSEPORT turns the set of listeners into the kernel-load-
+    // balanced accept slice.
+    int tcp_port = options_.tcpPort;
+    for (auto &shard : shards_) {
+        if (!shard->start(options_.tcpHost, tcp_port, err))
             return false;
-        resolved_tcp_port_ = net::boundTcpPort(tcp_listener_.get());
+        if (tcp_port == 0) {
+            tcp_port = shard->tcpPort();
+            if (tcp_port <= 0) {
+                err = "getsockname: failed to resolve ephemeral port";
+                return false;
+            }
+        }
     }
+    if (tcp_port >= 0)
+        resolved_tcp_port_ = tcp_port;
+
     if (!options_.unixPath.empty()) {
         unix_listener_ = net::listenUnix(options_.unixPath, err);
         if (!unix_listener_.valid())
             return false;
     }
+
+    // The fleet Stats/Snapshot view is served by whichever shard owns
+    // the connection; the provider closes over the Server, which
+    // outlives every shard loop (serve() joins them before returning).
+    for (auto &shard : shards_) {
+        shard->service().setStatsProvider(
+            [this] { return mergedSnapshotJson(); });
+    }
+    telemetry::defaultRegistry()
+        .gauge("bxt.server.shards")
+        .set(static_cast<double>(shards_.size()));
     return true;
 }
 
@@ -106,303 +137,83 @@ Server::requestStop()
         // readable, so the wakeup is never lost.
         [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
     }
+    for (auto &shard : shards_)
+        shard->requestStop();
+}
+
+std::string
+Server::mergedSnapshotJson() const
+{
+    telemetry::Registry merged;
+    // Process-wide instruments first (span ring, bus, pool, codec-layer
+    // counters pinned to the default registry).
+    merged.mergeFrom(telemetry::defaultRegistry());
+    for (const auto &shard : shards_) {
+        // Fleet totals: every shard instrument summed verbatim...
+        merged.mergeFrom(shard->registry());
+        // ...plus the per-shard breakdown under bxt.server.shard.<i>.*,
+        // so totals telescope exactly to the sum of the breakdowns.
+        const std::size_t index = shard->index();
+        merged.mergeFrom(shard->registry(),
+                         [index](const std::string &name) {
+                             return shardRename(index, name);
+                         });
+    }
+    return telemetry::snapshotJson(merged, false);
 }
 
 void
-Server::acceptLoop(int listen_fd)
+Server::unixAcceptLoop()
 {
+    std::size_t next = 0;
     for (;;) {
-        const net::PollResult ready =
-            net::pollIn(listen_fd, stop_read_.get(), -1);
-        if (ready == net::PollResult::Aux || ready == net::PollResult::Error)
+        const net::PollResult ready = net::pollIn(
+            unix_listener_.get(), stop_read_.get(), -1);
+        if (ready == net::PollResult::Aux ||
+            ready == net::PollResult::Error)
             break;
         if (ready != net::PollResult::Readable)
             continue;
-        net::UniqueFd conn(::accept(listen_fd, nullptr, nullptr));
+        net::UniqueFd conn(::accept(unix_listener_.get(), nullptr,
+                                    nullptr));
         if (!conn.valid())
-            continue; // Transient (ECONNABORTED, EINTR); keep accepting.
-
-        bool queued = false;
-        {
-            std::lock_guard<std::mutex> lock(queue_mutex_);
-            if (pending_.size() < options_.maxPending &&
-                !stopping_.load(std::memory_order_relaxed)) {
-                pending_.push_back(std::move(conn));
-                serverMetrics().queueDepth.set(
-                    static_cast<double>(pending_.size()));
-                queued = true;
-            }
-        }
-        if (queued) {
-            serverMetrics().connections.add(1);
-            queue_cv_.notify_one();
-        } else {
-            const bool metrics_on = telemetry::metricsEnabled();
-            const std::uint64_t t_reject =
-                metrics_on ? telemetry::nowMicros() : 0;
-            serverMetrics().rejectedBusy.add(1);
-            sendFrameBestEffort(
-                conn.get(),
-                wire::makeErrorFrame(wire::ErrorCode::Busy,
-                                     "accept queue full; retry later"));
-            // Busy rejections are requests too: charge the reply write
-            // to request_us so overload latency is visible, even though
-            // no frame (hence no trace context) ever existed.
-            if (metrics_on) {
-                serverMetrics().requestUs.record(telemetry::nowMicros() -
-                                                 t_reject);
-            }
-        }
-    }
-    // Wake every worker so shutdown never races a missed notify (the
-    // stop path must not rely on signal-unsafe condition variables).
-    queue_cv_.notify_all();
-}
-
-net::UniqueFd
-Server::popConnection()
-{
-    std::unique_lock<std::mutex> lock(queue_mutex_);
-    queue_cv_.wait(lock, [&] {
-        return !pending_.empty() ||
-               stopping_.load(std::memory_order_relaxed);
-    });
-    if (pending_.empty())
-        return {};
-    net::UniqueFd fd = std::move(pending_.front());
-    pending_.pop_front();
-    serverMetrics().queueDepth.set(static_cast<double>(pending_.size()));
-    return fd;
-}
-
-void
-Server::serveConnection(net::UniqueFd fd)
-{
-    wire::FrameParser parser;
-    Service service;
-    std::vector<std::uint8_t> read_buf(64 * 1024);
-    ServerMetrics &metrics = serverMetrics();
-
-    /**
-     * Per-frame phase timestamps held until the batch write lands, so
-     * every phase span — and the request_us total they telescope to —
-     * ends at the same write-completion instant (DESIGN.md §9):
-     *   queue_wait = tParseStart − tFeed   (buffered, awaiting worker)
-     *   parse      = tParseEnd − tParseStart
-     *   codec      = tHandleEnd − tParseEnd (service dispatch)
-     *   reply      = tWriteEnd − tHandleEnd (serialize + write)
-     *   request    = tWriteEnd − tFeed     (exact sum of the above)
-     */
-    struct PendingSpan
-    {
-        std::uint64_t traceId = 0;
-        std::uint64_t spanId = 0;
-        std::uint64_t tParseStart = 0;
-        std::uint64_t tParseEnd = 0;
-        std::uint64_t tHandleEnd = 0;
-        std::uint8_t opcode = 0;
-        std::uint16_t streamId = 0;
-        std::uint32_t txCount = 0;
-        bool sampled = false;
-    };
-    std::vector<PendingSpan> batch_spans;
-    std::uint64_t t_feed = telemetry::nowMicros();
-
-    bool draining = false;
-    for (;;) {
-        // Serve everything already buffered, coalescing up to maxBatch
-        // frames into one response write.
-        const bool metrics_on = telemetry::metricsEnabled();
-        std::vector<std::uint8_t> out;
-        std::size_t batch = 0;
-        bool close_after_flush = false;
-        batch_spans.clear();
-        while (batch < options_.maxBatch) {
-            const std::uint64_t t_parse_start =
-                metrics_on ? telemetry::nowMicros() : 0;
-            wire::Frame request;
-            wire::WireError parse_err;
-            const wire::FrameParser::Status st =
-                parser.next(request, parse_err);
-            if (st == wire::FrameParser::Status::NeedMore)
-                break;
-            if (st == wire::FrameParser::Status::Bad) {
-                // Framing is untrustworthy after a structural error:
-                // answer with the typed error, then drop the stream.
-                // The reply still charges request_us (an unparseable
-                // frame has no trace context, so no phase spans).
-                const std::vector<std::uint8_t> reply =
-                    wire::serializeFrame(wire::makeErrorFrame(
-                        parse_err.code, parse_err.detail));
-                out.insert(out.end(), reply.begin(), reply.end());
-                close_after_flush = true;
-                if (metrics_on) {
-                    PendingSpan pending;
-                    pending.tParseStart = t_parse_start;
-                    pending.tParseEnd = pending.tHandleEnd =
-                        telemetry::nowMicros();
-                    batch_spans.push_back(pending);
-                }
-                break;
-            }
-            const std::uint64_t t_parse_end =
-                metrics_on ? telemetry::nowMicros() : 0;
-            const wire::Frame response = service.handle(request);
-            const std::uint64_t t_handle_end =
-                metrics_on ? telemetry::nowMicros() : 0;
-            const std::vector<std::uint8_t> reply =
-                wire::serializeFrame(response);
-            out.insert(out.end(), reply.begin(), reply.end());
-            ++batch;
-            if (metrics_on) {
-                PendingSpan pending;
-                pending.traceId = request.traceId;
-                pending.spanId = request.spanId;
-                pending.tParseStart = t_parse_start;
-                pending.tParseEnd = t_parse_end;
-                pending.tHandleEnd = t_handle_end;
-                pending.opcode =
-                    static_cast<std::uint8_t>(request.opcode);
-                pending.streamId = request.streamId;
-                pending.txCount = requestTxCount(request);
-                pending.sampled = request.traceSampled;
-                batch_spans.push_back(pending);
-            }
-        }
-        if (batch > 0)
-            metrics.batchSize.record(batch);
-        if (!out.empty()) {
-            std::string err;
-            if (!net::writeAll(fd.get(), out.data(), out.size(), err))
-                return; // Peer vanished mid-response.
-        }
-        if (metrics_on && !batch_spans.empty()) {
-            const std::uint64_t t_write_end = telemetry::nowMicros();
-            const std::uint32_t tid = telemetry::currentThreadId();
-            for (const PendingSpan &pending : batch_spans) {
-                metrics.requestUs.record(t_write_end - t_feed);
-                if (!pending.sampled || pending.traceId == 0)
-                    continue;
-                telemetry::ServerSpan span;
-                span.traceId = pending.traceId;
-                span.spanId = pending.spanId;
-                span.phase = telemetry::ServerPhase::Request;
-                span.opcode = pending.opcode;
-                span.streamId = pending.streamId;
-                span.tid = tid;
-                span.txCount = pending.txCount;
-                const auto emit = [&span](telemetry::ServerPhase phase,
-                                          std::uint64_t start,
-                                          std::uint64_t end) {
-                    span.phase = phase;
-                    span.startUs = start;
-                    span.durUs = end - start;
-                    telemetry::recordServerSpan(span);
-                };
-                emit(telemetry::ServerPhase::Request, t_feed,
-                     t_write_end);
-                emit(telemetry::ServerPhase::QueueWait, t_feed,
-                     pending.tParseStart);
-                emit(telemetry::ServerPhase::Parse, pending.tParseStart,
-                     pending.tParseEnd);
-                emit(telemetry::ServerPhase::Codec, pending.tParseEnd,
-                     pending.tHandleEnd);
-                emit(telemetry::ServerPhase::Reply, pending.tHandleEnd,
-                     t_write_end);
-            }
-        }
-        if (close_after_flush)
-            return;
-        if (batch == options_.maxBatch)
-            continue; // More frames may already be buffered.
-        if (draining)
-            return; // Buffered frames served; drain complete.
-
-        const net::PollResult ready = net::pollIn(
-            fd.get(), stop_read_.get(), options_.idleTimeoutMs);
-        if (ready == net::PollResult::Timeout ||
-            ready == net::PollResult::Error) {
-            return;
-        }
-        if (ready == net::PollResult::Aux) {
-            // Graceful drain: serve whatever is already buffered on this
-            // connection, then close without reading more.
-            draining = true;
-            continue;
-        }
-        std::string err;
-        const long n = net::readSome(fd.get(), read_buf.data(),
-                                     read_buf.size(), err);
-        if (n <= 0)
-            return; // EOF or socket error.
-        parser.feed(read_buf.data(), static_cast<std::size_t>(n));
-        t_feed = telemetry::nowMicros(); // Request clock starts here.
-    }
-}
-
-void
-Server::workerLoop()
-{
-    for (;;) {
-        net::UniqueFd conn = popConnection();
-        if (!conn.valid()) {
-            if (stopping_.load(std::memory_order_relaxed))
-                return;
-            continue; // Spurious empty pop; wait again.
-        }
+            continue; // Transient (ECONNABORTED, EINTR); keep going.
         if (stopping_.load(std::memory_order_relaxed)) {
-            // Accepted but never served: tell the peer we are going away
-            // rather than silently dropping the connection.
             sendFrameBestEffort(
                 conn.get(),
                 wire::makeErrorFrame(wire::ErrorCode::ShuttingDown,
                                      "server is draining"));
             continue;
         }
-        serveConnection(std::move(conn));
+        // Round-robin handoff: the acceptor never serves, so a stalled
+        // shard delays only its own inbox.
+        shards_[next % shards_.size()]->enqueue(std::move(conn));
+        ++next;
     }
 }
 
 void
 Server::serve()
 {
-    if (tcp_listener_.valid()) {
-        acceptors_.emplace_back(
-            [this, fd = tcp_listener_.get()] { acceptLoop(fd); });
-    }
-    if (unix_listener_.valid()) {
-        acceptors_.emplace_back(
-            [this, fd = unix_listener_.get()] { acceptLoop(fd); });
-    }
+    if (unix_listener_.valid())
+        unix_acceptor_ = std::thread([this] { unixAcceptLoop(); });
 
-    const unsigned threads =
-        options_.threads == 0 ? defaultThreadCount() : options_.threads;
-    serverMetrics().threads.set(static_cast<double>(threads));
-    ThreadPool pool(threads);
-    // Each index is one worker loop that blocks until shutdown; with
-    // count == thread count the pool degrades into a plain worker pool
-    // (the calling thread participates, so serve() blocks here).
-    pool.run(threads, [this](std::size_t) { workerLoop(); });
-
-    for (std::thread &acceptor : acceptors_)
-        acceptor.join();
-    acceptors_.clear();
-
-    // Drain connections that were queued but never claimed by a worker.
-    for (;;) {
-        net::UniqueFd conn;
-        {
-            std::lock_guard<std::mutex> lock(queue_mutex_);
-            if (pending_.empty())
-                break;
-            conn = std::move(pending_.front());
-            pending_.pop_front();
-        }
-        sendFrameBestEffort(
-            conn.get(),
-            wire::makeErrorFrame(wire::ErrorCode::ShuttingDown,
-                                 "server is draining"));
+    // Shards 1..N-1 on dedicated threads; shard 0 on the calling
+    // thread, so serve() blocks until the stop request.
+    for (std::size_t i = 1; i < shards_.size(); ++i) {
+        shard_threads_.emplace_back(
+            [shard = shards_[i].get()] { shard->run(); });
     }
+    if (!shards_.empty())
+        shards_[0]->run();
+
+    // Drain barrier: every shard's run() has answered and flushed its
+    // in-flight work before serve() returns.
+    for (std::thread &t : shard_threads_)
+        t.join();
+    shard_threads_.clear();
+    if (unix_acceptor_.joinable())
+        unix_acceptor_.join();
 
     // The drain is complete; remove the Unix socket path now so a caller
     // that observes serve() returning sees no stale socket file. The

@@ -1,43 +1,47 @@
 /**
  * @file
- * The bxtd server: listeners (TCP and/or Unix-domain), a bounded queue of
- * accepted connections, and a worker pool (bxt::ThreadPool) of
- * frame-serving loops (DESIGN.md §10).
+ * The bxtd server: a fleet of shared-nothing worker shards plus the
+ * thin orchestration around them (DESIGN.md §14).
  *
  * Threading model:
- *  - One acceptor std::thread per listener. Each polls its listen socket
- *    and the stop pipe; accepted connections go into a bounded pending
- *    queue. When the queue is full the acceptor answers with a typed
- *    Busy error frame and closes — backpressure is explicit, never
- *    unbounded buffering.
- *  - `threads` workers run inside ThreadPool::run (the calling thread
- *    participates, so serve() blocks until shutdown). Each worker pops
- *    one connection at a time and serves it to completion: frames are
- *    coalesced up to maxBatch per read pass and their responses written
- *    back in one send.
- *  - requestStop() is async-signal-safe (atomic store + pipe write), so
- *    a SIGTERM handler may call it directly. Shutdown drains gracefully:
- *    in-flight connections finish every frame already buffered, queued
- *    but unserved connections get a ShuttingDown error, then serve()
- *    returns.
+ *  - `shards` worker shards (see shard.h), each a single-threaded
+ *    poll() event loop with its own accept slice, Service (codec +
+ *    adaptive-controller cache), and private telemetry::Registry.
+ *    Shard 0 runs on the thread that calls serve(); the rest get a
+ *    dedicated std::thread each.
+ *  - TCP: every shard binds the same address with SO_REUSEPORT, so the
+ *    kernel spreads connections across shard listeners with no shared
+ *    accept lock.
+ *  - Unix-domain: one Server-owned acceptor thread hands accepted fds
+ *    to shards round-robin through each shard's inbox (mutex + wake
+ *    pipe — the only cross-shard handoff, off the request path).
+ *  - Stats/Snapshot requests are answered by whichever shard owns the
+ *    connection, but the response is fleet-wide: the shard merges every
+ *    shard registry (plus the process-default registry) into totals and
+ *    `bxt.server.shard.<i>.*` breakdowns.
+ *  - requestStop() is async-signal-safe (atomic stores + pipe writes),
+ *    so a SIGTERM handler may call it directly. Shutdown drains
+ *    gracefully on every shard: listeners close first, queued-but-
+ *    unserved connections get a ShuttingDown error, in-flight
+ *    connections have their already-sent frames answered and flushed,
+ *    then serve() joins all shards and returns — the drain barrier.
  */
 
 #ifndef BXT_SERVER_SERVER_H
 #define BXT_SERVER_SERVER_H
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
-#include <deque>
-#include <mutex>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "common/parallel.h"
 #include "server/net.h"
 
 namespace bxt::server {
+
+class Shard;
 
 /** bxtd configuration (tools/bxtd flags map 1:1 onto these). */
 struct ServerOptions
@@ -51,7 +55,16 @@ struct ServerOptions
     /** Unix-domain socket path; empty disables the Unix listener. */
     std::string unixPath;
 
-    /** Worker threads (0 = defaultThreadCount()). */
+    /**
+     * Worker shards (0 = defer to `threads`, then
+     * defaultThreadCount()). Kept distinct from `threads` so callers
+     * that sized a worker pool keep the same parallelism as a shard
+     * count.
+     */
+    unsigned shards = 0;
+
+    /** Legacy worker-thread count; used as the shard count when
+     *  `shards` is 0 (0 = defaultThreadCount()). */
     unsigned threads = 0;
 
     /** Max frames coalesced per connection read pass. */
@@ -60,8 +73,11 @@ struct ServerOptions
     /** Per-connection idle timeout; < 0 waits forever. */
     int idleTimeoutMs = 30000;
 
-    /** Accepted-but-unserved connection bound (0 = reject when no worker
-     *  is immediately available; the Busy-backpressure test uses this). */
+    /**
+     * Per-shard concurrent-connection bound. At the cap a shard still
+     * accepts, answers with a typed Busy error, and closes (0 = reject
+     * every connection; the Busy-backpressure test uses this).
+     */
     std::size_t maxPending = 64;
 };
 
@@ -79,20 +95,22 @@ class Server
     Server &operator=(const Server &) = delete;
 
     /**
-     * Bind listeners and the stop pipe. False + @p err on failure (port
-     * in use, bad path, no listener configured). Does not serve yet.
+     * Create the shards and bind their listeners plus the stop pipe.
+     * False + @p err on failure (port in use, bad path, no listener
+     * configured). Does not serve yet.
      */
     bool start(std::string &err);
 
     /**
-     * Accept and serve until requestStop(). The calling thread becomes
-     * one of the workers; returns after the graceful drain completes.
+     * Accept and serve until requestStop(). The calling thread runs
+     * shard 0's event loop; returns after every shard's graceful drain
+     * completes.
      */
     void serve();
 
     /**
-     * Ask serve() to drain and return. Async-signal-safe: one relaxed
-     * atomic store plus one write() on the stop pipe.
+     * Ask serve() to drain and return. Async-signal-safe: relaxed
+     * atomic stores plus one write() per wake pipe.
      */
     void requestStop();
 
@@ -107,16 +125,21 @@ class Server
 
     const ServerOptions &options() const { return options_; }
 
-  private:
-    void acceptLoop(int listen_fd);
-    void workerLoop();
-    void serveConnection(net::UniqueFd fd);
+    /** Shards actually running (resolved from options after start()). */
+    std::size_t shardCount() const { return shards_.size(); }
 
-    /** Pop one pending connection; invalid fd means "shut down". */
-    net::UniqueFd popConnection();
+    /**
+     * Fleet-wide metrics JSON: every shard registry merged with the
+     * process-default registry into totals, plus per-shard
+     * `bxt.server.shard.<i>.*` breakdowns. This is what Stats/Snapshot
+     * frames return.
+     */
+    std::string mergedSnapshotJson() const;
+
+  private:
+    void unixAcceptLoop();
 
     ServerOptions options_;
-    net::UniqueFd tcp_listener_;
     net::UniqueFd unix_listener_;
     int resolved_tcp_port_ = -1;
 
@@ -124,11 +147,9 @@ class Server
     net::UniqueFd stop_write_;
     std::atomic<bool> stopping_{false};
 
-    std::mutex queue_mutex_;
-    std::condition_variable queue_cv_;
-    std::deque<net::UniqueFd> pending_;
-
-    std::vector<std::thread> acceptors_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<std::thread> shard_threads_;
+    std::thread unix_acceptor_;
 };
 
 } // namespace bxt::server

@@ -19,108 +19,6 @@
 namespace bxt::server {
 namespace {
 
-/**
- * Process-wide service instruments (DESIGN.md §10). Looked up once; the
- * per-spec ones counters are cached per Service entry instead.
- */
-struct ServiceMetrics
-{
-    telemetry::Counter &requests =
-        telemetry::counter("bxt.server.requests");
-    telemetry::Counter &errors = telemetry::counter("bxt.server.errors");
-    telemetry::Counter &txEncoded =
-        telemetry::counter("bxt.server.tx_encoded");
-    telemetry::Counter &txDecoded =
-        telemetry::counter("bxt.server.tx_decoded");
-    // Note: bxt.server.request_us lives in the connection layer
-    // (server.cpp) so its samples cover the whole lifecycle — feed to
-    // reply write — and include busy/parse-error responses.
-};
-
-ServiceMetrics &
-serviceMetrics()
-{
-    static ServiceMetrics *metrics = new ServiceMetrics();
-    return *metrics;
-}
-
-/**
- * Per-stream (tenant) instruments, keyed by the frame's streamId. The
- * references are process-lifetime registry entries; the cache avoids
- * re-building the metric names per tagged request. Stream 0 means
- * untagged and never reaches here.
- *
- * Beyond the telescoping counters, each stream keeps a sliding window
- * of per-request value statistics — the zero-word fraction of the raw
- * input plane and the adjacent-transaction XOR toggle weight — exported
- * as gauges. These are the sensors the planned online adaptive codec
- * selection reads: a high zero fraction favours zdr-style codecs, a low
- * toggle weight favours xor-base codecs (similarity within a
- * transaction stream, the effect the paper exploits).
- */
-struct StreamCounters
-{
-    /** Per-request samples retained in the sliding window. */
-    static constexpr std::size_t windowSize = 64;
-
-    telemetry::Counter &requests;
-    telemetry::Counter &txEncoded;
-    telemetry::Counter &onesIn;
-    telemetry::Counter &onesOut;
-    telemetry::Gauge &windowZeroFrac;
-    telemetry::Gauge &windowXorWeight;
-
-    explicit StreamCounters(const std::string &base)
-        : requests(telemetry::counter(base + ".requests")),
-          txEncoded(telemetry::counter(base + ".tx_encoded")),
-          onesIn(telemetry::counter(base + ".ones_in")),
-          onesOut(telemetry::counter(base + ".ones_out")),
-          windowZeroFrac(telemetry::gauge(base + ".window_zero_frac")),
-          windowXorWeight(telemetry::gauge(base + ".window_xor_weight"))
-    {
-    }
-
-    std::mutex windowMutex;
-    std::array<double, windowSize> zeroFrac{};
-    std::array<double, windowSize> xorWeight{};
-    std::size_t windowNext = 0;
-    std::size_t windowCount = 0;
-
-    /** Push one request's samples and refresh the windowed gauges. */
-    void observe(double zero_frac, double xor_weight)
-    {
-        std::lock_guard<std::mutex> lock(windowMutex);
-        zeroFrac[windowNext] = zero_frac;
-        xorWeight[windowNext] = xor_weight;
-        windowNext = (windowNext + 1) % windowSize;
-        windowCount = std::min(windowCount + 1, windowSize);
-        double zero_sum = 0.0;
-        double xor_sum = 0.0;
-        for (std::size_t i = 0; i < windowCount; ++i) {
-            zero_sum += zeroFrac[i];
-            xor_sum += xorWeight[i];
-        }
-        const double n = static_cast<double>(windowCount);
-        windowZeroFrac.set(zero_sum / n);
-        windowXorWeight.set(xor_sum / n);
-    }
-};
-
-StreamCounters &
-streamCounters(std::uint16_t stream_id)
-{
-    static std::mutex mutex;
-    static std::map<std::uint16_t, StreamCounters *> cache;
-    std::lock_guard<std::mutex> lock(mutex);
-    auto it = cache.find(stream_id);
-    if (it == cache.end()) {
-        const std::string base =
-            "bxt.server.stream." + std::to_string(stream_id);
-        it = cache.emplace(stream_id, new StreamCounters(base)).first;
-    }
-    return *it->second;
-}
-
 /** Fraction of zero 32-bit words in @p data (1.0 for an empty plane). */
 double
 zeroWordFraction(const std::uint8_t *data, std::size_t bytes)
@@ -198,14 +96,67 @@ unpackMeta(const std::uint8_t *packed, std::span<std::uint8_t> bits)
         bits[j] = (packed[j / 8] >> (j % 8)) & 1u;
 }
 
-wire::Frame
-errorResponse(wire::ErrorCode code, const std::string &detail)
+} // namespace
+
+Service::Service(telemetry::Registry *registry)
+    : reg_(registry != nullptr ? *registry : telemetry::currentRegistry()),
+      requests_(reg_.counter("bxt.server.requests")),
+      errors_(reg_.counter("bxt.server.errors")),
+      txEncoded_(reg_.counter("bxt.server.tx_encoded")),
+      txDecoded_(reg_.counter("bxt.server.tx_decoded"))
 {
-    serviceMetrics().errors.add(1);
-    return wire::makeErrorFrame(code, detail);
 }
 
-} // namespace
+Service::StreamCounters::StreamCounters(telemetry::Registry &reg,
+                                        const std::string &base)
+    : requests(reg.counter(base + ".requests")),
+      txEncoded(reg.counter(base + ".tx_encoded")),
+      onesIn(reg.counter(base + ".ones_in")),
+      onesOut(reg.counter(base + ".ones_out")),
+      windowZeroFrac(reg.gauge(base + ".window_zero_frac")),
+      windowXorWeight(reg.gauge(base + ".window_xor_weight"))
+{
+}
+
+void
+Service::StreamCounters::observe(double zero_frac, double xor_weight)
+{
+    zeroFrac[windowNext] = zero_frac;
+    xorWeight[windowNext] = xor_weight;
+    windowNext = (windowNext + 1) % windowSize;
+    windowCount = std::min(windowCount + 1, windowSize);
+    double zero_sum = 0.0;
+    double xor_sum = 0.0;
+    for (std::size_t i = 0; i < windowCount; ++i) {
+        zero_sum += zeroFrac[i];
+        xor_sum += xorWeight[i];
+    }
+    const double n = static_cast<double>(windowCount);
+    windowZeroFrac.set(zero_sum / n);
+    windowXorWeight.set(xor_sum / n);
+}
+
+Service::StreamCounters &
+Service::streamCounters(std::uint16_t stream_id)
+{
+    auto it = streams_.find(stream_id);
+    if (it == streams_.end()) {
+        const std::string base =
+            "bxt.server.stream." + std::to_string(stream_id);
+        it = streams_
+                 .emplace(stream_id,
+                          std::make_unique<StreamCounters>(reg_, base))
+                 .first;
+    }
+    return *it->second;
+}
+
+wire::Frame
+Service::errorResponse(wire::ErrorCode code, const std::string &detail)
+{
+    errors_.add(1);
+    return wire::makeErrorFrame(code, detail);
+}
 
 std::string
 validateGeometry(std::uint32_t tx_bytes, std::uint32_t bus_bits)
@@ -270,10 +221,10 @@ Service::announceAdaptive(Entry &entry, std::uint16_t stream_id,
         return;
     const std::string base = "bxt.server.stream." +
                              std::to_string(stream_id) + ".adaptive";
-    telemetry::gauge(base + ".epoch")
+    reg_.gauge(base + ".epoch")
         .set(static_cast<double>(controller.epoch()));
     if (controller.epoch() > entry.lastEpoch) {
-        telemetry::counter(base + ".switches")
+        reg_.counter(base + ".switches")
             .add(controller.epoch() - entry.lastEpoch);
         entry.lastEpoch = controller.epoch();
     }
@@ -282,8 +233,8 @@ Service::announceAdaptive(Entry &entry, std::uint16_t stream_id,
         telemetry::sanitizeMetricName(controller.activeSpec());
     if (choice != entry.lastChoiceMetric) {
         if (!entry.lastChoiceMetric.empty())
-            telemetry::gauge(entry.lastChoiceMetric).set(0.0);
-        telemetry::gauge(choice).set(1.0);
+            reg_.gauge(entry.lastChoiceMetric).set(0.0);
+        reg_.gauge(choice).set(1.0);
         entry.lastChoiceMetric = choice;
     }
 }
@@ -370,14 +321,13 @@ Service::handleEncode(const wire::Frame &request)
     response.body = writer.take();
 
     if (telemetry::metricsEnabled()) {
-        serviceMetrics().txEncoded.add(count);
+        txEncoded_.add(count);
         const std::string base =
             "bxt.server." + telemetry::sanitizeMetricName(request.spec);
-        telemetry::counter(base + ".ones_in").add(input_ones);
-        telemetry::counter(base + ".ones_out")
-            .add(payload_ones + meta_ones);
+        reg_.counter(base + ".ones_in").add(input_ones);
+        reg_.counter(base + ".ones_out").add(payload_ones + meta_ones);
         const std::uint64_t out = payload_ones + meta_ones;
-        telemetry::counter(base + ".ones_removed")
+        reg_.counter(base + ".ones_removed")
             .add(input_ones > out ? input_ones - out : 0);
         // Per-tenant accounting: stream-tagged encodes telescope to the
         // aggregate counters (sum over streams == bxt.server.tx_encoded
@@ -477,7 +427,7 @@ Service::handleDecode(const wire::Frame &request)
     response.body = writer.take();
 
     if (telemetry::metricsEnabled())
-        serviceMetrics().txDecoded.add(count);
+        txDecoded_.add(count);
     if (entry->adaptive != nullptr)
         announceAdaptive(*entry, request.streamId, response);
     return response;
@@ -488,7 +438,11 @@ Service::handleStats()
 {
     wire::Frame response;
     response.opcode = wire::Opcode::Stats;
-    const std::string snapshot = telemetry::snapshotJson(false);
+    // The provider is the fleet-wide merged view when sharded; a bare
+    // Service answers from its own registry.
+    const std::string snapshot = stats_provider_
+                                     ? stats_provider_()
+                                     : telemetry::snapshotJson(reg_, false);
     response.body.assign(snapshot.begin(), snapshot.end());
     return response;
 }
@@ -504,7 +458,9 @@ Service::handleSnapshot()
     JsonWriter w(false);
     w.beginObject();
     w.kv("uptime_us", telemetry::nowMicros());
-    w.kvRaw("metrics", telemetry::snapshotJson(false));
+    w.kvRaw("metrics", stats_provider_
+                           ? stats_provider_()
+                           : telemetry::snapshotJson(reg_, false));
     w.endObject();
     const std::string body = w.str();
     response.body.assign(body.begin(), body.end());
@@ -514,8 +470,7 @@ Service::handleSnapshot()
 wire::Frame
 Service::handle(const wire::Frame &request)
 {
-    ServiceMetrics &metrics = serviceMetrics();
-    metrics.requests.add(1);
+    requests_.add(1);
     const bool metrics_on = telemetry::metricsEnabled();
     if (metrics_on && request.streamId != 0)
         streamCounters(request.streamId).requests.add(1);

@@ -4,46 +4,68 @@
  * frame, independent of any socket, so the loopback tests and the frame
  * fuzzer can drive the full dispatch path in-process.
  *
- * A Service instance is per-connection state: it caches one codec (plus
- * allocation-free scratch batches) per (spec, txBytes, busBits) it has
- * seen, so a connection streaming one spec pays codec construction once
- * and every request body runs through the batch hot path — the frame's
- * transactions become one TxBatch and one encodeBatch/decodeBatch call.
- * Stateful codecs (bd) therefore behave like one side of a channel per
- * connection: requests on the same connection share repository history,
- * exactly like transactions sharing a link (batch kernels advance state
- * in batch order, identical to the scalar loop).
+ * A Service instance is per-shard state (DESIGN.md §14): it caches one
+ * codec (plus allocation-free scratch batches) per (spec, txBytes,
+ * busBits) it has seen, so a shard streaming one spec pays codec
+ * construction once and every request body runs through the batch hot
+ * path — the frame's transactions become one TxBatch and one
+ * encodeBatch/decodeBatch call. Adaptive specs key their entry by
+ * streamId as well, so every stream runs its own controller. A Service
+ * is single-threaded: one shard event loop (or one test) drives it.
+ *
+ * All instruments resolve against the registry bound at construction —
+ * a shard passes its private registry; the default constructor binds
+ * the calling thread's current registry, so socket-free tests see the
+ * process-wide instruments unchanged.
  */
 
 #ifndef BXT_SERVER_SERVICE_H
 #define BXT_SERVER_SERVICE_H
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <tuple>
 
 #include "adaptive/adaptive_codec.h"
 #include "core/codec.h"
 #include "server/wire.h"
+#include "telemetry/metrics.h"
 
 namespace bxt::server {
 
 /**
- * Per-connection request dispatcher. handle() never throws and never
+ * Per-shard request dispatcher. handle() never throws and never
  * calls fatal(): every failure becomes a typed Error frame.
  */
 class Service
 {
   public:
-    Service() = default;
+    /** Bind instruments to @p registry (null = currentRegistry()). */
+    explicit Service(telemetry::Registry *registry = nullptr);
 
     /** Process one request frame; returns the response frame. */
     wire::Frame handle(const wire::Frame &request);
 
     /** Codec instances cached so far (test/diagnostic hook). */
     std::size_t cachedCodecs() const { return codecs_.size(); }
+
+    /**
+     * Install the document source for Stats/Snapshot responses: a
+     * callable returning the metrics JSON object. The sharded server
+     * installs the fleet-wide merge (all shard registries unioned with
+     * `bxt.server.shard.<i>.*` breakdowns); without one, the service
+     * snapshots its own registry — the single-registry behavior the
+     * socket-free tests pin.
+     */
+    void setStatsProvider(std::function<std::string()> provider)
+    {
+        stats_provider_ = std::move(provider);
+    }
 
   private:
     struct Entry
@@ -71,10 +93,44 @@ class Service
     using Key = std::tuple<std::string, std::uint32_t, std::uint32_t,
                            std::uint16_t>;
 
+    /**
+     * Per-stream (tenant) instruments, keyed by the frame's streamId.
+     * Beyond the telescoping counters, each stream keeps a sliding
+     * window of per-request value statistics — the zero-word fraction
+     * of the raw input plane and the adjacent-transaction XOR toggle
+     * weight — exported as gauges: the sensors the adaptive controller
+     * cost model reads (DESIGN.md §13).
+     */
+    struct StreamCounters
+    {
+        /** Per-request samples retained in the sliding window. */
+        static constexpr std::size_t windowSize = 64;
+
+        telemetry::Counter &requests;
+        telemetry::Counter &txEncoded;
+        telemetry::Counter &onesIn;
+        telemetry::Counter &onesOut;
+        telemetry::Gauge &windowZeroFrac;
+        telemetry::Gauge &windowXorWeight;
+
+        StreamCounters(telemetry::Registry &reg, const std::string &base);
+
+        std::array<double, windowSize> zeroFrac{};
+        std::array<double, windowSize> xorWeight{};
+        std::size_t windowNext = 0;
+        std::size_t windowCount = 0;
+
+        /** Push one request's samples; refresh the windowed gauges. */
+        void observe(double zero_frac, double xor_weight);
+    };
+
     wire::Frame handleEncode(const wire::Frame &request);
     wire::Frame handleDecode(const wire::Frame &request);
     wire::Frame handleStats();
     wire::Frame handleSnapshot();
+    wire::Frame errorResponse(wire::ErrorCode code,
+                              const std::string &detail);
+    StreamCounters &streamCounters(std::uint16_t stream_id);
 
     /**
      * Look up / build the codec for (spec, txBytes, busBits) — plus
@@ -91,7 +147,17 @@ class Service
     void announceAdaptive(Entry &entry, std::uint16_t stream_id,
                           wire::Frame &response);
 
+    telemetry::Registry &reg_;
+    telemetry::Counter &requests_;
+    telemetry::Counter &errors_;
+    telemetry::Counter &txEncoded_;
+    telemetry::Counter &txDecoded_;
+    // Note: bxt.server.request_us lives in the connection layer
+    // (shard.cpp) so its samples cover the whole lifecycle — feed to
+    // reply write — and include busy/parse-error responses.
     std::map<Key, Entry> codecs_;
+    std::map<std::uint16_t, std::unique_ptr<StreamCounters>> streams_;
+    std::function<std::string()> stats_provider_;
 };
 
 /**

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * One shared-nothing bxtd worker shard (DESIGN.md §14). A shard owns:
+ *
+ *  - an accept slice: its own SO_REUSEPORT TCP listener (the kernel
+ *    load-balances connections across shard listeners) and/or an inbox
+ *    of connections handed off round-robin by the server's Unix-domain
+ *    acceptor;
+ *  - a poll()-based event loop driving every connection it accepted as
+ *    a nonblocking socket — reads feed a per-connection FrameParser,
+ *    responses queue in a per-connection output buffer flushed under
+ *    POLLOUT, so a slow client stalls only its own buffer, never the
+ *    shard;
+ *  - one Service (codec + adaptive-controller cache keyed by spec,
+ *    geometry, and streamId) shared by the shard's connections;
+ *  - a private telemetry::Registry the event-loop thread installs via
+ *    ScopedRegistry, so every instrument the request path touches is
+ *    shard-local. The server merges shard registries on Stats/Snapshot
+ *    into fleet totals plus `bxt.server.shard.<i>.*` breakdowns.
+ *
+ * Nothing is shared between shards: no locks, no pools, no common
+ * caches — a hot spec, a slow client, or an adaptive re-evaluation on
+ * one shard cannot serialize another. The only cross-shard touchpoints
+ * are the wake pipe (stop requests, inbox handoffs) and the
+ * merge-on-Stats read path, both off the request hot path.
+ */
+
+#ifndef BXT_SERVER_SHARD_H
+#define BXT_SERVER_SHARD_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "server/net.h"
+#include "server/service.h"
+#include "server/wire.h"
+#include "telemetry/metrics.h"
+
+namespace bxt::server {
+
+struct ServerOptions;
+
+/**
+ * One worker shard. Lifecycle: construct, optionally adopt a TCP
+ * listener (start()), then run() on a dedicated thread until
+ * requestStop(); run() returns after the shard's graceful drain.
+ */
+class Shard
+{
+  public:
+    /** @p options is owned by the Server and outlives the shard. */
+    Shard(std::size_t index, const ServerOptions &options);
+    ~Shard();
+
+    Shard(const Shard &) = delete;
+    Shard &operator=(const Shard &) = delete;
+
+    /**
+     * Create the wake pipe and, when @p tcp_port >= 0, bind this
+     * shard's SO_REUSEPORT accept slice on @p tcp_host:@p tcp_port.
+     */
+    bool start(const std::string &tcp_host, int tcp_port,
+               std::string &err);
+
+    /**
+     * The event loop: accepts, reads, serves, and flushes until
+     * requestStop(), then drains — listener closed first, in-flight
+     * connections get one final read sweep, every complete buffered
+     * frame is answered and flushed, then everything closes.
+     */
+    void run();
+
+    /** Async-signal-safe stop: one byte on the wake pipe. */
+    void requestStop();
+
+    /**
+     * Hand off an accepted connection (round-robin Unix accepts).
+     * Thread-safe; never blocks the acceptor on shard progress.
+     */
+    void enqueue(net::UniqueFd fd);
+
+    std::size_t index() const { return index_; }
+    telemetry::Registry &registry() { return registry_; }
+    const telemetry::Registry &registry() const { return registry_; }
+    Service &service() { return service_; }
+
+    /** Resolved port of this shard's TCP listener (-1 when none). */
+    int tcpPort() const;
+
+  private:
+    struct Conn;
+
+    void adoptConnection(net::UniqueFd fd);
+    void acceptReady();
+    void drainInbox(bool shutting_down);
+    /** Read until EAGAIN/EOF; false = connection is gone. */
+    bool readReady(Conn &conn);
+    /** Serve every complete buffered frame; false = close conn. */
+    bool processFrames(Conn &conn);
+    /** Nonblocking flush pass; false = connection is gone. */
+    bool flushOut(Conn &conn);
+    void closeConn(std::size_t at);
+    void drainAndClose(Conn &conn);
+    void refreshGauges();
+
+    const std::size_t index_;
+    const ServerOptions &options_;
+
+    // Destruction order matters: the registry must outlive the Service
+    // and the instrument references below, so it is declared first.
+    telemetry::Registry registry_;
+    Service service_;
+
+    telemetry::Counter &connections_;
+    telemetry::Counter &rejectedBusy_;
+    telemetry::Gauge &activeConns_;
+    telemetry::Gauge &queueDepth_;
+    telemetry::Gauge &threads_;
+    telemetry::Histo &batchSize_;
+    telemetry::Histo &requestUs_;
+
+    net::UniqueFd listener_;
+    net::UniqueFd wake_read_;
+    net::UniqueFd wake_write_;
+    std::atomic<bool> stopping_{false};
+
+    std::mutex inbox_mutex_;
+    std::deque<net::UniqueFd> inbox_;
+
+    std::vector<std::unique_ptr<Conn>> conns_;
+};
+
+} // namespace bxt::server
+
+#endif // BXT_SERVER_SHARD_H

@@ -30,28 +30,36 @@ std::atomic<bool> metricsOn{envEnabled("BXT_METRICS")};
 
 namespace {
 
-/**
- * The process-wide registry. std::map keeps instruments name-sorted so
- * snapshots are deterministic; unique_ptr keeps instrument addresses
- * stable across rehash-free inserts (call sites cache references).
- */
-struct Registry
-{
-    std::mutex mutex;
-    std::map<std::string, std::unique_ptr<Counter>> counters;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges;
-    std::map<std::string, std::unique_ptr<Histo>> histos;
-};
+/** Innermost ScopedRegistry on this thread (null = default registry). */
+thread_local Registry *t_currentRegistry = nullptr;
+
+} // namespace
 
 Registry &
-registry()
+defaultRegistry()
 {
     static Registry *instance = new Registry(); // Never destroyed:
     // instruments may be touched from atexit trace flushing.
     return *instance;
 }
 
-} // namespace
+Registry &
+currentRegistry()
+{
+    Registry *reg = t_currentRegistry;
+    return reg != nullptr ? *reg : defaultRegistry();
+}
+
+ScopedRegistry::ScopedRegistry(Registry &registry)
+    : previous_(t_currentRegistry)
+{
+    t_currentRegistry = &registry;
+}
+
+ScopedRegistry::~ScopedRegistry()
+{
+    t_currentRegistry = previous_;
+}
 
 void
 setMetricsEnabled(bool on)
@@ -99,6 +107,36 @@ Histo::quantile(double q) const
 }
 
 void
+Histo::mergeFrom(const Histo &other)
+{
+    if (other.total() == 0)
+        return; // An empty histogram carries sentinel min/max.
+    for (std::size_t i = 0; i < numBuckets; ++i) {
+        const std::uint64_t c = other.bucketCount(i);
+        if (c > 0)
+            counts_[i].fetch_add(c, std::memory_order_relaxed);
+    }
+    total_.fetch_add(other.total_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    const std::uint64_t other_min =
+        other.min_.load(std::memory_order_relaxed);
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (other_min < cur &&
+           !min_.compare_exchange_weak(cur, other_min,
+                                       std::memory_order_relaxed)) {
+    }
+    const std::uint64_t other_max =
+        other.max_.load(std::memory_order_relaxed);
+    cur = max_.load(std::memory_order_relaxed);
+    while (other_max > cur &&
+           !max_.compare_exchange_weak(cur, other_max,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+void
 Histo::reset()
 {
     for (auto &count : counts_)
@@ -131,78 +169,154 @@ sanitizeMetricName(const std::string &text)
 }
 
 Counter &
-counter(const std::string &name)
+Registry::counter(const std::string &name)
 {
-    Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
-    auto &slot = reg.counters[name];
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
     if (slot == nullptr)
         slot = std::make_unique<Counter>(name);
     return *slot;
 }
 
 Gauge &
-gauge(const std::string &name)
+Registry::gauge(const std::string &name)
 {
-    Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
-    auto &slot = reg.gauges[name];
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
     if (slot == nullptr)
         slot = std::make_unique<Gauge>(name);
     return *slot;
 }
 
 Histo &
-histogram(const std::string &name)
+Registry::histogram(const std::string &name)
 {
-    Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
-    auto &slot = reg.histos[name];
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histos_[name];
     if (slot == nullptr)
         slot = std::make_unique<Histo>(name);
     return *slot;
 }
 
 void
+Registry::forEachCounter(
+    const std::function<void(const Counter &)> &fn) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, instrument] : counters_)
+        fn(*instrument);
+}
+
+void
+Registry::forEachGauge(const std::function<void(const Gauge &)> &fn) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, instrument] : gauges_)
+        fn(*instrument);
+}
+
+void
+Registry::forEachHisto(const std::function<void(const Histo &)> &fn) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, instrument] : histos_)
+        fn(*instrument);
+}
+
+void
+Registry::mergeFrom(
+    const Registry &other,
+    const std::function<std::string(const std::string &)> &rename)
+{
+    // Never hold both registry mutexes at once (merge sources may be
+    // concurrently recording); snapshot the source instrument pointers
+    // under its lock, then fold them in. Source instruments cannot die
+    // mid-merge: registries only drop instruments on destruction, and
+    // the merging caller owns a reference to the source.
+    const auto mapped = [&rename](const std::string &name) {
+        return rename ? rename(name) : name;
+    };
+    std::vector<const Counter *> counters;
+    std::vector<const Gauge *> gauges;
+    std::vector<const Histo *> histos;
+    {
+        std::lock_guard<std::mutex> lock(other.mutex_);
+        for (const auto &[name, instrument] : other.counters_)
+            counters.push_back(instrument.get());
+        for (const auto &[name, instrument] : other.gauges_)
+            gauges.push_back(instrument.get());
+        for (const auto &[name, instrument] : other.histos_)
+            histos.push_back(instrument.get());
+    }
+    for (const Counter *src : counters) {
+        const std::string name = mapped(src->name());
+        if (!name.empty())
+            counter(name).mergeAdd(src->value());
+    }
+    for (const Gauge *src : gauges) {
+        const std::string name = mapped(src->name());
+        if (!name.empty())
+            gauge(name).mergeAdd(src->value());
+    }
+    for (const Histo *src : histos) {
+        const std::string name = mapped(src->name());
+        if (!name.empty())
+            histogram(name).mergeFrom(*src);
+    }
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, instrument] : counters_)
+        instrument->reset();
+    for (auto &[name, instrument] : gauges_)
+        instrument->reset();
+    for (auto &[name, instrument] : histos_)
+        instrument->reset();
+}
+
+Counter &
+counter(const std::string &name)
+{
+    return currentRegistry().counter(name);
+}
+
+Gauge &
+gauge(const std::string &name)
+{
+    return currentRegistry().gauge(name);
+}
+
+Histo &
+histogram(const std::string &name)
+{
+    return currentRegistry().histogram(name);
+}
+
+void
 forEachCounter(const std::function<void(const Counter &)> &fn)
 {
-    Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
-    for (const auto &[name, instrument] : reg.counters)
-        fn(*instrument);
+    currentRegistry().forEachCounter(fn);
 }
 
 void
 forEachGauge(const std::function<void(const Gauge &)> &fn)
 {
-    Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
-    for (const auto &[name, instrument] : reg.gauges)
-        fn(*instrument);
+    currentRegistry().forEachGauge(fn);
 }
 
 void
 forEachHisto(const std::function<void(const Histo &)> &fn)
 {
-    Registry &reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
-    for (const auto &[name, instrument] : reg.histos)
-        fn(*instrument);
+    currentRegistry().forEachHisto(fn);
 }
 
 void
 resetForTest()
 {
-    Registry &reg = registry();
-    {
-        std::lock_guard<std::mutex> lock(reg.mutex);
-        for (auto &[name, instrument] : reg.counters)
-            instrument->reset();
-        for (auto &[name, instrument] : reg.gauges)
-            instrument->reset();
-        for (auto &[name, instrument] : reg.histos)
-            instrument->reset();
-    }
+    defaultRegistry().reset();
     clearTraceBuffer();
     clearServerSpans();
 }

@@ -1,8 +1,20 @@
 /**
  * @file
- * Process-wide, thread-safe metrics registry: monotonic counters, gauges,
- * and log-bucketed HDR-style histograms, addressed by hierarchical names
+ * Thread-safe metrics registries: monotonic counters, gauges, and
+ * log-bucketed HDR-style histograms, addressed by hierarchical names
  * following the `bxt.<layer>.<name>` convention (DESIGN.md §9).
+ *
+ * Registries are instantiable (DESIGN.md §14): the process keeps one
+ * `defaultRegistry()`, and subsystems that want isolated instrument sets
+ * — the bxtd shards, each owning a private registry merged on Stats —
+ * construct their own `Registry` and install it per-thread with
+ * `ScopedRegistry`. The free `counter()/gauge()/histogram()` lookups and
+ * the `forEach*` visitors resolve against `currentRegistry()` (the
+ * thread's installed registry, falling back to the default), so existing
+ * instrumentation call sites transparently record into whichever
+ * registry owns the calling thread. Registries of the same shape merge
+ * instrument-wise (`Registry::mergeFrom`): counters and gauges add,
+ * histograms sum their sparse HDR buckets bucket-wise.
  *
  * Zero-cost-when-off contract: instrumentation is compiled in
  * unconditionally but gated behind `metricsEnabled()` — a single relaxed
@@ -19,7 +31,9 @@
 #include <bit>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -49,8 +63,10 @@ metricsEnabled()
 void setMetricsEnabled(bool on);
 
 /**
- * Zero every registered instrument and clear the span buffer. Registered
- * instruments stay registered (call sites hold references). Test-only.
+ * Zero every instrument of the default registry and clear the span and
+ * trace buffers. Registered instruments stay registered (call sites
+ * hold references). Shard-private registries are untouched — they die
+ * with their owner. Test-only.
  */
 void resetForTest();
 
@@ -79,6 +95,12 @@ class Counter
         return value_.load(std::memory_order_relaxed);
     }
 
+    /** Ungated add for registry merging (export path, not hot path). */
+    void mergeAdd(std::uint64_t n)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
     const std::string &name() const { return name_; }
     void reset() { value_.store(0, std::memory_order_relaxed); }
 
@@ -101,6 +123,20 @@ class Gauge
     }
 
     double value() const { return value_.load(std::memory_order_relaxed); }
+
+    /**
+     * Ungated accumulate for registry merging: shard gauges add on
+     * merge (active connections sum to fleet totals; see DESIGN.md §14
+     * for the stale-per-stream-gauge caveat).
+     */
+    void mergeAdd(double v)
+    {
+        double cur = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(cur, cur + v,
+                                             std::memory_order_relaxed)) {
+        }
+    }
+
     const std::string &name() const { return name_; }
     void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
@@ -237,6 +273,16 @@ class Histo
      */
     double quantile(double q) const;
 
+    /**
+     * Fold @p other into this histogram: sparse HDR buckets sum
+     * bucket-wise (never concatenate — both sides share the fixed
+     * bucket geometry), totals and sums add, min/max widen. Quantiles
+     * of the merged histogram match a histogram that recorded both
+     * sample sets directly (the shard-merge invariant pinned by
+     * tests/test_telemetry.cpp).
+     */
+    void mergeFrom(const Histo &other);
+
     void reset();
 
   private:
@@ -249,14 +295,104 @@ class Histo
 };
 
 /**
- * Look up or create an instrument by name. References stay valid for the
- * process lifetime; hot paths call once and cache.
+ * One instrument set: name-sorted maps of counters, gauges, and
+ * histograms behind a registration mutex. std::map keeps snapshots
+ * deterministic; unique_ptr keeps instrument addresses stable so call
+ * sites may cache references for the registry's lifetime.
+ *
+ * The process-wide `defaultRegistry()` lives forever; additional
+ * registries (one per bxtd shard) are plain objects whose instruments
+ * die with them — holders of cached references must not outlive the
+ * registry that issued them.
+ */
+class Registry
+{
+  public:
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /**
+     * Look up or create an instrument. References stay valid for the
+     * registry's lifetime; hot paths call once and cache.
+     */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histo &histogram(const std::string &name);
+
+    /** Visit every instrument in name order (snapshot export). */
+    void forEachCounter(const std::function<void(const Counter &)> &fn) const;
+    void forEachGauge(const std::function<void(const Gauge &)> &fn) const;
+    void forEachHisto(const std::function<void(const Histo &)> &fn) const;
+
+    /**
+     * Fold every instrument of @p other into this registry: counters
+     * and gauges add onto the same-named instrument here (creating it
+     * if absent), histograms merge bucket-wise (Histo::mergeFrom).
+     * @p rename, when non-null, maps each source name to the
+     * destination name — returning an empty string skips the
+     * instrument. This is the Stats/Snapshot union: bxtd merges its
+     * shard registries into a scratch registry, once verbatim for
+     * fleet totals and once renamed under `bxt.server.shard.<i>.*`
+     * for the per-shard breakdown.
+     *
+     * Safe against concurrent recording into @p other (instrument
+     * reads are relaxed atomics), but not against concurrent
+     * mutation of this registry; merge targets are expected private.
+     */
+    void mergeFrom(
+        const Registry &other,
+        const std::function<std::string(const std::string &)> &rename =
+            nullptr);
+
+    /** Zero every instrument (registrations persist). */
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histo>> histos_;
+};
+
+/** The process-wide registry (never destroyed). */
+Registry &defaultRegistry();
+
+/**
+ * The registry the calling thread records into: the innermost
+ * ScopedRegistry installed on this thread, or defaultRegistry().
+ */
+Registry &currentRegistry();
+
+/**
+ * RAII thread-local registry override. A bxtd shard thread installs its
+ * private registry at the top of its event loop, so every free-function
+ * lookup below — including the ones buried in codec and service
+ * instrumentation — lands in the shard's registry for the scope's
+ * lifetime. Nests; restores the previous override on destruction.
+ */
+class ScopedRegistry
+{
+  public:
+    explicit ScopedRegistry(Registry &registry);
+    ~ScopedRegistry();
+    ScopedRegistry(const ScopedRegistry &) = delete;
+    ScopedRegistry &operator=(const ScopedRegistry &) = delete;
+
+  private:
+    Registry *previous_;
+};
+
+/**
+ * Look up or create an instrument in currentRegistry(). References stay
+ * valid for that registry's lifetime; hot paths call once and cache
+ * (only safe against the default registry or one the caller owns).
  */
 Counter &counter(const std::string &name);
 Gauge &gauge(const std::string &name);
 Histo &histogram(const std::string &name);
 
-/** Visit every registered instrument in name order (snapshot export). */
+/** Visit every currentRegistry() instrument in name order. */
 void forEachCounter(const std::function<void(const Counter &)> &fn);
 void forEachGauge(const std::function<void(const Gauge &)> &fn);
 void forEachHisto(const std::function<void(const Histo &)> &fn);

@@ -11,21 +11,29 @@ namespace bxt::telemetry {
 std::string
 snapshotJson(bool pretty)
 {
+    return snapshotJson(currentRegistry(), pretty);
+}
+
+std::string
+snapshotJson(const Registry &registry, bool pretty)
+{
     JsonWriter w(pretty);
     w.beginObject();
     w.kv("schema", snapshotSchema);
     w.kv("enabled", metricsEnabled());
 
     w.beginObject("counters");
-    forEachCounter([&](const Counter &c) { w.kv(c.name(), c.value()); });
+    registry.forEachCounter(
+        [&](const Counter &c) { w.kv(c.name(), c.value()); });
     w.endObject();
 
     w.beginObject("gauges");
-    forEachGauge([&](const Gauge &g) { w.kv(g.name(), g.value()); });
+    registry.forEachGauge(
+        [&](const Gauge &g) { w.kv(g.name(), g.value()); });
     w.endObject();
 
     w.beginObject("histograms");
-    forEachHisto([&](const Histo &h) {
+    registry.forEachHisto([&](const Histo &h) {
         w.beginObject(h.name());
         w.kv("kind", "hdr");
         w.kv("sub_bucket_bits",

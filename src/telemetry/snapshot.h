@@ -36,15 +36,24 @@
 
 namespace bxt::telemetry {
 
+class Registry;
+
 /** Snapshot document version ("schema" field). */
 constexpr int snapshotSchema = 2;
 
 /**
- * Render the registry as a snapshot JSON object. Always returns a valid
- * document; with metrics disabled it reports "enabled": false over the
- * (all-zero) registry. @p pretty selects indented vs one-line output.
+ * Render the calling thread's current registry as a snapshot JSON
+ * object. Always returns a valid document; with metrics disabled it
+ * reports "enabled": false over the (all-zero) registry. @p pretty
+ * selects indented vs one-line output.
  */
 std::string snapshotJson(bool pretty = true);
+
+/**
+ * Render a specific registry — the bxtd Stats/Snapshot path points this
+ * at the scratch registry holding the merged shard union.
+ */
+std::string snapshotJson(const Registry &registry, bool pretty);
 
 /**
  * Write the snapshot to @p path, atomically: the document lands in

@@ -170,8 +170,14 @@ threadRing()
 void
 recordServerSpan(const ServerSpan &span)
 {
-    static Counter &recorded = counter("bxt.server.spans_recorded");
-    static Counter &dropped = counter("bxt.server.spans_dropped");
+    // Pinned to the default registry: the function-local statics bind
+    // on the first record, which may happen on a shard thread whose
+    // private registry dies with its Server — the default registry is
+    // the only one guaranteed to outlive every recording thread.
+    static Counter &recorded =
+        defaultRegistry().counter("bxt.server.spans_recorded");
+    static Counter &dropped =
+        defaultRegistry().counter("bxt.server.spans_dropped");
     SpanRing &ring = threadRing();
     const std::uint64_t drops_before = ring.dropped();
     ring.push(span);

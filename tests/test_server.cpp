@@ -1193,5 +1193,206 @@ TEST(Loopback, GracefulDrainClosesIdleConnections)
     EXPECT_FALSE(client.ping(err));
 }
 
+// ---------------------------------------------------------------------
+// Sharded serving end-to-end (DESIGN.md §14)
+
+/** Fetch a named gauge from the server's Stats document (0 if absent). */
+double
+fetchGauge(client::Client &client, const std::string &name)
+{
+    std::string json, err;
+    EXPECT_TRUE(client.stats(json, err)) << err;
+    JsonValue doc;
+    EXPECT_TRUE(parseJson(json, doc, &err)) << err;
+    const JsonValue *object = doc.find("gauges");
+    if (object == nullptr || !object->isObject())
+        return 0.0;
+    const JsonValue *value = object->find(name);
+    return value != nullptr && value->isNumber() ? value->number : 0.0;
+}
+
+TEST(Sharded, FleetTotalsTelescopeToShardBreakdown)
+{
+    telemetry::resetForTest();
+    telemetry::setMetricsEnabled(true);
+    server::ServerOptions options;
+    options.tcpPort = 0;
+    options.shards = 4;
+    LiveServer live(options);
+    ASSERT_TRUE(live.started());
+
+    // Spread traffic across reconnecting clients so SO_REUSEPORT lands
+    // work on multiple shards (which shard gets which connection is the
+    // kernel's choice — the accounting must hold regardless).
+    constexpr std::size_t kConns = 12;
+    constexpr std::size_t kRequestsPerConn = 5;
+    const std::vector<std::uint8_t> raw(8 * 32, 0xa5);
+    std::string err;
+    for (std::size_t c = 0; c < kConns; ++c) {
+        client::Client client =
+            client::Client::connectTcp("127.0.0.1", live.tcpPort(), err);
+        ASSERT_TRUE(client.connected()) << err;
+        for (std::size_t i = 0; i < kRequestsPerConn; ++i) {
+            client::EncodeResult enc;
+            ASSERT_TRUE(client.encode("xor4+zdr", 32, 32, raw, enc, err))
+                << err;
+        }
+    }
+
+    client::Client stats_client =
+        client::Client::connectTcp("127.0.0.1", live.tcpPort(), err);
+    ASSERT_TRUE(stats_client.connected()) << err;
+    EXPECT_EQ(fetchGauge(stats_client, "bxt.server.shards"), 4.0);
+    const std::map<std::string, std::uint64_t> counters =
+        fetchCounters(stats_client);
+    telemetry::setMetricsEnabled(false);
+
+    // Every broken-out leaf must telescope exactly: the fleet total is
+    // the sum of the bxt.server.shard.<i>.* copies, nothing more.
+    for (const char *leaf :
+         {"requests", "tx_encoded", "connections", "rejected_busy",
+          "errors"}) {
+        const std::string total_name = std::string("bxt.server.") + leaf;
+        ASSERT_NE(counters.find(total_name), counters.end()) << leaf;
+        std::uint64_t shard_sum = 0;
+        std::size_t shards_seen = 0;
+        for (std::size_t s = 0; s < 4; ++s) {
+            const auto it = counters.find("bxt.server.shard." +
+                                          std::to_string(s) + "." + leaf);
+            if (it != counters.end()) {
+                shard_sum += it->second;
+                ++shards_seen;
+            }
+        }
+        EXPECT_EQ(counters.at(total_name), shard_sum) << leaf;
+        EXPECT_EQ(shards_seen, 4u) << leaf;
+    }
+    // All the work really happened (the +1s are the Stats fetches).
+    EXPECT_EQ(counters.at("bxt.server.requests"),
+              kConns * kRequestsPerConn + 2);
+    EXPECT_EQ(counters.at("bxt.server.tx_encoded"),
+              kConns * kRequestsPerConn * 8);
+    EXPECT_EQ(counters.at("bxt.server.errors"), 0u);
+}
+
+TEST(Sharded, GracefulDrainAnswersInFlightFramesOnEveryShard)
+{
+    telemetry::resetForTest();
+    telemetry::setMetricsEnabled(true);
+    server::ServerOptions options;
+    options.tcpPort = 0;
+    options.shards = 4;
+    LiveServer live(options);
+    ASSERT_TRUE(live.started());
+
+    // Enough connections that every shard almost surely owns several;
+    // each first completes a synchronous ping (so the shard has adopted
+    // it), then pipelines a burst of raw frames without reading.
+    constexpr std::size_t kConns = 16;
+    constexpr std::size_t kBurst = 24;
+    const std::vector<std::uint8_t> ping_bytes =
+        wire::serializeFrame(pingFrame());
+    std::vector<std::uint8_t> burst;
+    for (std::size_t i = 0; i < kBurst; ++i)
+        burst.insert(burst.end(), ping_bytes.begin(), ping_bytes.end());
+
+    std::string err;
+    std::vector<client::Client> clients;
+    clients.reserve(kConns);
+    for (std::size_t c = 0; c < kConns; ++c) {
+        clients.push_back(
+            client::Client::connectTcp("127.0.0.1", live.tcpPort(), err));
+        ASSERT_TRUE(clients.back().connected()) << err;
+        ASSERT_TRUE(clients.back().ping(err)) << err;
+        ASSERT_TRUE(net::writeAll(clients.back().rawFd(), burst.data(),
+                                  burst.size(), err))
+            << err;
+    }
+    // The bursts are in flight (kernel buffers) when the stop arrives.
+    live.stop();
+    telemetry::setMetricsEnabled(false);
+
+    // Every pipelined frame the server accepted must have been answered
+    // before its connection closed: read each socket to EOF and count.
+    for (std::size_t c = 0; c < kConns; ++c) {
+        wire::FrameParser parser;
+        std::uint8_t buf[4096];
+        for (;;) {
+            const long n = net::readSome(clients[c].rawFd(), buf,
+                                         sizeof(buf), err);
+            ASSERT_GE(n, 0) << "conn " << c << ": " << err;
+            if (n == 0)
+                break;
+            parser.feed(buf, static_cast<std::size_t>(n));
+        }
+        std::size_t replies = 0;
+        for (;;) {
+            wire::Frame frame;
+            wire::WireError wire_err;
+            if (parser.next(frame, wire_err) !=
+                wire::FrameParser::Status::Ready)
+                break;
+            EXPECT_EQ(frame.opcode, wire::Opcode::Ping);
+            ++replies;
+        }
+        EXPECT_EQ(replies, kBurst) << "conn " << c;
+    }
+}
+
+TEST(Sharded, AdaptiveStreamSurvivesReconnectsAcrossShards)
+{
+    telemetry::resetForTest();
+    telemetry::setMetricsEnabled(true);
+    server::ServerOptions options;
+    options.tcpPort = 0;
+    options.shards = 4;
+    LiveServer live(options);
+    ASSERT_TRUE(live.started());
+
+    // One logical tenant (stream 5) reconnecting repeatedly: each
+    // connection may land on a different shard, where a fresh
+    // shard-local controller serves it. The announcement contract must
+    // hold on every shard — a concrete spec plus epoch that decodes the
+    // payload — and the per-stream accounting must merge across shards.
+    const std::string spec = "adaptive:xor2+zdr,baseline,w=8,p=8,h=0";
+    constexpr std::size_t kReconnects = 6;
+    constexpr std::size_t kEncodesPerConn = 4;
+    const std::vector<std::uint8_t> raw(16 * 32, 0xff);
+    std::string err;
+    for (std::size_t c = 0; c < kReconnects; ++c) {
+        client::Client client =
+            client::Client::connectTcp("127.0.0.1", live.tcpPort(), err);
+        ASSERT_TRUE(client.connected()) << err;
+        client.setStreamId(5);
+        for (std::size_t i = 0; i < kEncodesPerConn; ++i) {
+            client::EncodeResult enc;
+            ASSERT_TRUE(client.encode(spec, 32, 32, raw, enc, err))
+                << err;
+            ASSERT_FALSE(enc.announcedSpec.empty());
+            client::DecodeResult dec;
+            ASSERT_TRUE(client.decode(enc.announcedSpec, enc, dec, err))
+                << err;
+            ASSERT_EQ(dec.raw.size(), raw.size());
+            EXPECT_EQ(
+                std::memcmp(dec.raw.data(), raw.data(), raw.size()), 0);
+        }
+    }
+
+    client::Client stats_client =
+        client::Client::connectTcp("127.0.0.1", live.tcpPort(), err);
+    ASSERT_TRUE(stats_client.connected()) << err;
+    const std::map<std::string, std::uint64_t> counters =
+        fetchCounters(stats_client);
+    telemetry::setMetricsEnabled(false);
+
+    // The fleet view of stream 5 sums its shard-local slices exactly:
+    // one requests tick per tagged encode and decode.
+    EXPECT_EQ(counters.at("bxt.server.stream.5.requests"),
+              kReconnects * kEncodesPerConn * 2);
+    EXPECT_EQ(counters.at("bxt.server.stream.5.tx_encoded"),
+              kReconnects * kEncodesPerConn * 16);
+    EXPECT_EQ(counters.at("bxt.server.errors"), 0u);
+}
+
 } // namespace
 } // namespace bxt

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -620,6 +621,129 @@ TEST_F(TelemetryTest, StageAttributionTelescopesToRefBusOnes)
     EXPECT_EQ(bus_ones, ref_ones);
     EXPECT_EQ(tm::counter("bxt.channel.eval.encoded_ones").value(),
               ref_ones);
+}
+
+// ---------------------------------------------------------------------
+// Instantiable registries + merge (the sharded-server substrate)
+
+TEST_F(TelemetryTest, ScopedRegistryRedirectsFreeFunctions)
+{
+    tm::Registry shard;
+    tm::counter("bxt.test.scoped").add(1); // Default registry.
+    {
+        tm::ScopedRegistry scoped(shard);
+        EXPECT_EQ(&tm::currentRegistry(), &shard);
+        tm::counter("bxt.test.scoped").add(10);
+        {
+            tm::Registry inner;
+            tm::ScopedRegistry nested(inner);
+            tm::counter("bxt.test.scoped").add(100);
+            EXPECT_EQ(inner.counter("bxt.test.scoped").value(), 100u);
+        }
+        // Nested scope restored the outer binding.
+        EXPECT_EQ(&tm::currentRegistry(), &shard);
+    }
+    EXPECT_EQ(&tm::currentRegistry(), &tm::defaultRegistry());
+    EXPECT_EQ(shard.counter("bxt.test.scoped").value(), 10u);
+    EXPECT_EQ(tm::counter("bxt.test.scoped").value(), 1u);
+}
+
+TEST_F(TelemetryTest, RegistryMergeSumsCountersAndGauges)
+{
+    tm::Registry a;
+    tm::Registry b;
+    a.counter("bxt.test.c").add(7);
+    b.counter("bxt.test.c").add(5);
+    b.counter("bxt.test.only_b").add(3);
+    a.gauge("bxt.test.g").set(1.5);
+    b.gauge("bxt.test.g").set(2.0);
+
+    tm::Registry merged;
+    merged.mergeFrom(a);
+    merged.mergeFrom(b);
+    EXPECT_EQ(merged.counter("bxt.test.c").value(), 12u);
+    EXPECT_EQ(merged.counter("bxt.test.only_b").value(), 3u);
+    // Gauge merge is additive: per-shard queue depths sum to the fleet
+    // depth.
+    EXPECT_DOUBLE_EQ(merged.gauge("bxt.test.g").value(), 3.5);
+}
+
+TEST_F(TelemetryTest, RegistryMergeRenameBreaksOutAndSkips)
+{
+    tm::Registry shard;
+    shard.counter("bxt.server.requests").add(9);
+    shard.counter("bxt.other.requests").add(4);
+
+    tm::Registry merged;
+    merged.mergeFrom(shard, [](const std::string &name) {
+        if (name == "bxt.server.requests")
+            return std::string("bxt.server.shard.3.requests");
+        return std::string(); // Skip everything else.
+    });
+    EXPECT_EQ(merged.counter("bxt.server.shard.3.requests").value(), 9u);
+    bool saw_other = false;
+    merged.forEachCounter([&](const tm::Counter &counter) {
+        saw_other |= counter.name() == "bxt.other.requests";
+    });
+    EXPECT_FALSE(saw_other);
+}
+
+TEST_F(TelemetryTest, HistogramMergeMatchesSingleRegistryOracle)
+{
+    // The pinning test for the sharded quantile story: recording each
+    // sample into one of four shard histograms and bucket-merging must
+    // yield the exact p50/p99 (and count/sum/min/max) of recording all
+    // samples into one histogram.
+    tm::Registry oracle_reg;
+    tm::Histo &oracle = oracle_reg.histogram("bxt.test.lat");
+    std::vector<tm::Registry> shards(4);
+    Rng rng(0x5eed);
+    for (std::size_t i = 0; i < 10'000; ++i) {
+        // Log-uniform-ish latencies: 1 us .. ~1 s, heavy low tail.
+        const double sample = std::exp(
+            rng.nextDouble() * 13.8); // e^13.8 ~= 1e6
+        oracle.add(sample);
+        shards[i % shards.size()]
+            .histogram("bxt.test.lat")
+            .add(sample);
+    }
+
+    tm::Registry merged_reg;
+    for (tm::Registry &shard : shards)
+        merged_reg.mergeFrom(shard);
+    tm::Histo &merged = merged_reg.histogram("bxt.test.lat");
+
+    EXPECT_EQ(merged.total(), oracle.total());
+    EXPECT_DOUBLE_EQ(merged.sum(), oracle.sum());
+    EXPECT_EQ(merged.min(), oracle.min());
+    EXPECT_EQ(merged.max(), oracle.max());
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+        EXPECT_DOUBLE_EQ(merged.quantile(q), oracle.quantile(q))
+            << "q=" << q;
+    }
+    for (std::size_t b = 0; b < tm::Histo::numBuckets; ++b) {
+        ASSERT_EQ(merged.bucketCount(b), oracle.bucketCount(b))
+            << "bucket " << b;
+    }
+}
+
+TEST_F(TelemetryTest, SnapshotJsonOfExplicitRegistry)
+{
+    tm::Registry reg;
+    reg.counter("bxt.test.snap").add(2);
+    reg.histogram("bxt.test.h").record(5);
+    const std::string json = tm::snapshotJson(reg, false);
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(json, doc, &err)) << err;
+    EXPECT_DOUBLE_EQ(member(member(doc, "counters"), "bxt.test.snap")
+                         .number,
+                     2.0);
+    // The default registry's content must not leak into an explicit
+    // registry's snapshot.
+    tm::counter("bxt.test.default_only").add(1);
+    const std::string json2 = tm::snapshotJson(reg, false);
+    EXPECT_EQ(json2.find("bxt.test.default_only"), std::string::npos);
 }
 
 } // namespace

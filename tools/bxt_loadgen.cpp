@@ -132,7 +132,7 @@ struct TenantStats
 };
 
 bxt::client::Client
-connectClient(const Args &args, std::string &err)
+connectOnce(const Args &args, std::string &err)
 {
     if (!args.unixPath.empty())
         return bxt::client::Client::connectUnix(args.unixPath, err);
@@ -146,6 +146,46 @@ connectClient(const Args &args, std::string &err)
         static_cast<int>(
             std::strtol(args.tcp.c_str() + colon + 1, nullptr, 10)),
         err);
+}
+
+/**
+ * A connect failure worth retrying: the server is booting or its accept
+ * slice momentarily lagged (ECONNREFUSED / EAGAIN strerror text). A bad
+ * address or a missing Unix path fails fast.
+ */
+bool
+isTransientConnectError(const std::string &err)
+{
+    return err.find("Connection refused") != std::string::npos ||
+           err.find("Resource temporarily unavailable") !=
+               std::string::npos ||
+           err.find("Try again") != std::string::npos;
+}
+
+/**
+ * Connect with bounded backoff: a fleet of worker connections arriving
+ * while bxtd is still binding its shard listeners (or while a shard's
+ * backlog briefly fills) should ride through rather than fail the run.
+ * Backoff doubles 5 ms → 80 ms within a ~2 s total budget.
+ */
+bxt::client::Client
+connectClient(const Args &args, std::string &err)
+{
+    constexpr std::uint64_t budget_us = 2'000'000;
+    std::uint64_t delay_ms = 5;
+    const std::uint64_t start = bxt::telemetry::nowMicros();
+    for (;;) {
+        err.clear();
+        bxt::client::Client client = connectOnce(args, err);
+        if (client.connected())
+            return client;
+        if (!isTransientConnectError(err) ||
+            bxt::telemetry::nowMicros() - start >= budget_us)
+            return client;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delay_ms));
+        delay_ms = std::min<std::uint64_t>(delay_ms * 2, 80);
+    }
 }
 
 std::vector<std::uint8_t>

@@ -24,6 +24,13 @@
  *                                        tracing cost more than PCT
  *                                        percent (the `ci.sh serve`
  *                                        trace-overhead gate)
+ *   bxt_report --assert-shard-scaling RATIO BASE.json SHARDED.json
+ *                                        compare two loadgen documents'
+ *                                        aggregate tx rates and fail when
+ *                                        the sharded run is below RATIO
+ *                                        times the single-shard baseline
+ *                                        (the `ci.sh scenario` shard-
+ *                                        scaling gate)
  *   bxt_report --scenario FILE...        aggregate summary + per-tenant
  *                                        table from a server_scenarios
  *                                        bench document (`bxt_loadgen
@@ -831,6 +838,39 @@ assertTxOverhead(double limit_pct, const std::string &base_path,
     return 0;
 }
 
+/**
+ * --assert-shard-scaling: fail unless the sharded loadgen run's
+ * aggregate transaction rate is at least @p min_ratio times the
+ * single-shard baseline's (the `ci.sh scenario` shard-scaling gate:
+ * shared-nothing shards must actually buy throughput).
+ */
+int
+assertShardScaling(double min_ratio, const std::string &base_path,
+                   const std::string &sharded_path)
+{
+    double base = 0.0;
+    double sharded = 0.0;
+    if (!aggregateTxRate(base_path, base) ||
+        !aggregateTxRate(sharded_path, sharded))
+        return 1;
+    if (base <= 0.0) {
+        std::fprintf(stderr, "bxt_report: %s: non-positive tx rate\n",
+                     base_path.c_str());
+        return 1;
+    }
+    const double ratio = sharded / base;
+    std::printf("aggregate tx rate: %.0f tx/s single-shard, %.0f tx/s "
+                "sharded -> %.2fx scaling (floor %.2fx)\n",
+                base, sharded, ratio, min_ratio);
+    if (ratio < min_ratio) {
+        std::fprintf(stderr, "bxt_report: shard scaling %.2fx below "
+                             "floor %.2fx\n",
+                     ratio, min_ratio);
+        return 1;
+    }
+    return 0;
+}
+
 int
 assertOverhead(double limit_pct, const std::string &off_path,
                const std::string &on_path)
@@ -869,8 +909,10 @@ main(int argc, char **argv)
     bool assert_adaptive_wins = false;
     bool overhead = false;
     bool tx_overhead = false;
+    bool shard_scaling = false;
     double overhead_limit = 0.0;
     double tx_overhead_limit = 0.0;
+    double shard_scaling_floor = 0.0;
     std::vector<std::string> files;
 
     bxt::Cli cli("bxt_report",
@@ -905,6 +947,13 @@ main(int argc, char **argv)
                 tx_overhead = true;
                 tx_overhead_limit = std::strtod(v.c_str(), nullptr);
             });
+    cli.add("--assert-shard-scaling", "RATIO",
+            "fail when SHARDED.json's aggregate tx rate is below RATIO "
+            "times BASE.json's (two loadgen files expected)",
+            [&](const std::string &v) {
+                shard_scaling = true;
+                shard_scaling_floor = std::strtod(v.c_str(), nullptr);
+            });
     cli.addPositional("FILE", "snapshot / bench / trace JSON file(s)",
                       [&](const std::string &v) { files.push_back(v); });
     if (!cli.parse(argc, argv))
@@ -931,6 +980,16 @@ main(int argc, char **argv)
             return 2;
         }
         return assertTxOverhead(tx_overhead_limit, files[0], files[1]);
+    }
+    if (shard_scaling) {
+        if (files.size() != 2) {
+            std::fprintf(stderr,
+                         "bxt_report: --assert-shard-scaling needs "
+                         "BASE.json and SHARDED.json\n");
+            return 2;
+        }
+        return assertShardScaling(shard_scaling_floor, files[0],
+                                  files[1]);
     }
     if (scenario) {
         for (const std::string &file : files) {

@@ -5,7 +5,12 @@
  * server's own clock) and renders rates and windowed latency quantiles
  * from consecutive-poll deltas:
  *
- *  - aggregate request/error rates, queue depth, worker threads;
+ *  - aggregate request/error rates, queue depth, worker shards;
+ *  - per-shard rows (active connections, request/transaction rates,
+ *    output backlog, busy rejects) from the `bxt.server.shard.<i>.*`
+ *    breakdown the sharded server publishes — the kernel's
+ *    SO_REUSEPORT load balance made visible (--no-shards collapses the
+ *    table back to the aggregate line);
  *  - request_us p50/p95/p99 over the poll window, reconstructed from
  *    the HDR histogram's sparse bucket deltas (the same log-bucket
  *    geometry as telemetry::Histo, so no raw samples cross the wire);
@@ -22,7 +27,7 @@
  *
  * Usage:
  *   bxt_top (--tcp HOST:PORT | --unix PATH) [--interval-ms N]
- *           [--once] [--count N] [--no-clear]
+ *           [--once] [--count N] [--no-clear] [--no-shards]
  */
 
 #include <algorithm>
@@ -51,6 +56,7 @@ struct Args
     bool once = false;
     std::size_t count = 0; ///< 0 = run until interrupted.
     bool noClear = false;
+    bool noShards = false; ///< Collapse the per-shard table.
 };
 
 /** One polled snapshot, flattened for delta computation. */
@@ -214,7 +220,8 @@ streamIdOf(const std::string &name, std::string &leaf)
     return id;
 }
 
-/** "bxt.server.<spec>.ones_in" -> spec, excluding stream subtrees. */
+/** "bxt.server.<spec>.ones_in" -> spec, excluding the stream and shard
+ *  subtrees (those are breakdown copies, not specs). */
 bool
 specOf(const std::string &name, std::string &spec)
 {
@@ -228,7 +235,27 @@ specOf(const std::string &name, std::string &spec)
         return false;
     spec = name.substr(prefix.size(),
                        name.size() - prefix.size() - suffix.size());
-    return !spec.empty() && spec.rfind("stream.", 0) != 0;
+    return !spec.empty() && spec.rfind("stream.", 0) != 0 &&
+           spec.rfind("shard.", 0) != 0;
+}
+
+/** "bxt.server.shard.<i>.<leaf>" -> i, or -1 when not a shard name. */
+long
+shardIdOf(const std::string &name)
+{
+    static const std::string prefix = "bxt.server.shard.";
+    if (name.rfind(prefix, 0) != 0)
+        return -1;
+    const std::size_t dot = name.find('.', prefix.size());
+    if (dot == std::string::npos || dot == prefix.size())
+        return -1;
+    const std::string id_text =
+        name.substr(prefix.size(), dot - prefix.size());
+    char *end = nullptr;
+    const long id = std::strtol(id_text.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || id < 0)
+        return -1;
+    return id;
 }
 
 /**
@@ -266,13 +293,15 @@ render(const Args &args, const Sample &cur, const Sample &prev,
                 dt_s > 0.0 ? dt_s : 0.0);
     std::printf(
         "req/s %8.1f   err/s %6.1f   conn/s %6.1f   busy/s %6.1f   "
-        "queue %3.0f   threads %.0f\n",
+        "queue %3.0f   shards %.0f\n",
         rateOf(cur, prev, "bxt.server.requests", dt_s),
         rateOf(cur, prev, "bxt.server.errors", dt_s),
         rateOf(cur, prev, "bxt.server.connections", dt_s),
         rateOf(cur, prev, "bxt.server.rejected_busy", dt_s),
         gaugeOf(cur, "bxt.server.queue_depth"),
-        gaugeOf(cur, "bxt.server.threads"));
+        gaugeOf(cur, "bxt.server.shards") > 0.0
+            ? gaugeOf(cur, "bxt.server.shards")
+            : gaugeOf(cur, "bxt.server.threads"));
 
     double window_total = 0.0;
     const double p50 = windowedQuantile(cur, prev, "bxt.server.request_us",
@@ -291,6 +320,38 @@ render(const Args &args, const Sample &cur, const Sample &prev,
                 rateOf(cur, prev, "bxt.server.spans_recorded", dt_s),
                 counterOf(cur, "bxt.server.spans_dropped"),
                 rateOf(cur, prev, "bxt.server.spans_dropped", dt_s));
+
+    // Per-shard table: the SO_REUSEPORT load balance made visible.
+    if (!args.noShards) {
+        std::set<long> shard_ids;
+        for (const auto &[name, value] : cur.counters) {
+            const long id = shardIdOf(name);
+            if (id >= 0)
+                shard_ids.insert(id);
+        }
+        for (const auto &[name, value] : cur.gauges) {
+            const long id = shardIdOf(name);
+            if (id >= 0)
+                shard_ids.insert(id);
+        }
+        if (shard_ids.size() > 1) {
+            std::printf("\n%-6s %6s %8s %8s %9s %6s %7s\n", "shard",
+                        "conns", "conn/s", "req/s", "tx/s", "queue",
+                        "busy/s");
+            for (long id : shard_ids) {
+                const std::string b =
+                    "bxt.server.shard." + std::to_string(id);
+                std::printf(
+                    "%-6ld %6.0f %8.1f %8.1f %9.1f %6.0f %7.1f\n", id,
+                    gaugeOf(cur, b + ".active_connections"),
+                    rateOf(cur, prev, b + ".connections", dt_s),
+                    rateOf(cur, prev, b + ".requests", dt_s),
+                    rateOf(cur, prev, b + ".tx_encoded", dt_s),
+                    gaugeOf(cur, b + ".queue_depth"),
+                    rateOf(cur, prev, b + ".rejected_busy", dt_s));
+            }
+        }
+    }
 
     // Per-stream (tenant) table, busiest first.
     std::set<long> stream_ids;
@@ -393,6 +454,9 @@ main(int argc, char **argv)
             });
     cli.addFlag("--no-clear", "append refreshes instead of ANSI-clearing",
                 [&] { args.noClear = true; });
+    cli.addFlag("--no-shards",
+                "collapse the per-shard table (aggregate view only)",
+                [&] { args.noShards = true; });
     if (!cli.parse(argc, argv))
         return cli.exitCode();
 

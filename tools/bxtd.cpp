@@ -5,7 +5,7 @@
  * SIGTERM/SIGINT, then drains gracefully and exits 0.
  *
  * Usage:
- *   bxtd [--listen HOST:PORT] [--unix PATH] [--threads N]
+ *   bxtd [--listen HOST:PORT] [--unix PATH] [--shards N] [--threads N]
  *        [--max-batch K] [--idle-timeout MS] [--max-pending N]
  *        [--trace-spans PATH]
  *
@@ -68,7 +68,14 @@ main(int argc, char **argv)
             [&](const std::string &v) { listen_spec = v; });
     cli.add("--unix", "PATH", "Unix-domain socket path",
             [&](const std::string &v) { options.unixPath = v; });
-    cli.add("--threads", "N", "worker threads (default: hardware count)",
+    cli.add("--shards", "N",
+            "shared-nothing worker shards (default: hardware count)",
+            [&](const std::string &v) {
+                options.shards = static_cast<unsigned>(
+                    std::strtoul(v.c_str(), nullptr, 0));
+            });
+    cli.add("--threads", "N",
+            "alias for --shards, kept for older scripts",
             [&](const std::string &v) {
                 options.threads = static_cast<unsigned>(
                     std::strtoul(v.c_str(), nullptr, 0));
@@ -133,8 +140,10 @@ main(int argc, char **argv)
     if (!options.unixPath.empty())
         std::printf("bxtd: listening on unix://%s\n",
                     options.unixPath.c_str());
-    std::printf("bxtd: serving (max-batch %zu, max-pending %zu)\n",
-                options.maxBatch, options.maxPending);
+    std::printf("bxtd: serving (%zu shards, max-batch %zu, "
+                "max-pending %zu)\n",
+                server.shardCount(), options.maxBatch,
+                options.maxPending);
     std::fflush(stdout); // Scripts parse the resolved port from stdout.
 
     server.serve();
